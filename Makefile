@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench experiments baseline check-baseline clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/exec/ ./internal/mp/ .
+
+fuzz:
+	$(GO) test -fuzz FuzzSchemeCoverage -fuzztime 30s ./internal/sched/
+	$(GO) test -fuzz FuzzWeightedCoverage -fuzztime 30s ./internal/sched/
+	$(GO) test -fuzz FuzzDecodeRequest -fuzztime 30s ./internal/mp/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+baseline:
+	$(GO) run ./cmd/experiments -save-baseline results/baseline-default.json
+
+check-baseline:
+	$(GO) run ./cmd/experiments -check-baseline results/baseline-default.json
+
+clean:
+	$(GO) clean -testcache

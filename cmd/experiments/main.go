@@ -1,0 +1,220 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation on the simulated cluster and writes them to
+// stdout (or a results directory with -out).
+//
+//	experiments                 # everything, paper scale
+//	experiments -run table2     # one artefact
+//	experiments -small          # fast, scaled-down configuration
+//	experiments -out results/   # also write one file per artefact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"loopsched/internal/experiments"
+	"loopsched/internal/metrics"
+	"loopsched/internal/report"
+	"loopsched/internal/viz"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "artefact: table1, table2, table3, fig1, fig4, fig5, fig6, fig7, scaling, all")
+		small = flag.Bool("small", false, "use the scaled-down test configuration")
+		plot  = flag.Bool("plot", false, "render figures as terminal charts too")
+		out   = flag.String("out", "", "directory to write per-artefact text files into")
+		svg   = flag.String("svg", "", "directory to render figure SVGs into")
+		html  = flag.String("html", "", "write a self-contained HTML reproduction report")
+		save  = flag.String("save-baseline", "", "collect all numbers and write a JSON baseline")
+		check = flag.String("check-baseline", "", "compare against a saved baseline; non-zero exit on drift")
+		tol   = flag.Float64("tolerance", 0.02, "relative tolerance for -check-baseline")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *small {
+		cfg = experiments.Small()
+	}
+
+	if *save != "" || *check != "" {
+		label := "default"
+		if *small {
+			label = "small"
+		}
+		b, err := report.Collect(cfg, label)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *save != "" {
+			if err := b.Save(*save); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("saved %d metrics to %s\n", len(b.Metrics), *save)
+		}
+		if *check != "" {
+			base, err := report.Load(*check)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			diffs := report.Compare(base, b, *tol)
+			if len(diffs) > 0 {
+				fmt.Print(report.Format(diffs))
+				os.Exit(1)
+			}
+			fmt.Printf("all %d metrics within %.0f%% of %s\n", len(base.Metrics), 100**tol, *check)
+		}
+		return
+	}
+
+	if *svg != "" {
+		if err := renderSVGs(cfg, *svg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *html != "" {
+		label := "default"
+		if *small {
+			label = "small"
+		}
+		f, err := os.Create(*html)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := report.HTML(f, cfg, label); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *html)
+		return
+	}
+
+	artefacts := []string{"table1", "table2", "table3", "fig1", "fig4", "fig5", "fig6", "fig7", "scaling"}
+	if *run != "all" {
+		artefacts = []string{*run}
+	}
+
+	for _, a := range artefacts {
+		text, err := produce(a, cfg, *plot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a, err)
+			os.Exit(1)
+		}
+		fmt.Println(text)
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*out, a+".txt")
+			if err := os.WriteFile(path, []byte(text+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// renderSVGs writes Figure 1, Figures 4-7 and the scaling study as
+// standalone SVG files.
+func renderSVGs(cfg experiments.Config, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, svgText string) error {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(svgText), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", path)
+		return nil
+	}
+	orig, reord := experiments.Figure1(cfg)
+	if err := write("fig1.svg", viz.ProfileSVG(
+		"Figure 1: Mandelbrot per-column cost", map[string][]float64{
+			"original":  orig,
+			"reordered": reord,
+		})); err != nil {
+		return err
+	}
+	for _, num := range []int{4, 5, 6, 7} {
+		f, err := experiments.Figure(num, cfg)
+		if err != nil {
+			return err
+		}
+		if err := write(fmt.Sprintf("fig%d.svg", num), viz.SpeedupSVG(f.Title, f.Curves)); err != nil {
+			return err
+		}
+	}
+	f, err := experiments.ScalingStudy(cfg, experiments.DistributedSchemes(), nil)
+	if err != nil {
+		return err
+	}
+	return write("scaling.svg", viz.SpeedupSVG(f.Title, f.Curves))
+}
+
+func produce(name string, cfg experiments.Config, plot bool) (string, error) {
+	switch name {
+	case "table1":
+		return experiments.Table1(), nil
+	case "table2":
+		t, err := experiments.Table2(cfg)
+		if err != nil {
+			return "", err
+		}
+		return t.Format(), nil
+	case "table3":
+		t, err := experiments.Table3(cfg)
+		if err != nil {
+			return "", err
+		}
+		return t.Format(), nil
+	case "fig1":
+		orig, reord := experiments.Figure1(cfg)
+		var sb strings.Builder
+		sb.WriteString("Figure 1: Mandelbrot per-column cost (original, reordered Sf=4)\n")
+		if plot {
+			fmt.Fprintf(&sb, "original : %s\n", metrics.Sparkline(orig, 100))
+			fmt.Fprintf(&sb, "reordered: %s\n", metrics.Sparkline(reord, 100))
+			return sb.String(), nil
+		}
+		sb.WriteString("column\toriginal\treordered\n")
+		for i := range orig {
+			fmt.Fprintf(&sb, "%d\t%.0f\t%.0f\n", i, orig[i], reord[i])
+		}
+		return sb.String(), nil
+	case "fig4", "fig5", "fig6", "fig7":
+		num := int(name[3] - '0')
+		f, err := experiments.Figure(num, cfg)
+		if err != nil {
+			return "", err
+		}
+		text := f.Format()
+		if plot {
+			text += "\n" + metrics.PlotSpeedups(f.Title, f.Curves, 14)
+		}
+		return text, nil
+	case "scaling":
+		f, err := experiments.ScalingStudy(cfg, experiments.DistributedSchemes(), nil)
+		if err != nil {
+			return "", err
+		}
+		text := f.Format()
+		if plot {
+			text += "\n" + metrics.PlotSpeedups(f.Title, f.Curves, 14)
+		}
+		return text, nil
+	default:
+		return "", fmt.Errorf("unknown artefact %q", name)
+	}
+}

@@ -1,0 +1,211 @@
+// Command loopsched runs one self-scheduling scheme on one workload,
+// either on the simulated heterogeneous cluster or with real goroutine
+// workers, and prints the paper-style report.
+//
+// Examples:
+//
+//	loopsched -scheme DTSS -workload mandelbrot -p 8 -nondedicated
+//	loopsched -scheme TSS -workload uniform -I 10000 -p 4
+//	loopsched -scheme TFSS -workload mandelbrot -real -p 4
+//	loopsched -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"loopsched"
+)
+
+func main() {
+	var (
+		schemeName   = flag.String("scheme", "DTSS", "scheduling scheme (see -list)")
+		workloadName = flag.String("workload", "mandelbrot", "workload: mandelbrot, uniform, linear-inc, linear-dec, conditional, random, or csv:<path>")
+		iterations   = flag.Int("I", 0, "iteration count for synthetic workloads (default 4000)")
+		p            = flag.Int("p", 8, "number of slave PEs")
+		nondedicated = flag.Bool("nondedicated", false, "overload some PEs with background processes")
+		clusterFile  = flag.String("cluster", "", "JSON cluster description (overrides -p/-nondedicated)")
+		width        = flag.Int("width", 4000, "mandelbrot window width (columns)")
+		height       = flag.Int("height", 2000, "mandelbrot window height (rows)")
+		maxIter      = flag.Int("maxiter", 160, "mandelbrot escape-time bound")
+		sf           = flag.Int("sf", 4, "sampling reorder frequency (1 = no reorder)")
+		real         = flag.Bool("real", false, "execute with real goroutine workers instead of the simulator")
+		tree         = flag.Bool("tree", false, "use Tree Scheduling (ignores -scheme)")
+		gantt        = flag.Bool("gantt", false, "print an ASCII Gantt chart of the simulated run")
+		traceCSV     = flag.String("trace-csv", "", "write the chunk-level execution trace to this CSV file")
+		ganttSVG     = flag.String("gantt-svg", "", "write the Gantt chart as SVG to this file")
+		bus          = flag.Bool("bus", false, "simulate a shared half-duplex medium (hub Ethernet) instead of independent links")
+		acpScale     = flag.Int("acp-scale", 0, "ACP decimal scale factor (0 = default 10; 1 = the original integer DTSS)")
+		list         = flag.Bool("list", false, "list available schemes and exit")
+		describe     = flag.String("describe", "", "describe schemes ('all', a category, or a name) and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available schemes:", strings.Join(loopsched.SchemeNames(), " "))
+		fmt.Println("plus: TreeS (via -tree)")
+		return
+	}
+	if *describe != "" {
+		filter := *describe
+		if filter == "all" {
+			filter = ""
+		}
+		fmt.Print(loopsched.DescribeSchemes(filter))
+		return
+	}
+
+	w, err := buildWorkload(*workloadName, *iterations, *width, *height, *maxIter, *sf)
+	if err != nil {
+		fail(err)
+	}
+
+	if *real {
+		runReal(*schemeName, w, *p)
+		return
+	}
+
+	cluster := loopsched.PaperCluster(*p, *nondedicated)
+	if *clusterFile != "" {
+		f, err := os.Open(*clusterFile)
+		if err != nil {
+			fail(err)
+		}
+		cluster, err = loopsched.ReadCluster(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+	params := loopsched.SimParams{BaseRate: 1.2e6, BytesPerIter: float64(2 * *height)}
+	params.SharedBus = *bus
+	if *acpScale > 0 {
+		params.ACP = loopsched.ACPModel{Scale: *acpScale}
+	}
+	var tr *loopsched.Trace
+	if *gantt || *traceCSV != "" || *ganttSVG != "" {
+		tr = &loopsched.Trace{}
+		params.Trace = tr
+	}
+
+	var rep loopsched.Report
+	if *tree {
+		rep, err = loopsched.SimulateTree(cluster, loopsched.TreeOptions{Weighted: true}, w, params)
+	} else {
+		var s loopsched.Scheme
+		s, err = loopsched.LookupScheme(*schemeName)
+		if err == nil {
+			rep, err = loopsched.Simulate(cluster, s, w, params)
+		}
+	}
+	if err != nil {
+		fail(err)
+	}
+	printReport(rep)
+	if tr != nil && *gantt {
+		fmt.Print(tr.Gantt(100))
+		fmt.Printf("mean utilization: %.0f%%\n", 100*tr.MeanUtilization())
+	}
+	if tr != nil && *ganttSVG != "" {
+		if err := os.WriteFile(*ganttSVG, []byte(loopsched.GanttSVG(tr)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *ganttSVG)
+	}
+	if tr != nil && *traceCSV != "" {
+		f, err := os.Create(*traceCSV)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", *traceCSV)
+	}
+}
+
+func buildWorkload(name string, iterations, width, height, maxIter, sf int) (loopsched.Workload, error) {
+	if iterations <= 0 {
+		iterations = 4000
+	}
+	var w loopsched.Workload
+	switch name {
+	case "mandelbrot":
+		w = loopsched.MandelbrotWorkload(loopsched.MandelbrotParams{
+			Region: loopsched.PaperRegion, Width: width, Height: height, MaxIter: maxIter,
+		})
+	case "uniform":
+		w = loopsched.Uniform{N: iterations}
+	case "linear-inc":
+		w = loopsched.LinearIncreasing{N: iterations}
+	case "linear-dec":
+		w = loopsched.LinearDecreasing{N: iterations}
+	case "conditional":
+		w = loopsched.NewConditional(iterations, 0.25, 10, 1, 1)
+	case "random":
+		w = loopsched.NewRandom(iterations, 8, 1, 1)
+	default:
+		if path, ok := strings.CutPrefix(name, "csv:"); ok {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			loaded, err := loopsched.ReadCosts(f, path)
+			if err != nil {
+				return nil, err
+			}
+			w = loaded
+			break
+		}
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	if sf > 1 {
+		w = loopsched.Reorder(w, sf)
+	}
+	return w, nil
+}
+
+func runReal(schemeName string, w loopsched.Workload, p int) {
+	s, err := loopsched.LookupScheme(schemeName)
+	if err != nil {
+		fail(err)
+	}
+	workers := make([]*loopsched.WorkerSpec, p)
+	for i := range workers {
+		scale := 1
+		if i >= (3*p+7)/8 { // same fast/slow mix as the paper cluster
+			scale = 3
+		}
+		workers[i] = &loopsched.WorkerSpec{WorkScale: scale}
+	}
+	ex := &loopsched.LocalExecutor{Scheme: s, Workers: workers}
+	var sink int64
+	rep, err := ex.Run(w, func(i int) {
+		// Burn work proportional to the iteration's cost.
+		n := int(w.Cost(i))
+		for k := 0; k < n; k++ {
+			sink += int64(k ^ i)
+		}
+	})
+	if err != nil {
+		fail(err)
+	}
+	printReport(rep)
+}
+
+func printReport(rep loopsched.Report) {
+	fmt.Print(loopsched.FormatTable(
+		fmt.Sprintf("%s on %s (p=%d)", rep.Scheme, rep.Workload, rep.Workers),
+		[]loopsched.Report{rep}))
+	fmt.Printf("chunks=%d replans=%d comp-imbalance=%.3f\n",
+		rep.Chunks, rep.Replans, rep.CompImbalance())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "loopsched:", err)
+	os.Exit(1)
+}

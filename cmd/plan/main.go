@@ -1,0 +1,81 @@
+// Command plan answers "which scheme should I run on *my* cluster for
+// *my* loop?": it simulates every candidate on a user-supplied cluster
+// description and cost profile, then ranks them.
+//
+//	plan -cluster configs/loaded-evening.json -costs profile.csv
+//	plan -cluster configs/paper-testbed.json            # mandelbrot default
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"loopsched"
+	"loopsched/internal/sweep"
+)
+
+func main() {
+	var (
+		clusterFile = flag.String("cluster", "", "JSON cluster description (required)")
+		costsFile   = flag.String("costs", "", "iteration,cost CSV (default: 1000-column Mandelbrot)")
+		schemes     = flag.String("schemes", "TSS,FSS,FISS,TFSS,WF,DTSS,DFSS,DFISS,DTFSS,AWF,TreeS,AFS", "candidates")
+		baseRate    = flag.Float64("baserate", 1.2e6, "power-1 throughput in cost units per second")
+		bytesPerIt  = flag.Float64("bytes", 4096, "result payload per iteration")
+	)
+	flag.Parse()
+
+	if *clusterFile == "" {
+		fail(fmt.Errorf("-cluster is required (see configs/ for samples)"))
+	}
+	f, err := os.Open(*clusterFile)
+	if err != nil {
+		fail(err)
+	}
+	cluster, err := loopsched.ReadCluster(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	var w loopsched.Workload
+	if *costsFile != "" {
+		cf, err := os.Open(*costsFile)
+		if err != nil {
+			fail(err)
+		}
+		w, err = loopsched.ReadCosts(cf, *costsFile)
+		cf.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		w = loopsched.Reorder(loopsched.MandelbrotWorkload(loopsched.MandelbrotParams{
+			Region: loopsched.PaperRegion, Width: 1000, Height: 500, MaxIter: 160,
+		}), 4)
+	}
+
+	params := loopsched.SimParams{BaseRate: *baseRate, BytesPerIter: *bytesPerIt}
+	recs, err := sweep.Recommend(cluster, strings.Split(*schemes, ","), w, params)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("ranking %d schemes on %d machines over %d iterations:\n\n",
+		len(recs), len(cluster.Machines), w.Len())
+	tw := tabwriter.NewWriter(os.Stdout, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rank\tscheme\tTp(s)\tvs best\tchunks\timbalance")
+	for i, r := range recs {
+		fmt.Fprintf(tw, "%d\t%s\t%.3f\t%+.1f%%\t%d\t%.2f\n",
+			i+1, r.Scheme, r.Tp, 100*(r.Tp/recs[0].Tp-1), r.Chunks, r.Imbalance)
+	}
+	tw.Flush()
+	fmt.Printf("\nrecommendation: %s\n", recs[0].Scheme)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "plan:", err)
+	os.Exit(1)
+}

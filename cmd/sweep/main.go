@@ -1,0 +1,102 @@
+// Command sweep runs a scheme × worker-count × mode × workload matrix
+// on the simulated heterogeneous cluster and summarises who wins
+// where — the broad comparison the paper's evaluation samples.
+//
+//	sweep                                   # default matrix
+//	sweep -schemes TSS,DTSS,TreeS -p 2,4,8
+//	sweep -csv results.csv                  # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"loopsched/internal/experiments"
+	"loopsched/internal/sweep"
+	"loopsched/internal/workload"
+)
+
+func main() {
+	var (
+		schemes = flag.String("schemes", "TSS,FSS,FISS,TFSS,DTSS,DFSS,DFISS,DTFSS,TreeS", "comma-separated scheme names")
+		workers = flag.String("p", "2,4,8", "comma-separated worker counts")
+		csvPath = flag.String("csv", "", "also write results as CSV to this file")
+		width   = flag.Int("width", 1000, "mandelbrot window width")
+		height  = flag.Int("height", 500, "mandelbrot window height")
+		trials  = flag.Int("trials", 0, "repeat over N random-workload trials and report confidence intervals")
+	)
+	flag.Parse()
+
+	ps, err := parseInts(*workers)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := experiments.Default()
+	cfg.Width, cfg.Height = *width, *height
+	mandel := cfg.Workload()
+
+	sweepCfg := sweep.Config{
+		Schemes: strings.Split(*schemes, ","),
+		Workers: ps,
+		Modes:   []bool{false, true},
+		Workloads: []sweep.NamedWorkload{
+			{Name: "mandelbrot", W: mandel},
+			{Name: "uniform", W: workload.Uniform{N: cfg.Width, C: workload.TotalCost(mandel) / float64(cfg.Width)}},
+			{Name: "random", W: workload.NewRandom(cfg.Width, 10, 1, 1)},
+		},
+		Params: cfg.SimParams(),
+	}
+
+	if *trials > 0 {
+		gen := func(trial int) []sweep.NamedWorkload {
+			return []sweep.NamedWorkload{
+				{Name: "random", W: workload.NewRandom(cfg.Width, 10, 1, int64(trial))},
+			}
+		}
+		summaries, err := sweep.RunTrials(sweepCfg, gen, *trials)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(sweep.FormatTrials(summaries))
+		return
+	}
+
+	results, err := sweep.Run(sweepCfg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(sweep.FormatTable(results))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := sweep.WriteCSV(f, results); err != nil {
+			fail(err)
+		}
+		fmt.Println("\nwrote", *csvPath)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

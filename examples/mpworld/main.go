@@ -1,0 +1,119 @@
+// Mpworld: the paper's program, structurally. The original ran on
+// mpich — rank 0 the master, ranks 1..p the slaves, tagged
+// point-to-point messages. This example runs the same §3.1
+// master/slave pseudocode on the repo's message-passing substrate,
+// first over an in-process world, then over real TCP, and checks the
+// two produce identical results.
+//
+// Run with: go run ./examples/mpworld
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"loopsched"
+)
+
+const (
+	iterations = 2000
+	workers    = 4
+)
+
+// kernel: a mock "loop body" — hash the iteration index a few
+// thousand times so slaves do measurable work.
+func kernel(i int) []byte {
+	h := uint64(i) * 0x9e3779b97f4a7c15
+	for k := 0; k < 4096; k++ {
+		h ^= h >> 29
+		h *= 0xbf58476d1ce4e5b9
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], h)
+	return buf[:]
+}
+
+func workerOpts(rank int) loopsched.MPWorkerOptions {
+	o := loopsched.MPWorkerOptions{
+		Kernel:       kernel,
+		VirtualPower: 3,
+		ACP:          loopsched.ACPModel{Scale: 10},
+	}
+	if rank > workers/2 { // the slow half of the cluster
+		o.VirtualPower = 1
+		o.WorkScale = 3
+	}
+	return o
+}
+
+func main() {
+	scheme := loopsched.NewDTSS()
+
+	// --- In-process world: ranks are goroutines --------------------
+	world, err := loopsched.NewWorld(workers + 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := loopsched.RunMPWorker(world[r], workerOpts(r)); err != nil {
+				log.Printf("rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	inproc, rep, err := loopsched.RunMPMaster(world[0], scheme, iterations, loopsched.MPMasterOptions{})
+	wg.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-process world: %d iterations in %d chunks under %s\n",
+		rep.Iterations, rep.Chunks, rep.Scheme)
+
+	// --- TCP world: same program, real sockets ---------------------
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	master, err := loopsched.ListenTCP(ln, workers+1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer master.Close()
+	for r := 1; r <= workers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, err := loopsched.DialTCP(ln.Addr().String(), r, workers+1)
+			if err != nil {
+				log.Printf("rank %d dial: %v", r, err)
+				return
+			}
+			defer comm.Close()
+			if err := loopsched.RunMPWorker(comm, workerOpts(r)); err != nil {
+				log.Printf("rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	overTCP, rep2, err := loopsched.RunMPMaster(master, scheme, iterations, loopsched.MPMasterOptions{})
+	wg.Wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("TCP world:        %d iterations in %d chunks on %s\n",
+		rep2.Iterations, rep2.Chunks, ln.Addr())
+
+	for i := range inproc {
+		if !bytes.Equal(inproc[i], overTCP[i]) {
+			log.Fatalf("transports disagree at iteration %d", i)
+		}
+	}
+	fmt.Println("both transports produced identical results — the program is")
+	fmt.Println("transport-agnostic, exactly like the paper's MPI code.")
+}

@@ -1,0 +1,3 @@
+module loopsched
+
+go 1.22

@@ -1,0 +1,119 @@
+// Package acp models Available Computing Power, the load signal that
+// drives the paper's distributed self-scheduling schemes.
+//
+// Each slave P_i has a virtual power V_i (its dedicated speed relative
+// to the slowest machine) and a run-queue length Q_i (how many
+// CPU-bound processes currently share it, including the loop process
+// itself). Section 3.1 defines A_i = ⌊V_i/Q_i⌋; section 5.2 replaces
+// the integer division with decimal division scaled by a constant
+// (10 or 100), so that partially loaded machines keep a non-zero —
+// and much better resolved — ACP, and adds an availability threshold
+// A_min below which a machine is not used at all.
+package acp
+
+import "fmt"
+
+// DefaultScale is the paper's suggested decimal scale factor (§5.2:
+// "scaling by a constant integer value (e.g. 10 or 100)").
+const DefaultScale = 10
+
+// Model computes ACPs from virtual powers and run-queue lengths.
+type Model struct {
+	// Scale multiplies V_i/Q_i before truncation. Scale 1 reproduces
+	// the original DTSS integer behaviour (and its stall defect,
+	// worked example (I) of §5.2); 0 means DefaultScale.
+	Scale int
+	// MinACP declares a machine unavailable when its scaled ACP falls
+	// below this bound (§5.2's A_min). Zero disables the threshold.
+	MinACP int
+}
+
+// scale returns the effective scale factor.
+func (m Model) scale() int {
+	if m.Scale <= 0 {
+		return DefaultScale
+	}
+	return m.Scale
+}
+
+// ACP returns A_i = ⌊scale · V_i / Q_i⌋ for one machine. A run queue
+// shorter than 1 is treated as 1 (the loop process itself is always
+// running when A_i is computed — §3.1's observation).
+func (m Model) ACP(virtualPower float64, runQueue int) int {
+	if runQueue < 1 {
+		runQueue = 1
+	}
+	if virtualPower <= 0 {
+		return 0
+	}
+	return int(float64(m.scale()) * virtualPower / float64(runQueue))
+}
+
+// Available reports whether a machine with the given ACP may join the
+// computation.
+func (m Model) Available(acp int) bool {
+	if acp <= 0 {
+		return false
+	}
+	return acp >= m.MinACP
+}
+
+// Machine is one slave's static description.
+type Machine struct {
+	// VirtualPower is V_i, with 1 the slowest machine in the cluster.
+	// Section 5.2 (II) explicitly allows decimals (e.g. 3.4).
+	VirtualPower float64
+	// RunQueue is Q_i, the current number of processes sharing the
+	// CPU (at least 1: the loop process).
+	RunQueue int
+}
+
+// Snapshot evaluates the model over a cluster: it returns each
+// machine's ACP (0 for unavailable machines) and the total A.
+func (m Model) Snapshot(machines []Machine) (acps []int, total int) {
+	acps = make([]int, len(machines))
+	for i, mc := range machines {
+		a := m.ACP(mc.VirtualPower, mc.RunQueue)
+		if !m.Available(a) {
+			a = 0
+		}
+		acps[i] = a
+		total += a
+	}
+	return acps, total
+}
+
+// Floats converts an ACP snapshot into the float powers that
+// sched.Config consumes, dropping unavailable machines is the
+// caller's job (a zero power is invalid there).
+func Floats(acps []int) []float64 {
+	out := make([]float64, len(acps))
+	for i, a := range acps {
+		out[i] = float64(a)
+	}
+	return out
+}
+
+// MajorityChanged reports whether more than half of the entries
+// differ between two ACP status arrays — the DTSS step 2(c) re-plan
+// trigger. Arrays of different lengths always trigger.
+func MajorityChanged(old, new []int) bool {
+	if len(old) != len(new) {
+		return true
+	}
+	if len(old) == 0 {
+		return false
+	}
+	changed := 0
+	for i := range old {
+		if old[i] != new[i] {
+			changed++
+		}
+	}
+	return 2*changed > len(old)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (m Model) String() string {
+	return fmt.Sprintf("acp.Model{scale=%d, min=%d}", m.scale(), m.MinACP)
+}

@@ -1,0 +1,150 @@
+package acp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestSection52ExampleI reproduces worked example (I) of §5.2:
+// V₁ = 1, Q₁ = 2 and V₂ = 3, Q₂ = 4. With the original integer
+// division both ACPs are 0 and the computation stalls; with the
+// decimal scale of 10 they become 5 and 7, A = 12.
+func TestSection52ExampleI(t *testing.T) {
+	original := Model{Scale: 1}
+	if a := original.ACP(1, 2); a != 0 {
+		t.Errorf("original DTSS A1 = %d, want 0", a)
+	}
+	if a := original.ACP(3, 4); a != 0 {
+		t.Errorf("original DTSS A2 = %d, want 0", a)
+	}
+
+	improved := Model{Scale: 10}
+	a1 := improved.ACP(1, 2)
+	a2 := improved.ACP(3, 4)
+	if a1 != 5 {
+		t.Errorf("A1 = %d, want 5", a1)
+	}
+	if a2 != 7 {
+		t.Errorf("A2 = %d, want 7", a2)
+	}
+	if a1+a2 != 12 {
+		t.Errorf("A = %d, want 12", a1+a2)
+	}
+}
+
+// TestSection52AMin reproduces the §5.2 threshold example: with
+// A_min = 6, the slow machine (ACP 5) is excluded and only the quick
+// one (ACP 7) computes.
+func TestSection52AMin(t *testing.T) {
+	m := Model{Scale: 10, MinACP: 6}
+	acps, total := m.Snapshot([]Machine{
+		{VirtualPower: 1, RunQueue: 2},
+		{VirtualPower: 3, RunQueue: 4},
+	})
+	if acps[0] != 0 {
+		t.Errorf("machine below A_min kept ACP %d", acps[0])
+	}
+	if acps[1] != 7 || total != 7 {
+		t.Errorf("acps=%v total=%d, want [0 7] 7", acps, total)
+	}
+}
+
+// TestSection52ExampleII reproduces worked example (II): decimal
+// virtual power V = 3.4 with Q = 4 gives A = ⌊0.85·10⌋ = 8, where the
+// integer-power model would under-estimate it as 7.
+func TestSection52ExampleII(t *testing.T) {
+	m := Model{Scale: 10}
+	if a := m.ACP(3.4, 4); a != 8 {
+		t.Errorf("decimal V: A = %d, want 8", a)
+	}
+	if a := m.ACP(3, 4); a != 7 {
+		t.Errorf("integer V: A = %d, want 7", a)
+	}
+}
+
+// TestDedicatedMachine: with Q = 1, ACP = scale·V (the §3.1 example:
+// V = 2 with one extra process behaves like the slowest machine).
+func TestDedicatedMachine(t *testing.T) {
+	m := Model{Scale: 10}
+	if a := m.ACP(2, 1); a != 20 {
+		t.Errorf("dedicated V=2: %d, want 20", a)
+	}
+	if a := m.ACP(2, 2); a != 10 {
+		t.Errorf("V=2 with an extra process: %d, want 10 (like the slowest PE)", a)
+	}
+}
+
+func TestACPEdgeCases(t *testing.T) {
+	m := Model{}
+	if a := m.ACP(1, 0); a != DefaultScale {
+		t.Errorf("Q<1 clamps to 1: got %d", a)
+	}
+	if a := m.ACP(0, 3); a != 0 {
+		t.Errorf("zero power: got %d", a)
+	}
+	if a := m.ACP(-2, 3); a != 0 {
+		t.Errorf("negative power: got %d", a)
+	}
+	if m.Available(0) {
+		t.Error("ACP 0 must be unavailable")
+	}
+	if !m.Available(1) {
+		t.Error("ACP 1 must be available with no threshold")
+	}
+}
+
+func TestMajorityChanged(t *testing.T) {
+	cases := []struct {
+		old, new []int
+		want     bool
+	}{
+		{[]int{1, 2, 3, 4}, []int{1, 2, 3, 4}, false},
+		{[]int{1, 2, 3, 4}, []int{9, 2, 3, 4}, false}, // 1 of 4
+		{[]int{1, 2, 3, 4}, []int{9, 9, 3, 4}, false}, // exactly half
+		{[]int{1, 2, 3, 4}, []int{9, 9, 9, 4}, true},  // 3 of 4
+		{[]int{1, 2, 3}, []int{9, 9, 3}, true},        // 2 of 3
+		{[]int{1}, []int{1, 2}, true},                 // length change
+		{nil, nil, false},
+	}
+	for _, c := range cases {
+		if got := MajorityChanged(c.old, c.new); got != c.want {
+			t.Errorf("MajorityChanged(%v, %v) = %v, want %v", c.old, c.new, got, c.want)
+		}
+	}
+}
+
+// TestACPMonotone (property): ACP never increases when the run queue
+// grows, and never decreases when virtual power grows.
+func TestACPMonotone(t *testing.T) {
+	m := Model{Scale: 100}
+	f := func(v uint8, q uint8) bool {
+		vp := 0.1 + float64(v%50)/5
+		qq := int(q%8) + 1
+		return m.ACP(vp, qq+1) <= m.ACP(vp, qq) && m.ACP(vp+1, qq) >= m.ACP(vp, qq)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotAndFloats(t *testing.T) {
+	m := Model{Scale: 10}
+	acps, total := m.Snapshot([]Machine{
+		{VirtualPower: 3, RunQueue: 1},
+		{VirtualPower: 1, RunQueue: 1},
+		{VirtualPower: 1, RunQueue: 2},
+	})
+	if total != 30+10+5 {
+		t.Errorf("total = %d, want 45", total)
+	}
+	fs := Floats(acps)
+	if fs[0] != 30 || fs[1] != 10 || fs[2] != 5 {
+		t.Errorf("Floats = %v", fs)
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if s := (Model{}).String(); s != "acp.Model{scale=10, min=0}" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,157 @@
+package affinity
+
+import (
+	"reflect"
+	"testing"
+
+	"loopsched/internal/sim"
+	"loopsched/internal/tree"
+	"loopsched/internal/workload"
+)
+
+func testCluster(nFast, nSlow int) sim.Cluster {
+	var ms []sim.Machine
+	for i := 0; i < nFast; i++ {
+		ms = append(ms, sim.Machine{Power: 3,
+			Link: sim.Link{Latency: 0.0002, Bandwidth: sim.Mbit100}})
+	}
+	for i := 0; i < nSlow; i++ {
+		ms = append(ms, sim.Machine{Power: 1,
+			Link: sim.Link{Latency: 0.001, Bandwidth: sim.Mbit10}})
+	}
+	return sim.Cluster{Machines: ms}
+}
+
+func testParams() sim.Params {
+	return sim.Params{BaseRate: 1e4, BytesPerIter: 16}
+}
+
+func TestCoverage(t *testing.T) {
+	for _, mix := range [][2]int{{1, 0}, {1, 1}, {2, 2}, {3, 5}} {
+		for _, weighted := range []bool{false, true} {
+			c := testCluster(mix[0], mix[1])
+			rep, err := Run(c, Options{Weighted: weighted}, workload.Uniform{N: 1333}, testParams())
+			if err != nil {
+				t.Fatalf("mix %v weighted=%v: %v", mix, weighted, err)
+			}
+			if rep.Iterations != 1333 {
+				t.Errorf("mix %v: %d iterations", mix, rep.Iterations)
+			}
+			if rep.Tp <= 0 || rep.Scheme != "AFS" {
+				t.Errorf("report %+v", rep)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c := testCluster(2, 3)
+	w := workload.LinearDecreasing{N: 900}
+	a, err := Run(c, Options{}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, Options{}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestStealsBalance: on a 3:1 cluster with an even split, steals move
+// work toward the fast machine, far better than the no-migration
+// bound of 3.
+func TestStealsBalance(t *testing.T) {
+	c := testCluster(1, 1)
+	rep, err := Run(c, Options{}, workload.Uniform{N: 3000}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rep.PerWorker[1].Comp / rep.PerWorker[0].Comp
+	if ratio > 1.6 {
+		t.Errorf("slow/fast comp ratio %.2f, want ≈1", ratio)
+	}
+	if rep.Chunks < 3 {
+		t.Errorf("no stealing happened: %d chunks", rep.Chunks)
+	}
+}
+
+// TestGlobalVictimBeatsTreePartners: affinity scheduling's global
+// most-loaded victim selection should balance at least as well as
+// Tree Scheduling's fixed partners on a skewed workload.
+func TestGlobalVictimBeatsTreePartners(t *testing.T) {
+	c := testCluster(2, 6)
+	w := workload.LinearDecreasing{N: 4000} // all the work at the front
+	afs, err := Run(c, Options{}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs, err := tree.Run(c, tree.Options{}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afs.Tp > trs.Tp*1.25 {
+		t.Errorf("AFS Tp %.3f much worse than TreeS %.3f", afs.Tp, trs.Tp)
+	}
+}
+
+func TestWeightedInitialSplitReducesSteals(t *testing.T) {
+	c := testCluster(1, 1)
+	w := workload.Uniform{N: 4000}
+	even, err := Run(c, Options{}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Run(c, Options{Weighted: true}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Chunks > even.Chunks {
+		t.Errorf("weighted split stole more (%d vs %d)", weighted.Chunks, even.Chunks)
+	}
+}
+
+func TestErrorsAndEmpty(t *testing.T) {
+	if _, err := Run(sim.Cluster{}, Options{}, workload.Uniform{N: 5}, sim.Params{}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	rep, err := Run(testCluster(1, 1), Options{}, workload.Uniform{N: 0}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 0 {
+		t.Errorf("empty loop ran %d iterations", rep.Iterations)
+	}
+}
+
+// TestZeroCostLinksTerminate guards the livelock fix: with free links
+// the directory loop must still advance time and finish.
+func TestZeroCostLinksTerminate(t *testing.T) {
+	c := sim.Cluster{Machines: []sim.Machine{{Power: 1}, {Power: 1}}}
+	rep, err := Run(c, Options{}, workload.Uniform{N: 100}, sim.Params{BaseRate: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 100 {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+}
+
+func TestKOption(t *testing.T) {
+	c := testCluster(2, 2)
+	w := workload.Uniform{N: 2000}
+	coarse, err := Run(c, Options{K: 2}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Run(c, Options{K: 16}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finer local chunking means more scheduling steps.
+	if fine.Chunks <= coarse.Chunks {
+		t.Errorf("K=16 chunks %d not above K=2 chunks %d", fine.Chunks, coarse.Chunks)
+	}
+}

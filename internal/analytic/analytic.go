@@ -1,0 +1,179 @@
+// Package analytic provides closed-form predictions for the
+// self-scheduling schemes — scheduling-step counts, overhead, and
+// physical lower bounds on the parallel time — used both as
+// documentation of each scheme's behaviour and as an oracle in tests:
+// the policies must match the exact formulas, and the simulator must
+// never beat the physics.
+package analytic
+
+import (
+	"math"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/workload"
+)
+
+// StaticSteps is the chunk count of the static scheme: one per PE.
+func StaticSteps(i, p int) int {
+	if i < p {
+		return i
+	}
+	return p
+}
+
+// CSSSteps is ⌈I/k⌉, the chunk count of chunk self-scheduling.
+func CSSSteps(i, k int) int {
+	if k < 1 {
+		k = 1
+	}
+	return (i + k - 1) / k
+}
+
+// GSSSteps bounds guided self-scheduling's chunk count: the remaining
+// count decays by a factor (1−1/p) per step until single-iteration
+// chunks take over, giving N ≈ p·ln(I/p) + p. The returned value is
+// the exact count obtained by running the recurrence (cheap, O(N)).
+func GSSSteps(i, p int) int {
+	n := 0
+	r := i
+	for r > 0 {
+		c := (r + p - 1) / p
+		r -= c
+		n++
+	}
+	return n
+}
+
+// GSSStepsApprox is the textbook p·ln(I/p) + p approximation.
+func GSSStepsApprox(i, p int) float64 {
+	if i <= 0 || p <= 0 {
+		return 0
+	}
+	x := float64(i) / float64(p)
+	if x < 1 {
+		x = 1
+	}
+	return float64(p)*math.Log(x) + float64(p)
+}
+
+// TSSSteps is the trapezoid's step count N = ⌈2I/(F+L)⌉ for the
+// default F = ⌊I/(2p)⌋, L = 1, clipped to the iteration budget.
+func TSSSteps(i, p int) int {
+	prm := sched.ComputeTSSParams(i, p, 0, 0)
+	// The descent covers the budget before exhausting all N steps when
+	// rounding makes the nominal sum overshoot; count the clipped run.
+	sum, n, c := 0, 0, prm.F
+	for sum < i {
+		if c < prm.L {
+			c = prm.L
+		}
+		sum += c
+		c -= prm.D
+		n++
+	}
+	return n
+}
+
+// FSSStages is factoring's stage count: the remaining work halves per
+// stage (α = 2) with p chunks of at least one iteration each, so
+// roughly log₂(I/p) + 1 stages; computed exactly by the recurrence
+// with the paper's half-even rounding.
+func FSSStages(i, p int) int {
+	stages := 0
+	r := i
+	for r > 0 {
+		chunk := roundHalfEvenInt(float64(r) / float64(2*p))
+		if chunk < 1 {
+			chunk = 1
+		}
+		take := chunk * p
+		if take > r {
+			take = r
+		}
+		r -= take
+		stages++
+	}
+	return stages
+}
+
+func roundHalfEvenInt(x float64) int {
+	f := math.Floor(x)
+	frac := x - f
+	v := int(f)
+	switch {
+	case frac > 0.5:
+		v++
+	case frac == 0.5 && v%2 == 1:
+		v++
+	}
+	return v
+}
+
+// FISSSteps is fixed-increase's chunk count: exactly σ stages of p
+// chunks (the final stage absorbs the remainder).
+func FISSSteps(i, p, sigma int) int {
+	if sigma < 2 {
+		sigma = 3
+	}
+	n := sigma * p
+	if i < n {
+		return i // degenerate: fewer iterations than slots
+	}
+	return n
+}
+
+// Overhead models the total scheduling overhead of a run: each of the
+// n scheduling steps costs one request/reply round trip plus the
+// master's service time.
+func Overhead(n int, roundTrip, service float64) float64 {
+	return float64(n) * (roundTrip + service)
+}
+
+// Bounds are physical lower bounds on a run's parallel time.
+type Bounds struct {
+	// Work is the total work divided by the cluster's aggregate
+	// dedicated throughput: no schedule can beat it.
+	Work float64
+	// Serial is the most expensive single iteration on the fastest
+	// machine: the critical path of a single task.
+	Serial float64
+}
+
+// Tp returns the binding lower bound.
+func (b Bounds) Tp() float64 { return math.Max(b.Work, b.Serial) }
+
+// LowerBounds computes Bounds for a workload on machines with the
+// given powers (work-units/s per unit power times baseRate).
+func LowerBounds(w workload.Workload, powers []float64, baseRate float64) Bounds {
+	var total float64
+	maxCost := 0.0
+	for i := 0; i < w.Len(); i++ {
+		c := w.Cost(i)
+		total += c
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	var aggregate, fastest float64
+	for _, p := range powers {
+		aggregate += p * baseRate
+		if p*baseRate > fastest {
+			fastest = p * baseRate
+		}
+	}
+	if aggregate == 0 {
+		return Bounds{}
+	}
+	return Bounds{Work: total / aggregate, Serial: maxCost / fastest}
+}
+
+// CriticalChunkPenalty bounds the imbalance tail of a schedule: the
+// largest chunk (in work units) landing on the slowest machine right
+// before the end delays completion by at most its execution time
+// there.
+func CriticalChunkPenalty(chunkWork, slowestPower, baseRate float64) float64 {
+	if slowestPower <= 0 || baseRate <= 0 {
+		return math.Inf(1)
+	}
+	return chunkWork / (slowestPower * baseRate)
+}

@@ -1,0 +1,159 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/sim"
+	"loopsched/internal/workload"
+)
+
+// steps runs a scheme's policy to exhaustion and counts chunks.
+func steps(t *testing.T, s sched.Scheme, i, p int) int {
+	t.Helper()
+	seq, err := sched.Sequence(s, i, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(seq)
+}
+
+// TestStepPredictionsExact: the closed-form step counts must equal
+// the actual policies' chunk counts, scheme by scheme, across a sweep
+// of problem sizes.
+func TestStepPredictionsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		i := 16 + rng.Intn(20000)
+		p := 1 + rng.Intn(12)
+
+		if got, want := steps(t, sched.StaticScheme{}, i, p), StaticSteps(i, p); got != want {
+			t.Errorf("S I=%d p=%d: %d vs %d", i, p, got, want)
+		}
+		k := 1 + rng.Intn(200)
+		if got, want := steps(t, sched.CSSScheme{K: k}, i, p), CSSSteps(i, k); got != want {
+			t.Errorf("CSS(%d) I=%d p=%d: %d vs %d", k, i, p, got, want)
+		}
+		if got, want := steps(t, sched.GSSScheme{}, i, p), GSSSteps(i, p); got != want {
+			t.Errorf("GSS I=%d p=%d: %d vs %d", i, p, got, want)
+		}
+		if got, want := steps(t, sched.TSSScheme{}, i, p), TSSSteps(i, p); got != want {
+			t.Errorf("TSS I=%d p=%d: %d vs %d", i, p, got, want)
+		}
+		if got, want := steps(t, sched.FISSScheme{}, i, p), FISSSteps(i, p, 3); got != want {
+			t.Errorf("FISS I=%d p=%d: %d vs %d", i, p, got, want)
+		}
+		// FSS: stage count × p chunk slots, last stage possibly short.
+		gotChunks := steps(t, sched.FSSScheme{}, i, p)
+		stages := FSSStages(i, p)
+		if gotChunks > stages*p || gotChunks <= (stages-1)*p-p {
+			t.Errorf("FSS I=%d p=%d: %d chunks vs %d stages", i, p, gotChunks, stages)
+		}
+	}
+}
+
+// TestGSSApproximation: the p·ln(I/p)+p textbook formula tracks the
+// exact recurrence within a factor of 2 over realistic sizes.
+func TestGSSApproximation(t *testing.T) {
+	for _, i := range []int{100, 1000, 10000, 100000} {
+		for _, p := range []int{2, 4, 8, 16} {
+			exact := float64(GSSSteps(i, p))
+			approx := GSSStepsApprox(i, p)
+			if approx < exact/2 || approx > exact*2 {
+				t.Errorf("I=%d p=%d: approx %.1f vs exact %.0f", i, p, approx, exact)
+			}
+		}
+	}
+}
+
+// TestSchemeStepOrdering: the well-known overhead ordering holds —
+// SS issues the most chunks, then GSS, then the stage/trapezoid
+// schemes.
+func TestSchemeStepOrdering(t *testing.T) {
+	const i, p = 10000, 8
+	ss := CSSSteps(i, 1)
+	gss := GSSSteps(i, p)
+	tss := TSSSteps(i, p)
+	fiss := FISSSteps(i, p, 3)
+	if !(ss > gss && gss > tss && tss > fiss) {
+		t.Errorf("ordering broken: SS=%d GSS=%d TSS=%d FISS=%d", ss, gss, tss, fiss)
+	}
+}
+
+func TestOverhead(t *testing.T) {
+	if got := Overhead(100, 0.002, 0.001); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("Overhead = %g", got)
+	}
+}
+
+// TestSimRespectsLowerBounds: the simulator can never finish a run
+// faster than the work bound or the serial bound, for any scheme and
+// any random heterogeneous cluster.
+func TestSimRespectsLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 25; trial++ {
+		p := 2 + rng.Intn(6)
+		machines := make([]sim.Machine, p)
+		powers := make([]float64, p)
+		for j := range machines {
+			powers[j] = 1 + 3*rng.Float64()
+			machines[j] = sim.Machine{
+				Power: powers[j],
+				Link:  sim.Link{Latency: 0.001, Bandwidth: sim.Mbit10},
+			}
+		}
+		c := sim.Cluster{Machines: machines}
+		w := workload.NewConditional(500+rng.Intn(2000), 0.3, 25, 1, int64(trial))
+		const baseRate = 1e4
+		bounds := LowerBounds(w, powers, baseRate)
+		for _, name := range []string{"TSS", "FSS", "DTSS", "DTFSS"} {
+			s, err := sched.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sim.Run(c, s, w, sim.Params{BaseRate: baseRate, BytesPerIter: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Tp < bounds.Tp()-1e-9 {
+				t.Errorf("trial %d %s: Tp %.4f beats physics %.4f", trial, name, rep.Tp, bounds.Tp())
+			}
+		}
+	}
+}
+
+func TestLowerBoundsEdges(t *testing.T) {
+	b := LowerBounds(workload.Uniform{N: 100}, nil, 1e3)
+	if b.Tp() != 0 {
+		t.Errorf("no machines: %+v", b)
+	}
+	b = LowerBounds(workload.Uniform{N: 100}, []float64{2, 2}, 100)
+	// total 100 units over 400 units/s = 0.25; serial 1/200.
+	if math.Abs(b.Work-0.25) > 1e-12 || math.Abs(b.Serial-0.005) > 1e-12 {
+		t.Errorf("bounds %+v", b)
+	}
+	if b.Tp() != 0.25 {
+		t.Errorf("Tp bound %g", b.Tp())
+	}
+}
+
+func TestCriticalChunkPenalty(t *testing.T) {
+	if got := CriticalChunkPenalty(1000, 1, 100); got != 10 {
+		t.Errorf("penalty = %g", got)
+	}
+	if got := CriticalChunkPenalty(1000, 0, 100); !math.IsInf(got, 1) {
+		t.Errorf("zero power penalty = %g", got)
+	}
+}
+
+// TestRoundHalfEvenInt mirrors the sched package's rounding.
+func TestRoundHalfEvenInt(t *testing.T) {
+	cases := map[float64]int{62.5: 62, 31.5: 32, 2.3: 2, 2.7: 3, 4.0: 4}
+	for x, want := range cases {
+		if got := roundHalfEvenInt(x); got != want {
+			t.Errorf("round(%g) = %d, want %d", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package exec
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// OSLoadProbe returns a LoadProbe that reads the host's real run-queue
+// pressure — the paper's Q_i signal — from /proc/loadavg (the 1-minute
+// load average, rounded). On systems without /proc it reports 0
+// (dedicated). The probe never fails: load sensing is advisory.
+func OSLoadProbe() func() int {
+	return func() int {
+		load, ok := readLoadAvg("/proc/loadavg")
+		if !ok {
+			return 0
+		}
+		// The loop process itself contributes ~1 to the load average;
+		// Q_i counts the *extra* processes.
+		extra := int(load + 0.5 - 1)
+		if extra < 0 {
+			return 0
+		}
+		return extra
+	}
+}
+
+// readLoadAvg parses the first field of a loadavg-format file.
+func readLoadAvg(path string) (float64, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}

@@ -1,0 +1,42 @@
+package exec
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadLoadAvg(t *testing.T) {
+	dir := t.TempDir()
+	write := func(content string) string {
+		path := filepath.Join(dir, "loadavg")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if v, ok := readLoadAvg(write("2.37 1.80 1.52 3/456 12345\n")); !ok || v != 2.37 {
+		t.Errorf("parse: %v %v", v, ok)
+	}
+	if _, ok := readLoadAvg(write("")); ok {
+		t.Error("empty file accepted")
+	}
+	if _, ok := readLoadAvg(write("garbage here")); ok {
+		t.Error("garbage accepted")
+	}
+	if _, ok := readLoadAvg(write("-1.0 0 0")); ok {
+		t.Error("negative load accepted")
+	}
+	if _, ok := readLoadAvg(filepath.Join(dir, "missing")); ok {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOSLoadProbeNeverFails(t *testing.T) {
+	probe := OSLoadProbe()
+	for i := 0; i < 3; i++ {
+		if load := probe(); load < 0 {
+			t.Fatalf("negative load %d", load)
+		}
+	}
+}

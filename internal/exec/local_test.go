@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/workload"
+)
+
+func specs(scales ...int) []*WorkerSpec {
+	out := make([]*WorkerSpec, len(scales))
+	for i, s := range scales {
+		out[i] = &WorkerSpec{WorkScale: s}
+	}
+	return out
+}
+
+// TestLocalExactlyOnce: every iteration runs exactly once per
+// WorkScale repetition, for every scheme, under real concurrency.
+func TestLocalExactlyOnce(t *testing.T) {
+	const n = 2000
+	for _, name := range sched.Names() {
+		s, err := sched.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int32, n)
+		l := &Local{Scheme: s, Workers: specs(1, 1, 1, 1)}
+		rep, err := l.Run(workload.Uniform{N: n}, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Iterations != n {
+			t.Errorf("%s: %d iterations", name, rep.Iterations)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("%s: iteration %d ran %d times", name, i, c)
+			}
+		}
+	}
+}
+
+// TestLocalHeterogeneous: WorkScale-3 workers repeat the body three
+// times per iteration, so the total body count is predictable even
+// though the split is scheme-dependent.
+func TestLocalHeterogeneous(t *testing.T) {
+	const n = 500
+	var total atomic.Int64
+	perIter := make([]int32, n)
+	l := &Local{Scheme: sched.DTSSScheme{}, Workers: specs(1, 3)}
+	rep, err := l.Run(workload.Uniform{N: n}, func(i int) {
+		total.Add(1)
+		atomic.AddInt32(&perIter[i], 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	// Each iteration ran either 1× (fast worker) or 3× (slow worker).
+	for i, c := range perIter {
+		if c != 1 && c != 3 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+	if got := total.Load(); got < int64(n) || got > int64(3*n) {
+		t.Errorf("total body invocations %d out of range", got)
+	}
+}
+
+// TestLocalDistributedFavoursFast: with scale-1 and scale-4 workers, a
+// distributed scheme should hand most iterations to the fast worker.
+func TestLocalDistributedFavoursFast(t *testing.T) {
+	const n = 4000
+	var mu sync.Mutex
+	owner := make([]int, n)
+	l := &Local{Scheme: sched.NewDFSS(), Workers: specs(1, 4)}
+	rep, err := l.Run(workload.Uniform{N: n}, func(i int) {
+		mu.Lock()
+		owner[i]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DFSS plan gives the scale-1 worker (V=4) 4× the share of the
+	// scale-4 worker (V=1): body runs = n_fast·1 + n_slow·4 with
+	// n_fast ≈ 4·n_slow.
+	var runs int
+	for _, c := range owner {
+		runs += c
+	}
+	nSlow := (runs - n) / 3
+	nFast := n - nSlow
+	if nFast < 2*nSlow {
+		t.Errorf("fast worker got %d of %d iterations, want ≫ slow's %d", nFast, n, nSlow)
+	}
+	if rep.Chunks == 0 {
+		t.Error("no chunks recorded")
+	}
+}
+
+// TestLocalLoadAdjustment: AddLoad changes the reported ACP and can
+// trigger a re-plan mid-run.
+func TestLocalLoadAdjustment(t *testing.T) {
+	const n = 50000
+	ws := specs(1, 1, 1, 1)
+	l := &Local{Scheme: sched.DTSSScheme{}, Workers: ws}
+	var fired atomic.Bool
+	_, err := l.Run(workload.Uniform{N: n}, func(i int) {
+		if i > n/10 && !fired.Load() {
+			fired.Store(true)
+			ws[0].AddLoad(3)
+			ws[1].AddLoad(3)
+			ws[2].AddLoad(3)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replans are timing-dependent under real concurrency, so only
+	// sanity-check the load plumbing itself.
+	if ws[0].Load() != 3 {
+		t.Errorf("Load = %d, want 3", ws[0].Load())
+	}
+	ws[0].AddLoad(-5)
+	if ws[0].Load() != 0 {
+		t.Errorf("Load floor broken: %d", ws[0].Load())
+	}
+}
+
+// TestLocalCancellation: cancelling the context stops the run early
+// with ctx's error; no goroutines are left behind (checked indirectly:
+// a second run on the same executor works).
+func TestLocalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	l := &Local{Scheme: sched.SelfScheduling, Workers: specs(1, 1)}
+	var n atomic.Int64
+	_, err := l.RunContext(ctx, workload.Uniform{N: 1 << 30}, func(i int) {
+		if n.Add(1) == 100 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The executor is reusable after cancellation.
+	rep, err := l.Run(workload.Uniform{N: 100}, func(int) {})
+	if err != nil || rep.Iterations != 100 {
+		t.Fatalf("rerun: %v, %d iterations", err, rep.Iterations)
+	}
+}
+
+// TestLocalCancelBeforeGather: cancelling during the distributed
+// master's initial gather also unblocks cleanly.
+func TestLocalCancelBeforeGather(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run starts
+	l := &Local{Scheme: sched.DTSSScheme{}, Workers: specs(1, 1)}
+	_, err := l.RunContext(ctx, workload.Uniform{N: 1000}, func(int) {})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestLocalNoWorkers(t *testing.T) {
+	l := &Local{Scheme: sched.GSSScheme{}}
+	if _, err := l.Run(workload.Uniform{N: 10}, func(int) {}); err == nil {
+		t.Error("no-worker run accepted")
+	}
+}
+
+func TestLocalEmptyLoop(t *testing.T) {
+	l := &Local{Scheme: sched.TSSScheme{}, Workers: specs(1, 1)}
+	rep, err := l.Run(workload.Uniform{N: 0}, func(int) {
+		t.Error("body ran on empty loop")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 0 {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+}

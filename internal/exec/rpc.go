@@ -1,0 +1,465 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"loopsched/internal/acp"
+	"loopsched/internal/metrics"
+	"loopsched/internal/sched"
+)
+
+// The RPC runtime mirrors the paper's mpich implementation: slaves
+// call the master for work, piggy-backing the results of the previous
+// chunk on each request (§5's communication optimisation), and the
+// master replies with an iteration interval or a stop flag.
+
+// ChunkResult carries the output of one computed iteration back to
+// the master.
+type ChunkResult struct {
+	Index int
+	Data  []byte
+}
+
+// ChunkArgs is a slave's work request.
+type ChunkArgs struct {
+	Worker int
+	// ACP is the slave's available computing power (0 for simple
+	// schemes / unknown).
+	ACP int
+	// CompSeconds is the measured computation time of the previous
+	// chunk (0 on the first request) — the master derives the paper's
+	// per-PE T_comp/T_comm breakdown from it.
+	CompSeconds float64
+	// Results are the outputs of the previously assigned chunk.
+	Results []ChunkResult
+}
+
+// ChunkReply is the master's answer.
+type ChunkReply struct {
+	Assign sched.Assignment
+	Stop   bool
+}
+
+// Master is the RPC scheduling service. Create with NewMaster, expose
+// with Serve, then Wait for completion.
+type Master struct {
+	scheme     sched.Scheme
+	iterations int
+	workers    int
+	disableRe  bool
+
+	mu          sync.Mutex
+	gathered    int
+	seen        []bool
+	ready       *sync.Cond
+	policy      sched.Policy
+	liveACP     []int
+	planACP     []int
+	base        int
+	stopped     int
+	stoppedSet  []bool
+	results     [][]byte
+	got         []bool
+	received    int
+	chunks      int
+	replans     int
+	outstanding map[int]sched.Assignment // chunk in flight per worker
+	requeued    []sched.Assignment       // failed workers' chunks to re-issue
+	failed      map[int]bool
+	lastSeen    []time.Time
+	lastReply   []time.Time
+	perWorker   []metrics.Times
+	started     time.Time
+	finished    time.Time
+	done        chan struct{}
+	err         error
+}
+
+// NewMaster builds a master scheduling `iterations` loop iterations
+// across `workers` slaves under the scheme.
+func NewMaster(scheme sched.Scheme, iterations, workers int) (*Master, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("exec: master needs at least one worker")
+	}
+	if iterations < 0 {
+		return nil, fmt.Errorf("exec: negative iteration count")
+	}
+	m := &Master{
+		scheme:      scheme,
+		iterations:  iterations,
+		workers:     workers,
+		seen:        make([]bool, workers),
+		liveACP:     make([]int, workers),
+		planACP:     make([]int, workers),
+		results:     make([][]byte, iterations),
+		got:         make([]bool, iterations),
+		outstanding: make(map[int]sched.Assignment),
+		failed:      make(map[int]bool),
+		lastSeen:    make([]time.Time, workers),
+		lastReply:   make([]time.Time, workers),
+		perWorker:   make([]metrics.Times, workers),
+		stoppedSet:  make([]bool, workers),
+		done:        make(chan struct{}),
+		started:     time.Now(),
+	}
+	for i := range m.lastSeen {
+		m.lastSeen[i] = m.started
+	}
+	m.ready = sync.NewCond(&m.mu)
+	if !sched.Distributed(scheme) {
+		pol, err := scheme.NewPolicy(sched.Config{Iterations: iterations, Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		m.policy = pol
+	}
+	return m, nil
+}
+
+// Serve registers the master on a fresh RPC server and accepts
+// connections until the listener closes. It returns immediately;
+// close the listener after Wait to shut down.
+func (m *Master) Serve(l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Master", m); err != nil {
+		return err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return nil
+}
+
+// plan (re)builds the policy from the live ACPs; callers hold mu.
+func (m *Master) plan() error {
+	powers := make([]float64, m.workers)
+	for i, a := range m.liveACP {
+		if a < 1 {
+			a = 1
+		}
+		powers[i] = float64(a)
+	}
+	pol, err := m.scheme.NewPolicy(sched.Config{
+		Iterations: m.iterations - m.base,
+		Workers:    m.workers,
+		Powers:     powers,
+	})
+	if err != nil {
+		return err
+	}
+	m.policy = sched.Offset(pol, m.base)
+	copy(m.planACP, m.liveACP)
+	return nil
+}
+
+// NextChunk is the RPC the slaves call: deposit previous results, get
+// the next interval.
+func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) error {
+	if args.Worker < 0 || args.Worker >= m.workers {
+		return fmt.Errorf("exec: unknown worker %d", args.Worker)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	m.lastSeen[args.Worker] = now
+	// Per-PE breakdown: the worker reports its computation time; the
+	// rest of the reply-to-request turnaround is communication (the
+	// request/results transfer) from the master's point of view.
+	if args.CompSeconds > 0 {
+		m.perWorker[args.Worker].Comp += args.CompSeconds
+		if prev := m.lastReply[args.Worker]; !prev.IsZero() {
+			if gap := now.Sub(prev).Seconds() - args.CompSeconds; gap > 0 {
+				m.perWorker[args.Worker].Comm += gap
+			}
+		}
+	}
+	defer func() { m.lastReply[args.Worker] = time.Now() }()
+
+	for _, r := range args.Results {
+		if r.Index < 0 || r.Index >= m.iterations {
+			return fmt.Errorf("exec: result index %d out of range", r.Index)
+		}
+		if !m.got[r.Index] {
+			m.got[r.Index] = true
+			m.received++
+		}
+		m.results[r.Index] = r.Data
+	}
+	m.liveACP[args.Worker] = args.ACP
+
+	if m.policy == nil { // distributed: gather all first reports
+		if !m.seen[args.Worker] {
+			m.seen[args.Worker] = true
+			m.gathered++
+		}
+		if m.gathered < m.workers {
+			for m.policy == nil && m.err == nil && m.gathered < m.workers {
+				m.ready.Wait()
+			}
+		}
+		if m.policy == nil && m.err == nil {
+			m.err = m.plan()
+			m.ready.Broadcast()
+		}
+		if m.err != nil {
+			m.ready.Broadcast()
+			return m.err
+		}
+	} else if sched.Distributed(m.scheme) && !m.disableRe &&
+		acp.MajorityChanged(m.planACP, m.liveACP) {
+		if err := m.plan(); err == nil {
+			m.replans++
+		}
+	}
+
+	// The worker has delivered (or abandoned) its previous chunk.
+	delete(m.outstanding, args.Worker)
+
+	// Chunks requeued from failed workers are re-issued before new
+	// policy assignments.
+	if len(m.requeued) > 0 {
+		a := m.requeued[0]
+		m.requeued = m.requeued[1:]
+		m.outstanding[args.Worker] = a
+		m.chunks++
+		reply.Assign = a
+		return nil
+	}
+
+	a, ok := m.policy.Next(sched.Request{Worker: args.Worker, ACP: float64(args.ACP)})
+	if !ok {
+		reply.Stop = true
+		if !m.stoppedSet[args.Worker] {
+			m.stoppedSet[args.Worker] = true
+			m.stopped++
+		}
+		if m.stopped+m.failedCount() >= m.workers {
+			m.maybeFinish()
+		}
+		return nil
+	}
+	m.base = a.End()
+	m.chunks++
+	m.outstanding[args.Worker] = a
+	reply.Assign = a
+	return nil
+}
+
+// failedCount is the number of workers declared dead; callers hold mu.
+func (m *Master) failedCount() int { return len(m.failed) }
+
+// maybeFinish closes done once; callers hold mu.
+func (m *Master) maybeFinish() {
+	select {
+	case <-m.done:
+	default:
+		m.finished = time.Now()
+		close(m.done)
+	}
+}
+
+// FailWorker declares a worker dead: its in-flight chunk (if any) is
+// requeued for the surviving workers, and it no longer counts toward
+// run completion. Call it when a slave's connection drops or a
+// heartbeat times out; the loop still completes as long as at least
+// one worker survives.
+func (m *Master) FailWorker(worker int) error {
+	if worker < 0 || worker >= m.workers {
+		return fmt.Errorf("exec: unknown worker %d", worker)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failed[worker] || m.stoppedSet[worker] {
+		return nil // already accounted for
+	}
+	m.failed[worker] = true
+	if a, ok := m.outstanding[worker]; ok {
+		delete(m.outstanding, worker)
+		m.requeued = append(m.requeued, a)
+	}
+	// A worker that dies during the distributed gather must not stall
+	// the barrier.
+	if m.policy == nil && !m.seen[worker] {
+		m.seen[worker] = true
+		m.gathered++
+		if m.gathered >= m.workers {
+			m.err = m.plan()
+		}
+		m.ready.Broadcast()
+	}
+	if m.stopped+m.failedCount() >= m.workers {
+		m.maybeFinish()
+	}
+	return nil
+}
+
+// LastContact returns when the worker last called NextChunk (the
+// master's start time if it never has).
+func (m *Master) LastContact(worker int) (time.Time, error) {
+	if worker < 0 || worker >= m.workers {
+		return time.Time{}, fmt.Errorf("exec: unknown worker %d", worker)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastSeen[worker], nil
+}
+
+// WatchTimeouts fails any worker silent for longer than `timeout`,
+// checking every `interval`, until the run completes or stop is
+// closed. It runs in the calling goroutine; start it with `go`. This
+// turns FailWorker's manual requeue into automatic crash recovery.
+func (m *Master) WatchTimeouts(interval, timeout time.Duration, stop <-chan struct{}) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.done:
+			return
+		case <-stop:
+			return
+		case <-ticker.C:
+			now := time.Now()
+			m.mu.Lock()
+			var stale []int
+			for w := 0; w < m.workers; w++ {
+				if !m.failed[w] && now.Sub(m.lastSeen[w]) > timeout {
+					stale = append(stale, w)
+				}
+			}
+			m.mu.Unlock()
+			for _, w := range stale {
+				// FailWorker re-checks state under the lock.
+				_ = m.FailWorker(w)
+			}
+		}
+	}
+}
+
+// Outstanding returns the chunks currently in flight, keyed by worker.
+func (m *Master) Outstanding() map[int]sched.Assignment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[int]sched.Assignment, len(m.outstanding))
+	for w, a := range m.outstanding {
+		out[w] = a
+	}
+	return out
+}
+
+// Wait blocks until every worker has been stopped and returns the
+// collected per-iteration results plus a report.
+func (m *Master) Wait() ([][]byte, metrics.Report, error) {
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := metrics.Report{
+		Scheme:     m.scheme.Name(),
+		Workers:    m.workers,
+		Iterations: m.iterations,
+		Chunks:     m.chunks,
+		Replans:    m.replans,
+		Tp:         m.finished.Sub(m.started).Seconds(),
+		PerWorker:  append([]metrics.Times(nil), m.perWorker...),
+	}
+	// What is neither computing nor communicating is waiting.
+	for i := range rep.PerWorker {
+		if wait := rep.Tp - rep.PerWorker[i].Total(); wait > 0 {
+			rep.PerWorker[i].Wait = wait
+		}
+	}
+	var err error
+	if m.received != m.iterations {
+		err = fmt.Errorf("exec: %d of %d results missing", m.iterations-m.received, m.iterations)
+	}
+	return m.results, rep, err
+}
+
+// Kernel computes one iteration and returns its serialized result.
+type Kernel func(iteration int) []byte
+
+// Worker is an RPC slave: it loops requesting chunks from the master,
+// computing them with the kernel, and piggy-backing results.
+type Worker struct {
+	ID int
+	// Kernel computes one iteration.
+	Kernel Kernel
+	// VirtualPower is the slave's V_i (≥ 1; 0 means 1).
+	VirtualPower float64
+	// LoadProbe returns the current external load (Q_i − 1); nil
+	// means unloaded.
+	LoadProbe func() int
+	// ACPModel converts power and load into the reported ACP.
+	ACPModel acp.Model
+	// WorkScale repeats the kernel per iteration to emulate a slower
+	// machine (1 = full speed).
+	WorkScale int
+}
+
+func (w Worker) power() float64 {
+	if w.VirtualPower <= 0 {
+		return 1
+	}
+	return w.VirtualPower
+}
+
+func (w Worker) scale() int {
+	if w.WorkScale < 1 {
+		return 1
+	}
+	return w.WorkScale
+}
+
+// Run connects to the master at addr and participates until stopped.
+func (w Worker) Run(addr string) error {
+	if w.Kernel == nil {
+		return errors.New("exec: worker needs a kernel")
+	}
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	var results []ChunkResult
+	var compSeconds float64
+	for {
+		load := 0
+		if w.LoadProbe != nil {
+			load = w.LoadProbe()
+		}
+		args := ChunkArgs{
+			Worker:      w.ID,
+			ACP:         w.ACPModel.ACP(w.power(), 1+load),
+			CompSeconds: compSeconds,
+			Results:     results,
+		}
+		var reply ChunkReply
+		if err := client.Call("Master.NextChunk", args, &reply); err != nil {
+			return err
+		}
+		if reply.Stop {
+			return nil
+		}
+		results = results[:0]
+		start := time.Now()
+		for i := reply.Assign.Start; i < reply.Assign.End(); i++ {
+			var data []byte
+			for rep := 0; rep < w.scale(); rep++ {
+				data = w.Kernel(i)
+			}
+			results = append(results, ChunkResult{Index: i, Data: data})
+		}
+		compSeconds = time.Since(start).Seconds()
+	}
+}

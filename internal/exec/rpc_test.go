@@ -1,0 +1,382 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"loopsched/internal/sched"
+)
+
+// startMaster spins up a master on an ephemeral localhost TCP port.
+func startMaster(t *testing.T, s sched.Scheme, iterations, workers int) (*Master, string, func()) {
+	t.Helper()
+	m, err := NewMaster(s, iterations, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Serve(l); err != nil {
+		t.Fatal(err)
+	}
+	return m, l.Addr().String(), func() { l.Close() }
+}
+
+func intKernel(i int) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(i*i+1))
+	return buf[:]
+}
+
+func runWorkers(t *testing.T, addr string, workers []Worker) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, len(workers))
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w Worker) {
+			defer wg.Done()
+			errs[i] = w.Run(addr)
+		}(i, w)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+}
+
+// TestRPCEndToEnd runs a real TCP master–worker loop and checks every
+// result arrived intact.
+func TestRPCEndToEnd(t *testing.T) {
+	const n = 500
+	m, addr, stop := startMaster(t, sched.TSSScheme{}, n, 3)
+	defer stop()
+
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel},
+		{ID: 1, Kernel: intKernel},
+		{ID: 2, Kernel: intKernel, WorkScale: 2},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n || rep.Chunks == 0 {
+		t.Errorf("report: %+v", rep)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d corrupted: %v", i, r)
+		}
+	}
+}
+
+// TestRPCDistributed runs DTSS over TCP with heterogeneous workers
+// reporting real ACPs.
+func TestRPCDistributed(t *testing.T) {
+	const n = 800
+	m, addr, stop := startMaster(t, sched.DTSSScheme{}, n, 2)
+	defer stop()
+
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel, VirtualPower: 3},
+		{ID: 1, Kernel: intKernel, VirtualPower: 1, WorkScale: 3},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d corrupted", i)
+		}
+	}
+}
+
+// TestRPCPerWorkerTimes: the master's report carries a per-PE
+// T_com/T_wait/T_comp breakdown derived from worker-reported
+// computation times.
+func TestRPCPerWorkerTimes(t *testing.T) {
+	const n = 400
+	m, addr, stop := startMaster(t, sched.TSSScheme{}, n, 2)
+	defer stop()
+	slowKernel := func(i int) []byte {
+		// Enough work per iteration to register on the clock.
+		h := uint64(i)
+		for k := 0; k < 20000; k++ {
+			h = h*0x9e3779b97f4a7c15 + 1
+		}
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], h)
+		return buf[:]
+	}
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: slowKernel},
+		{ID: 1, Kernel: slowKernel},
+	})
+	_, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerWorker) != 2 {
+		t.Fatalf("%d worker rows", len(rep.PerWorker))
+	}
+	for i, tt := range rep.PerWorker {
+		if tt.Comp <= 0 {
+			t.Errorf("worker %d: no computation time recorded (%+v)", i, tt)
+		}
+		if tt.Total() > rep.Tp*1.05+1e-3 {
+			t.Errorf("worker %d: total %.4f exceeds Tp %.4f", i, tt.Total(), rep.Tp)
+		}
+	}
+}
+
+// TestRPCSchemesAgree: two different schemes must produce bit-identical
+// result sets — scheduling may reorder work but never change it.
+func TestRPCSchemesAgree(t *testing.T) {
+	const n = 300
+	run := func(s sched.Scheme) [][]byte {
+		m, addr, stop := startMaster(t, s, n, 2)
+		defer stop()
+		runWorkers(t, addr, []Worker{
+			{ID: 0, Kernel: intKernel},
+			{ID: 1, Kernel: intKernel},
+		})
+		results, _, err := m.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return results
+	}
+	a := run(sched.FSSScheme{})
+	b := run(sched.NewDFISS(0))
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("schemes disagree at iteration %d", i)
+		}
+	}
+}
+
+// TestRPCLoadedWorker: a LoadProbe shifts work away from the loaded
+// machine under a distributed scheme.
+func TestRPCLoadedWorker(t *testing.T) {
+	const n = 1000
+	m, addr, stop := startMaster(t, sched.NewDFSS(), n, 2)
+	defer stop()
+
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel, VirtualPower: 2, LoadProbe: func() int { return 3 }},
+		{ID: 1, Kernel: intKernel, VirtualPower: 2},
+	})
+	_, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+}
+
+func TestMasterValidation(t *testing.T) {
+	if _, err := NewMaster(sched.TSSScheme{}, 10, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewMaster(sched.TSSScheme{}, -1, 2); err == nil {
+		t.Error("negative iterations accepted")
+	}
+}
+
+func TestWorkerValidation(t *testing.T) {
+	w := Worker{}
+	if err := w.Run("127.0.0.1:1"); err == nil {
+		t.Error("kernel-less worker accepted")
+	}
+	w.Kernel = intKernel
+	if err := w.Run("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+// TestRPCFailWorkerRequeues: a worker that takes a chunk and dies has
+// its chunk re-issued to the survivors; the loop still completes with
+// every result present.
+func TestRPCFailWorkerRequeues(t *testing.T) {
+	const n = 400
+	m, addr, stop := startMaster(t, sched.TSSScheme{}, n, 3)
+	defer stop()
+
+	// Worker 2 grabs one chunk and vanishes.
+	var reply ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 2}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Stop || reply.Assign.Size == 0 {
+		t.Fatalf("dead worker got no chunk: %+v", reply)
+	}
+	out := m.Outstanding()
+	if a, ok := out[2]; !ok || a != reply.Assign {
+		t.Fatalf("outstanding ledger wrong: %v", out)
+	}
+	if err := m.FailWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Outstanding()) != 0 {
+		t.Fatalf("failed worker still outstanding: %v", m.Outstanding())
+	}
+	// FailWorker is idempotent and validates ids.
+	if err := m.FailWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FailWorker(9); err == nil {
+		t.Fatal("bad worker id accepted")
+	}
+
+	// The survivors finish the whole loop, including the requeued chunk.
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel},
+		{ID: 1, Kernel: intKernel},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d missing/corrupted after requeue", i)
+		}
+	}
+}
+
+// TestRPCAllWorkersFail: when every worker dies the run terminates
+// (rather than hanging) and Wait reports the missing results.
+func TestRPCAllWorkersFail(t *testing.T) {
+	m, _, stop := startMaster(t, sched.TSSScheme{}, 100, 2)
+	defer stop()
+	var reply ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 0}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FailWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FailWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := m.Wait() // must not hang
+	if err == nil {
+		t.Error("missing results not reported")
+	}
+}
+
+// TestRPCFailDuringGather: a worker dying before reporting its ACP
+// must not stall the distributed master's initial barrier.
+func TestRPCFailDuringGather(t *testing.T) {
+	const n = 200
+	m, addr, stop := startMaster(t, sched.DTSSScheme{}, n, 3)
+	defer stop()
+	if err := m.FailWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel, VirtualPower: 2},
+		{ID: 1, Kernel: intKernel, VirtualPower: 1},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d corrupted", i)
+		}
+	}
+}
+
+// TestRPCWatchTimeouts: the heartbeat watcher automatically fails a
+// silent worker, its chunk is requeued, and the survivors finish.
+func TestRPCWatchTimeouts(t *testing.T) {
+	const n = 300
+	m, addr, stop := startMaster(t, sched.TSSScheme{}, n, 3)
+	defer stop()
+
+	// Worker 2 takes a chunk and goes silent.
+	var reply ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 2}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go m.WatchTimeouts(5*time.Millisecond, 30*time.Millisecond, stopWatch)
+
+	// Give the watcher time to fire, then run the survivors.
+	time.Sleep(80 * time.Millisecond)
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel},
+		{ID: 1, Kernel: intKernel},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d missing after timeout recovery", i)
+		}
+	}
+	if lc, err := m.LastContact(0); err != nil || lc.IsZero() {
+		t.Errorf("LastContact: %v %v", lc, err)
+	}
+	if _, err := m.LastContact(9); err == nil {
+		t.Error("bad worker id accepted by LastContact")
+	}
+}
+
+// TestRPCStoppedWorkerNotFailed: gracefully stopped workers are
+// ignored by FailWorker, so a slow watcher cannot double-count them.
+func TestRPCStoppedWorkerNotFailed(t *testing.T) {
+	m, addr, stop := startMaster(t, sched.TSSScheme{}, 50, 2)
+	defer stop()
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel},
+		{ID: 1, Kernel: intKernel},
+	})
+	if _, _, err := m.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FailWorker(0); err != nil {
+		t.Fatalf("FailWorker after graceful stop: %v", err)
+	}
+}
+
+// TestRPCBadWorkerID: the master rejects out-of-range worker ids.
+func TestRPCBadWorkerID(t *testing.T) {
+	m, _, stop := startMaster(t, sched.TSSScheme{}, 10, 1)
+	defer stop()
+	var reply ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 5}, &reply); err == nil {
+		t.Error("bad worker id accepted")
+	}
+	if err := m.NextChunk(ChunkArgs{Worker: 0, Results: []ChunkResult{{Index: 99}}}, &reply); err == nil {
+		t.Error("out-of-range result index accepted")
+	}
+}

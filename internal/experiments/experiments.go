@@ -1,0 +1,395 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation on the simulated cluster: Table 1 (chunk-size
+// sequences), Tables 2–3 (per-PE time breakdowns for the simple and
+// distributed schemes), Figure 1 (Mandelbrot cost distribution,
+// original vs reordered) and Figures 4–7 (speedup curves). The same
+// entry points back cmd/experiments and the root bench suite.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+
+	"loopsched/internal/mandelbrot"
+	"loopsched/internal/metrics"
+	"loopsched/internal/sched"
+	"loopsched/internal/sim"
+	"loopsched/internal/tree"
+	"loopsched/internal/workload"
+)
+
+// Config sizes one reproduction run.
+type Config struct {
+	// Width and Height are the Mandelbrot window (the paper's main
+	// experiment uses 4000×2000).
+	Width, Height int
+	// MaxIter bounds the escape-time kernel.
+	MaxIter int
+	// Sf is the sampling-reorder frequency (the paper uses 4).
+	Sf int
+	// BaseRate is the simulated power-1 throughput in work units per
+	// second.
+	BaseRate float64
+}
+
+// Default returns the paper-scale configuration (section 6.1). The
+// base rate is calibrated so one column costs a slow PE ≈ 50 ms,
+// which puts T_p in the paper's tens-of-seconds range and makes a
+// mid-run TSS chunk on a slow PE the multi-second critical chunk the
+// paper's Table 2 waits reveal.
+func Default() Config {
+	return Config{Width: 4000, Height: 2000, MaxIter: 160, Sf: 4, BaseRate: 1.2e6}
+}
+
+// Small returns a fast configuration with the same shape, for tests:
+// the per-column compute time matches Default (so comm/compute ratios
+// carry over) with 10× fewer columns.
+func Small() Config {
+	return Config{Width: 400, Height: 160, MaxIter: 120, Sf: 4, BaseRate: 9.6e4}
+}
+
+func (c Config) params() mandelbrot.Params {
+	return mandelbrot.Params{
+		Region:  mandelbrot.PaperRegion,
+		Width:   c.Width,
+		Height:  c.Height,
+		MaxIter: c.MaxIter,
+	}
+}
+
+// costCache memoises the expensive per-column cost profiles.
+var costCache sync.Map // mandelbrot.Params -> []float64
+
+func columnCosts(p mandelbrot.Params) []float64 {
+	if v, ok := costCache.Load(p); ok {
+		return v.([]float64)
+	}
+	costs := mandelbrot.ColumnCosts(p)
+	costCache.Store(p, costs)
+	return costs
+}
+
+// Workload builds the paper's scheduling workload: Mandelbrot columns
+// reordered with the sampling frequency.
+func (c Config) Workload() workload.Workload {
+	base := workload.FromCosts{
+		Label: fmt.Sprintf("mandelbrot(%dx%d)", c.Width, c.Height),
+		Costs: columnCosts(c.params()),
+	}
+	if c.Sf <= 1 {
+		return base
+	}
+	return workload.Reorder(base, c.Sf)
+}
+
+// SimParams returns the simulator protocol parameters scaled to the
+// configuration: one column's results are 2 bytes per pixel row.
+func (c Config) SimParams() sim.Params {
+	return sim.Params{
+		BaseRate:     c.BaseRate,
+		BytesPerIter: float64(2 * c.Height),
+	}
+}
+
+// fastMachine and slowMachine follow section 5.1: the fast class has
+// 3× the power of the slow class (UltraSPARC 10 vs UltraSPARC 1) and a
+// 100 Mbit link versus the slow class's 10 Mbit.
+func fastMachine() sim.Machine {
+	return sim.Machine{Name: "fast", Power: 3,
+		Link: sim.Link{Latency: 0.0002, Bandwidth: sim.Mbit100}}
+}
+
+func slowMachine() sim.Machine {
+	return sim.Machine{Name: "slow", Power: 1,
+		Link: sim.Link{Latency: 0.001, Bandwidth: sim.Mbit10}}
+}
+
+// mix returns the paper's machine mixes per worker count: p=1 → 1
+// fast; p=2 → 1 fast + 1 slow; p=4 → 2 fast + 2 slow; p=8 → 3 fast +
+// 5 slow. Other p interpolate (≈3/8 fast).
+func mix(p int) (nFast, nSlow int) {
+	switch p {
+	case 1:
+		return 1, 0
+	case 2:
+		return 1, 1
+	case 4:
+		return 2, 2
+	case 8:
+		return 3, 5
+	default:
+		nFast = (3*p + 7) / 8
+		if nFast < 1 {
+			nFast = 1
+		}
+		return nFast, p - nFast
+	}
+}
+
+// overloaded returns the indices of the PEs that receive an external
+// process in the non-dedicated experiments (section 5.1's list).
+func overloaded(p int) []int {
+	nFast, _ := mix(p)
+	switch p {
+	case 1:
+		return []int{0} // 1 fast
+	case 2:
+		return []int{0, 1} // 1 fast and 1 slow
+	case 4:
+		return []int{0, nFast} // 1 fast and 1 slow
+	case 8:
+		return []int{0, nFast, nFast + 1, nFast + 2} // 1 fast and 3 slow
+	default:
+		return []int{0}
+	}
+}
+
+// Cluster builds the simulated testbed for p slaves.
+func Cluster(p int, nondedicated bool) sim.Cluster {
+	nFast, nSlow := mix(p)
+	var ms []sim.Machine
+	for i := 0; i < nFast; i++ {
+		ms = append(ms, fastMachine())
+	}
+	for i := 0; i < nSlow; i++ {
+		ms = append(ms, slowMachine())
+	}
+	if nondedicated {
+		for _, idx := range overloaded(p) {
+			if idx < len(ms) {
+				ms[idx].Load = sim.LoadScript{{Start: 0, End: math.Inf(1), Extra: 1}}
+			}
+		}
+	}
+	return sim.Cluster{Machines: ms}
+}
+
+// SimpleSchemes are the Table 2 columns (TreeS is run separately).
+func SimpleSchemes() []sched.Scheme {
+	return []sched.Scheme{
+		sched.TSSScheme{},
+		sched.FSSScheme{},
+		sched.FISSScheme{},
+		sched.TFSSScheme{},
+	}
+}
+
+// DistributedSchemes are the Table 3 columns (TreeS again separate).
+func DistributedSchemes() []sched.Scheme {
+	return []sched.Scheme{
+		sched.DTSSScheme{},
+		sched.NewDFSS(),
+		sched.NewDFISS(0),
+		sched.NewDTFSS(),
+	}
+}
+
+// Table1 renders the chunk-size table for I = 1000, p = 4 exactly as
+// the paper prints it (nominal sequences; the TSS and TFSS rows show
+// the whole trapezoid).
+func Table1() string {
+	const i, p = 1000, 4
+	var sb strings.Builder
+	sb.WriteString("Table 1: sample chunk sizes for I = 1000 and p = 4\n")
+	row := func(name string, seq []int) {
+		fmt.Fprintf(&sb, "%-6s", name)
+		for _, c := range seq {
+			fmt.Fprintf(&sb, " %d", c)
+		}
+		sb.WriteByte('\n')
+	}
+	static, _ := sched.Sequence(sched.StaticScheme{}, i, p)
+	row("S", static)
+	row("SS", []int{1, 1, 1, 1, 1}) // "1 1 1 1 1 …" — elided like the paper
+	sb.WriteString("CSS    k k k k ...\n")
+	gss, _ := sched.NominalSequence(sched.GSSScheme{}, i, p)
+	row("GSS", gss)
+	row("TSS", sched.TrapezoidNominal(i, p))
+	fss, _ := sched.Sequence(sched.FSSScheme{}, i, p)
+	row("FSS", fss)
+	fiss, _ := sched.Sequence(sched.FISSScheme{}, i, p)
+	row("FISS", fiss)
+	row("TFSS", sched.TFSSNominal(i, p))
+	return sb.String()
+}
+
+// TableResult bundles one table's dedicated and non-dedicated halves.
+type TableResult struct {
+	Title                   string
+	Dedicated, NonDedicated []metrics.Report
+}
+
+// Format renders the table in the paper's layout.
+func (t TableResult) Format() string {
+	return metrics.FormatTable(t.Title+" — Dedicated", t.Dedicated) +
+		metrics.FormatTable(t.Title+" — NonDedicated", t.NonDedicated)
+}
+
+func runSet(cfg Config, p int, nondedicated bool, schemes []sched.Scheme, weightedTree bool) ([]metrics.Report, error) {
+	c := Cluster(p, nondedicated)
+	w := cfg.Workload()
+	var out []metrics.Report
+	for _, s := range schemes {
+		rep, err := sim.Run(c, s, w, cfg.SimParams())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name(), err)
+		}
+		out = append(out, rep)
+	}
+	treeRep, err := tree.Run(c, tree.Options{Weighted: weightedTree}, w, cfg.SimParams())
+	if err != nil {
+		return nil, fmt.Errorf("TreeS: %w", err)
+	}
+	out = append(out, treeRep)
+	return out, nil
+}
+
+// Table2 reproduces the simple-scheme breakdown at p = 8.
+func Table2(cfg Config) (TableResult, error) {
+	return tableN(cfg, "Table 2: Simple Schemes, p = 8 (T_com/T_wait/T_comp sec)", SimpleSchemes(), false)
+}
+
+// Table3 reproduces the distributed-scheme breakdown at p = 8.
+func Table3(cfg Config) (TableResult, error) {
+	return tableN(cfg, "Table 3: Distributed Schemes, p = 8 (T_com/T_wait/T_comp sec)", DistributedSchemes(), true)
+}
+
+func tableN(cfg Config, title string, schemes []sched.Scheme, weightedTree bool) (TableResult, error) {
+	ded, err := runSet(cfg, 8, false, schemes, weightedTree)
+	if err != nil {
+		return TableResult{}, err
+	}
+	non, err := runSet(cfg, 8, true, schemes, weightedTree)
+	if err != nil {
+		return TableResult{}, err
+	}
+	return TableResult{Title: title, Dedicated: ded, NonDedicated: non}, nil
+}
+
+// Figure1 returns the per-column cost series before and after the
+// sampling reorder — the two panels of Figure 1.
+func Figure1(cfg Config) (original, reordered []float64) {
+	w := workload.FromCosts{Costs: columnCosts(cfg.params())}
+	r := workload.Reorder(w, cfg.Sf)
+	original = append([]float64(nil), w.Costs...)
+	reordered = make([]float64, r.Len())
+	for i := range reordered {
+		reordered[i] = r.Cost(i)
+	}
+	return original, reordered
+}
+
+// FigureResult is one speedup plot.
+type FigureResult struct {
+	Title  string
+	Curves map[string][]metrics.Speedup
+	// Tp holds the raw parallel times behind the curves.
+	Tp map[string]map[int]float64
+}
+
+// Format renders the figure as aligned text series.
+func (f FigureResult) Format() string {
+	return metrics.FormatSpeedups(f.Title, f.Curves)
+}
+
+// SpeedupPs are the worker counts of Figures 4–7.
+var SpeedupPs = []int{1, 2, 4, 8}
+
+// ScalingStudy extends the paper's speedup figures beyond its 8-slave
+// testbed (the natural "future work"): dedicated clusters with the
+// same 3-fast-per-8 mix at p up to 32. At this scale the centralized
+// master's service rate becomes the bottleneck, which is exactly the
+// limitation the self-scheduling literature attributes to
+// master–slave designs; the study quantifies where each scheme hits
+// it (watch T_wait grow and the curves flatten).
+func ScalingStudy(cfg Config, schemes []sched.Scheme, ps []int) (FigureResult, error) {
+	if len(ps) == 0 {
+		ps = []int{1, 2, 4, 8, 16, 32}
+	}
+	w := cfg.Workload()
+	res := FigureResult{
+		Title:  "Scaling study (beyond the paper): dedicated speedup",
+		Curves: map[string][]metrics.Speedup{},
+		Tp:     map[string]map[int]float64{},
+	}
+	for _, s := range schemes {
+		res.Tp[s.Name()] = map[int]float64{}
+	}
+	for _, p := range ps {
+		c := Cluster(p, false)
+		for _, s := range schemes {
+			rep, err := sim.Run(c, s, w, cfg.SimParams())
+			if err != nil {
+				return res, fmt.Errorf("%s p=%d: %w", s.Name(), p, err)
+			}
+			res.Tp[s.Name()][p] = rep.Tp
+		}
+	}
+	for _, s := range schemes {
+		res.Curves[s.Name()] = metrics.SpeedupCurve(res.Tp[s.Name()][ps[0]], res.Tp[s.Name()])
+	}
+	return res, nil
+}
+
+// Figure computes one of the speedup figures:
+//
+//	4 — simple schemes, dedicated
+//	5 — simple schemes, non-dedicated
+//	6 — distributed schemes, dedicated
+//	7 — distributed schemes, non-dedicated
+func Figure(num int, cfg Config) (FigureResult, error) {
+	var (
+		schemes      []sched.Scheme
+		nondedicated bool
+		weightedTree bool
+		title        string
+	)
+	switch num {
+	case 4:
+		schemes, title = SimpleSchemes(), "Figure 4: Speedup of Simple Schemes — Dedicated"
+	case 5:
+		schemes, nondedicated, title = SimpleSchemes(), true, "Figure 5: Speedup of Simple Schemes — NonDedicated"
+	case 6:
+		schemes, weightedTree, title = DistributedSchemes(), true, "Figure 6: Speedup of Distributed Schemes — Dedicated"
+	case 7:
+		schemes, nondedicated, weightedTree, title = DistributedSchemes(), true, true, "Figure 7: Speedup of Distributed Schemes — NonDedicated"
+	default:
+		return FigureResult{}, fmt.Errorf("experiments: no figure %d", num)
+	}
+	w := cfg.Workload()
+	res := FigureResult{
+		Title:  title,
+		Curves: map[string][]metrics.Speedup{},
+		Tp:     map[string]map[int]float64{},
+	}
+	names := make([]string, 0, len(schemes)+1)
+	for _, s := range schemes {
+		names = append(names, s.Name())
+	}
+	names = append(names, "TreeS")
+	for _, name := range names {
+		res.Tp[name] = map[int]float64{}
+	}
+	for _, p := range SpeedupPs {
+		c := Cluster(p, nondedicated)
+		for _, s := range schemes {
+			rep, err := sim.Run(c, s, w, cfg.SimParams())
+			if err != nil {
+				return res, fmt.Errorf("%s p=%d: %w", s.Name(), p, err)
+			}
+			res.Tp[s.Name()][p] = rep.Tp
+		}
+		treeRep, err := tree.Run(c, tree.Options{Weighted: weightedTree}, w, cfg.SimParams())
+		if err != nil {
+			return res, fmt.Errorf("TreeS p=%d: %w", p, err)
+		}
+		res.Tp["TreeS"][p] = treeRep.Tp
+	}
+	for _, name := range names {
+		t1 := res.Tp[name][1]
+		res.Curves[name] = metrics.SpeedupCurve(t1, res.Tp[name])
+	}
+	return res, nil
+}

@@ -1,0 +1,124 @@
+// Package loadgen synthesises external-load timelines for the
+// non-dedicated experiments: the paper overloads machines with
+// long-running matrix-add processes, but real shared workstations see
+// richer patterns — jobs arriving at random, bursts, day/night cycles.
+// Every generator compiles to a sim.LoadScript, so any pattern can
+// drive the simulator and the distributed schemes' re-planning.
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+
+	"loopsched/internal/sim"
+)
+
+// Constant is the paper's §5.1 load: extra processes running for the
+// whole experiment.
+func Constant(extra int) sim.LoadScript {
+	if extra <= 0 {
+		return nil
+	}
+	return sim.LoadScript{{Start: 0, End: math.Inf(1), Extra: extra}}
+}
+
+// Window is a single burst of extra processes during [start, end).
+func Window(start, end float64, extra int) sim.LoadScript {
+	if extra <= 0 || end <= start {
+		return nil
+	}
+	return sim.LoadScript{{Start: start, End: end, Extra: extra}}
+}
+
+// Poisson generates jobs arriving as a Poisson process with the given
+// rate (jobs per second) over [0, horizon), each running for an
+// exponentially distributed duration with the given mean. The same
+// seed always yields the same script; overlapping jobs stack, exactly
+// like processes sharing a run queue.
+func Poisson(rate, meanDuration, horizon float64, seed int64) sim.LoadScript {
+	if rate <= 0 || meanDuration <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var script sim.LoadScript
+	for t := rng.ExpFloat64() / rate; t < horizon; t += rng.ExpFloat64() / rate {
+		d := rng.ExpFloat64() * meanDuration
+		script = append(script, sim.LoadPhase{Start: t, End: t + d, Extra: 1})
+	}
+	return script
+}
+
+// Square is a periodic on/off load: `extra` processes during the first
+// `duty` fraction of every `period`, repeated until horizon.
+func Square(period, duty, horizon float64, extra int) sim.LoadScript {
+	if period <= 0 || duty <= 0 || extra <= 0 || horizon <= 0 {
+		return nil
+	}
+	if duty > 1 {
+		duty = 1
+	}
+	var script sim.LoadScript
+	for t := 0.0; t < horizon; t += period {
+		end := t + period*duty
+		if end > horizon {
+			end = horizon
+		}
+		script = append(script, sim.LoadPhase{Start: t, End: end, Extra: extra})
+	}
+	return script
+}
+
+// Staircase ramps the load up one process at a time at the given
+// interval — the "users keep logging in" scenario that stresses the
+// majority re-plan.
+func Staircase(interval float64, steps int) sim.LoadScript {
+	if interval <= 0 || steps <= 0 {
+		return nil
+	}
+	var script sim.LoadScript
+	for s := 1; s <= steps; s++ {
+		script = append(script, sim.LoadPhase{
+			Start: float64(s) * interval,
+			End:   math.Inf(1),
+			Extra: 1,
+		})
+	}
+	return script
+}
+
+// MeanExtra returns the time-averaged number of extra processes over
+// [0, horizon) — useful for calibrating patterns against each other.
+func MeanExtra(script sim.LoadScript, horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	var total float64
+	for _, ph := range script {
+		end := math.Min(ph.End, horizon)
+		start := math.Max(ph.Start, 0)
+		if end > start {
+			total += float64(ph.Extra) * (end - start)
+		}
+	}
+	return total / horizon
+}
+
+// PeakExtra returns the maximum simultaneous extra processes over
+// [0, horizon), scanning phase boundaries.
+func PeakExtra(script sim.LoadScript, horizon float64) int {
+	peak := 0
+	check := func(t float64) {
+		if t < 0 || t >= horizon {
+			return
+		}
+		if e := script.ExtraAt(t); e > peak {
+			peak = e
+		}
+	}
+	check(0)
+	for _, ph := range script {
+		check(ph.Start)
+		check(ph.End)
+	}
+	return peak
+}

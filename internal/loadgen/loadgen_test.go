@@ -1,0 +1,132 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/sim"
+	"loopsched/internal/workload"
+)
+
+func TestConstant(t *testing.T) {
+	s := Constant(2)
+	if s.ExtraAt(0) != 2 || s.ExtraAt(1e9) != 2 {
+		t.Errorf("constant load not constant: %v", s)
+	}
+	if Constant(0) != nil {
+		t.Error("zero extra produced a script")
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := Window(5, 10, 3)
+	if s.ExtraAt(4.9) != 0 || s.ExtraAt(5) != 3 || s.ExtraAt(9.9) != 3 || s.ExtraAt(10) != 0 {
+		t.Errorf("window edges wrong")
+	}
+	if Window(10, 5, 1) != nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestPoissonDeterministicAndCalibrated(t *testing.T) {
+	a := Poisson(0.5, 4, 1000, 9)
+	b := Poisson(0.5, 4, 1000, 9)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different scripts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("phase %d differs", i)
+		}
+	}
+	// Expected jobs ≈ rate × horizon = 500; mean load ≈ rate × mean
+	// duration = 2 (Little's law). Allow generous slack.
+	if len(a) < 350 || len(a) > 650 {
+		t.Errorf("%d jobs, want ≈500", len(a))
+	}
+	mean := MeanExtra(a, 1000)
+	if mean < 1.2 || mean > 2.8 {
+		t.Errorf("mean load %.2f, want ≈2", mean)
+	}
+	if Poisson(0, 1, 1, 1) != nil {
+		t.Error("zero rate produced jobs")
+	}
+}
+
+func TestSquare(t *testing.T) {
+	s := Square(10, 0.3, 100, 2)
+	if got := s.ExtraAt(1); got != 2 {
+		t.Errorf("on-phase load %d", got)
+	}
+	if got := s.ExtraAt(5); got != 0 {
+		t.Errorf("off-phase load %d", got)
+	}
+	// Duty cycle: mean = extra × duty.
+	if mean := MeanExtra(s, 100); math.Abs(mean-0.6) > 1e-9 {
+		t.Errorf("mean %.3f, want 0.6", mean)
+	}
+	// Duty is clamped to 1.
+	if s := Square(10, 5, 20, 1); MeanExtra(s, 20) != 1 {
+		t.Errorf("duty clamp broken")
+	}
+}
+
+func TestStaircase(t *testing.T) {
+	s := Staircase(10, 3)
+	want := map[float64]int{5: 0, 15: 1, 25: 2, 35: 3, 1e6: 3}
+	for tt, w := range want {
+		if got := s.ExtraAt(tt); got != w {
+			t.Errorf("ExtraAt(%g) = %d, want %d", tt, got, w)
+		}
+	}
+	if PeakExtra(s, 100) != 3 {
+		t.Errorf("peak = %d", PeakExtra(s, 100))
+	}
+}
+
+func TestMeanPeakEdges(t *testing.T) {
+	if MeanExtra(nil, 10) != 0 || MeanExtra(Constant(1), 0) != 0 {
+		t.Error("degenerate means non-zero")
+	}
+	if PeakExtra(nil, 10) != 0 {
+		t.Error("empty peak non-zero")
+	}
+}
+
+// TestDrivesSimulator: generated load scripts plug into the simulator
+// and slow the loaded machine down accordingly.
+func TestDrivesSimulator(t *testing.T) {
+	mk := func(script sim.LoadScript) sim.Cluster {
+		return sim.Cluster{Machines: []sim.Machine{
+			{Power: 1, Link: sim.Link{Latency: 1e-4, Bandwidth: sim.Mbit100}, Load: script},
+			{Power: 1, Link: sim.Link{Latency: 1e-4, Bandwidth: sim.Mbit100}},
+		}}
+	}
+	w := workload.Uniform{N: 4000}
+	p := sim.Params{BaseRate: 1e5, BytesPerIter: 1}
+	base, err := sim.Run(mk(nil), sched.TSSScheme{}, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, script := range []sim.LoadScript{
+		Constant(2),
+		Square(0.01, 0.5, 10, 2),
+		Poisson(100, 0.02, 20, 3),
+	} {
+		rep, err := sim.Run(mk(script), sched.TSSScheme{}, w, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Tp <= base.Tp {
+			t.Errorf("load %v did not slow the run: %.4f vs %.4f", script[:min(2, len(script))], rep.Tp, base.Tp)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+// Package mandelbrot implements the paper's test problem: the
+// escape-time Mandelbrot set computation on
+// [-2.0, 1.25] × [-1.25, 1.25]. The computation of one image column is
+// the smallest schedulable unit (a loop iteration), and the per-column
+// iteration counts form the irregular cost profile of Figure 1.
+package mandelbrot
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// Region is an axis-aligned window of the complex plane.
+type Region struct {
+	XMin, XMax float64
+	YMin, YMax float64
+}
+
+// PaperRegion is the domain used throughout the paper's experiments.
+var PaperRegion = Region{XMin: -2.0, XMax: 1.25, YMin: -1.25, YMax: 1.25}
+
+// Params describe one rendering job.
+type Params struct {
+	Region  Region
+	Width   int // columns — the parallel loop's iteration count
+	Height  int // rows — the serial inner loop
+	MaxIter int // escape-time bound; 0 means DefaultMaxIter
+}
+
+// DefaultMaxIter keeps Figure-1-scale irregularity (the paper reports
+// per-column basic-operation counts from 1 200 up to 56 000 on a
+// 1200×1200 window, i.e. roughly Height … 47·Height).
+const DefaultMaxIter = 160
+
+func (p Params) maxIter() int {
+	if p.MaxIter <= 0 {
+		return DefaultMaxIter
+	}
+	return p.MaxIter
+}
+
+// Validate reports whether the parameters describe a real job.
+func (p Params) Validate() error {
+	if p.Width <= 0 || p.Height <= 0 {
+		return fmt.Errorf("mandelbrot: window %dx%d must be positive", p.Width, p.Height)
+	}
+	if p.Region.XMax <= p.Region.XMin || p.Region.YMax <= p.Region.YMin {
+		return fmt.Errorf("mandelbrot: empty region %+v", p.Region)
+	}
+	return nil
+}
+
+// X returns the real coordinate of column c.
+func (p Params) X(c int) float64 {
+	return p.Region.XMin + (p.Region.XMax-p.Region.XMin)*float64(c)/float64(p.Width)
+}
+
+// Y returns the imaginary coordinate of row r.
+func (p Params) Y(r int) float64 {
+	return p.Region.YMin + (p.Region.YMax-p.Region.YMin)*float64(r)/float64(p.Height)
+}
+
+// Iterations runs the escape-time kernel at point (cx, cy) and returns
+// the number of iterations executed (maxIter if the point never
+// escaped |z| > 2). This count is the "basic computation" unit of
+// Figure 1.
+func Iterations(cx, cy float64, maxIter int) int {
+	var zx, zy float64
+	for i := 0; i < maxIter; i++ {
+		zx2, zy2 := zx*zx, zy*zy
+		if zx2+zy2 > 4 {
+			return i
+		}
+		zx, zy = zx2-zy2+cx, 2*zx*zy+cy
+	}
+	return maxIter
+}
+
+// Column computes one column: it returns the per-row iteration counts
+// and the column's total work (the sum of counts — what a scheduler's
+// chunk actually costs).
+func Column(p Params, c int) (rows []int, work int) {
+	maxIter := p.maxIter()
+	cx := p.X(c)
+	rows = make([]int, p.Height)
+	for r := 0; r < p.Height; r++ {
+		n := Iterations(cx, p.Y(r), maxIter)
+		rows[r] = n
+		work += n
+	}
+	return rows, work
+}
+
+// ColumnWork computes only the column's total work, without
+// materialising the per-row counts.
+func ColumnWork(p Params, c int) int {
+	maxIter := p.maxIter()
+	cx := p.X(c)
+	work := 0
+	for r := 0; r < p.Height; r++ {
+		work += Iterations(cx, p.Y(r), maxIter)
+	}
+	return work
+}
+
+// ColumnCosts returns the full per-column cost profile — the data
+// behind Figure 1(a). The result has Width entries; entry c is the
+// total iteration count of column c.
+func ColumnCosts(p Params) []float64 {
+	costs := make([]float64, p.Width)
+	for c := 0; c < p.Width; c++ {
+		costs[c] = float64(ColumnWork(p, c))
+	}
+	return costs
+}
+
+// Render computes the whole image (columns in any order produce the
+// same picture — the loop is parallel). The palette maps escape time
+// to a grey ramp with the set itself black, matching Figure 2's look.
+func Render(p Params) *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, p.Width, p.Height))
+	maxIter := p.maxIter()
+	for c := 0; c < p.Width; c++ {
+		rows, _ := Column(p, c)
+		for r, n := range rows {
+			img.SetGray(c, r, Shade(n, maxIter))
+		}
+	}
+	return img
+}
+
+// RenderColumns assembles an image from per-column pixel rows, the
+// form produced by distributed renderers (one []byte of shaded pixels
+// per column). Columns may be nil (left black).
+func RenderColumns(p Params, columns [][]byte) *image.Gray {
+	img := image.NewGray(image.Rect(0, 0, p.Width, p.Height))
+	for c := 0; c < p.Width && c < len(columns); c++ {
+		col := columns[c]
+		for r := 0; r < p.Height && r < len(col); r++ {
+			img.Pix[r*img.Stride+c] = col[r]
+		}
+	}
+	return img
+}
+
+// ShadedColumn computes one column and shades it into pixel bytes —
+// the kernel distributed renderers hand to their workers.
+func ShadedColumn(p Params, c int) []byte {
+	maxIter := p.maxIter()
+	rows, _ := Column(p, c)
+	out := make([]byte, len(rows))
+	for r, n := range rows {
+		out[r] = Shade(n, maxIter).Y
+	}
+	return out
+}
+
+// Shade maps an escape count to a pixel.
+func Shade(n, maxIter int) color.Gray {
+	if n >= maxIter {
+		return color.Gray{Y: 0} // inside the set
+	}
+	// Sqrt-ish ramp: early escapes are light, late escapes darker.
+	v := 255 - int(200*float64(n)/float64(maxIter))
+	return color.Gray{Y: uint8(v)}
+}

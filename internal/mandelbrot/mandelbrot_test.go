@@ -1,0 +1,183 @@
+package mandelbrot
+
+import (
+	"testing"
+	"testing/quick"
+
+	"loopsched/internal/workload"
+)
+
+func TestIterationsKnownPoints(t *testing.T) {
+	// The origin is in the set: never escapes.
+	if n := Iterations(0, 0, 100); n != 100 {
+		t.Errorf("origin escaped after %d", n)
+	}
+	// c = -1 is in the set (period-2 cycle).
+	if n := Iterations(-1, 0, 500); n != 500 {
+		t.Errorf("-1 escaped after %d", n)
+	}
+	// c = 2 escapes immediately: z1 = 2, |z1| = 2 (not yet >2),
+	// z2 = 6 → escape at iteration 2.
+	if n := Iterations(2, 0, 100); n != 2 {
+		t.Errorf("c=2 escaped after %d, want 2", n)
+	}
+	// Far outside: escapes fast.
+	if n := Iterations(10, 10, 100); n > 1 {
+		t.Errorf("far point took %d iterations", n)
+	}
+}
+
+// TestEscapeRadiusProperty: points with |c| > 2 always escape within
+// two iterations; escape count is always in [0, maxIter].
+func TestEscapeRadiusProperty(t *testing.T) {
+	f := func(a, b int8) bool {
+		cx := float64(a) / 8
+		cy := float64(b) / 8
+		n := Iterations(cx, cy, 300)
+		if n < 0 || n > 300 {
+			return false
+		}
+		if cx*cx+cy*cy > 4 && n > 2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnConsistency(t *testing.T) {
+	p := Params{Region: PaperRegion, Width: 64, Height: 48, MaxIter: 80}
+	rows, work := Column(p, 30)
+	if len(rows) != 48 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sum := 0
+	for _, n := range rows {
+		sum += n
+	}
+	if sum != work {
+		t.Errorf("work %d != sum %d", work, sum)
+	}
+	if cw := ColumnWork(p, 30); cw != work {
+		t.Errorf("ColumnWork %d != Column work %d", cw, work)
+	}
+}
+
+func TestColumnCostsIrregular(t *testing.T) {
+	p := Params{Region: PaperRegion, Width: 120, Height: 100, MaxIter: 120}
+	costs := ColumnCosts(p)
+	if len(costs) != 120 {
+		t.Fatalf("len = %d", len(costs))
+	}
+	w := workload.FromCosts{Costs: costs}
+	st := workload.Describe(w, 0)
+	// Every column costs at least Height (one iteration per pixel).
+	if st.Min < 100 {
+		t.Errorf("min column cost %g < height", st.Min)
+	}
+	// The profile must be genuinely irregular: the paper reports a
+	// 1 200 → 56 000 spread (≈ 47×) on its window; we require ≥ 5×.
+	if st.Max < 5*st.Min {
+		t.Errorf("profile too flat: min %g max %g", st.Min, st.Max)
+	}
+	// Interior columns (the set) are the expensive ones.
+	mid := costs[len(costs)*2/3] // x ≈ 0.16... inside-ish region
+	edge := costs[0]             // x = −2, all points escape fast
+	if mid < edge {
+		t.Errorf("interior column (%g) cheaper than edge (%g)", mid, edge)
+	}
+}
+
+// TestReorderFlattensMandelbrot is Figure 1 in miniature: sampling
+// reordering with S_f = 4 must reduce the windowed imbalance of the
+// real Mandelbrot cost profile.
+func TestReorderFlattensMandelbrot(t *testing.T) {
+	p := Params{Region: PaperRegion, Width: 240, Height: 80, MaxIter: 100}
+	w := workload.FromCosts{Label: "mandel", Costs: ColumnCosts(p)}
+	window := 240 / 8
+	before := workload.Describe(w, window).WindowCV
+	after := workload.Describe(workload.Reorder(w, 4), window).WindowCV
+	if after >= before {
+		t.Errorf("S_f=4 did not flatten mandelbrot: CV %g → %g", before, after)
+	}
+}
+
+func TestRender(t *testing.T) {
+	p := Params{Region: PaperRegion, Width: 64, Height: 64, MaxIter: 60}
+	img := Render(p)
+	b := img.Bounds()
+	if b.Dx() != 64 || b.Dy() != 64 {
+		t.Fatalf("bounds %v", b)
+	}
+	// Some pixels inside the set (black), some outside (light).
+	black, light := 0, 0
+	for x := 0; x < 64; x++ {
+		for y := 0; y < 64; y++ {
+			switch v := img.GrayAt(x, y).Y; {
+			case v == 0:
+				black++
+			case v > 200:
+				light++
+			}
+		}
+	}
+	if black == 0 || light == 0 {
+		t.Errorf("degenerate image: %d black, %d light", black, light)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Region: PaperRegion, Width: 10, Height: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []Params{
+		{Region: PaperRegion, Width: 0, Height: 10},
+		{Region: PaperRegion, Width: 10, Height: -1},
+		{Region: Region{XMin: 1, XMax: 0, YMin: 0, YMax: 1}, Width: 10, Height: 10},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+	if (Params{}).maxIter() != DefaultMaxIter {
+		t.Error("default MaxIter not applied")
+	}
+}
+
+// TestRenderColumnsMatchesRender: assembling shaded columns must give
+// exactly the image the serial renderer produces.
+func TestRenderColumnsMatchesRender(t *testing.T) {
+	p := Params{Region: PaperRegion, Width: 48, Height: 36, MaxIter: 60}
+	columns := make([][]byte, p.Width)
+	for c := range columns {
+		columns[c] = ShadedColumn(p, c)
+	}
+	got := RenderColumns(p, columns)
+	want := Render(p)
+	for i := range want.Pix {
+		if got.Pix[i] != want.Pix[i] {
+			t.Fatalf("pixel %d differs: %d vs %d", i, got.Pix[i], want.Pix[i])
+		}
+	}
+	// Missing columns stay black, out-of-range data is ignored.
+	partial := RenderColumns(p, columns[:10])
+	if partial.Pix[p.Width-1] != 0 {
+		t.Error("missing column not black")
+	}
+}
+
+func TestShade(t *testing.T) {
+	if Shade(100, 100).Y != 0 {
+		t.Error("inside-set pixel not black")
+	}
+	if Shade(0, 100).Y != 255 {
+		t.Error("instant escape not white")
+	}
+	if a, b := Shade(10, 100).Y, Shade(90, 100).Y; a <= b {
+		t.Errorf("shade not monotone: %d vs %d", a, b)
+	}
+}

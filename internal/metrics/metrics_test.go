@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTimesTotalAndString(t *testing.T) {
+	tt := Times{Comm: 1.5, Wait: 2.0, Comp: 3.25}
+	if tt.Total() != 6.75 {
+		t.Errorf("Total = %g", tt.Total())
+	}
+	if tt.String() != "1.5/2.0/3.2" {
+		t.Errorf("String = %q", tt.String())
+	}
+}
+
+func TestCompImbalance(t *testing.T) {
+	r := Report{PerWorker: []Times{{Comp: 2}, {Comp: 4}, {Comp: 6}}}
+	// (6-2)/4 = 1
+	if got := r.CompImbalance(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("imbalance = %g, want 1", got)
+	}
+	balanced := Report{PerWorker: []Times{{Comp: 3}, {Comp: 3}}}
+	if balanced.CompImbalance() != 0 {
+		t.Errorf("balanced imbalance = %g", balanced.CompImbalance())
+	}
+	single := Report{PerWorker: []Times{{Comp: 3}}}
+	if single.CompImbalance() != 0 {
+		t.Errorf("single-PE imbalance = %g", single.CompImbalance())
+	}
+	zero := Report{PerWorker: []Times{{}, {}}}
+	if zero.CompImbalance() != 0 {
+		t.Errorf("zero-comp imbalance = %g", zero.CompImbalance())
+	}
+}
+
+func TestCompCV(t *testing.T) {
+	r := Report{PerWorker: []Times{{Comp: 1}, {Comp: 1}, {Comp: 1}}}
+	if r.CompCV() != 0 {
+		t.Errorf("CV of equal comps = %g", r.CompCV())
+	}
+	r2 := Report{PerWorker: []Times{{Comp: 0}, {Comp: 2}}}
+	if got := r2.CompCV(); math.Abs(got-1) > 1e-12 { // σ=1, μ=1
+		t.Errorf("CV = %g, want 1", got)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	r := Report{PerWorker: []Times{{Comm: 1, Wait: 2}, {Comm: 3, Wait: 6}}}
+	if r.MeanComm() != 2 || r.MeanWait() != 4 {
+		t.Errorf("means = %g, %g", r.MeanComm(), r.MeanWait())
+	}
+	empty := Report{}
+	if empty.MeanComm() != 0 || empty.MeanWait() != 0 {
+		t.Error("empty means non-zero")
+	}
+}
+
+func TestSpeedupCurve(t *testing.T) {
+	curve := SpeedupCurve(10, map[int]float64{4: 2.5, 1: 10, 2: 5})
+	if len(curve) != 3 {
+		t.Fatalf("%d points", len(curve))
+	}
+	// Sorted by p, Sp = 1, 2, 4.
+	wantP := []int{1, 2, 4}
+	wantS := []float64{1, 2, 4}
+	for i, pt := range curve {
+		if pt.P != wantP[i] || math.Abs(pt.Sp-wantS[i]) > 1e-12 {
+			t.Errorf("point %d = %+v", i, pt)
+		}
+	}
+	// Division by zero is guarded.
+	z := SpeedupCurve(10, map[int]float64{1: 0})
+	if z[0].Sp != 0 {
+		t.Errorf("zero-Tp speedup = %g", z[0].Sp)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	reports := []Report{
+		{Scheme: "TSS", Tp: 23.6, PerWorker: []Times{{2.7, 17.5, 3.5}, {0.9, 18.8, 3.7}}},
+		{Scheme: "FSS", Tp: 28.1, PerWorker: []Times{{0.2, 0.8, 3.2}}},
+	}
+	out := FormatTable("Table 2 (dedicated)", reports)
+	for _, want := range []string{"Table 2", "TSS", "FSS", "2.7/17.5/3.5", "23.6", "28.1", "Tp"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Ragged columns render a dash.
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing filler for ragged report:\n%s", out)
+	}
+}
+
+func TestFormatSpeedups(t *testing.T) {
+	out := FormatSpeedups("Figure 4", map[string][]Speedup{
+		"TSS": {{P: 1, Sp: 1}, {P: 2, Sp: 1.4}},
+		"FSS": {{P: 1, Sp: 1}, {P: 2, Sp: 1.2}},
+	})
+	for _, want := range []string{"Figure 4", "p=1", "p=2", "TSS", "FSS", "1.40"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("speedups missing %q:\n%s", want, out)
+		}
+	}
+}

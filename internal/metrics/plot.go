@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// PlotSpeedups renders speedup curves as a terminal chart: the y axis
+// is S_p (0 at the bottom), the x axis the worker counts, one letter
+// per scheme. It is the text analogue of the paper's Figures 4–7.
+func PlotSpeedups(title string, curves map[string][]Speedup, height int) string {
+	if height < 4 {
+		height = 12
+	}
+	names := make([]string, 0, len(curves))
+	maxSp := 1.0
+	var ps []int
+	for n, c := range curves {
+		names = append(names, n)
+		for _, pt := range c {
+			if pt.Sp > maxSp {
+				maxSp = pt.Sp
+			}
+		}
+		if len(c) > len(ps) {
+			ps = ps[:0]
+			for _, pt := range c {
+				ps = append(ps, pt.P)
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(ps) == 0 {
+		return title + "\n(no data)\n"
+	}
+
+	const colWidth = 8
+	width := colWidth * len(ps)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(sp float64) int {
+		r := height - 1 - int(float64(height-1)*sp/maxSp+0.5)
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for idx, name := range names {
+		mark := byte('A' + idx%26)
+		for i, pt := range curves[name] {
+			if i >= len(ps) {
+				break
+			}
+			c := i*colWidth + colWidth/2
+			r := row(pt.Sp)
+			if grid[r][c] == ' ' {
+				grid[r][c] = mark
+			} else {
+				grid[r][c] = '*' // collision
+			}
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	for r := 0; r < height; r++ {
+		y := maxSp * float64(height-1-r) / float64(height-1)
+		fmt.Fprintf(&sb, "%5.1f |%s\n", y, string(grid[r]))
+	}
+	sb.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	sb.WriteString("       ")
+	for _, p := range ps {
+		fmt.Fprintf(&sb, "%-*s", colWidth, fmt.Sprintf("p=%d", p))
+	}
+	sb.WriteString("\n")
+	for idx, name := range names {
+		fmt.Fprintf(&sb, "       %c = %s\n", 'A'+idx%26, name)
+	}
+	return sb.String()
+}
+
+// Sparkline renders a numeric series as a compact unicode bar string —
+// used for Figure 1's cost distribution in the terminal.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width < 1 || width > len(values) {
+		width = len(values)
+	}
+	bars := []rune("▁▂▃▄▅▆▇█")
+	// Downsample by taking window maxima (spikes must stay visible).
+	sampled := make([]float64, width)
+	for b := range sampled {
+		lo := b * len(values) / width
+		hi := (b + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		m := math.Inf(-1)
+		for _, v := range values[lo:hi] {
+			if v > m {
+				m = v
+			}
+		}
+		sampled[b] = m
+	}
+	maxV := math.Inf(-1)
+	minV := math.Inf(1)
+	for _, v := range sampled {
+		maxV = math.Max(maxV, v)
+		minV = math.Min(minV, v)
+	}
+	var sb strings.Builder
+	for _, v := range sampled {
+		idx := 0
+		if maxV > minV {
+			idx = int(float64(len(bars)-1) * (v - minV) / (maxV - minV))
+		}
+		sb.WriteRune(bars[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotSpeedups(t *testing.T) {
+	out := PlotSpeedups("Figure 6", map[string][]Speedup{
+		"DTSS":  {{P: 1, Sp: 1}, {P: 2, Sp: 1.3}, {P: 4, Sp: 2.2}, {P: 8, Sp: 4.1}},
+		"TreeS": {{P: 1, Sp: 1}, {P: 2, Sp: 1.3}, {P: 4, Sp: 2.6}, {P: 8, Sp: 4.4}},
+	}, 10)
+	for _, want := range []string{"Figure 6", "p=1", "p=8", "A = DTSS", "B = TreeS", "|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The p=1 points of both curves collide at Sp=1 → a '*'.
+	if !strings.Contains(out, "*") {
+		t.Errorf("collision marker missing:\n%s", out)
+	}
+	// Monotone curve: DTSS's p=8 mark sits above its p=1 mark.
+	lines := strings.Split(out, "\n")
+	rowOf := func(mark byte, col int) int {
+		for r, line := range lines {
+			if idx := strings.IndexByte(line, '|'); idx >= 0 && len(line) > idx+col+1 {
+				if line[idx+1+col] == mark || line[idx+1+col] == '*' {
+					return r
+				}
+			}
+		}
+		return -1
+	}
+	p1 := rowOf('A', 4)  // first column centre
+	p8 := rowOf('A', 28) // fourth column centre
+	if p1 >= 0 && p8 >= 0 && p8 >= p1 {
+		t.Errorf("p=8 mark (row %d) not above p=1 (row %d):\n%s", p8, p1, out)
+	}
+	// Degenerate input.
+	if out := PlotSpeedups("x", nil, 5); !strings.Contains(out, "no data") {
+		t.Error("empty plot not reported")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("width %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("scale wrong: %s", s)
+	}
+	// Downsampling keeps spikes.
+	vals := make([]float64, 100)
+	vals[50] = 10
+	spark := []rune(Sparkline(vals, 10))
+	if spark[5] != '█' {
+		t.Errorf("spike lost: %s", string(spark))
+	}
+	if Sparkline(nil, 5) != "" {
+		t.Error("empty series produced output")
+	}
+	// Constant series renders the lowest bar everywhere.
+	flat := []rune(Sparkline([]float64{2, 2, 2}, 3))
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series: %s", string(flat))
+		}
+	}
+}

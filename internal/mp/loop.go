@@ -1,0 +1,307 @@
+package mp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"loopsched/internal/acp"
+	"loopsched/internal/metrics"
+	"loopsched/internal/sched"
+)
+
+// This file is the paper's master/slave program (§3.1's pseudocode)
+// written against the Comm interface, so the same code runs over the
+// in-process world or real TCP — like the original ran over mpich.
+//
+// Protocol: a slave sends tagRequest carrying its ACP and the
+// piggy-backed results of its previous chunk (§5); the master answers
+// tagAssign with an iteration interval, or tagStop. The master
+// re-plans when a majority of reported ACPs changed (step 2(c)).
+const (
+	tagRequest = 1
+	tagAssign  = 2
+	tagStop    = 3
+)
+
+// encodeRequest packs ACP, the previous chunk's computation time (in
+// microseconds, for the master's per-PE breakdown) and piggy-backed
+// results.
+func encodeRequest(acp int, compMicros int64, results []resultEntry) []byte {
+	n := 12
+	for _, r := range results {
+		n += 8 + len(r.data)
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(acp)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(compMicros))
+	for _, r := range results {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(r.index)))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.data)))
+		buf = append(buf, r.data...)
+	}
+	return buf
+}
+
+type resultEntry struct {
+	index int
+	data  []byte
+}
+
+func decodeRequest(data []byte) (acpVal int, compMicros int64, results []resultEntry, err error) {
+	if len(data) < 12 {
+		return 0, 0, nil, fmt.Errorf("mp: short request (%d bytes)", len(data))
+	}
+	acpVal = int(int32(binary.BigEndian.Uint32(data[0:4])))
+	compMicros = int64(binary.BigEndian.Uint64(data[4:12]))
+	rest := data[12:]
+	for len(rest) > 0 {
+		if len(rest) < 8 {
+			return 0, 0, nil, fmt.Errorf("mp: truncated result header")
+		}
+		idx := int(int32(binary.BigEndian.Uint32(rest[0:4])))
+		n := int(binary.BigEndian.Uint32(rest[4:8]))
+		rest = rest[8:]
+		if n > len(rest) {
+			return 0, 0, nil, fmt.Errorf("mp: truncated result payload")
+		}
+		results = append(results, resultEntry{index: idx, data: rest[:n:n]})
+		rest = rest[n:]
+	}
+	return acpVal, compMicros, results, nil
+}
+
+func encodeAssign(a sched.Assignment) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[0:4], uint32(int32(a.Start)))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(int32(a.Size)))
+	return buf[:]
+}
+
+func decodeAssign(data []byte) (sched.Assignment, error) {
+	if len(data) != 8 {
+		return sched.Assignment{}, fmt.Errorf("mp: bad assignment frame (%d bytes)", len(data))
+	}
+	return sched.Assignment{
+		Start: int(int32(binary.BigEndian.Uint32(data[0:4]))),
+		Size:  int(int32(binary.BigEndian.Uint32(data[4:8]))),
+	}, nil
+}
+
+// MasterOptions tune RunMaster.
+type MasterOptions struct {
+	// DisableReplan turns off the step-2(c) majority re-plan.
+	DisableReplan bool
+}
+
+// RunMaster schedules `iterations` loop iterations over the
+// communicator's size−1 slaves and collects their results (indexed by
+// iteration). It returns when every slave has been stopped.
+func RunMaster(c Comm, scheme sched.Scheme, iterations int, opts MasterOptions) ([][]byte, metrics.Report, error) {
+	if c.Rank() != 0 {
+		return nil, metrics.Report{}, fmt.Errorf("mp: master must be rank 0, not %d", c.Rank())
+	}
+	workers := c.Size() - 1
+	if workers < 1 {
+		return nil, metrics.Report{}, fmt.Errorf("mp: no slaves in a world of %d", c.Size())
+	}
+	dist := sched.Distributed(scheme)
+	results := make([][]byte, iterations)
+	rep := metrics.Report{Scheme: scheme.Name(), Workers: workers, Iterations: iterations}
+
+	liveACP := make([]int, workers)
+	planACP := make([]int, workers)
+	base := 0
+	plan := func() (sched.Policy, error) {
+		cfg := sched.Config{Iterations: iterations - base, Workers: workers}
+		if dist {
+			powers := make([]float64, workers)
+			for i, a := range liveACP {
+				if a < 1 {
+					a = 1
+				}
+				powers[i] = float64(a)
+			}
+			cfg.Powers = powers
+		}
+		pol, err := scheme.NewPolicy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		copy(planACP, liveACP)
+		return sched.Offset(pol, base), nil
+	}
+
+	perWorker := make([]metrics.Times, workers)
+	got := make([]bool, iterations)
+	received := 0
+	store := func(entries []resultEntry) error {
+		for _, r := range entries {
+			if r.index < 0 || r.index >= iterations {
+				return fmt.Errorf("mp: result index %d out of range", r.index)
+			}
+			if !got[r.index] {
+				got[r.index] = true
+				received++
+			}
+			results[r.index] = r.data
+		}
+		return nil
+	}
+
+	type pending struct {
+		worker int
+		acp    int
+	}
+	var queue []pending
+
+	// Step 1(a): a distributed master waits for every slave's first
+	// report before planning.
+	if dist {
+		seen := make(map[int]bool, workers)
+		for len(seen) < workers {
+			msg, err := c.Recv(AnySource, tagRequest)
+			if err != nil {
+				return nil, rep, err
+			}
+			a, _, entries, err := decodeRequest(msg.Data)
+			if err != nil {
+				return nil, rep, err
+			}
+			if err := store(entries); err != nil {
+				return nil, rep, err
+			}
+			liveACP[msg.From-1] = a
+			seen[msg.From] = true
+			queue = append(queue, pending{worker: msg.From, acp: a})
+		}
+		// Service the initial queue in decreasing-ACP order.
+		for i := 0; i < len(queue); i++ {
+			for j := i + 1; j < len(queue); j++ {
+				if queue[j].acp > queue[i].acp {
+					queue[i], queue[j] = queue[j], queue[i]
+				}
+			}
+		}
+	}
+
+	policy, err := plan()
+	if err != nil {
+		return nil, rep, err
+	}
+
+	stopped := 0
+	serve := func(p pending) error {
+		liveACP[p.worker-1] = p.acp
+		if dist && !opts.DisableReplan && acp.MajorityChanged(planACP, liveACP) {
+			if p2, err := plan(); err == nil {
+				policy = p2
+				rep.Replans++
+			}
+		}
+		a, ok := policy.Next(sched.Request{Worker: p.worker - 1, ACP: float64(p.acp)})
+		if !ok {
+			stopped++
+			return c.Send(p.worker, tagStop, nil)
+		}
+		base = a.End()
+		rep.Chunks++
+		return c.Send(p.worker, tagAssign, encodeAssign(a))
+	}
+	for _, p := range queue {
+		if err := serve(p); err != nil {
+			return nil, rep, err
+		}
+	}
+	for stopped < workers {
+		msg, err := c.Recv(AnySource, tagRequest)
+		if err != nil {
+			return nil, rep, err
+		}
+		a, compMicros, entries, err := decodeRequest(msg.Data)
+		if err != nil {
+			return nil, rep, err
+		}
+		if compMicros > 0 {
+			perWorker[msg.From-1].Comp += float64(compMicros) / 1e6
+		}
+		if err := store(entries); err != nil {
+			return nil, rep, err
+		}
+		if err := serve(pending{worker: msg.From, acp: a}); err != nil {
+			return nil, rep, err
+		}
+	}
+	rep.PerWorker = perWorker
+	if received != iterations {
+		return results, rep, fmt.Errorf("mp: %d of %d results missing", iterations-received, iterations)
+	}
+	return results, rep, nil
+}
+
+// WorkerOptions describe one slave.
+type WorkerOptions struct {
+	// Kernel computes one iteration's result.
+	Kernel func(iteration int) []byte
+	// VirtualPower is V_i (0 means 1).
+	VirtualPower float64
+	// LoadProbe returns the current external load Q_i − 1 (nil = 0).
+	LoadProbe func() int
+	// ACP converts power and run-queue into the reported A_i.
+	ACP acp.Model
+	// WorkScale repeats the kernel to emulate a slower machine.
+	WorkScale int
+}
+
+// RunWorker participates as a slave until the master sends tagStop
+// (the §3.1 slave loop: probe load, request with A_i and piggy-backed
+// results, compute).
+func RunWorker(c Comm, opts WorkerOptions) error {
+	if c.Rank() == 0 {
+		return fmt.Errorf("mp: rank 0 is the master")
+	}
+	if opts.Kernel == nil {
+		return fmt.Errorf("mp: worker needs a kernel")
+	}
+	power := opts.VirtualPower
+	if power <= 0 {
+		power = 1
+	}
+	scale := opts.WorkScale
+	if scale < 1 {
+		scale = 1
+	}
+	var held []resultEntry
+	var compMicros int64
+	for {
+		load := 0
+		if opts.LoadProbe != nil {
+			load = opts.LoadProbe()
+		}
+		a := opts.ACP.ACP(power, 1+load)
+		if err := c.Send(0, tagRequest, encodeRequest(a, compMicros, held)); err != nil {
+			return err
+		}
+		held = held[:0]
+		msg, err := c.Recv(0, AnyTag)
+		if err != nil {
+			return err
+		}
+		if msg.Tag == tagStop {
+			return nil
+		}
+		assign, err := decodeAssign(msg.Data)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for i := assign.Start; i < assign.End(); i++ {
+			var data []byte
+			for r := 0; r < scale; r++ {
+				data = opts.Kernel(i)
+			}
+			held = append(held, resultEntry{index: i, data: data})
+		}
+		compMicros = time.Since(start).Microseconds()
+	}
+}

@@ -1,0 +1,203 @@
+package mp
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"loopsched/internal/sched"
+)
+
+func TestWorldBasics(t *testing.T) {
+	world, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if world[1].Rank() != 1 || world[1].Size() != 3 {
+		t.Fatalf("rank/size wrong")
+	}
+	if err := world[0].Send(2, 7, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := world[2].Recv(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.From != 0 || msg.Tag != 7 || string(msg.Data) != "hi" {
+		t.Fatalf("msg %+v", msg)
+	}
+	if _, err := NewWorld(0); err == nil {
+		t.Error("empty world accepted")
+	}
+	if err := world[0].Send(9, 0, nil); err == nil {
+		t.Error("send to unknown rank accepted")
+	}
+}
+
+func TestSendCopiesBuffer(t *testing.T) {
+	world, _ := NewWorld(2)
+	buf := []byte("abc")
+	if err := world[0].Send(1, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X' // sender reuses its buffer
+	msg, err := world[1].Recv(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Data) != "abc" {
+		t.Errorf("buffer not copied: %q", msg.Data)
+	}
+}
+
+func TestPerPairOrdering(t *testing.T) {
+	world, _ := NewWorld(2)
+	for i := 0; i < 100; i++ {
+		if err := world[0].Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		msg, err := world[1].Recv(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Data[0] != byte(i) {
+			t.Fatalf("order broken at %d: got %d", i, msg.Data[0])
+		}
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	world, _ := NewWorld(2)
+	world[0].Send(1, 5, []byte("five"))
+	world[0].Send(1, 6, []byte("six"))
+	// Receive tag 6 first even though 5 arrived first.
+	msg, err := world[1].Recv(AnySource, 6)
+	if err != nil || string(msg.Data) != "six" {
+		t.Fatalf("tag matching: %v %q", err, msg.Data)
+	}
+	msg, err = world[1].Recv(AnySource, AnyTag)
+	if err != nil || string(msg.Data) != "five" {
+		t.Fatalf("remaining message: %v %q", err, msg.Data)
+	}
+}
+
+func TestAnySourceBlocksUntilArrival(t *testing.T) {
+	world, _ := NewWorld(3)
+	done := make(chan Message, 1)
+	go func() {
+		msg, err := world[0].Recv(AnySource, AnyTag)
+		if err == nil {
+			done <- msg
+		}
+	}()
+	world[2].Send(0, 9, []byte("late"))
+	msg := <-done
+	if msg.From != 2 || msg.Tag != 9 {
+		t.Fatalf("msg %+v", msg)
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	world, _ := NewWorld(2)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := world[1].Recv(0, AnyTag)
+		errCh <- err
+	}()
+	world[1].Close()
+	if err := <-errCh; err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := world[0].Send(1, 1, nil); err != ErrClosed {
+		t.Fatalf("send to closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	world, _ := NewWorld(5)
+	var wg sync.WaitGroup
+	const each = 200
+	for r := 1; r < 5; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := world[r].Send(0, r, []byte{byte(i)}); err != nil {
+					t.Errorf("rank %d: %v", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	counts := map[int]int{}
+	for i := 0; i < 4*each; i++ {
+		msg, err := world[0].Recv(AnySource, AnyTag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-pair ordering: the payload must equal the count seen so
+		// far from that sender.
+		if int(msg.Data[0]) != counts[msg.From] {
+			t.Fatalf("rank %d out of order: got %d want %d", msg.From, msg.Data[0], counts[msg.From])
+		}
+		counts[msg.From]++
+	}
+}
+
+func TestRequestCodec(t *testing.T) {
+	in := []resultEntry{
+		{index: 3, data: []byte("abc")},
+		{index: 0, data: nil},
+		{index: 7, data: bytes.Repeat([]byte{9}, 100)},
+	}
+	a, cm, out, err := decodeRequest(encodeRequest(42, 777, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 42 || cm != 777 || len(out) != 3 {
+		t.Fatalf("acp %d, comp %d, %d entries", a, cm, len(out))
+	}
+	for i := range in {
+		if out[i].index != in[i].index || !bytes.Equal(out[i].data, in[i].data) {
+			t.Fatalf("entry %d: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+	// Corrupt frames are rejected.
+	if _, _, _, err := decodeRequest([]byte{1}); err == nil {
+		t.Error("short request accepted")
+	}
+	if _, _, _, err := decodeRequest(append(encodeRequest(1, 0, nil), 0, 0, 0, 1)); err == nil {
+		t.Error("truncated header accepted")
+	}
+	bad := encodeRequest(1, 0, []resultEntry{{index: 1, data: []byte("xy")}})
+	if _, _, _, err := decodeRequest(bad[:len(bad)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestAssignCodec(t *testing.T) {
+	for _, a := range []sched.Assignment{{Start: 0, Size: 1}, {Start: 123456, Size: 789}, {Start: 1 << 30, Size: 1}} {
+		got, err := decodeAssign(encodeAssign(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != a {
+			t.Fatalf("roundtrip %+v -> %+v", a, got)
+		}
+	}
+	if _, err := decodeAssign([]byte{1, 2}); err == nil {
+		t.Error("bad frame accepted")
+	}
+}
+
+func ExampleNewWorld() {
+	world, _ := NewWorld(2)
+	world[0].Send(1, 1, []byte("ping"))
+	msg, _ := world[1].Recv(0, 1)
+	fmt.Println(string(msg.Data))
+	// Output: ping
+}

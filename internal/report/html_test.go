@@ -1,0 +1,32 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"loopsched/internal/experiments"
+)
+
+func TestHTMLReport(t *testing.T) {
+	var sb strings.Builder
+	if err := HTML(&sb, experiments.Small(), "small"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "reproduction report", "Table 1", "Figure 4",
+		"<svg", "DTSS", "TreeS", "Scaling study",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// All six figures embedded.
+	if n := strings.Count(out, "<svg"); n != 6 {
+		t.Errorf("%d SVGs, want 6", n)
+	}
+	// Table text is escaped into <pre>, not interpreted.
+	if !strings.Contains(out, "<pre>") {
+		t.Error("tables not preformatted")
+	}
+}

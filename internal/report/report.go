@@ -1,0 +1,156 @@
+// Package report persists reproduced experiment numbers as JSON
+// baselines and compares later runs against them, so changes to the
+// schemes or the simulator that shift the paper's reproduced results
+// are caught mechanically (cmd/experiments -save-baseline /
+// -check-baseline).
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"loopsched/internal/experiments"
+)
+
+// Baseline maps metric keys (e.g. "table2/dedicated/TSS/Tp") to
+// values. The simulator is deterministic, so matching means equality
+// up to the comparison tolerance.
+type Baseline struct {
+	// Config notes what produced the numbers (label only).
+	Config string `json:"config"`
+	// Metrics holds the reproduced values.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// New creates an empty baseline.
+func New(config string) *Baseline {
+	return &Baseline{Config: config, Metrics: map[string]float64{}}
+}
+
+// Put records one metric.
+func (b *Baseline) Put(key string, value float64) { b.Metrics[key] = value }
+
+// AddTable records every scheme's T_p from both halves of a table.
+func (b *Baseline) AddTable(name string, t experiments.TableResult) {
+	for _, r := range t.Dedicated {
+		b.Put(fmt.Sprintf("%s/dedicated/%s/Tp", name, r.Scheme), r.Tp)
+	}
+	for _, r := range t.NonDedicated {
+		b.Put(fmt.Sprintf("%s/nondedicated/%s/Tp", name, r.Scheme), r.Tp)
+	}
+}
+
+// AddFigure records every scheme's speedup at each p.
+func (b *Baseline) AddFigure(name string, f experiments.FigureResult) {
+	for scheme, curve := range f.Curves {
+		for _, pt := range curve {
+			b.Put(fmt.Sprintf("%s/%s/Sp@p=%d", name, scheme, pt.P), pt.Sp)
+		}
+	}
+}
+
+// Save writes the baseline as indented JSON.
+func (b *Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a baseline written by Save.
+func Load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("report: %s: %w", path, err)
+	}
+	if b.Metrics == nil {
+		b.Metrics = map[string]float64{}
+	}
+	return &b, nil
+}
+
+// Diff is one metric's deviation from the baseline.
+type Diff struct {
+	Key      string
+	Old, New float64
+	// Relative is |new−old| / max(|old|, tiny).
+	Relative float64
+	// Missing marks metrics present in only one side.
+	Missing string // "", "baseline" or "current"
+}
+
+// Compare returns every metric whose relative deviation exceeds the
+// tolerance, plus metrics present on only one side, sorted by key.
+func Compare(baseline, current *Baseline, tolerance float64) []Diff {
+	var out []Diff
+	for key, oldV := range baseline.Metrics {
+		newV, ok := current.Metrics[key]
+		if !ok {
+			out = append(out, Diff{Key: key, Old: oldV, Missing: "current"})
+			continue
+		}
+		den := math.Max(math.Abs(oldV), 1e-12)
+		rel := math.Abs(newV-oldV) / den
+		if rel > tolerance {
+			out = append(out, Diff{Key: key, Old: oldV, New: newV, Relative: rel})
+		}
+	}
+	for key, newV := range current.Metrics {
+		if _, ok := baseline.Metrics[key]; !ok {
+			out = append(out, Diff{Key: key, New: newV, Missing: "baseline"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Format renders a diff list for humans ("" when empty).
+func Format(diffs []Diff) string {
+	if len(diffs) == 0 {
+		return ""
+	}
+	out := fmt.Sprintf("%d metric(s) deviate from the baseline:\n", len(diffs))
+	for _, d := range diffs {
+		switch d.Missing {
+		case "current":
+			out += fmt.Sprintf("  %-40s missing from current run (baseline %.4g)\n", d.Key, d.Old)
+		case "baseline":
+			out += fmt.Sprintf("  %-40s new metric (%.4g)\n", d.Key, d.New)
+		default:
+			out += fmt.Sprintf("  %-40s %.4g → %.4g (%+.1f%%)\n",
+				d.Key, d.Old, d.New, 100*d.Relative)
+		}
+	}
+	return out
+}
+
+// Collect builds a full baseline from the standard artefact set.
+func Collect(cfg experiments.Config, label string) (*Baseline, error) {
+	b := New(label)
+	t2, err := experiments.Table2(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b.AddTable("table2", t2)
+	t3, err := experiments.Table3(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b.AddTable("table3", t3)
+	for _, num := range []int{4, 5, 6, 7} {
+		f, err := experiments.Figure(num, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.AddFigure(fmt.Sprintf("fig%d", num), f)
+	}
+	return b, nil
+}

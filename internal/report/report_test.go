@@ -1,0 +1,103 @@
+package report
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"loopsched/internal/experiments"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	b := New("small")
+	b.Put("x/y", 1.5)
+	b.Put("a/b", -2)
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config != "small" || got.Metrics["x/y"] != 1.5 || got.Metrics["a/b"] != -2 {
+		t.Errorf("round trip: %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := New("c")
+	old.Put("a", 10)
+	old.Put("b", 5)
+	old.Put("gone", 1)
+	cur := New("c")
+	cur.Put("a", 10.2) // +2%
+	cur.Put("b", 7)    // +40%
+	cur.Put("fresh", 3)
+
+	diffs := Compare(old, cur, 0.05)
+	byKey := map[string]Diff{}
+	for _, d := range diffs {
+		byKey[d.Key] = d
+	}
+	if _, flagged := byKey["a"]; flagged {
+		t.Error("2% deviation flagged at 5% tolerance")
+	}
+	if d, flagged := byKey["b"]; !flagged || d.Relative < 0.39 {
+		t.Errorf("40%% deviation not flagged: %+v", d)
+	}
+	if d := byKey["gone"]; d.Missing != "current" {
+		t.Errorf("missing metric not flagged: %+v", d)
+	}
+	if d := byKey["fresh"]; d.Missing != "baseline" {
+		t.Errorf("new metric not flagged: %+v", d)
+	}
+	// Sorted output.
+	for i := 1; i < len(diffs); i++ {
+		if diffs[i].Key < diffs[i-1].Key {
+			t.Errorf("diffs unsorted: %+v", diffs)
+		}
+	}
+	out := Format(diffs)
+	for _, want := range []string{"b", "gone", "fresh", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	if Format(nil) != "" {
+		t.Error("empty diff formatted non-empty")
+	}
+}
+
+// TestCollectDeterministic: collecting twice at the same config
+// produces zero diffs — the reproduction is exactly repeatable.
+func TestCollectDeterministic(t *testing.T) {
+	cfg := experiments.Small()
+	a, err := Collect(cfg, "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Collect(cfg, "small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Metrics) < 40 {
+		t.Fatalf("only %d metrics collected", len(a.Metrics))
+	}
+	if diffs := Compare(a, b, 0); len(diffs) != 0 {
+		t.Errorf("deterministic collection diverged:\n%s", Format(diffs))
+	}
+	// Spot-check key presence.
+	for _, key := range []string{
+		"table2/dedicated/TSS/Tp",
+		"table3/nondedicated/DTSS/Tp",
+		"fig6/DTSS/Sp@p=8",
+	} {
+		if _, ok := a.Metrics[key]; !ok {
+			t.Errorf("metric %q missing", key)
+		}
+	}
+}

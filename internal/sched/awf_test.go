@@ -1,0 +1,132 @@
+package sched
+
+import "testing"
+
+// TestAWFLearnsRates: after feedback showing worker 1 runs 3× faster,
+// its chunks should be about 3× larger.
+func TestAWFLearnsRates(t *testing.T) {
+	pol, err := AWFScheme{}.NewPolicy(Config{Iterations: 100000, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := pol.(FeedbackPolicy)
+	// Warm up the rate estimates: worker 0 does 100 units/s, worker 1
+	// does 300.
+	for i := 0; i < 4; i++ {
+		fb.Feedback(0, 100, 1)
+		fb.Feedback(1, 300, 1)
+	}
+	a0, ok0 := pol.Next(Request{Worker: 0})
+	a1, ok1 := pol.Next(Request{Worker: 1})
+	if !ok0 || !ok1 {
+		t.Fatal("starved")
+	}
+	ratio := float64(a1.Size) / float64(a0.Size)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("learned ratio %.2f (chunks %d vs %d), want ≈3", ratio, a1.Size, a0.Size)
+	}
+}
+
+// TestAWFCoverageAndDefaults: without any feedback AWF behaves like
+// (weighted) FSS and still covers the loop exactly.
+func TestAWFCoverageAndDefaults(t *testing.T) {
+	seq, err := Sequence(AWFScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sum(seq) != 1000 {
+		t.Errorf("coverage %d", Sum(seq))
+	}
+	// No feedback, equal weights: identical to FSS.
+	want, err := Sequence(FSSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(want) {
+		t.Fatalf("AWF %v\nFSS %v", seq, want)
+	}
+	for i := range seq {
+		if seq[i] != want[i] {
+			t.Fatalf("chunk %d: AWF %d vs FSS %d", i, seq[i], want[i])
+		}
+	}
+	if !Distributed(AWFScheme{}) {
+		t.Error("AWF must be classified distributed")
+	}
+	if name := (AWFScheme{}).Name(); name != "AWF" {
+		t.Errorf("name %q", name)
+	}
+}
+
+// TestAWFFeedbackIgnoresGarbage: bad measurements must not poison the
+// weights.
+func TestAWFFeedbackIgnoresGarbage(t *testing.T) {
+	pol, _ := AWFScheme{}.NewPolicy(Config{Iterations: 1000, Workers: 2})
+	fb := pol.(FeedbackPolicy)
+	fb.Feedback(-1, 100, 1)
+	fb.Feedback(5, 100, 1)
+	fb.Feedback(0, 0, 1)
+	fb.Feedback(0, 100, 0)
+	a0, _ := pol.Next(Request{Worker: 0})
+	a1, _ := pol.Next(Request{Worker: 1})
+	if a0.Size != a1.Size {
+		t.Errorf("garbage feedback changed weights: %d vs %d", a0.Size, a1.Size)
+	}
+}
+
+// TestAWFUnmeasuredWorkerGetsMeanRate: a worker with no measurements
+// is assigned the mean measured rate, not starved.
+func TestAWFUnmeasuredWorkerGetsMeanRate(t *testing.T) {
+	pol, _ := AWFScheme{}.NewPolicy(Config{Iterations: 100000, Workers: 3})
+	fb := pol.(FeedbackPolicy)
+	for i := 0; i < 4; i++ {
+		fb.Feedback(0, 200, 1)
+		fb.Feedback(1, 200, 1)
+	}
+	a2, ok := pol.Next(Request{Worker: 2})
+	if !ok || a2.Size == 0 {
+		t.Fatal("unmeasured worker starved")
+	}
+	a0, _ := pol.Next(Request{Worker: 0})
+	ratio := float64(a2.Size) / float64(a0.Size)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("unmeasured share ratio %.2f, want ≈1", ratio)
+	}
+}
+
+// TestOffsetKeepsFeedback: the re-plan Offset wrapper forwards the
+// learning channel.
+func TestOffsetKeepsFeedback(t *testing.T) {
+	pol, _ := AWFScheme{}.NewPolicy(Config{Iterations: 50000, Workers: 2})
+	wrapped := Offset(pol, 1000)
+	fb, ok := wrapped.(FeedbackPolicy)
+	if !ok {
+		t.Fatal("Offset dropped FeedbackPolicy")
+	}
+	for i := 0; i < 4; i++ {
+		fb.Feedback(0, 100, 1)
+		fb.Feedback(1, 400, 1)
+	}
+	a0, _ := wrapped.Next(Request{Worker: 0})
+	a1, _ := wrapped.Next(Request{Worker: 1})
+	if a0.Start != 1000 {
+		t.Errorf("offset lost: start %d", a0.Start)
+	}
+	if float64(a1.Size)/float64(a0.Size) < 3 {
+		t.Errorf("feedback lost through wrapper: %d vs %d", a1.Size, a0.Size)
+	}
+	// Non-learning policies stay plain.
+	plain := Offset(mustPolicy(t, GSSScheme{}, 100, 2), 0)
+	if _, ok := plain.(FeedbackPolicy); ok {
+		t.Error("plain policy gained a feedback channel")
+	}
+}
+
+func mustPolicy(t *testing.T, s Scheme, i, p int) Policy {
+	t.Helper()
+	pol, err := s.NewPolicy(Config{Iterations: i, Workers: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}

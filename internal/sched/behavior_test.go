@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin each scheme's chunk-decay *law*, not just its
+// values: TSS decreases linearly, GSS geometrically, FSS is piecewise
+// constant with halving stages, FISS increases linearly. A refactor
+// that preserves coverage but bends a curve fails here.
+
+// diffs returns successive differences of a sequence.
+func diffs(seq []int) []int {
+	out := make([]int, 0, len(seq)-1)
+	for i := 1; i < len(seq); i++ {
+		out = append(out, seq[i]-seq[i-1])
+	}
+	return out
+}
+
+// TestTSSLinearDecay: all the paper-default trapezoid's successive
+// differences equal −D until the clipped tail.
+func TestTSSLinearDecay(t *testing.T) {
+	const i, p = 20000, 5
+	seq, err := Sequence(TSSScheme{}, i, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := ComputeTSSParams(i, p, 0, 0)
+	ds := diffs(seq)
+	for k, d := range ds[:len(ds)-1] { // final diff may be clipped
+		if d != -prm.D {
+			t.Fatalf("step %d: difference %d, want %d (not linear)", k, d, -prm.D)
+		}
+	}
+}
+
+// TestGSSGeometricDecay: the ratio C_{i+1}/C_i stays near (1−1/p)
+// while chunks are large.
+func TestGSSGeometricDecay(t *testing.T) {
+	const i, p = 100000, 4
+	seq, err := Sequence(GSSScheme{}, i, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 1.0/float64(p)
+	for k := 0; k+1 < len(seq) && seq[k+1] > 100; k++ {
+		ratio := float64(seq[k+1]) / float64(seq[k])
+		if math.Abs(ratio-want) > 0.02 {
+			t.Fatalf("step %d: ratio %.3f, want ≈%.3f (not geometric)", k, ratio, want)
+		}
+	}
+}
+
+// TestFSSStageStructure: chunks come in runs of exactly p equal
+// values, and each stage's chunk is about half the previous stage's.
+func TestFSSStageStructure(t *testing.T) {
+	const i, p = 65536, 4
+	seq, err := Sequence(FSSScheme{}, i, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq)%p != 0 {
+		t.Fatalf("%d chunks is not a whole number of stages", len(seq))
+	}
+	var stages []int
+	for s := 0; s < len(seq); s += p {
+		for j := 1; j < p; j++ {
+			if seq[s+j] != seq[s] {
+				t.Fatalf("stage at %d not equal-sized: %v", s, seq[s:s+p])
+			}
+		}
+		stages = append(stages, seq[s])
+	}
+	for k := 0; k+1 < len(stages) && stages[k+1] > 8; k++ {
+		ratio := float64(stages[k+1]) / float64(stages[k])
+		if math.Abs(ratio-0.5) > 0.05 {
+			t.Fatalf("stage %d: ratio %.3f, want ≈0.5", k, ratio)
+		}
+	}
+}
+
+// TestFISSLinearGrowth: stage chunks increase by exactly B until the
+// remainder-absorbing final stage.
+func TestFISSLinearGrowth(t *testing.T) {
+	const i, p, sigma = 30000, 5, 4
+	seq, err := Sequence(FISSScheme{Stages: sigma}, i, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stages []int
+	for s := 0; s < len(seq); s += p {
+		stages = append(stages, seq[s])
+	}
+	if len(stages) != sigma {
+		t.Fatalf("%d stages, want %d", len(stages), sigma)
+	}
+	x := sigma + 2
+	bump := 2 * i * (x - sigma) / (x * p * sigma * (sigma - 1))
+	for k := 0; k+2 < len(stages); k++ { // exclude the final stage
+		if stages[k+1]-stages[k] != bump {
+			t.Fatalf("stage %d→%d grew by %d, want %d", k, k+1, stages[k+1]-stages[k], bump)
+		}
+	}
+}
+
+// TestTFSSStageLinearDecay: TFSS stage values decrease by exactly p·D.
+func TestTFSSStageLinearDecay(t *testing.T) {
+	const i, p = 20000, 4
+	seq, err := Sequence(TFSSScheme{}, i, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prm := ComputeTSSParams(i, p, 0, 0)
+	var stages []int
+	for s := 0; s+p <= len(seq); s += p {
+		stages = append(stages, seq[s])
+	}
+	for k := 0; k+2 < len(stages); k++ {
+		if d := stages[k] - stages[k+1]; d != p*prm.D {
+			t.Fatalf("stage %d decay %d, want %d", k, d, p*prm.D)
+		}
+	}
+}
+
+// TestFirstChunkFractions: the headline "how aggressive is the first
+// chunk" constants — GSS grabs 1/p of the loop, TSS and FSS 1/(2p),
+// FISS 1/((σ+2)p).
+func TestFirstChunkFractions(t *testing.T) {
+	const i, p = 100000, 4
+	cases := []struct {
+		s    Scheme
+		frac float64
+	}{
+		{GSSScheme{}, 1.0 / p},
+		{TSSScheme{}, 1.0 / (2 * p)},
+		{FSSScheme{}, 1.0 / (2 * p)},
+		{FISSScheme{}, 1.0 / (5 * p)}, // σ=3 → X=5
+		{TFSSScheme{}, 0.113},         // (the Table-1 ratio 113/1000)
+	}
+	for _, c := range cases {
+		seq, err := Sequence(c.s, i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := float64(seq[0]) / float64(i)
+		if math.Abs(got-c.frac) > 0.01 {
+			t.Errorf("%s first chunk fraction %.4f, want ≈%.4f", c.s.Name(), got, c.frac)
+		}
+	}
+}
+
+// TestTailMass: decreasing schemes leave little work in their final
+// p chunks (fine balancing), while FISS concentrates the most work
+// there — the structural risk its catalogue entry documents.
+func TestTailMass(t *testing.T) {
+	const i, p = 100000, 4
+	tail := func(s Scheme) float64 {
+		seq, err := Sequence(s, i, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for _, c := range seq[len(seq)-p:] {
+			sum += c
+		}
+		return float64(sum) / float64(i)
+	}
+	gss, tss, fiss := tail(GSSScheme{}), tail(TSSScheme{}), tail(FISSScheme{})
+	if gss > 0.001 {
+		t.Errorf("GSS tail mass %.4f, want <0.1%% (geometric tail)", gss)
+	}
+	// TSS's linear descent leaves a visibly coarser tail than GSS's
+	// geometric one (~8% here) — the trade the paper makes for far
+	// fewer scheduling steps — but still far below FISS's.
+	if tss < gss || tss > 0.15 {
+		t.Errorf("TSS tail mass %.4f, want between GSS's %.4f and 15%%", tss, gss)
+	}
+	if fiss < 0.3 {
+		t.Errorf("FISS tail mass %.4f, want >30%% (largest chunks last)", fiss)
+	}
+}

@@ -1,0 +1,52 @@
+package sched
+
+import "fmt"
+
+// CSSScheme is Chunk Self-Scheduling: every request is answered with a
+// fixed, user-chosen chunk of K iterations. K = 1 is pure
+// Self-Scheduling (the paper's SS). Strength: trivial bookkeeping.
+// Weakness: K is workload-dependent and non-adaptive — too small means
+// p·I/K scheduling messages, too large means imbalance at the tail.
+type CSSScheme struct {
+	// K is the fixed chunk size; 0 means 1 (pure self-scheduling).
+	K int
+}
+
+func (s CSSScheme) Name() string {
+	if s.chunk() == 1 {
+		return "SS"
+	}
+	return fmt.Sprintf("CSS(%d)", s.chunk())
+}
+
+func (s CSSScheme) chunk() int {
+	if s.K < 1 {
+		return 1
+	}
+	return s.K
+}
+
+func (s CSSScheme) NewPolicy(cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &cssPolicy{counter: newCounter(cfg), k: s.chunk()}, nil
+}
+
+type cssPolicy struct {
+	counter
+	k int
+}
+
+func (c *cssPolicy) Next(req Request) (Assignment, bool) {
+	return c.take(c.k)
+}
+
+// SelfScheduling is the pure SS scheme (CSS with K = 1).
+var SelfScheduling = CSSScheme{K: 1}
+
+func init() {
+	Register(SelfScheduling)    // "SS"
+	Register(CSSScheme{K: 16})  // a representative fixed-chunk variant
+	Register(CSSScheme{K: 125}) // I/(2p) for the paper's running example
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDGSSReducesToGSS: with unit powers the lifted scheme reproduces
+// GSS chunk-for-chunk.
+func TestDGSSReducesToGSS(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 7} {
+		for _, i := range []int{100, 1000, 4096} {
+			got, err := Sequence(NewDGSS(1), i, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Sequence(GSSScheme{}, i, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("I=%d p=%d:\nDGSS %v\nGSS  %v", i, p, got, want)
+			}
+		}
+	}
+}
+
+// TestDCSSReducesToCSS: same for the chunk scheme.
+func TestDCSSReducesToCSS(t *testing.T) {
+	got, err := Sequence(NewDCSS(50), 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Sequence(CSSScheme{K: 50}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DCSS %v\nCSS  %v", got, want)
+	}
+}
+
+// TestRequestDistributedProportional: at identical remaining counts, a
+// worker with twice the power receives twice the chunk. (Two fresh
+// policies are compared because per-request schemes shrink R between
+// requests.)
+func TestRequestDistributedProportional(t *testing.T) {
+	for _, s := range []Scheme{NewDGSS(1), NewDCSS(40)} {
+		cfg := Config{Iterations: 8000, Workers: 2, Powers: []float64{10, 20}}
+		first := func(worker int, acp float64) int {
+			pol, err := s.NewPolicy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, ok := pol.Next(Request{Worker: worker, ACP: acp})
+			if !ok {
+				t.Fatalf("%s: starved", s.Name())
+			}
+			return a.Size
+		}
+		slow, fast := first(0, 10), first(1, 20)
+		ratio := float64(fast) / float64(slow)
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("%s: chunk ratio %.2f (%d vs %d), want ≈2", s.Name(), ratio, fast, slow)
+		}
+	}
+}
+
+// TestRequestDistributedCoverage: the lifted schemes cover the loop
+// exactly under heterogeneous powers.
+func TestRequestDistributedCoverage(t *testing.T) {
+	for _, s := range []Scheme{NewDGSS(1), NewDGSS(8), NewDCSS(1), NewDCSS(33)} {
+		cfg := Config{Iterations: 5000, Workers: 3, Powers: []float64{5, 10, 30}}
+		pol, err := s.NewPolicy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered, steps := 0, 0
+		for {
+			a, ok := pol.Next(Request{Worker: steps % 3, ACP: cfg.Powers[steps%3]})
+			if !ok {
+				break
+			}
+			if a.Start != covered || a.Size < 1 {
+				t.Fatalf("%s: bad assignment %+v at %d", s.Name(), a, covered)
+			}
+			covered = a.End()
+			steps++
+			if steps > 20000 {
+				t.Fatalf("%s: runaway", s.Name())
+			}
+		}
+		if covered != 5000 {
+			t.Fatalf("%s: covered %d", s.Name(), covered)
+		}
+	}
+}
+
+// TestRequestDistributedFlagAndNames: registry and classification.
+func TestRequestDistributedFlagAndNames(t *testing.T) {
+	if !Distributed(NewDGSS(1)) || !Distributed(NewDCSS(5)) {
+		t.Error("lifted schemes must be classified distributed")
+	}
+	if NewDGSS(1).Name() != "DGSS" || NewDGSS(4).Name() != "DGSS(4)" {
+		t.Errorf("DGSS names: %q, %q", NewDGSS(1).Name(), NewDGSS(4).Name())
+	}
+	if NewDCSS(16).Name() != "DCSS(16)" || NewDCSS(0).Name() != "DCSS(1)" {
+		t.Errorf("DCSS names: %q, %q", NewDCSS(16).Name(), NewDCSS(0).Name())
+	}
+	for _, name := range []string{"DGSS", "DCSS(16)"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"loopsched/internal/sched"
+)
+
+// The paper's Table 1, one row at a time.
+
+func ExampleSequence() {
+	seq, _ := sched.Sequence(sched.FSSScheme{}, 1000, 4)
+	fmt.Println(seq[:8])
+	// Output: [125 125 125 125 62 62 62 62]
+}
+
+func ExampleTrapezoidNominal() {
+	fmt.Println(sched.TrapezoidNominal(1000, 4))
+	// Output: [125 117 109 101 93 85 77 69 61 53 45 37 29 21 13 5]
+}
+
+func ExampleTFSSNominal() {
+	fmt.Println(sched.TFSSNominal(1000, 4)[:4])
+	// Output: [113 113 113 113]
+}
+
+// A distributed policy sizes each chunk by the requester's available
+// computing power.
+func ExampleDTSSScheme() {
+	pol, _ := sched.DTSSScheme{}.NewPolicy(sched.Config{
+		Iterations: 10000,
+		Workers:    2,
+		Powers:     []float64{10, 30}, // slow and fast slave ACPs
+	})
+	slow, _ := pol.Next(sched.Request{Worker: 0, ACP: 10})
+	fast, _ := pol.Next(sched.Request{Worker: 1, ACP: 30})
+	fmt.Println(fast.Size > 2*slow.Size)
+	// Output: true
+}
+
+func ExampleWithMinChunk() {
+	seq, _ := sched.Sequence(sched.WithMinChunk(sched.GSSScheme{}, 50), 1000, 4)
+	fmt.Println(seq)
+	// Output: [250 188 141 106 79 59 50 50 50 27]
+}

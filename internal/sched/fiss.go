@@ -1,0 +1,66 @@
+package sched
+
+import "fmt"
+
+// FISSScheme is Fixed-Increase Self-Scheduling (Philip & Das 1997):
+// chunks grow by a constant "bump" B across a fixed number of stages
+// σ, starting from C_0 = ⌊I/(X·p)⌋ with
+// B = ⌊2I(1−σ/X) / (p·σ·(σ−1))⌋. The authors suggest X = σ + 2; the
+// paper's Example 1 (50 83 117 for I = 1000, p = 4) uses σ = 3.
+// Because B is floored, the nominal stages undershoot I; like the
+// paper's example we let the final stage absorb the remainder so that
+// exactly σ stages cover the loop.
+type FISSScheme struct {
+	// Stages is σ, the number of stages; values < 2 select 3.
+	Stages int
+	// X is the initial-chunk divisor; values ≤ 0 select σ + 2.
+	X int
+}
+
+func (s FISSScheme) sigma() int {
+	if s.Stages < 2 {
+		return 3
+	}
+	return s.Stages
+}
+
+func (s FISSScheme) x() int {
+	if s.X <= 0 {
+		return s.sigma() + 2
+	}
+	return s.X
+}
+
+func (s FISSScheme) Name() string {
+	if s.Stages == 0 && s.X == 0 {
+		return "FISS"
+	}
+	return fmt.Sprintf("FISS(σ=%d,X=%d)", s.sigma(), s.x())
+}
+
+func (s FISSScheme) NewPolicy(cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sigma, x := s.sigma(), s.x()
+	p := cfg.Workers
+	i := cfg.Iterations
+	c0 := i / (x * p)
+	bump := 2 * i * (x - sigma) / (x * p * sigma * (sigma - 1))
+	return &stagePolicy{
+		counter: newCounter(cfg),
+		p:       p,
+		nextChunk: func(stage, remaining int) int {
+			if stage >= sigma-1 {
+				// Final stage (and any overflow stages forced by
+				// rounding): split the remainder evenly.
+				return (remaining + p - 1) / p
+			}
+			return c0 + stage*bump
+		},
+	}, nil
+}
+
+func init() {
+	Register(FISSScheme{})
+}

@@ -1,0 +1,49 @@
+package sched
+
+import "fmt"
+
+// FSSScheme is Factoring Self-Scheduling (Hummel, Schonberg & Flynn
+// 1992): iterations are scheduled in stages of p equal chunks, with
+// the stage chunk C = R/(α·p) recomputed from the remaining count R at
+// every stage boundary. The suboptimal-but-robust α = 2 (half the
+// remaining work per stage) is the paper's choice and our default.
+type FSSScheme struct {
+	// Alpha is the factoring parameter; values ≤ 0 select 2.
+	Alpha float64
+	// Round picks the integer-rounding rule for R/(α·p); the zero
+	// value (RoundHalfEven) reproduces the paper's Table 1 row.
+	Round Rounding
+}
+
+func (s FSSScheme) alpha() float64 {
+	if s.Alpha <= 0 {
+		return 2
+	}
+	return s.Alpha
+}
+
+func (s FSSScheme) Name() string {
+	if s.alpha() == 2 && s.Round == RoundHalfEven {
+		return "FSS"
+	}
+	return fmt.Sprintf("FSS(α=%g,%s)", s.alpha(), s.Round)
+}
+
+func (s FSSScheme) NewPolicy(cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	alpha, round := s.alpha(), s.Round
+	p := cfg.Workers
+	return &stagePolicy{
+		counter: newCounter(cfg),
+		p:       p,
+		nextChunk: func(_, remaining int) int {
+			return round.apply(float64(remaining) / (alpha * float64(p)))
+		},
+	}, nil
+}
+
+func init() {
+	Register(FSSScheme{})
+}

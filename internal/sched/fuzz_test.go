@@ -1,0 +1,90 @@
+package sched
+
+import "testing"
+
+// FuzzSchemeCoverage: for arbitrary (I, p, k) the core schemes always
+// tile the iteration space exactly, with positive chunks, in a bounded
+// number of steps.
+func FuzzSchemeCoverage(f *testing.F) {
+	f.Add(uint16(1000), uint8(4), uint8(2))
+	f.Add(uint16(1), uint8(1), uint8(0))
+	f.Add(uint16(65535), uint8(255), uint8(255))
+	f.Fuzz(func(t *testing.T, iRaw uint16, pRaw, kRaw uint8) {
+		iterations := int(iRaw)
+		p := int(pRaw)%32 + 1
+		k := int(kRaw)%64 + 1
+		schemes := []Scheme{
+			StaticScheme{},
+			CSSScheme{K: k},
+			GSSScheme{MinChunk: k % 8},
+			TSSScheme{},
+			FSSScheme{},
+			FISSScheme{Stages: k%6 + 2},
+			TFSSScheme{},
+			DTSSScheme{},
+			NewDFSS(),
+			NewDTFSS(),
+			NewDGSS(1),
+			NewDCSS(k),
+		}
+		for _, s := range schemes {
+			pol, err := s.NewPolicy(Config{Iterations: iterations, Workers: p})
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			covered, steps := 0, 0
+			for {
+				a, ok := pol.Next(Request{Worker: steps % p})
+				if !ok {
+					break
+				}
+				if a.Size < 1 || a.Start != covered {
+					t.Fatalf("%s I=%d p=%d: bad assignment %+v at %d", s.Name(), iterations, p, a, covered)
+				}
+				covered = a.End()
+				steps++
+				if steps > 2*iterations+256 {
+					t.Fatalf("%s I=%d p=%d: runaway policy", s.Name(), iterations, p)
+				}
+			}
+			if covered != iterations {
+				t.Fatalf("%s I=%d p=%d: covered %d", s.Name(), iterations, p, covered)
+			}
+		}
+	})
+}
+
+// FuzzWeightedCoverage: the same invariant with arbitrary power
+// vectors for the distributed schemes.
+func FuzzWeightedCoverage(f *testing.F) {
+	f.Add(uint16(500), uint8(3), uint8(10), uint8(30), uint8(7))
+	f.Fuzz(func(t *testing.T, iRaw uint16, pRaw, w1, w2, w3 uint8) {
+		iterations := int(iRaw)
+		p := int(pRaw)%3 + 1
+		powers := []float64{float64(w1%50) + 0.5, float64(w2%50) + 0.5, float64(w3%50) + 0.5}[:p]
+		for _, s := range []Scheme{DTSSScheme{}, NewDFSS(), NewDFISS(0), NewDTFSS(), NewDGSS(1), WFScheme{}} {
+			pol, err := s.NewPolicy(Config{Iterations: iterations, Workers: p, Powers: powers})
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name(), err)
+			}
+			covered, steps := 0, 0
+			for {
+				a, ok := pol.Next(Request{Worker: steps % p, ACP: powers[steps%p]})
+				if !ok {
+					break
+				}
+				if a.Size < 1 || a.Start != covered {
+					t.Fatalf("%s: bad assignment %+v", s.Name(), a)
+				}
+				covered = a.End()
+				steps++
+				if steps > 2*iterations+512 {
+					t.Fatalf("%s: runaway (I=%d p=%d powers=%v)", s.Name(), iterations, p, powers)
+				}
+			}
+			if covered != iterations {
+				t.Fatalf("%s: covered %d of %d", s.Name(), covered, iterations)
+			}
+		}
+	})
+}

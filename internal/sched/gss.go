@@ -1,0 +1,51 @@
+package sched
+
+import "fmt"
+
+// GSSScheme is Guided Self-Scheduling (Polychronopoulos & Kuck 1987):
+// C_i = ⌈R_{i-1}/p⌉. Chunks start at I/p and shrink geometrically, so
+// communication is cheap early and balance is fine-grained late; the
+// known weakness is the flood of single-iteration chunks at the tail,
+// which GSS(k) caps with a minimum chunk size k.
+type GSSScheme struct {
+	// MinChunk is the k of GSS(k); values below 1 mean plain GSS.
+	MinChunk int
+}
+
+func (s GSSScheme) Name() string {
+	if s.MinChunk > 1 {
+		return fmt.Sprintf("GSS(%d)", s.MinChunk)
+	}
+	return "GSS"
+}
+
+func (s GSSScheme) NewPolicy(cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	k := s.MinChunk
+	if k < 1 {
+		k = 1
+	}
+	return &gssPolicy{counter: newCounter(cfg), p: cfg.Workers, k: k}, nil
+}
+
+type gssPolicy struct {
+	counter
+	p int
+	k int
+}
+
+func (g *gssPolicy) Next(req Request) (Assignment, bool) {
+	r := g.Remaining()
+	size := (r + g.p - 1) / g.p // ⌈R/p⌉
+	if size < g.k {
+		size = g.k
+	}
+	return g.take(size)
+}
+
+func init() {
+	Register(GSSScheme{})
+	Register(GSSScheme{MinChunk: 8})
+}

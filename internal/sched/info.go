@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Info documents one scheme family for humans: the chunk formula, its
+// origin, and where it sits in the paper's taxonomy. cmd/loopsched
+// -describe renders the catalogue.
+type Info struct {
+	Name        string
+	Category    string // "static", "simple", "weighted", "distributed"
+	Formula     string // chunk-size rule, paper notation
+	Origin      string // citation
+	Strengths   string
+	Weaknesses  string
+	PaperNew    bool   // introduced by the reproduced paper
+	PaperNumber string // section of the reproduced paper
+}
+
+// Catalogue returns the documented scheme families, sorted by category
+// then name. It is data, not behaviour: the executable definitions
+// live in the Scheme implementations.
+func Catalogue() []Info {
+	infos := []Info{
+		{
+			Name: "S", Category: "static",
+			Formula:     "C = ⌈I/p⌉, one chunk per PE",
+			Origin:      "folklore",
+			Strengths:   "one scheduling message per PE",
+			Weaknesses:  "no adaptation at all; worst imbalance on heterogeneous or irregular runs",
+			PaperNumber: "§2.2 (Example 1)",
+		},
+		{
+			Name: "WS", Category: "weighted",
+			Formula:     "C_j = I·V_j/V, one chunk per PE",
+			Origin:      "folklore; the paper's §3.1 weighting example",
+			Strengths:   "corrects for known speed differences at zero run-time cost",
+			Weaknesses:  "static: blind to load and to irregular iteration costs",
+			PaperNumber: "§3.1",
+		},
+		{
+			Name: "SS", Category: "simple",
+			Formula:     "C = 1",
+			Origin:      "Tang & Yew 1986",
+			Strengths:   "perfect balance",
+			Weaknesses:  "one request round-trip per iteration",
+			PaperNumber: "§2.2",
+		},
+		{
+			Name: "CSS", Category: "simple",
+			Formula:     "C = k (user-chosen)",
+			Origin:      "Kruskal & Weiss 1985",
+			Strengths:   "amortises scheduling overhead",
+			Weaknesses:  "optimal k is workload-dependent; non-adaptive",
+			PaperNumber: "§2.2",
+		},
+		{
+			Name: "GSS", Category: "simple",
+			Formula:     "C_i = ⌈R_{i−1}/p⌉",
+			Origin:      "Polychronopoulos & Kuck 1987",
+			Strengths:   "large chunks early, fine balance late",
+			Weaknesses:  "floods the master with unit chunks at the tail (GSS(k) caps it)",
+			PaperNumber: "§2.2",
+		},
+		{
+			Name: "TSS", Category: "simple",
+			Formula:     "C_i = C_{i−1} − D, F = ⌊I/2p⌋ … L = 1, N = ⌈2I/(F+L)⌉",
+			Origin:      "Tzen & Ni 1993",
+			Strengths:   "linear decrease ≈ GSS with far fewer steps; best simple scheme in the paper",
+			Weaknesses:  "a mid-run chunk on a slow PE becomes the critical chunk",
+			PaperNumber: "§2.2",
+		},
+		{
+			Name: "FSS", Category: "simple",
+			Formula:     "stages of p chunks, C = R/(2p) per stage",
+			Origin:      "Hummel, Schonberg & Flynn 1992",
+			Strengths:   "probabilistically robust to irregular costs",
+			Weaknesses:  "α is hard to tune; stage barrier semantics",
+			PaperNumber: "§2.2",
+		},
+		{
+			Name: "FISS", Category: "simple",
+			Formula:     "C_{i+1} = C_i + B, σ stages, C_0 = ⌊I/(σ+2)p⌋",
+			Origin:      "Philip & Das 1997",
+			Strengths:   "fewest scheduling steps (σ·p)",
+			Weaknesses:  "growing chunks put the biggest chunk last — risky on heterogeneous PEs",
+			PaperNumber: "§2.2",
+		},
+		{
+			Name: "TFSS", Category: "simple",
+			Formula:     "stages of p chunks, C = mean of next p TSS chunks",
+			Origin:      "THIS PAPER (Chronopoulos et al. 2001)",
+			Strengths:   "TSS's linear decrease with FSS's stage structure; second-best simple scheme",
+			Weaknesses:  "inherits TSS's critical-chunk exposure",
+			PaperNew:    true,
+			PaperNumber: "§4",
+		},
+		{
+			Name: "WF", Category: "weighted",
+			Formula:     "FSS stage totals split ∝ static weights w_j",
+			Origin:      "Hummel, Schmidt, Uma & Wein 1996",
+			Strengths:   "heterogeneity-aware without run-time cost",
+			Weaknesses:  "the paper's §6 point: NOT distributed — blind to run-time load",
+			PaperNumber: "§3/§6",
+		},
+		{
+			Name: "DTSS", Category: "distributed",
+			Formula:     "C = A_i·(F − D·(S_{i−1} + (A_i−1)/2)), p := A",
+			Origin:      "Xu & Chronopoulos 1999; §5.2 fixes in this paper",
+			Strengths:   "best distributed scheme in the paper's tables, both modes",
+			Weaknesses:  "scale factor must stay small relative to I/p or F degenerates to 1",
+			PaperNumber: "§3.1/§5.2",
+		},
+		{
+			Name: "DFSS", Category: "distributed",
+			Formula:     "SC_k = R/2 split as C_j = SC_k·A_j/A",
+			Origin:      "THIS PAPER §6",
+			Strengths:   "factoring's robustness plus load awareness",
+			Weaknesses:  "stage totals fixed between re-plans",
+			PaperNew:    true,
+			PaperNumber: "§6",
+		},
+		{
+			Name: "DFISS", Category: "distributed",
+			Formula:     "SC_0 = ⌊I/X⌋, SC += B; C_j = SC_k·A_j/A",
+			Origin:      "THIS PAPER §6",
+			Strengths:   "fewest messages of the distributed family",
+			Weaknesses:  "benefits most from the majority re-plan (plan-time stage totals)",
+			PaperNew:    true,
+			PaperNumber: "§6",
+		},
+		{
+			Name: "DTFSS", Category: "distributed",
+			Formula:     "TSS(p := A) group sums split as C_j = SC_k·A_j/A",
+			Origin:      "THIS PAPER §6",
+			Strengths:   "the new TFSS lifted to heterogeneous clusters",
+			Weaknesses:  "as DTSS for degenerate F",
+			PaperNew:    true,
+			PaperNumber: "§6",
+		},
+		{
+			Name: "DGSS", Category: "distributed",
+			Formula:     "C_j = ⌈R/p⌉·(A_j·p/A) per request",
+			Origin:      "this repo, completing §6's \"any scheme can become distributed\"",
+			Strengths:   "per-request adaptation, no stage state",
+			Weaknesses:  "inherits GSS's tail behaviour",
+			PaperNumber: "§6 (extension)",
+		},
+		{
+			Name: "DCSS", Category: "distributed",
+			Formula:     "C_j = k·(A_j·p/A) per request",
+			Origin:      "this repo, same lift",
+			Strengths:   "fixed-chunk simplicity, load-scaled",
+			Weaknesses:  "k remains workload-dependent",
+			PaperNumber: "§6 (extension)",
+		},
+		{
+			Name: "AWF", Category: "distributed",
+			Formula:     "FSS stage totals split ∝ measured rates (EWMA feedback)",
+			Origin:      "Banicescu & Liu lineage (extension)",
+			Strengths:   "adapts to effects the run queue cannot see",
+			Weaknesses:  "needs a chunk per worker before weights are informed",
+			PaperNumber: "extension",
+		},
+		{
+			Name: "TreeS", Category: "distributed",
+			Formula:     "even/weighted split; idle PE takes half a tree partner's remainder",
+			Origin:      "Kim & Purtilo 1996",
+			Strengths:   "no central scheduling bottleneck",
+			Weaknesses:  "fixed partners limit migration; results still funnel to one coordinator",
+			PaperNumber: "§5/§6 comparison",
+		},
+		{
+			Name: "AFS", Category: "distributed",
+			Formula:     "local queues in ⌈rem/k⌉ chunks; idle PE steals 1/p of the most loaded",
+			Origin:      "Markatos & LeBlanc 1994 (the paper's ref [12])",
+			Strengths:   "global victim selection beats fixed partners on skewed loads",
+			Weaknesses:  "directory lookups add latency; shared-memory assumptions stretched",
+			PaperNumber: "related work",
+		},
+	}
+	sort.Slice(infos, func(i, j int) bool {
+		if infos[i].Category != infos[j].Category {
+			return infos[i].Category < infos[j].Category
+		}
+		return infos[i].Name < infos[j].Name
+	})
+	return infos
+}
+
+// Describe renders the catalogue as text; filter (empty = all) matches
+// a category or a scheme name.
+func Describe(filter string) string {
+	var sb strings.Builder
+	for _, info := range Catalogue() {
+		if filter != "" && !strings.EqualFold(filter, info.Category) &&
+			!strings.EqualFold(filter, info.Name) {
+			continue
+		}
+		star := ""
+		if info.PaperNew {
+			star = "  ★ introduced by the reproduced paper"
+		}
+		fmt.Fprintf(&sb, "%s (%s)%s\n", info.Name, info.Category, star)
+		fmt.Fprintf(&sb, "  chunk rule: %s\n", info.Formula)
+		fmt.Fprintf(&sb, "  origin:     %s  [%s]\n", info.Origin, info.PaperNumber)
+		fmt.Fprintf(&sb, "  +           %s\n", info.Strengths)
+		fmt.Fprintf(&sb, "  -           %s\n\n", info.Weaknesses)
+	}
+	return sb.String()
+}

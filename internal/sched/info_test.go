@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCatalogueCoversRegistry: every catalogued family has a runnable
+// registered implementation (TreeS/AFS live outside the registry).
+func TestCatalogueCoversRegistry(t *testing.T) {
+	external := map[string]bool{"TreeS": true, "AFS": true}
+	registered := map[string]bool{}
+	for _, n := range Names() {
+		// Strip parameter suffixes: "CSS(16)" → "CSS".
+		base := n
+		if i := strings.IndexByte(base, '('); i > 0 {
+			base = base[:i]
+		}
+		registered[base] = true
+	}
+	for _, info := range Catalogue() {
+		if external[info.Name] {
+			continue
+		}
+		if !registered[info.Name] {
+			t.Errorf("catalogued scheme %q has no registered implementation", info.Name)
+		}
+	}
+	// And the paper's new schemes are marked.
+	marked := 0
+	for _, info := range Catalogue() {
+		if info.PaperNew {
+			marked++
+		}
+	}
+	if marked != 4 { // TFSS, DFSS, DFISS, DTFSS
+		t.Errorf("%d schemes marked as paper-new, want 4", marked)
+	}
+}
+
+func TestCatalogueSorted(t *testing.T) {
+	infos := Catalogue()
+	for i := 1; i < len(infos); i++ {
+		a, b := infos[i-1], infos[i]
+		if a.Category > b.Category || (a.Category == b.Category && a.Name >= b.Name) {
+			t.Fatalf("catalogue unsorted at %d: %s/%s then %s/%s",
+				i, a.Category, a.Name, b.Category, b.Name)
+		}
+	}
+	for _, info := range infos {
+		if info.Formula == "" || info.Origin == "" || info.Strengths == "" || info.Weaknesses == "" {
+			t.Errorf("%s: incomplete info %+v", info.Name, info)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	all := Describe("")
+	for _, want := range []string{"TFSS", "DTSS", "★", "chunk rule", "Tzen & Ni"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("Describe missing %q", want)
+		}
+	}
+	only := Describe("TSS")
+	if !strings.Contains(only, "TSS (simple)") || strings.Contains(only, "DTSS") {
+		t.Errorf("name filter broken:\n%s", only)
+	}
+	cat := Describe("distributed")
+	if strings.Contains(cat, "TSS (simple)") || !strings.Contains(cat, "DTSS") {
+		t.Errorf("category filter broken")
+	}
+}

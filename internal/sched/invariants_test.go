@@ -1,0 +1,391 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allSchemes returns one instance of every scheme family, including
+// parameterised variants, for invariant sweeps.
+func allSchemes() []Scheme {
+	return []Scheme{
+		StaticScheme{},
+		WeightedStaticScheme{},
+		SelfScheduling,
+		CSSScheme{K: 7},
+		GSSScheme{},
+		GSSScheme{MinChunk: 5},
+		TSSScheme{},
+		TSSScheme{First: 100, Last: 4},
+		FSSScheme{},
+		FSSScheme{Round: RoundCeil},
+		FSSScheme{Alpha: 1.5},
+		FISSScheme{},
+		FISSScheme{Stages: 5},
+		TFSSScheme{},
+		WFScheme{},
+		DTSSScheme{},
+		NewDFSS(),
+		NewDFISS(0),
+		NewDFISS(4),
+		NewDTFSS(),
+	}
+}
+
+// TestCoverageInvariant: for every scheme, every iteration is assigned
+// exactly once — chunks are positive, contiguous, non-overlapping and
+// sum to I. This is the fundamental self-scheduling correctness
+// property (equation (1): R_i = R_{i−1} − C_i down to 0).
+func TestCoverageInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range allSchemes() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			for trial := 0; trial < 40; trial++ {
+				i := 1 + rng.Intn(5000)
+				p := 1 + rng.Intn(12)
+				var powers []float64
+				if trial%2 == 1 {
+					powers = make([]float64, p)
+					for j := range powers {
+						powers[j] = 0.5 + 3*rng.Float64()
+					}
+				}
+				pol, err := s.NewPolicy(Config{Iterations: i, Workers: p, Powers: powers})
+				if err != nil {
+					t.Fatalf("I=%d p=%d: %v", i, p, err)
+				}
+				next := 0
+				steps := 0
+				for {
+					a, ok := pol.Next(Request{Worker: steps % p})
+					if !ok {
+						break
+					}
+					steps++
+					if a.Size < 1 {
+						t.Fatalf("I=%d p=%d: non-positive chunk %+v", i, p, a)
+					}
+					if a.Start != next {
+						t.Fatalf("I=%d p=%d: chunk %+v not contiguous (want start %d)", i, p, a, next)
+					}
+					next = a.End()
+					if steps > 10*i+100 {
+						t.Fatalf("I=%d p=%d: runaway policy (%d steps)", i, p, steps)
+					}
+				}
+				if next != i {
+					t.Fatalf("I=%d p=%d: covered %d of %d iterations", i, p, next, i)
+				}
+				if pol.Remaining() != 0 {
+					t.Fatalf("I=%d p=%d: %d remaining after exhaustion", i, p, pol.Remaining())
+				}
+			}
+		})
+	}
+}
+
+// TestCoverageQuick drives the same invariant through testing/quick's
+// input generation for the core schemes.
+func TestCoverageQuick(t *testing.T) {
+	check := func(s Scheme) func(i uint16, p uint8) bool {
+		return func(i uint16, p uint8) bool {
+			iterations := int(i)%4096 + 1
+			workers := int(p)%16 + 1
+			pol, err := s.NewPolicy(Config{Iterations: iterations, Workers: workers})
+			if err != nil {
+				return false
+			}
+			covered := 0
+			for w := 0; ; w = (w + 1) % workers {
+				a, ok := pol.Next(Request{Worker: w})
+				if !ok {
+					break
+				}
+				if a.Size < 1 || a.Start != covered {
+					return false
+				}
+				covered = a.End()
+			}
+			return covered == iterations
+		}
+	}
+	for _, s := range []Scheme{GSSScheme{}, TSSScheme{}, FSSScheme{}, FISSScheme{}, TFSSScheme{}, DTSSScheme{}, NewDTFSS()} {
+		if err := quick.Check(check(s), &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+// TestMonotoneDecreasing: GSS, TSS and TFSS chunk sizes never grow
+// within a run; FISS chunk sizes never shrink before the final stage.
+func TestMonotoneDecreasing(t *testing.T) {
+	for _, s := range []Scheme{GSSScheme{}, TSSScheme{}, TFSSScheme{}} {
+		seq, err := Sequence(s, 3000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(seq); i++ {
+			if seq[i] > seq[i-1] {
+				t.Errorf("%s: chunk grew at step %d: %v", s.Name(), i, seq)
+				break
+			}
+		}
+	}
+	seq, err := Sequence(FISSScheme{}, 3000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(seq)-5; i++ { // final stage may absorb a remainder
+		if seq[i] < seq[i-1] {
+			t.Errorf("FISS: chunk shrank at step %d: %v", i, seq)
+			break
+		}
+	}
+}
+
+// TestDistributedReducesToSimple: with all ACPs equal to 1, DFSS and
+// DTFSS reproduce their simple counterparts chunk-for-chunk (section
+// 6's construction is exact in the homogeneous case).
+func TestDistributedReducesToSimple(t *testing.T) {
+	cases := []struct {
+		dist, simple Scheme
+	}{
+		{NewDFSS(), FSSScheme{}},
+		{NewDTFSS(), TFSSScheme{}},
+	}
+	for _, c := range cases {
+		for _, p := range []int{2, 4, 7} {
+			for _, i := range []int{500, 1000, 4096} {
+				got, err := Sequence(c.dist, i, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Sequence(c.simple, i, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s vs %s I=%d p=%d: %d vs %d chunks\n%v\n%v",
+						c.dist.Name(), c.simple.Name(), i, p, len(got), len(want), got, want)
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("%s vs %s I=%d p=%d chunk %d: %d vs %d",
+							c.dist.Name(), c.simple.Name(), i, p, j, got[j], want[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDFISSApproximatesFISS: the paper's DFISS bump formula rounds up
+// where FISS rounds down, so the reduction is approximate: same stage
+// structure, stage chunks within one iteration per unit power.
+func TestDFISSApproximatesFISS(t *testing.T) {
+	got, err := Sequence(NewDFISS(0), 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Sequence(FISSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sum(got) != 1000 || Sum(want) != 1000 {
+		t.Fatalf("coverage: %d vs %d", Sum(got), Sum(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stage structure differs: %v vs %v", got, want)
+	}
+	for j := range got {
+		diff := got[j] - want[j]
+		if diff < -2 || diff > 2 {
+			t.Errorf("chunk %d: DFISS %d vs FISS %d", j, got[j], want[j])
+		}
+	}
+}
+
+// TestDistributedProportionality: a worker with twice the ACP receives
+// about twice the iterations within a stage.
+func TestDistributedProportionality(t *testing.T) {
+	for _, s := range []Scheme{NewDFSS(), NewDFISS(0), NewDTFSS()} {
+		cfg := Config{Iterations: 10000, Workers: 2, Powers: []float64{1, 2}}
+		pol, err := s.NewPolicy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a0, ok0 := pol.Next(Request{Worker: 0, ACP: 1})
+		a1, ok1 := pol.Next(Request{Worker: 1, ACP: 2})
+		if !ok0 || !ok1 {
+			t.Fatalf("%s: stage starved", s.Name())
+		}
+		ratio := float64(a1.Size) / float64(a0.Size)
+		if ratio < 1.8 || ratio > 2.2 {
+			t.Errorf("%s: first-stage ratio %.2f (chunks %d, %d), want ≈2",
+				s.Name(), ratio, a0.Size, a1.Size)
+		}
+	}
+}
+
+// TestDTSSProportionality checks the DTSS per-request formula: early
+// chunks scale with A_i and later chunks shrink (trapezoid descent).
+func TestDTSSProportionality(t *testing.T) {
+	cfg := Config{Iterations: 100000, Workers: 2, Powers: []float64{10, 30}}
+	pol, err := DTSSScheme{}.NewPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, _ := pol.Next(Request{Worker: 0, ACP: 10})
+	a1, _ := pol.Next(Request{Worker: 1, ACP: 30})
+	if a1.Size < 2*a0.Size {
+		t.Errorf("DTSS: power-30 chunk %d not ≫ power-10 chunk %d", a1.Size, a0.Size)
+	}
+	// Descent: drain the policy as worker 0 and verify late chunks are
+	// smaller than the first.
+	var last Assignment
+	for {
+		a, ok := pol.Next(Request{Worker: 0, ACP: 10})
+		if !ok {
+			break
+		}
+		last = a
+	}
+	if last.Size >= a0.Size {
+		t.Errorf("DTSS: final chunk %d not smaller than first %d", last.Size, a0.Size)
+	}
+}
+
+// TestNoUnitChunkTail is a regression test: with N floored (the
+// paper's literal formula) the trapezoid undershoots I and TSS/TFSS
+// drain the gap as thousands of single-iteration chunks. With the
+// ceiling the whole loop is covered in roughly N scheduling steps.
+func TestNoUnitChunkTail(t *testing.T) {
+	for _, s := range []Scheme{TSSScheme{}, TFSSScheme{}, DTSSScheme{}, NewDTFSS()} {
+		for _, i := range []int{10000, 100000, 999999} {
+			seq, err := Sequence(s, i, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(seq) > 64 {
+				t.Errorf("%s I=%d: %d scheduling steps (unit-chunk tail?)", s.Name(), i, len(seq))
+			}
+		}
+	}
+}
+
+// TestOffset verifies the re-plan helper shifts assignments.
+func TestOffset(t *testing.T) {
+	pol, err := GSSScheme{}.NewPolicy(Config{Iterations: 100, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := Offset(pol, 400)
+	a, ok := off.Next(Request{})
+	if !ok || a.Start != 400 {
+		t.Fatalf("offset start = %d, want 400", a.Start)
+	}
+	if off.Remaining() != 100-a.Size {
+		t.Fatalf("offset remaining = %d", off.Remaining())
+	}
+}
+
+// TestConfigValidate exercises the error paths.
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Iterations: -1, Workers: 1},
+		{Iterations: 10, Workers: 0},
+		{Iterations: 10, Workers: 2, Powers: []float64{1}},
+		{Iterations: 10, Workers: 2, Powers: []float64{1, -1}},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", cfg)
+		}
+		if _, err := (GSSScheme{}).NewPolicy(cfg); err == nil {
+			t.Errorf("NewPolicy(%+v) = nil error", cfg)
+		}
+	}
+	good := Config{Iterations: 0, Workers: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate empty loop: %v", err)
+	}
+	pol, err := GSSScheme{}.NewPolicy(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pol.Next(Request{}); ok {
+		t.Error("empty loop yielded a chunk")
+	}
+}
+
+// TestRegistry checks Lookup/Names round-trips.
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"SS", "GSS", "TSS", "FSS", "FISS", "TFSS", "DTSS", "DFSS", "DFISS", "DTFSS", "WF", "S"} {
+		s, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("Lookup(nope) succeeded")
+	}
+	names := Names()
+	if len(names) < 12 {
+		t.Errorf("only %d registered schemes: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("Names not sorted: %v", names)
+		}
+	}
+}
+
+// TestDistributedFlag checks the paper's classification: WF is not
+// distributed, the D* schemes are.
+func TestDistributedFlag(t *testing.T) {
+	if Distributed(WFScheme{}) {
+		t.Error("WF must not be classified distributed (section 6)")
+	}
+	if Distributed(FSSScheme{}) || Distributed(TSSScheme{}) {
+		t.Error("simple schemes classified distributed")
+	}
+	for _, s := range []Scheme{DTSSScheme{}, NewDFSS(), NewDFISS(0), NewDTFSS()} {
+		if !Distributed(s) {
+			t.Errorf("%s must be distributed", s.Name())
+		}
+	}
+}
+
+// TestRounding covers the three rounding rules.
+func TestRounding(t *testing.T) {
+	cases := []struct {
+		x    float64
+		he   int
+		ceil int
+		fl   int
+	}{
+		{62.5, 62, 63, 62},
+		{31.5, 32, 32, 31},
+		{0.5, 1, 1, 1}, // floor of 1 everywhere
+		{2.0, 2, 2, 2},
+		{2.3, 2, 3, 2},
+		{2.7, 3, 3, 2},
+		{-1, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := RoundHalfEven.apply(c.x); got != c.he {
+			t.Errorf("half-even(%g) = %d, want %d", c.x, got, c.he)
+		}
+		if got := RoundCeil.apply(c.x); got != c.ceil {
+			t.Errorf("ceil(%g) = %d, want %d", c.x, got, c.ceil)
+		}
+		if got := RoundFloor.apply(c.x); got != c.fl {
+			t.Errorf("floor(%g) = %d, want %d", c.x, got, c.fl)
+		}
+	}
+}

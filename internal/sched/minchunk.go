@@ -1,0 +1,83 @@
+package sched
+
+import "fmt"
+
+// WithMinChunk lifts GSS(k)'s idea — never assign fewer than k
+// iterations — onto any scheme: the paper applies the floor only to
+// GSS ("a modified version GSS(k) with minimum assigned chunk-size k
+// ... attempts to improve on the weaknesses of GSS"), but every
+// decreasing-chunk scheme develops a fine tail whose synchronisation
+// cost the floor caps. The wrapped scheme keeps its name with a
+// "+min" suffix and its distributed classification.
+func WithMinChunk(s Scheme, k int) Scheme {
+	if k <= 1 {
+		return s
+	}
+	return minChunkScheme{base: s, k: k}
+}
+
+type minChunkScheme struct {
+	base Scheme
+	k    int
+}
+
+func (m minChunkScheme) Name() string {
+	return fmt.Sprintf("%s+min%d", m.base.Name(), m.k)
+}
+
+// Distributed follows the wrapped scheme.
+func (m minChunkScheme) Distributed() bool { return Distributed(m.base) }
+
+func (m minChunkScheme) NewPolicy(cfg Config) (Policy, error) {
+	pol, err := m.base.NewPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &minChunkPolicy{base: pol, k: m.k, cfg: cfg}, nil
+}
+
+// minChunkPolicy inflates undersized assignments. Because the base
+// policy has already consumed the inflated range's prefix, the wrapper
+// tracks its own frontier and drains the base policy until it catches
+// up — the base's internal bookkeeping (stages, trapezoid position)
+// advances naturally.
+type minChunkPolicy struct {
+	base Policy
+	k    int
+	cfg  Config
+	next int // wrapper's frontier within [0, Iterations)
+}
+
+func (m *minChunkPolicy) Remaining() int {
+	if r := m.cfg.Iterations - m.next; r > 0 {
+		return r
+	}
+	return 0
+}
+
+func (m *minChunkPolicy) Next(req Request) (Assignment, bool) {
+	rem := m.Remaining()
+	if rem == 0 {
+		return Assignment{}, false
+	}
+	// Drain the base policy past our frontier (it may lag after an
+	// earlier inflation).
+	end := m.next
+	for end <= m.next {
+		a, ok := m.base.Next(req)
+		if !ok {
+			end = m.cfg.Iterations
+			break
+		}
+		end = a.End()
+	}
+	if end-m.next < m.k {
+		end = m.next + m.k
+	}
+	if end > m.cfg.Iterations {
+		end = m.cfg.Iterations
+	}
+	out := Assignment{Start: m.next, Size: end - m.next}
+	m.next = end
+	return out, true
+}

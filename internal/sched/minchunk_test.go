@@ -1,0 +1,84 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWithMinChunkFloorsTail(t *testing.T) {
+	base, err := Sequence(GSSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floored, err := Sequence(WithMinChunk(GSSScheme{}, 8), 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sum(floored) != 1000 {
+		t.Fatalf("coverage %d", Sum(floored))
+	}
+	// Every chunk except possibly the last is ≥ 8.
+	for i, c := range floored[:len(floored)-1] {
+		if c < 8 {
+			t.Fatalf("chunk %d = %d below floor", i, c)
+		}
+	}
+	if len(floored) >= len(base) {
+		t.Errorf("floor did not reduce steps: %d vs %d", len(floored), len(base))
+	}
+	// Matches the native GSS(k) behaviour on the tail count.
+	native, err := Sequence(GSSScheme{MinChunk: 8}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(floored) != len(native) {
+		t.Errorf("wrapped %d steps vs native GSS(8) %d", len(floored), len(native))
+	}
+}
+
+func TestWithMinChunkOnEverything(t *testing.T) {
+	for _, s := range []Scheme{TSSScheme{}, FSSScheme{}, TFSSScheme{}, DTSSScheme{}, NewDTFSS()} {
+		wrapped := WithMinChunk(s, 16)
+		if !strings.HasSuffix(wrapped.Name(), "+min16") {
+			t.Errorf("name %q", wrapped.Name())
+		}
+		if Distributed(wrapped) != Distributed(s) {
+			t.Errorf("%s: distributed flag changed", s.Name())
+		}
+		for _, i := range []int{1, 17, 1000, 4096} {
+			seq, err := Sequence(wrapped, i, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if Sum(seq) != i {
+				t.Fatalf("%s I=%d: coverage %d", wrapped.Name(), i, Sum(seq))
+			}
+			for j, c := range seq[:max(0, len(seq)-1)] {
+				if c < 16 {
+					t.Fatalf("%s I=%d: chunk %d = %d below floor", wrapped.Name(), i, j, c)
+				}
+			}
+		}
+	}
+}
+
+func TestWithMinChunkPassthrough(t *testing.T) {
+	s := GSSScheme{}
+	if WithMinChunk(s, 1) != Scheme(s) {
+		t.Error("k=1 must return the scheme unchanged")
+	}
+	if WithMinChunk(s, 0) != Scheme(s) {
+		t.Error("k=0 must return the scheme unchanged")
+	}
+	// Invalid config propagates.
+	if _, err := WithMinChunk(s, 5).NewPolicy(Config{Iterations: 10, Workers: 0}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package sched
+
+// NominalSequence returns the chunk-size sequence a scheme produces
+// for a homogeneous run of I iterations on p workers, with clipping
+// disabled, exactly as the paper prints them in Table 1: generation
+// stops once the cumulative size reaches I, and the last entry may
+// overshoot (the paper's TSS row sums to 1040 for I = 1000).
+// Requests are issued round-robin, which is how a table is read —
+// stage-based schemes hand identical chunks to all p workers anyway.
+func NominalSequence(s Scheme, iterations, p int) ([]int, error) {
+	pol, err := s.NewPolicy(Config{Iterations: iterations, Workers: p, NoClip: true})
+	if err != nil {
+		return nil, err
+	}
+	var seq []int
+	for w := 0; ; w = (w + 1) % p {
+		a, ok := pol.Next(Request{Worker: w})
+		if !ok {
+			break
+		}
+		seq = append(seq, a.Size)
+	}
+	return seq, nil
+}
+
+// Sequence returns the clipped chunk-size sequence of a real
+// homogeneous run: sizes are positive and sum exactly to I.
+func Sequence(s Scheme, iterations, p int) ([]int, error) {
+	pol, err := s.NewPolicy(Config{Iterations: iterations, Workers: p})
+	if err != nil {
+		return nil, err
+	}
+	var seq []int
+	for w := 0; ; w = (w + 1) % p {
+		a, ok := pol.Next(Request{Worker: w})
+		if !ok {
+			break
+		}
+		seq = append(seq, a.Size)
+	}
+	return seq, nil
+}
+
+// TrapezoidNominal returns the full nominal TSS chunk descent
+// F, F−D, …, down to the last value ≥ L, ignoring the iteration
+// budget. This is exactly what the paper's Table 1 prints for TSS
+// (the row sums to 1040 for I = 1000 because the trapezoid is shown
+// whole; a real run clips the tail).
+func TrapezoidNominal(iterations, p int) []int {
+	prm := ComputeTSSParams(iterations, p, 0, 0)
+	var seq []int
+	for c := prm.F; c >= prm.L; c -= prm.D {
+		seq = append(seq, c)
+		if prm.D == 0 && Sum(seq) >= iterations {
+			break
+		}
+	}
+	return seq
+}
+
+// TFSSNominal returns the paper's Table 1 TFSS row: each stage value
+// (the mean of the next p nominal TSS chunks) repeated p times, for as
+// long as the underlying trapezoid head stays ≥ L.
+func TFSSNominal(iterations, p int) []int {
+	prm := ComputeTSSParams(iterations, p, 0, 0)
+	var seq []int
+	for c := prm.F; c >= prm.L; c -= p * prm.D {
+		sum := 0
+		for j := 0; j < p; j++ {
+			v := c - j*prm.D
+			if v < prm.L {
+				v = prm.L
+			}
+			sum += v
+		}
+		stage := RoundHalfEven.apply(float64(sum) / float64(p))
+		for j := 0; j < p; j++ {
+			seq = append(seq, stage)
+		}
+		if prm.D == 0 && Sum(seq) >= iterations {
+			break
+		}
+	}
+	return seq
+}
+
+// Sum is a convenience for asserting coverage in tests and examples.
+func Sum(seq []int) int {
+	total := 0
+	for _, c := range seq {
+		total += c
+	}
+	return total
+}

@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The goldens below are Table 1 of the paper: sample chunk sizes for
+// I = 1000 and p = 4.
+
+func TestExample1Static(t *testing.T) {
+	seq, err := Sequence(StaticScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{250, 250, 250, 250}
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("S: got %v, want %v", seq, want)
+	}
+}
+
+func TestExample1SS(t *testing.T) {
+	seq, err := Sequence(SelfScheduling, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 1000 {
+		t.Fatalf("SS: got %d chunks, want 1000", len(seq))
+	}
+	for i, c := range seq {
+		if c != 1 {
+			t.Fatalf("SS: chunk %d = %d, want 1", i, c)
+		}
+	}
+}
+
+func TestExample1CSS(t *testing.T) {
+	seq, err := Sequence(CSSScheme{K: 100}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 10 {
+		t.Fatalf("CSS(100): got %d chunks, want 10", len(seq))
+	}
+	for i, c := range seq {
+		if c != 100 {
+			t.Fatalf("CSS(100): chunk %d = %d, want 100", i, c)
+		}
+	}
+}
+
+func TestExample1GSS(t *testing.T) {
+	seq, err := Sequence(GSSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{250, 188, 141, 106, 79, 59, 45, 33, 25, 19, 14, 11,
+		8, 6, 4, 3, 3, 2, 1, 1, 1, 1}
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("GSS: got %v, want %v", seq, want)
+	}
+	if Sum(seq) != 1000 {
+		t.Errorf("GSS: sum %d, want 1000", Sum(seq))
+	}
+}
+
+func TestExample1TSSNominal(t *testing.T) {
+	got := TrapezoidNominal(1000, 4)
+	want := []int{125, 117, 109, 101, 93, 85, 77, 69, 61, 53, 45, 37,
+		29, 21, 13, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TSS nominal: got %v, want %v", got, want)
+	}
+	// The paper's row deliberately overshoots I (sum 1040): the table
+	// shows the whole trapezoid, a real run clips.
+	if Sum(got) != 1040 {
+		t.Errorf("TSS nominal sum %d, want 1040", Sum(got))
+	}
+}
+
+func TestExample1TSSClipped(t *testing.T) {
+	seq, err := Sequence(TSSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clipped run follows the trapezoid until the budget runs out.
+	wantPrefix := []int{125, 117, 109, 101, 93, 85, 77, 69, 61, 53, 45, 37}
+	if len(seq) < len(wantPrefix) {
+		t.Fatalf("TSS: only %d chunks: %v", len(seq), seq)
+	}
+	if !reflect.DeepEqual(seq[:len(wantPrefix)], wantPrefix) {
+		t.Errorf("TSS prefix: got %v, want %v", seq[:len(wantPrefix)], wantPrefix)
+	}
+	if Sum(seq) != 1000 {
+		t.Errorf("TSS: sum %d, want 1000", Sum(seq))
+	}
+}
+
+func TestExample1FSS(t *testing.T) {
+	seq, err := Sequence(FSSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := repeatStages(4, 125, 62, 32, 16, 8, 4, 2, 1)
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("FSS: got %v, want %v", seq, want)
+	}
+	if Sum(seq) != 1000 {
+		t.Errorf("FSS: sum %d, want 1000", Sum(seq))
+	}
+}
+
+func TestExample1FISS(t *testing.T) {
+	seq, err := Sequence(FISSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := repeatStages(4, 50, 83, 117)
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("FISS: got %v, want %v", seq, want)
+	}
+}
+
+func TestExample2TFSSNominal(t *testing.T) {
+	got := TFSSNominal(1000, 4)
+	want := repeatStages(4, 113, 81, 49, 17)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TFSS nominal: got %v, want %v", got, want)
+	}
+}
+
+func TestExample2TFSSClipped(t *testing.T) {
+	seq, err := Sequence(TFSSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPrefix := repeatStages(4, 113, 81, 49)
+	if !reflect.DeepEqual(seq[:len(wantPrefix)], wantPrefix) {
+		t.Errorf("TFSS prefix: got %v, want %v", seq[:len(wantPrefix)], wantPrefix)
+	}
+	if Sum(seq) != 1000 {
+		t.Errorf("TFSS: sum %d, want 1000", Sum(seq))
+	}
+}
+
+// TestWeightedFirstStage checks the section 3.1 worked example:
+// I = 1000, powers ½ ½ 1 2; the first FSS stage of 500 iterations is
+// split proportionally to power. (The paper prints 75/75/125/250,
+// which sums to 525 ≠ 500 and is not proportional to the stated ½ ½ 1
+// 2 weights; the exact proportional split is 62.5/62.5/125/250, so we
+// assert the two big shares exactly and the two halves to rounding.)
+func TestWeightedFirstStage(t *testing.T) {
+	cfg := Config{Iterations: 1000, Workers: 4, Powers: []float64{0.5, 0.5, 1, 2}}
+	pol, err := WFScheme{}.NewPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{62, 62, 125, 250}
+	for w, wantSize := range want {
+		a, ok := pol.Next(Request{Worker: w})
+		if !ok {
+			t.Fatalf("WF: no chunk for worker %d", w)
+		}
+		if a.Size != wantSize {
+			t.Errorf("WF worker %d: chunk %d, want %d", w, a.Size, wantSize)
+		}
+	}
+}
+
+func repeatStages(p int, stages ...int) []int {
+	var seq []int
+	for _, s := range stages {
+		for j := 0; j < p; j++ {
+			seq = append(seq, s)
+		}
+	}
+	return seq
+}
+
+func TestComputeTSSParams(t *testing.T) {
+	prm := ComputeTSSParams(1000, 4, 0, 0)
+	if prm.F != 125 || prm.L != 1 || prm.D != 8 {
+		t.Errorf("got %+v, want F=125 L=1 D=8", prm)
+	}
+	// Degenerate: tiny loop.
+	prm = ComputeTSSParams(3, 4, 0, 0)
+	if prm.D != 0 || prm.F < 1 {
+		t.Errorf("degenerate params %+v", prm)
+	}
+}
+
+func TestNominalSequenceStopsAtCoverage(t *testing.T) {
+	seq, err := NominalSequence(GSSScheme{}, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Sum(seq) < 1000 {
+		t.Errorf("nominal GSS sum %d < 1000", Sum(seq))
+	}
+}

@@ -1,0 +1,94 @@
+package sched
+
+// Rounding selects how a fractional per-stage chunk size is converted
+// to an integer. The paper's Table 1 FSS row is reproduced by
+// round-half-to-even; the classic Hummel, Schonberg & Flynn paper uses
+// the ceiling. Both are provided so the difference can be measured
+// (see BenchmarkAblationFSSRounding).
+type Rounding int
+
+const (
+	// RoundHalfEven rounds to nearest, ties to even (banker's
+	// rounding). Default; matches the paper's printed sequences.
+	RoundHalfEven Rounding = iota
+	// RoundCeil always rounds up (the original FSS formulation).
+	RoundCeil
+	// RoundFloor always rounds down.
+	RoundFloor
+)
+
+func (r Rounding) String() string {
+	switch r {
+	case RoundCeil:
+		return "ceil"
+	case RoundFloor:
+		return "floor"
+	default:
+		return "half-even"
+	}
+}
+
+// apply rounds x per the rule, with a floor of 1 (a scheduling step
+// always assigns at least one iteration).
+func (r Rounding) apply(x float64) int {
+	var v int
+	switch r {
+	case RoundCeil:
+		v = int(x)
+		if float64(v) < x {
+			v++
+		}
+	case RoundFloor:
+		v = int(x)
+	default: // half-even
+		f := int(x)
+		frac := x - float64(f)
+		switch {
+		case frac > 0.5:
+			v = f + 1
+		case frac < 0.5:
+			v = f
+		default: // exactly .5: to even
+			if f%2 == 0 {
+				v = f
+			} else {
+				v = f + 1
+			}
+		}
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// stagePolicy drives the simple stage-based schemes (FSS, FISS, TFSS):
+// a stage consists of p equal chunks; when the p slots are consumed, a
+// scheme-specific callback computes the next stage's chunk size from
+// the remaining iteration count and the stage index.
+type stagePolicy struct {
+	counter
+	p         int
+	slotsLeft int
+	chunk     int
+	stage     int
+	// nextChunk returns the per-PE chunk size for stage k (0-based)
+	// given the remaining iteration count at stage start.
+	nextChunk func(stage, remaining int) int
+}
+
+func (s *stagePolicy) Next(req Request) (Assignment, bool) {
+	if s.Remaining() == 0 {
+		return Assignment{}, false
+	}
+	if s.slotsLeft == 0 {
+		s.chunk = s.nextChunk(s.stage, s.Remaining())
+		if s.chunk < 1 {
+			s.chunk = 1
+		}
+		s.stage++
+		s.slotsLeft = s.p
+	}
+	s.slotsLeft--
+	return s.take(s.chunk)
+}

@@ -1,0 +1,93 @@
+package sched
+
+// StaticScheme is the paper's baseline "S": the iteration space is
+// divided into p equal chunks, one per worker, decided entirely at
+// plan time. It is the degenerate self-scheduling scheme (one request
+// per worker) and the usual strawman for load imbalance on
+// heterogeneous systems.
+type StaticScheme struct{}
+
+func (StaticScheme) Name() string { return "S" }
+
+func (s StaticScheme) NewPolicy(cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &staticPolicy{counter: newCounter(cfg), p: cfg.Workers}, nil
+}
+
+type staticPolicy struct {
+	counter
+	p      int
+	issued int
+}
+
+func (s *staticPolicy) Next(req Request) (Assignment, bool) {
+	if s.issued >= s.p {
+		return Assignment{}, false
+	}
+	// Spread the remainder over the first I mod p chunks so every
+	// chunk size differs by at most one (250 250 250 250 in the
+	// paper's Example 1).
+	rem := s.Remaining()
+	left := s.p - s.issued
+	size := rem / left
+	if rem%left != 0 {
+		size++
+	}
+	s.issued++
+	return s.take(size)
+}
+
+// WeightedStaticScheme divides the iteration space proportionally to
+// the workers' powers in a single plan-time allocation. It is the
+// static scheme the paper uses to introduce weighting in section 3.1
+// (the 75/75/125/250 example) and the initial allocation of the
+// distributed Tree Scheduling variant.
+type WeightedStaticScheme struct{}
+
+func (WeightedStaticScheme) Name() string { return "WS" }
+
+func (s WeightedStaticScheme) NewPolicy(cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &weightedStaticPolicy{counter: newCounter(cfg), cfg: cfg}, nil
+}
+
+type weightedStaticPolicy struct {
+	counter
+	cfg    Config
+	issued int
+	power  float64 // powers already served
+}
+
+func (s *weightedStaticPolicy) Next(req Request) (Assignment, bool) {
+	if s.issued >= s.cfg.Workers {
+		return Assignment{}, false
+	}
+	w := req.Worker
+	if w < 0 || w >= s.cfg.Workers {
+		w = s.issued
+	}
+	pw := req.ACP
+	if pw <= 0 {
+		pw = s.cfg.Power(w)
+	}
+	total := s.cfg.TotalPower() - s.power
+	if total <= 0 {
+		total = pw
+	}
+	size := int(float64(s.Remaining())*pw/total + 0.5)
+	s.issued++
+	s.power += pw
+	if s.issued == s.cfg.Workers {
+		size = s.Remaining() // last request takes whatever is left
+	}
+	return s.take(size)
+}
+
+func init() {
+	Register(StaticScheme{})
+	Register(WeightedStaticScheme{})
+}

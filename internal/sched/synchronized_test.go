@@ -1,0 +1,81 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSynchronizedConcurrentDrive: many goroutines hammer one wrapped
+// policy; the assignments must still tile the loop exactly.
+func TestSynchronizedConcurrentDrive(t *testing.T) {
+	const n = 50000
+	pol, err := TSSScheme{}.NewPolicy(Config{Iterations: n, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := Synchronized(pol)
+	seen := make([]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				a, ok := shared.Next(Request{Worker: w})
+				if !ok {
+					return
+				}
+				for i := a.Start; i < a.End(); i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("iteration %d claimed %d times", i, c)
+		}
+	}
+	if shared.Remaining() != 0 {
+		t.Errorf("remaining %d", shared.Remaining())
+	}
+}
+
+// TestSynchronizedKeepsFeedback: the wrapper forwards the learning
+// channel when present and omits it when not.
+func TestSynchronizedKeepsFeedback(t *testing.T) {
+	awf, _ := AWFScheme{}.NewPolicy(Config{Iterations: 1000, Workers: 2})
+	if _, ok := Synchronized(awf).(FeedbackPolicy); !ok {
+		t.Error("feedback channel dropped")
+	}
+	plain, _ := GSSScheme{}.NewPolicy(Config{Iterations: 1000, Workers: 2})
+	if _, ok := Synchronized(plain).(FeedbackPolicy); ok {
+		t.Error("plain policy gained feedback")
+	}
+}
+
+// TestForEach: the one-liner runs every iteration exactly once.
+func TestForEach(t *testing.T) {
+	const n = 20000
+	seen := make([]int32, n)
+	if err := ForEach(TFSSScheme{}, n, 4, func(i int) {
+		atomic.AddInt32(&seen[i], 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+	// Error path.
+	if err := ForEach(TSSScheme{}, 10, 0, func(int) {}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	// Empty loop is a no-op.
+	if err := ForEach(TSSScheme{}, 0, 4, func(int) { t.Error("ran") }); err != nil {
+		t.Fatal(err)
+	}
+}

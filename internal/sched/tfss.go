@@ -1,0 +1,54 @@
+package sched
+
+import "fmt"
+
+// TFSSScheme is the paper's new scheme, Trapezoid Factoring
+// Self-Scheduling (section 4): it schedules in FSS-style stages of p
+// equal chunks, but sizes each stage as the mean of the next p chunks
+// of the nominal TSS sequence, so the stage chunk decreases linearly
+// like TSS instead of geometrically like FSS. Example 2 of the paper:
+// for I = 1000, p = 4 the TSS sequence 125 117 109 101 | 93 85 77 69 |
+// ... yields TFSS stages 113, 81, 49, 17.
+type TFSSScheme struct {
+	// First and Last override the underlying trapezoid endpoints,
+	// exactly as in TSSScheme.
+	First, Last int
+}
+
+func (s TFSSScheme) Name() string {
+	if s.First == 0 && s.Last <= 1 {
+		return "TFSS"
+	}
+	return fmt.Sprintf("TFSS(%d,%d)", s.First, s.Last)
+}
+
+func (s TFSSScheme) NewPolicy(cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prm := ComputeTSSParams(cfg.Iterations, cfg.Workers, s.First, s.Last)
+	p := cfg.Workers
+	cTSS := prm.F // head of the nominal TSS sequence
+	return &stagePolicy{
+		counter: newCounter(cfg),
+		p:       p,
+		nextChunk: func(_, _ int) int {
+			// Sum the next p nominal TSS chunks (each at least L) and
+			// divide by p.
+			sum := 0
+			for j := 0; j < p; j++ {
+				c := cTSS - j*prm.D
+				if c < prm.L {
+					c = prm.L
+				}
+				sum += c
+			}
+			cTSS -= p * prm.D
+			return RoundHalfEven.apply(float64(sum) / float64(p))
+		},
+	}, nil
+}
+
+func init() {
+	Register(TFSSScheme{})
+}

@@ -1,0 +1,61 @@
+package sched
+
+// WFScheme is Weighted Factoring (Hummel, Schmidt, Uma & Wein 1996):
+// FSS stages whose per-worker chunk is scaled by the worker's *static*
+// relative power w_j. The paper classifies it as NOT distributed —
+// it uses the plan-time powers but never the run-time load — which
+// makes it the natural ablation point between FSS and DFSS.
+type WFScheme struct {
+	// Alpha is the factoring parameter; values ≤ 0 select 2.
+	Alpha float64
+}
+
+func (s WFScheme) alpha() float64 {
+	if s.Alpha <= 0 {
+		return 2
+	}
+	return s.Alpha
+}
+
+func (WFScheme) Name() string { return "WF" }
+
+func (s WFScheme) NewPolicy(cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &wfPolicy{
+		counter: newCounter(cfg),
+		cfg:     cfg,
+		alpha:   s.alpha(),
+		total:   cfg.TotalPower(),
+	}, nil
+}
+
+type wfPolicy struct {
+	counter
+	cfg        Config
+	alpha      float64
+	total      float64
+	slotsLeft  int
+	stageTotal float64 // SC_k of the current stage
+}
+
+func (w *wfPolicy) Next(req Request) (Assignment, bool) {
+	if w.Remaining() == 0 {
+		return Assignment{}, false
+	}
+	if w.slotsLeft == 0 {
+		w.stageTotal = float64(w.Remaining()) / w.alpha
+		w.slotsLeft = w.cfg.Workers
+	}
+	w.slotsLeft--
+	// Static weight only: requests never update powers (that is what
+	// separates WF from the distributed schemes).
+	pw := w.cfg.Power(req.Worker)
+	size := RoundHalfEven.apply(w.stageTotal * pw / w.total)
+	return w.take(size)
+}
+
+func init() {
+	Register(WFScheme{})
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinkTransfer(t *testing.T) {
+	l := Link{Latency: 0.001, Bandwidth: 1e6}
+	if got := l.Transfer(0); got != 0.001 {
+		t.Errorf("empty transfer = %g", got)
+	}
+	if got := l.Transfer(1e6); math.Abs(got-1.001) > 1e-12 {
+		t.Errorf("1MB transfer = %g, want 1.001", got)
+	}
+	// Zero bandwidth: latency only (control messages on a modelled-
+	// free link).
+	free := Link{Latency: 0.002}
+	if got := free.Transfer(100); got != 0.002 {
+		t.Errorf("zero-bandwidth transfer = %g", got)
+	}
+}
+
+func TestLoadScript(t *testing.T) {
+	ls := LoadScript{
+		{Start: 10, End: 20, Extra: 1},
+		{Start: 15, End: 30, Extra: 2},
+	}
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0, 0}, {10, 1}, {14.9, 1}, {15, 3}, {19.9, 3}, {20, 2}, {29.9, 2}, {30, 0},
+	}
+	for _, c := range cases {
+		if got := ls.ExtraAt(c.t); got != c.want {
+			t.Errorf("ExtraAt(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if got := ls.NextChange(0); got != 10 {
+		t.Errorf("NextChange(0) = %g", got)
+	}
+	if got := ls.NextChange(10); got != 15 {
+		t.Errorf("NextChange(10) = %g", got)
+	}
+	if got := ls.NextChange(20); got != 30 {
+		t.Errorf("NextChange(20) = %g", got)
+	}
+	if got := ls.NextChange(30); !math.IsInf(got, 1) {
+		t.Errorf("NextChange(30) = %g, want +Inf", got)
+	}
+}
+
+func TestMachineRunQueueAndRate(t *testing.T) {
+	m := Machine{Power: 2, Load: LoadScript{{Start: 5, End: 10, Extra: 1}}}
+	if m.RunQueue(0) != 1 || m.RunQueue(5) != 2 {
+		t.Errorf("run queue: %d, %d", m.RunQueue(0), m.RunQueue(5))
+	}
+	if m.Rate(100, 0) != 200 {
+		t.Errorf("unloaded rate = %g", m.Rate(100, 0))
+	}
+	if m.Rate(100, 5) != 100 {
+		t.Errorf("loaded rate = %g (equal-share model)", m.Rate(100, 5))
+	}
+}
+
+func TestComputeTimeDedicated(t *testing.T) {
+	m := Machine{Power: 2}
+	// 1000 units at rate 2·100 = 200/s → 5 s.
+	if got := m.ComputeTime(100, 3, 1000); math.Abs(got-5) > 1e-12 {
+		t.Errorf("ComputeTime = %g, want 5", got)
+	}
+	if got := m.ComputeTime(100, 0, 0); got != 0 {
+		t.Errorf("zero work took %g", got)
+	}
+}
+
+func TestComputeTimePiecewise(t *testing.T) {
+	// Power 1, base rate 100; an extra process during [2, 4) halves
+	// throughput. Starting at t=0 with 500 units:
+	//   [0,2): 200 units at 100/s
+	//   [2,4): 100 units at 50/s
+	//   [4,…): 200 units at 100/s → finish at t = 6.
+	m := Machine{Power: 1, Load: LoadScript{{Start: 2, End: 4, Extra: 1}}}
+	if got := m.ComputeTime(100, 0, 500); math.Abs(got-6) > 1e-9 {
+		t.Errorf("piecewise ComputeTime = %g, want 6", got)
+	}
+	// Entirely inside the loaded window.
+	if got := m.ComputeTime(100, 2, 50); math.Abs(got-1) > 1e-9 {
+		t.Errorf("loaded-window ComputeTime = %g, want 1", got)
+	}
+}
+
+// TestComputeTimeConservation (property): the work implied by
+// integrating the rate over the returned interval equals the input.
+func TestComputeTimeConservation(t *testing.T) {
+	m := Machine{Power: 1.5, Load: LoadScript{
+		{Start: 1, End: 3, Extra: 2},
+		{Start: 2.5, End: 7, Extra: 1},
+	}}
+	const base = 97
+	f := func(w uint16, t0 uint8) bool {
+		work := float64(w%5000) + 1
+		start := float64(t0) / 16
+		d := m.ComputeTime(base, start, work)
+		// Re-integrate numerically.
+		var got float64
+		steps := 200000
+		dt := d / float64(steps)
+		for i := 0; i < steps; i++ {
+			got += m.Rate(base, start+(float64(i)+0.5)*dt) * dt
+		}
+		return math.Abs(got-work)/work < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClusterValidate(t *testing.T) {
+	if err := (Cluster{}).Validate(); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	bad := Cluster{Machines: []Machine{{Power: 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("zero-power machine accepted")
+	}
+	inverted := Cluster{Machines: []Machine{{Power: 1, Load: LoadScript{{Start: 5, End: 1}}}}}
+	if err := inverted.Validate(); err == nil {
+		t.Error("inverted load phase accepted")
+	}
+	good := Cluster{Machines: []Machine{{Power: 3}, {Power: 1}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good cluster rejected: %v", err)
+	}
+	if good.TotalPower() != 4 {
+		t.Errorf("TotalPower = %g", good.TotalPower())
+	}
+	if p := good.Powers(); p[0] != 3 || p[1] != 1 {
+		t.Errorf("Powers = %v", p)
+	}
+	if good.masterBandwidth() != Mbit100 {
+		t.Errorf("default master bandwidth = %g", good.masterBandwidth())
+	}
+}

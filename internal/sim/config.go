@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ClusterConfig is the JSON form of a Cluster, so experiments can be
+// run against user-defined testbeds without recompiling:
+//
+//	{
+//	  "masterBandwidthMbit": 100,
+//	  "machines": [
+//	    {"name": "fast", "power": 3, "linkMbit": 100, "latencyMs": 0.2, "count": 3},
+//	    {"name": "slow", "power": 1, "linkMbit": 10, "latencyMs": 1,
+//	     "load": [{"start": 5, "end": -1, "extra": 2}]}
+//	  ]
+//	}
+//
+// "count" stamps out identical machines; a load phase's end of -1
+// means forever.
+type ClusterConfig struct {
+	MasterBandwidthMbit float64         `json:"masterBandwidthMbit"`
+	Machines            []MachineConfig `json:"machines"`
+}
+
+// MachineConfig describes one machine class.
+type MachineConfig struct {
+	Name      string            `json:"name"`
+	Power     float64           `json:"power"`
+	LinkMbit  float64           `json:"linkMbit"`
+	LatencyMs float64           `json:"latencyMs"`
+	Count     int               `json:"count"`
+	Load      []LoadPhaseConfig `json:"load"`
+}
+
+// LoadPhaseConfig is one external-load interval; End < 0 = forever.
+type LoadPhaseConfig struct {
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Extra int     `json:"extra"`
+}
+
+// ReadCluster parses a ClusterConfig and builds the Cluster.
+func ReadCluster(r io.Reader) (Cluster, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var cfg ClusterConfig
+	if err := dec.Decode(&cfg); err != nil {
+		return Cluster{}, fmt.Errorf("sim: cluster config: %w", err)
+	}
+	return cfg.Build()
+}
+
+// Build converts the config into a validated Cluster.
+func (cfg ClusterConfig) Build() (Cluster, error) {
+	var c Cluster
+	if cfg.MasterBandwidthMbit > 0 {
+		c.MasterBandwidth = cfg.MasterBandwidthMbit * 1e6 / 8
+	}
+	for i, mc := range cfg.Machines {
+		count := mc.Count
+		if count <= 0 {
+			count = 1
+		}
+		link := Link{Latency: mc.LatencyMs / 1e3}
+		if mc.LinkMbit > 0 {
+			link.Bandwidth = mc.LinkMbit * 1e6 / 8
+		}
+		var load LoadScript
+		for _, ph := range mc.Load {
+			end := ph.End
+			if end < 0 {
+				end = math.Inf(1)
+			}
+			load = append(load, LoadPhase{Start: ph.Start, End: end, Extra: ph.Extra})
+		}
+		for j := 0; j < count; j++ {
+			c.Machines = append(c.Machines, Machine{
+				Name:  mc.Name,
+				Power: mc.Power,
+				Link:  link,
+				Load:  load,
+			})
+		}
+		if mc.Power <= 0 {
+			return Cluster{}, fmt.Errorf("sim: machine class %d (%q) has power %g", i, mc.Name, mc.Power)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return Cluster{}, err
+	}
+	return c, nil
+}
+
+// WriteCluster serialises a Cluster back into config form (one class
+// per machine; no count compression).
+func WriteCluster(w io.Writer, c Cluster) error {
+	cfg := ClusterConfig{MasterBandwidthMbit: c.MasterBandwidth * 8 / 1e6}
+	for _, m := range c.Machines {
+		mc := MachineConfig{
+			Name:      m.Name,
+			Power:     m.Power,
+			LinkMbit:  m.Link.Bandwidth * 8 / 1e6,
+			LatencyMs: m.Link.Latency * 1e3,
+			Count:     1,
+		}
+		for _, ph := range m.Load {
+			end := ph.End
+			if math.IsInf(end, 1) {
+				end = -1
+			}
+			mc.Load = append(mc.Load, LoadPhaseConfig{Start: ph.Start, End: end, Extra: ph.Extra})
+		}
+		cfg.Machines = append(cfg.Machines, mc)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/workload"
+)
+
+func testWorkloadForConfig() workload.Workload { return workload.Uniform{N: 1000} }
+func testSchemeForConfig() sched.Scheme        { return sched.TSSScheme{} }
+
+const sampleConfig = `{
+  "masterBandwidthMbit": 100,
+  "machines": [
+    {"name": "fast", "power": 3, "linkMbit": 100, "latencyMs": 0.2, "count": 3},
+    {"name": "slow", "power": 1, "linkMbit": 10, "latencyMs": 1,
+     "load": [{"start": 5, "end": -1, "extra": 2}]}
+  ]
+}`
+
+func TestReadCluster(t *testing.T) {
+	c, err := ReadCluster(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Machines) != 4 { // 3 fast + 1 slow
+		t.Fatalf("%d machines", len(c.Machines))
+	}
+	if c.Machines[0].Power != 3 || c.Machines[0].Name != "fast" {
+		t.Errorf("fast machine: %+v", c.Machines[0])
+	}
+	if got := c.Machines[0].Link.Bandwidth; math.Abs(got-Mbit100) > 1 {
+		t.Errorf("fast bandwidth %g", got)
+	}
+	if got := c.Machines[0].Link.Latency; math.Abs(got-0.0002) > 1e-9 {
+		t.Errorf("fast latency %g", got)
+	}
+	slow := c.Machines[3]
+	if slow.RunQueue(4) != 1 || slow.RunQueue(5) != 3 {
+		t.Errorf("load phases wrong: Q(4)=%d Q(5)=%d", slow.RunQueue(4), slow.RunQueue(5))
+	}
+	if slow.RunQueue(1e12) != 3 { // end: -1 = forever
+		t.Error("open-ended phase not infinite")
+	}
+	if math.Abs(c.MasterBandwidth-Mbit100) > 1 {
+		t.Errorf("master bandwidth %g", c.MasterBandwidth)
+	}
+}
+
+func TestReadClusterErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad json":      `{`,
+		"unknown field": `{"machines": [{"name": "x", "power": 1, "speed": 4}]}`,
+		"zero power":    `{"machines": [{"name": "x", "power": 0}]}`,
+		"no machines":   `{"machines": []}`,
+	}
+	for name, input := range cases {
+		if _, err := ReadCluster(strings.NewReader(input)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestWriteClusterRoundTrip(t *testing.T) {
+	orig, err := ReadCluster(strings.NewReader(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCluster(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadCluster(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-read failed: %v\n%s", err, sb.String())
+	}
+	if len(again.Machines) != len(orig.Machines) {
+		t.Fatalf("machine count changed: %d vs %d", len(again.Machines), len(orig.Machines))
+	}
+	for i := range orig.Machines {
+		a, b := orig.Machines[i], again.Machines[i]
+		if a.Power != b.Power || a.Name != b.Name ||
+			math.Abs(a.Link.Latency-b.Link.Latency) > 1e-12 ||
+			math.Abs(a.Link.Bandwidth-b.Link.Bandwidth) > 1 {
+			t.Errorf("machine %d changed: %+v vs %+v", i, a, b)
+		}
+		if len(a.Load) != len(b.Load) {
+			t.Errorf("machine %d load phases changed", i)
+		}
+	}
+	// The round-tripped cluster behaves identically.
+	w := testWorkloadForConfig()
+	r1, err := Run(orig, testSchemeForConfig(), w, Params{BaseRate: 1e5, BytesPerIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(again, testSchemeForConfig(), w, Params{BaseRate: 1e5, BytesPerIter: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Tp != r2.Tp || r1.Chunks != r2.Chunks {
+		t.Errorf("round-tripped cluster diverged: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"loopsched/internal/acp"
+	"loopsched/internal/metrics"
+	"loopsched/internal/sched"
+	"loopsched/internal/trace"
+	"loopsched/internal/workload"
+)
+
+// Params tune the simulated protocol. The zero value gives the
+// defaults documented on each field.
+type Params struct {
+	// BaseRate is the work-unit throughput of an unloaded power-1
+	// machine, in units per second. 0 means 3e6 (calibrated so the
+	// paper's 4000×2000 Mandelbrot lands in the paper's tens-of-
+	// seconds range).
+	BaseRate float64
+	// MasterOverhead is the scheduling time per serviced request.
+	// 0 means 1 ms.
+	MasterOverhead float64
+	// RequestBytes / ReplyBytes are the control-message sizes.
+	// 0 means 64 bytes each.
+	RequestBytes, ReplyBytes float64
+	// BytesPerIter is the result payload produced by one iteration
+	// (one Mandelbrot column ≈ Height × 2 bytes). 0 means 4096.
+	BytesPerIter float64
+	// CollectAtEnd disables the paper's piggy-backing optimisation:
+	// slaves hold their results and dump them to the master when the
+	// loop ends (the slower alternative §5 describes).
+	CollectAtEnd bool
+	// SharedBus serialises every transfer on one half-duplex medium —
+	// the hub/coax Ethernet of the paper's era — instead of giving
+	// each slave an independent link. Queueing for the medium is
+	// charged as waiting time.
+	SharedBus bool
+	// ACP is the available-computing-power model used by distributed
+	// schemes (zero value = scale 10, no threshold).
+	ACP acp.Model
+	// DisableReplan turns off the DTSS step 2(c) majority re-plan
+	// (ablation).
+	DisableReplan bool
+	// Trace, when non-nil, records every computed chunk (worker,
+	// iteration range, compute interval, reported ACP).
+	Trace *trace.Trace
+}
+
+func (p Params) withDefaults() Params {
+	if p.BaseRate <= 0 {
+		p.BaseRate = 3e6
+	}
+	if p.MasterOverhead <= 0 {
+		p.MasterOverhead = 1e-3
+	}
+	if p.RequestBytes <= 0 {
+		p.RequestBytes = 64
+	}
+	if p.ReplyBytes <= 0 {
+		p.ReplyBytes = 64
+	}
+	if p.BytesPerIter <= 0 {
+		p.BytesPerIter = 4096
+	}
+	return p
+}
+
+// event kinds.
+const (
+	evRequestArrive = iota // a slave request reached the master
+	evServiceDone          // master finished servicing one request
+	evReplyArrive          // the master's reply reached the slave
+	evComputeDone          // slave finished computing its chunk
+	evDumpArrive           // collect-at-end result dump reached master
+	evBusDone              // a shared-bus transfer finished
+)
+
+type event struct {
+	t      float64
+	seq    int64
+	kind   int
+	worker int
+	assign sched.Assignment
+	stop   bool
+	// payload is the event a bus transfer delivers on completion.
+	payload *event
+}
+
+// busJob is one queued transfer on the shared medium.
+type busJob struct {
+	duration float64
+	enqueued float64
+	worker   int // whose Comm/Wait the transfer is charged to
+	deliver  event
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+
+type pendingReq struct {
+	worker  int
+	arrival float64
+	acp     int
+	bytes   float64 // inbound payload the master must receive
+	dump    bool    // final result dump (collect-at-end mode)
+}
+
+type workerState struct {
+	times      metrics.Times
+	lastChunk  int     // iterations of the chunk just computed
+	heldBytes  float64 // results held locally (collect-at-end)
+	reqSent    float64 // when the in-flight request left the slave
+	fbWork     float64 // cost of the chunk just computed (feedback)
+	fbElapsed  float64 // its execution time (feedback)
+	done       bool
+	finishedAt float64
+	iterations int
+	requests   int
+}
+
+type simulator struct {
+	cluster  Cluster
+	params   Params
+	scheme   sched.Scheme
+	work     workload.Workload
+	dist     bool
+	now      float64
+	seq      int64
+	events   eventQueue
+	queue    []pendingReq
+	busy     bool
+	workers  []workerState
+	policy   sched.Policy
+	planACP  []int // ACPs at last (re)plan
+	liveACP  []int // most recently reported ACPs
+	base     int   // iterations assigned so far
+	planned  bool
+	initSeen int
+	chunks   int
+	replans  int
+	lastTime float64
+	busBusy  bool
+	busQueue []busJob
+}
+
+// transfer moves a message for worker w, delivering ev when it
+// completes. Independent links deliver at t+d; the shared bus queues
+// the job for the single medium, charging the queueing delay as
+// waiting time.
+func (s *simulator) transfer(w int, t, d float64, ev event) {
+	if !s.params.SharedBus {
+		s.workers[w].times.Comm += d
+		ev.t = t + d
+		s.push(ev)
+		return
+	}
+	s.busQueue = append(s.busQueue, busJob{duration: d, enqueued: t, worker: w, deliver: ev})
+	s.serviceBus(t)
+}
+
+func (s *simulator) serviceBus(t float64) {
+	if s.busBusy || len(s.busQueue) == 0 {
+		return
+	}
+	job := s.busQueue[0]
+	s.busQueue = s.busQueue[1:]
+	s.busBusy = true
+	st := &s.workers[job.worker]
+	st.times.Comm += job.duration
+	if q := t - job.enqueued; q > 0 {
+		st.times.Wait += q
+	}
+	deliver := job.deliver
+	deliver.t = t + job.duration
+	s.push(event{t: t + job.duration, kind: evBusDone, payload: &deliver})
+}
+
+// Run executes the workload on the cluster under the scheme and
+// returns the paper-style report. The simulation is deterministic.
+func Run(c Cluster, s sched.Scheme, w workload.Workload, p Params) (metrics.Report, error) {
+	if err := c.Validate(); err != nil {
+		return metrics.Report{}, err
+	}
+	p = p.withDefaults()
+	if p.Trace != nil {
+		p.Trace.Scheme = s.Name()
+		p.Trace.Workload = w.Name()
+		p.Trace.Workers = len(c.Machines)
+	}
+	sim := &simulator{
+		cluster: c,
+		params:  p,
+		scheme:  s,
+		work:    w,
+		dist:    sched.Distributed(s),
+		workers: make([]workerState, len(c.Machines)),
+		planACP: make([]int, len(c.Machines)),
+		liveACP: make([]int, len(c.Machines)),
+	}
+	if err := sim.run(); err != nil {
+		return metrics.Report{}, err
+	}
+	// Charge terminal idle: a slave that was stopped early still sits
+	// in the barrier until the whole loop finishes — the paper's
+	// T_wait is exactly this "fast PEs wait for the critical chunk"
+	// signal (Table 2's 17–19 s waits on the fast PEs).
+	for i := range sim.workers {
+		if idle := sim.lastTime - sim.workers[i].finishedAt; idle > 0 && sim.workers[i].done {
+			sim.workers[i].times.Wait += idle
+		}
+	}
+	report := metrics.Report{
+		Scheme:   s.Name(),
+		Workload: w.Name(),
+		Workers:  len(c.Machines),
+		Tp:       sim.lastTime,
+		Chunks:   sim.chunks,
+		Replans:  sim.replans,
+	}
+	for i := range sim.workers {
+		report.PerWorker = append(report.PerWorker, sim.workers[i].times)
+		report.Iterations += sim.workers[i].iterations
+	}
+	if report.Iterations != w.Len() {
+		return report, fmt.Errorf("sim: executed %d of %d iterations", report.Iterations, w.Len())
+	}
+	return report, nil
+}
+
+func (s *simulator) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// acpAt evaluates a slave's ACP when it sends a request.
+func (s *simulator) acpAt(w int, t float64) int {
+	m := s.cluster.Machines[w]
+	return s.params.ACP.ACP(m.Power, m.RunQueue(t))
+}
+
+// sendRequest models the slave transmitting a request (plus any
+// piggy-backed results) to the master.
+func (s *simulator) sendRequest(w int, t float64) {
+	m := s.cluster.Machines[w]
+	st := &s.workers[w]
+	bytes := s.params.RequestBytes
+	var inbound float64
+	if !s.params.CollectAtEnd && st.lastChunk > 0 {
+		payload := float64(st.lastChunk) * s.params.BytesPerIter
+		bytes += payload
+		inbound = payload
+	}
+	d := m.Link.Transfer(bytes)
+	st.reqSent = t
+	st.lastChunk = 0
+	st.requests++
+	s.transfer(w, t, d, event{kind: evRequestArrive, worker: w, assign: sched.Assignment{Size: int(inbound)}})
+}
+
+func (s *simulator) plan() error {
+	powers := make([]float64, len(s.liveACP))
+	for i, a := range s.liveACP {
+		if a < 1 {
+			a = 1
+		}
+		powers[i] = float64(a)
+	}
+	cfg := sched.Config{
+		Iterations: s.work.Len() - s.base,
+		Workers:    len(s.cluster.Machines),
+	}
+	if s.dist {
+		cfg.Powers = powers
+	}
+	// Static-weight schemes (WF, WS) see the plan-time virtual powers
+	// but never the run-time load (the paper's section 6 distinction).
+	switch s.scheme.(type) {
+	case sched.WFScheme, sched.WeightedStaticScheme:
+		cfg.Powers = s.cluster.Powers()
+	}
+	pol, err := s.scheme.NewPolicy(cfg)
+	if err != nil {
+		return err
+	}
+	s.policy = sched.Offset(pol, s.base)
+	copy(s.planACP, s.liveACP)
+	s.planned = true
+	return nil
+}
+
+func (s *simulator) run() error {
+	heap.Init(&s.events)
+	// Simple schemes plan immediately; distributed masters first wait
+	// for every slave to report its A_i (master step 1(a)).
+	if !s.dist {
+		if err := s.plan(); err != nil {
+			return err
+		}
+	}
+	// All slaves fire their first (empty) request at t = 0.
+	for w := range s.cluster.Machines {
+		s.sendRequest(w, 0)
+	}
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.t
+		if e.t > s.lastTime {
+			s.lastTime = e.t
+		}
+		switch e.kind {
+		case evRequestArrive:
+			w := e.worker
+			s.liveACP[w] = s.acpAt(w, s.workers[w].reqSent)
+			s.queue = append(s.queue, pendingReq{
+				worker:  w,
+				arrival: e.t,
+				acp:     s.liveACP[w],
+				bytes:   float64(e.assign.Size),
+			})
+			if !s.planned {
+				s.initSeen++
+				if s.initSeen < len(s.cluster.Machines) {
+					continue // master still gathering initial reports
+				}
+				// Sort the initial queue by ACP decreasing (step 1a).
+				sort.SliceStable(s.queue, func(i, j int) bool {
+					return s.queue[i].acp > s.queue[j].acp
+				})
+				if err := s.plan(); err != nil {
+					return err
+				}
+			}
+			s.serviceNext()
+
+		case evDumpArrive:
+			s.queue = append(s.queue, pendingReq{
+				worker:  e.worker,
+				arrival: e.t,
+				bytes:   float64(e.assign.Size),
+				dump:    true,
+			})
+			s.serviceNext()
+
+		case evServiceDone:
+			s.busy = false
+			w := e.worker
+			st := &s.workers[w]
+			if e.assign.Size < 0 { // final dump acknowledged
+				st.done = true
+				st.finishedAt = e.t
+			} else {
+				m := s.cluster.Machines[w]
+				d := m.Link.Transfer(s.params.ReplyBytes)
+				s.transfer(w, e.t, d, event{kind: evReplyArrive, worker: w, assign: e.assign, stop: e.stop})
+			}
+			s.serviceNext()
+
+		case evReplyArrive:
+			w := e.worker
+			st := &s.workers[w]
+			if e.stop {
+				if s.params.CollectAtEnd && st.heldBytes > 0 {
+					m := s.cluster.Machines[w]
+					d := m.Link.Transfer(s.params.RequestBytes + st.heldBytes)
+					st.reqSent = e.t
+					s.transfer(w, e.t, d, event{kind: evDumpArrive, worker: w,
+						assign: sched.Assignment{Size: int(st.heldBytes)}})
+					st.heldBytes = 0
+				} else {
+					st.done = true
+					st.finishedAt = e.t
+				}
+				continue
+			}
+			m := s.cluster.Machines[w]
+			work := workload.RangeCost(s.work, e.assign.Start, e.assign.End())
+			d := m.ComputeTime(s.params.BaseRate, e.t, work)
+			st.times.Comp += d
+			st.fbWork, st.fbElapsed = work, d
+			if s.params.Trace != nil {
+				s.params.Trace.Add(trace.Event{
+					Worker: w,
+					Start:  e.assign.Start,
+					Size:   e.assign.Size,
+					Begin:  e.t,
+					End:    e.t + d,
+					ACP:    s.liveACP[w],
+				})
+			}
+			st.iterations += e.assign.Size
+			st.lastChunk = e.assign.Size
+			if s.params.CollectAtEnd {
+				st.heldBytes += float64(e.assign.Size) * s.params.BytesPerIter
+			}
+			s.push(event{t: e.t + d, kind: evComputeDone, worker: w})
+
+		case evComputeDone:
+			s.sendRequest(e.worker, e.t)
+
+		case evBusDone:
+			s.busBusy = false
+			if e.payload != nil {
+				s.push(*e.payload)
+			}
+			s.serviceBus(e.t)
+		}
+	}
+	return nil
+}
+
+// serviceNext pops the head request if the master is idle, decides the
+// reply, and schedules evServiceDone after the receive + scheduling
+// overhead. The waiting time (queueing + service) is charged to the
+// slave, matching the paper's T_wait.
+func (s *simulator) serviceNext() {
+	if s.busy || len(s.queue) == 0 || !s.planned {
+		return
+	}
+	req := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	recv := s.params.MasterOverhead + req.bytes/s.cluster.masterBandwidth()
+	done := s.now + recv
+	st := &s.workers[req.worker]
+	st.times.Wait += done - req.arrival
+
+	if req.dump {
+		s.push(event{t: done, kind: evServiceDone, worker: req.worker,
+			assign: sched.Assignment{Size: -1}})
+		return
+	}
+
+	// Timing feedback for learning policies (AWF): the master measures
+	// each chunk's turnaround when the next request arrives.
+	st2 := &s.workers[req.worker]
+	if fb, ok := s.policy.(sched.FeedbackPolicy); ok && st2.fbElapsed > 0 {
+		fb.Feedback(req.worker, st2.fbWork, st2.fbElapsed)
+		st2.fbElapsed = 0
+	}
+
+	// DTSS step 2(c): re-plan when a majority of ACPs changed.
+	if s.dist && !s.params.DisableReplan && acp.MajorityChanged(s.planACP, s.liveACP) {
+		if err := s.plan(); err != nil {
+			// Surface via a stop reply; Run's coverage check reports it.
+			s.push(event{t: done, kind: evServiceDone, worker: req.worker, stop: true})
+			return
+		}
+		s.replans++
+	}
+
+	a, ok := s.policy.Next(sched.Request{Worker: req.worker, ACP: float64(req.acp)})
+	if !ok {
+		s.push(event{t: done, kind: evServiceDone, worker: req.worker, stop: true})
+		return
+	}
+	s.base = a.End()
+	s.chunks++
+	s.push(event{t: done, kind: evServiceDone, worker: req.worker, assign: a})
+}

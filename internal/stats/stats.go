@@ -1,0 +1,138 @@
+// Package stats provides the small-sample statistics used when an
+// experiment is repeated over randomised inputs (seeds, load
+// patterns): mean, standard deviation, standard error and Student-t
+// confidence intervals, plus a Welch test for "is scheme A really
+// faster than scheme B".
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary (zero value for an empty sample).
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var v float64
+		for _, x := range xs {
+			d := x - s.Mean
+			v += d * d
+		}
+		s.StdDev = math.Sqrt(v / float64(s.N-1))
+	}
+	return s
+}
+
+// StdErr is the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.N < 1 {
+		return 0
+	}
+	return s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// CI95 returns the 95% confidence half-width of the mean using the
+// Student-t critical value for the sample's degrees of freedom.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return tCrit95(s.N-1) * s.StdErr()
+}
+
+// String renders "mean ± ci (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g (n=%d)", s.Mean, s.CI95(), s.N)
+}
+
+// tCrit95 is the two-sided 95% Student-t critical value. Exact values
+// for small df (where it matters), 1.96 asymptotically.
+func tCrit95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306,
+		2.262, 2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120,
+		2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+		2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	switch {
+	case df <= 0:
+		return math.Inf(1)
+	case df < len(table):
+		return table[df]
+	case df < 60:
+		return 2.00
+	default:
+		return 1.96
+	}
+}
+
+// Median returns the sample median (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// WelchT returns Welch's t statistic and the (approximate,
+// Welch–Satterthwaite) degrees of freedom for comparing two sample
+// means. |t| > tCrit95(df) rejects equality at 95%.
+func WelchT(a, b Summary) (t float64, df float64) {
+	if a.N < 2 || b.N < 2 {
+		return 0, 0
+	}
+	va := a.StdDev * a.StdDev / float64(a.N)
+	vb := b.StdDev * b.StdDev / float64(b.N)
+	if va+vb == 0 {
+		if a.Mean == b.Mean {
+			return 0, float64(a.N + b.N - 2)
+		}
+		return math.Inf(sign(a.Mean - b.Mean)), float64(a.N + b.N - 2)
+	}
+	t = (a.Mean - b.Mean) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) /
+		(va*va/float64(a.N-1) + vb*vb/float64(b.N-1))
+	return t, df
+}
+
+// SignificantlyFaster reports whether sample a's mean is below sample
+// b's with 95% confidence (one comparison, Welch test).
+func SignificantlyFaster(a, b Summary) bool {
+	t, df := WelchT(a, b)
+	return t < -tCrit95(int(df))
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Errorf("stddev %.4f", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("range [%g, %g]", s.Min, s.Max)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty %+v", empty)
+	}
+	single := Summarize([]float64{3})
+	if single.StdDev != 0 || !math.IsInf(single.CI95(), 1) {
+		t.Errorf("single-sample CI must be infinite: %+v", single)
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Empirical check: the 95% CI of N(0,1) samples covers 0 roughly
+	// 95% of the time.
+	rng := rand.New(rand.NewSource(5))
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			xs[j] = rng.NormFloat64()
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Mean) <= s.CI95() {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.90 || rate > 0.99 {
+		t.Errorf("CI coverage %.3f, want ≈0.95", rate)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	// Input must not be reordered.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestWelch(t *testing.T) {
+	a := Summarize([]float64{1.0, 1.1, 0.9, 1.05, 0.95})
+	b := Summarize([]float64{2.0, 2.1, 1.9, 2.05, 1.95})
+	if !SignificantlyFaster(a, b) {
+		t.Error("clearly separated samples not significant")
+	}
+	if SignificantlyFaster(b, a) {
+		t.Error("slower sample reported faster")
+	}
+	// Overlapping samples: no significance either way.
+	c := Summarize([]float64{1.0, 1.4, 0.8, 1.3, 0.9})
+	d := Summarize([]float64{1.1, 1.2, 0.9, 1.35, 1.0})
+	if SignificantlyFaster(c, d) || SignificantlyFaster(d, c) {
+		t.Error("overlapping samples reported significant")
+	}
+	// Degenerate inputs.
+	if SignificantlyFaster(Summarize([]float64{1}), b) {
+		t.Error("n=1 sample reported significant")
+	}
+	t0, _ := WelchT(Summarize([]float64{1, 1}), Summarize([]float64{1, 1}))
+	if t0 != 0 {
+		t.Errorf("identical zero-variance samples: t = %g", t0)
+	}
+}
+
+func TestTCrit(t *testing.T) {
+	if tCrit95(1) != 12.706 || tCrit95(30) != 2.042 {
+		t.Error("table lookup broken")
+	}
+	if tCrit95(45) != 2.00 || tCrit95(1000) != 1.96 {
+		t.Error("asymptotic values broken")
+	}
+	if !math.IsInf(tCrit95(0), 1) {
+		t.Error("df=0 must be infinite")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if !strings.Contains(s.String(), "n=3") {
+		t.Errorf("String = %q", s.String())
+	}
+}

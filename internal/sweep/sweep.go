@@ -1,0 +1,336 @@
+// Package sweep runs scheme × cluster × workload matrices on the
+// simulator and aggregates the outcomes — the machinery behind
+// cmd/sweep and the broader comparisons the paper's evaluation
+// gestures at but only samples.
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"loopsched/internal/affinity"
+	"loopsched/internal/experiments"
+	"loopsched/internal/metrics"
+	"loopsched/internal/sched"
+	"loopsched/internal/sim"
+	"loopsched/internal/stats"
+	"loopsched/internal/tree"
+	"loopsched/internal/workload"
+)
+
+// TreeSName selects Tree Scheduling in a scheme list (it is not a
+// sched.Scheme — it has its own run loop); AFSName likewise selects
+// Affinity Scheduling.
+const (
+	TreeSName = "TreeS"
+	AFSName   = "AFS"
+)
+
+// NamedWorkload pairs a workload with the label used in results.
+type NamedWorkload struct {
+	Name string
+	W    workload.Workload
+}
+
+// Config describes the sweep matrix.
+type Config struct {
+	// Schemes are registered scheme names, plus optionally TreeSName.
+	Schemes []string
+	// Workers are the slave counts to sweep (paper mixes per count).
+	Workers []int
+	// Modes: false = dedicated, true = non-dedicated.
+	Modes []bool
+	// Workloads to run.
+	Workloads []NamedWorkload
+	// Params are the simulator settings shared by all cells.
+	Params sim.Params
+}
+
+// Validate rejects empty axes and unknown schemes.
+func (c Config) Validate() error {
+	if len(c.Schemes) == 0 || len(c.Workers) == 0 || len(c.Modes) == 0 || len(c.Workloads) == 0 {
+		return fmt.Errorf("sweep: every axis needs at least one value")
+	}
+	for _, name := range c.Schemes {
+		if name == TreeSName || name == AFSName {
+			continue
+		}
+		if _, err := sched.Lookup(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result is one cell's outcome.
+type Result struct {
+	Scheme       string
+	Workload     string
+	Workers      int
+	NonDedicated bool
+	Tp           float64
+	Chunks       int
+	Replans      int
+	Imbalance    float64
+	MeanWait     float64
+	MeanComm     float64
+}
+
+// cell identifies a comparison group (everything but the scheme).
+type cell struct {
+	workload     string
+	workers      int
+	nonDedicated bool
+}
+
+// Run executes the full matrix. Results are ordered deterministically:
+// workload, then workers, then mode, then scheme.
+func Run(cfg Config) ([]Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var out []Result
+	for _, nw := range cfg.Workloads {
+		for _, p := range cfg.Workers {
+			for _, mode := range cfg.Modes {
+				cluster := experiments.Cluster(p, mode)
+				for _, name := range cfg.Schemes {
+					rep, err := runOne(cluster, name, nw.W, cfg.Params)
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s/p=%d: %w", name, nw.Name, p, err)
+					}
+					out = append(out, Result{
+						Scheme:       name,
+						Workload:     nw.Name,
+						Workers:      p,
+						NonDedicated: mode,
+						Tp:           rep.Tp,
+						Chunks:       rep.Chunks,
+						Replans:      rep.Replans,
+						Imbalance:    rep.CompImbalance(),
+						MeanWait:     rep.MeanWait(),
+						MeanComm:     rep.MeanComm(),
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func runOne(c sim.Cluster, name string, w workload.Workload, p sim.Params) (metrics.Report, error) {
+	switch name {
+	case TreeSName:
+		return tree.Run(c, tree.Options{Weighted: true}, w, p)
+	case AFSName:
+		return affinity.Run(c, affinity.Options{Weighted: true}, w, p)
+	}
+	s, err := sched.Lookup(name)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+	return sim.Run(c, s, w, p)
+}
+
+// Recommendation ranks schemes for one concrete (cluster, workload)
+// pair — the capacity-planning question "which scheme should I run?".
+type Recommendation struct {
+	Scheme    string
+	Tp        float64
+	Chunks    int
+	Imbalance float64
+}
+
+// Recommend runs every named scheme on the given cluster and workload
+// and returns them ranked by parallel time (best first).
+func Recommend(c sim.Cluster, schemes []string, w workload.Workload, p sim.Params) ([]Recommendation, error) {
+	if len(schemes) == 0 {
+		return nil, fmt.Errorf("sweep: no schemes to rank")
+	}
+	var out []Recommendation
+	for _, name := range schemes {
+		rep, err := runOne(c, name, w, p)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, Recommendation{
+			Scheme:    name,
+			Tp:        rep.Tp,
+			Chunks:    rep.Chunks,
+			Imbalance: rep.CompImbalance(),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Tp < out[j].Tp })
+	return out, nil
+}
+
+// TrialSummary aggregates one cell's parallel time over repeated
+// randomised workload instances.
+type TrialSummary struct {
+	Scheme       string
+	Workload     string
+	Workers      int
+	NonDedicated bool
+	Tp           stats.Summary
+}
+
+// RunTrials repeats the matrix over `trials` workload instances (gen
+// builds the instance set for each trial — typically the same
+// generators with different seeds) and returns per-cell summaries with
+// confidence intervals.
+func RunTrials(cfg Config, gen func(trial int) []NamedWorkload, trials int) ([]TrialSummary, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("sweep: need at least one trial")
+	}
+	if gen == nil {
+		return nil, fmt.Errorf("sweep: nil workload generator")
+	}
+	samples := map[Result][]float64{} // key with Tp zeroed
+	var order []Result
+	for trial := 0; trial < trials; trial++ {
+		cfg.Workloads = gen(trial)
+		results, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trial %d: %w", trial, err)
+		}
+		for _, r := range results {
+			key := Result{Scheme: r.Scheme, Workload: r.Workload,
+				Workers: r.Workers, NonDedicated: r.NonDedicated}
+			if _, seen := samples[key]; !seen {
+				order = append(order, key)
+			}
+			samples[key] = append(samples[key], r.Tp)
+		}
+	}
+	out := make([]TrialSummary, 0, len(order))
+	for _, key := range order {
+		out = append(out, TrialSummary{
+			Scheme:       key.Scheme,
+			Workload:     key.Workload,
+			Workers:      key.Workers,
+			NonDedicated: key.NonDedicated,
+			Tp:           stats.Summarize(samples[key]),
+		})
+	}
+	return out, nil
+}
+
+// FormatTrials renders trial summaries, flagging the per-cell winner
+// and whether it is statistically significant (Welch, 95%) against
+// the runner-up.
+func FormatTrials(summaries []TrialSummary) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tp\tmode\tscheme\tTp")
+	type cellKey struct {
+		w    string
+		p    int
+		mode bool
+	}
+	best := map[cellKey]*TrialSummary{}
+	second := map[cellKey]*TrialSummary{}
+	for i := range summaries {
+		s := &summaries[i]
+		k := cellKey{s.Workload, s.Workers, s.NonDedicated}
+		switch {
+		case best[k] == nil || s.Tp.Mean < best[k].Tp.Mean:
+			second[k] = best[k]
+			best[k] = s
+		case second[k] == nil || s.Tp.Mean < second[k].Tp.Mean:
+			second[k] = s
+		}
+	}
+	for i := range summaries {
+		s := &summaries[i]
+		k := cellKey{s.Workload, s.Workers, s.NonDedicated}
+		mode := "ded"
+		if s.NonDedicated {
+			mode = "non"
+		}
+		marker := ""
+		if best[k] == s {
+			marker = " ←best"
+			if second[k] != nil && stats.SignificantlyFaster(s.Tp, second[k].Tp) {
+				marker = " ←best*"
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s%s\n",
+			s.Workload, s.Workers, mode, s.Scheme, s.Tp, marker)
+	}
+	tw.Flush()
+	sb.WriteString("(* = significantly faster than the runner-up at 95%)\n")
+	return sb.String()
+}
+
+// WriteCSV emits the results with a header row.
+func WriteCSV(w io.Writer, results []Result) error {
+	if _, err := fmt.Fprintln(w, "scheme,workload,workers,nondedicated,tp,chunks,replans,imbalance,meanwait,meancomm"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%t,%.6f,%d,%d,%.4f,%.6f,%.6f\n",
+			r.Scheme, r.Workload, r.Workers, r.NonDedicated, r.Tp,
+			r.Chunks, r.Replans, r.Imbalance, r.MeanWait, r.MeanComm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Wins counts, per scheme, how many comparison cells it wins (lowest
+// T_p). Ties award every tied scheme.
+func Wins(results []Result) map[string]int {
+	best := map[cell]float64{}
+	for _, r := range results {
+		c := cell{r.Workload, r.Workers, r.NonDedicated}
+		if v, ok := best[c]; !ok || r.Tp < v {
+			best[c] = r.Tp
+		}
+	}
+	wins := map[string]int{}
+	for _, r := range results {
+		c := cell{r.Workload, r.Workers, r.NonDedicated}
+		if r.Tp <= best[c]+1e-12 {
+			wins[r.Scheme]++
+		}
+	}
+	return wins
+}
+
+// FormatTable renders the results grouped by cell, one scheme column
+// each, with a final wins summary.
+func FormatTable(results []Result) string {
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 4, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tp\tmode\tscheme\tTp(s)\tchunks\timbalance\twait\tcomm")
+	for _, r := range results {
+		mode := "ded"
+		if r.NonDedicated {
+			mode = "non"
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.3f\t%d\t%.2f\t%.3f\t%.3f\n",
+			r.Workload, r.Workers, mode, r.Scheme, r.Tp, r.Chunks,
+			r.Imbalance, r.MeanWait, r.MeanComm)
+	}
+	tw.Flush()
+
+	wins := Wins(results)
+	names := make([]string, 0, len(wins))
+	for n := range wins {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if wins[names[i]] != wins[names[j]] {
+			return wins[names[i]] > wins[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	sb.WriteString("\nwins (lowest Tp per workload × p × mode):\n")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "  %-8s %d\n", n, wins[n])
+	}
+	return sb.String()
+}

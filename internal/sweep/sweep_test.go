@@ -1,0 +1,209 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"loopsched/internal/experiments"
+	"loopsched/internal/sim"
+	"loopsched/internal/workload"
+)
+
+// experimentsCluster aliases the shared paper-testbed builder.
+func experimentsCluster(p int, nondedicated bool) sim.Cluster {
+	return experiments.Cluster(p, nondedicated)
+}
+
+func smallConfig() Config {
+	return Config{
+		Schemes: []string{"TSS", "DTSS", TreeSName},
+		Workers: []int{2, 4},
+		Modes:   []bool{false, true},
+		Workloads: []NamedWorkload{
+			{Name: "uniform", W: workload.Uniform{N: 1000}},
+			{Name: "ramp", W: workload.LinearIncreasing{N: 800}},
+		},
+		Params: sim.Params{BaseRate: 1e5, BytesPerIter: 2},
+	}
+}
+
+func TestRunMatrix(t *testing.T) {
+	results, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * 2 * 2 * 2 // schemes × workers × modes × workloads
+	if len(results) != want {
+		t.Fatalf("%d results, want %d", len(results), want)
+	}
+	for _, r := range results {
+		if r.Tp <= 0 {
+			t.Errorf("%+v: non-positive Tp", r)
+		}
+		if r.Chunks < 1 {
+			t.Errorf("%+v: no chunks", r)
+		}
+	}
+	// Deterministic ordering: first block is the uniform workload at
+	// p=2 dedicated, schemes in config order.
+	if results[0].Scheme != "TSS" || results[0].Workload != "uniform" ||
+		results[0].Workers != 2 || results[0].NonDedicated {
+		t.Errorf("ordering broken: %+v", results[0])
+	}
+	if results[1].Scheme != "DTSS" || results[2].Scheme != TreeSName {
+		t.Errorf("scheme order broken: %+v, %+v", results[1], results[2])
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := smallConfig()
+	bad.Schemes = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty schemes accepted")
+	}
+	bad = smallConfig()
+	bad.Schemes = []string{"NOPE"}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Run(bad); err == nil {
+		t.Error("Run accepted invalid config")
+	}
+}
+
+func TestWins(t *testing.T) {
+	results := []Result{
+		{Scheme: "A", Workload: "w", Workers: 2, Tp: 1.0},
+		{Scheme: "B", Workload: "w", Workers: 2, Tp: 2.0},
+		{Scheme: "A", Workload: "w", Workers: 4, Tp: 3.0},
+		{Scheme: "B", Workload: "w", Workers: 4, Tp: 3.0}, // tie
+	}
+	wins := Wins(results)
+	if wins["A"] != 2 || wins["B"] != 1 {
+		t.Errorf("wins = %v", wins)
+	}
+}
+
+func TestRunTrials(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Schemes = []string{"TSS", "DTSS"}
+	cfg.Workers = []int{4}
+	cfg.Modes = []bool{true}
+	gen := func(trial int) []NamedWorkload {
+		return []NamedWorkload{
+			{Name: "random", W: workload.NewRandom(600, 3, 1, int64(trial))},
+		}
+	}
+	summaries, err := RunTrials(cfg, gen, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(summaries) != 2 {
+		t.Fatalf("%d summaries", len(summaries))
+	}
+	for _, s := range summaries {
+		if s.Tp.N != 6 {
+			t.Errorf("%s: %d samples", s.Scheme, s.Tp.N)
+		}
+		if s.Tp.Mean <= 0 || s.Tp.StdDev < 0 {
+			t.Errorf("%s: %+v", s.Scheme, s.Tp)
+		}
+		// Different seeds must actually vary the workload.
+		if s.Tp.Min == s.Tp.Max {
+			t.Errorf("%s: no variance across trials", s.Scheme)
+		}
+	}
+	out := FormatTrials(summaries)
+	if !strings.Contains(out, "←best") || !strings.Contains(out, "n=6") {
+		t.Errorf("trial table:\n%s", out)
+	}
+	// Error paths.
+	if _, err := RunTrials(cfg, gen, 0); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunTrials(cfg, nil, 3); err == nil {
+		t.Error("nil generator accepted")
+	}
+}
+
+func TestRunAFS(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Schemes = []string{AFSName}
+	results, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Scheme != AFSName || r.Tp <= 0 {
+			t.Errorf("AFS row %+v", r)
+		}
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	c := experimentsCluster(8, true)
+	recs, err := Recommend(c, []string{"TSS", "DTSS", TreeSName},
+		workload.LinearDecreasing{N: 2000}, sim.Params{BaseRate: 1e5, BytesPerIter: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d recommendations", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Tp < recs[i-1].Tp {
+			t.Errorf("ranking unsorted: %+v", recs)
+		}
+	}
+	// On a loaded heterogeneous cluster the simple scheme must not win.
+	if recs[0].Scheme == "TSS" {
+		t.Errorf("TSS won on a loaded cluster: %+v", recs)
+	}
+	if _, err := Recommend(c, nil, workload.Uniform{N: 10}, sim.Params{}); err == nil {
+		t.Error("empty candidate list accepted")
+	}
+	if _, err := Recommend(c, []string{"NOPE"}, workload.Uniform{N: 10}, sim.Params{}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestWriteCSVAndFormat(t *testing.T) {
+	results, err := Run(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(results)+1 {
+		t.Fatalf("%d CSV lines for %d results", len(lines), len(results))
+	}
+	if !strings.HasPrefix(lines[0], "scheme,workload,") {
+		t.Errorf("header: %q", lines[0])
+	}
+
+	table := FormatTable(results)
+	for _, want := range []string{"workload", "wins", "TSS", "DTSS", "TreeS", "uniform", "ramp"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

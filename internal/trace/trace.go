@@ -1,0 +1,207 @@
+// Package trace records chunk-level execution traces of a scheduled
+// loop: which worker computed which iteration range, and when. Traces
+// power the ASCII Gantt view of cmd/loopsched, utilization analysis,
+// and cross-checking invariants in tests (every iteration appears in
+// exactly one traced chunk).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is one chunk's lifecycle on a worker.
+type Event struct {
+	// Worker is the executing slave (0-based).
+	Worker int
+	// Start/Size identify the iteration range [Start, Start+Size).
+	Start, Size int
+	// Begin/End bound the chunk's computation, in seconds.
+	Begin, End float64
+	// ACP is the worker's reported available computing power at
+	// request time (0 when the scheme is not distributed).
+	ACP int
+}
+
+// Trace accumulates events; safe for concurrent Add.
+type Trace struct {
+	Scheme   string
+	Workload string
+	Workers  int
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Add appends one event.
+func (t *Trace) Add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events, ordered by Begin.
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]Event(nil), t.events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Begin != out[j].Begin {
+			return out[i].Begin < out[j].Begin
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Span returns the trace's time extent (earliest Begin, latest End).
+func (t *Trace) Span() (begin, end float64) {
+	evs := t.Events()
+	if len(evs) == 0 {
+		return 0, 0
+	}
+	begin = math.Inf(1)
+	for _, e := range evs {
+		if e.Begin < begin {
+			begin = e.Begin
+		}
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return begin, end
+}
+
+// CoverageError verifies that the traced chunks tile [0, iterations)
+// exactly once; it returns nil when they do. Tests use it to
+// cross-check schedulers against their own reports.
+func (t *Trace) CoverageError(iterations int) error {
+	seen := make([]int, iterations)
+	for _, e := range t.Events() {
+		if e.Size < 0 || e.Start < 0 || e.Start+e.Size > iterations {
+			return fmt.Errorf("trace: chunk %+v out of range", e)
+		}
+		for i := e.Start; i < e.Start+e.Size; i++ {
+			seen[i]++
+		}
+	}
+	for i, n := range seen {
+		if n != 1 {
+			return fmt.Errorf("trace: iteration %d executed %d times", i, n)
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the events as comma-separated rows with a header.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "worker,start,size,begin,end,acp"); err != nil {
+		return err
+	}
+	for _, e := range t.Events() {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.6f,%.6f,%d\n",
+			e.Worker, e.Start, e.Size, e.Begin, e.End, e.ACP); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gantt renders an ASCII chart, one row per worker, `width` columns
+// spanning the trace: '#' marks computing, '.' idle. Chunk boundaries
+// inside a busy stretch alternate '#' and '='.
+func (t *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	begin, end := t.Span()
+	if end <= begin {
+		return "(empty trace)\n"
+	}
+	rows := make([][]byte, t.Workers)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	col := func(ts float64) int {
+		c := int(float64(width) * (ts - begin) / (end - begin))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	marks := []byte{'#', '='}
+	count := make([]int, t.Workers)
+	for _, e := range t.Events() {
+		if e.Worker < 0 || e.Worker >= t.Workers {
+			continue
+		}
+		m := marks[count[e.Worker]%2]
+		count[e.Worker]++
+		for c := col(e.Begin); c <= col(e.End); c++ {
+			rows[e.Worker][c] = m
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Gantt %s on %s — %.2fs span, one row per PE\n", t.Scheme, t.Workload, end-begin)
+	for i, r := range rows {
+		fmt.Fprintf(&sb, "PE%-2d |%s|\n", i+1, r)
+	}
+	return sb.String()
+}
+
+// Utilization returns, for each of `buckets` equal time slices, the
+// fraction of workers computing (overlap-weighted, in [0, 1]).
+func (t *Trace) Utilization(buckets int) []float64 {
+	if buckets < 1 {
+		buckets = 1
+	}
+	out := make([]float64, buckets)
+	begin, end := t.Span()
+	if end <= begin || t.Workers == 0 {
+		return out
+	}
+	bucketLen := (end - begin) / float64(buckets)
+	for _, e := range t.Events() {
+		for b := 0; b < buckets; b++ {
+			lo := begin + float64(b)*bucketLen
+			hi := lo + bucketLen
+			overlap := math.Min(e.End, hi) - math.Max(e.Begin, lo)
+			if overlap > 0 {
+				out[b] += overlap / (bucketLen * float64(t.Workers))
+			}
+		}
+	}
+	for b := range out {
+		if out[b] > 1 {
+			out[b] = 1 // overlapping same-worker chunks can't exceed 1
+		}
+	}
+	return out
+}
+
+// MeanUtilization is the overall computing fraction across the span.
+func (t *Trace) MeanUtilization() float64 {
+	begin, end := t.Span()
+	if end <= begin || t.Workers == 0 {
+		return 0
+	}
+	var busy float64
+	for _, e := range t.Events() {
+		busy += e.End - e.Begin
+	}
+	return busy / ((end - begin) * float64(t.Workers))
+}

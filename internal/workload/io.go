@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCosts persists a workload's per-iteration costs as a two-column
+// CSV with a header, the interchange format for bringing measured
+// profiles into (or out of) the scheduler — the distributed analogue
+// of Figure 1's data series.
+func WriteCosts(w io.Writer, wl Workload) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "iteration,cost"); err != nil {
+		return err
+	}
+	for i := 0; i < wl.Len(); i++ {
+		if _, err := fmt.Fprintf(bw, "%d,%g\n", i, wl.Cost(i)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCosts loads a profile written by WriteCosts (or any CSV whose
+// rows are "iteration,cost"). Iterations must appear in order,
+// starting at 0, with no gaps — the loader validates because a
+// permuted file silently changes what the schedulers see.
+func ReadCosts(r io.Reader, label string) (FromCosts, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024), 1024*1024)
+	var costs []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(strings.ToLower(text), "iteration") {
+			continue // header
+		}
+		parts := strings.SplitN(text, ",", 2)
+		if len(parts) != 2 {
+			return FromCosts{}, fmt.Errorf("workload: line %d: want \"iteration,cost\", got %q", line, text)
+		}
+		idx, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return FromCosts{}, fmt.Errorf("workload: line %d: bad iteration %q", line, parts[0])
+		}
+		if idx != len(costs) {
+			return FromCosts{}, fmt.Errorf("workload: line %d: iteration %d out of order (want %d)", line, idx, len(costs))
+		}
+		cost, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return FromCosts{}, fmt.Errorf("workload: line %d: bad cost %q", line, parts[1])
+		}
+		if cost < 0 {
+			return FromCosts{}, fmt.Errorf("workload: line %d: negative cost %g", line, cost)
+		}
+		costs = append(costs, cost)
+	}
+	if err := sc.Err(); err != nil {
+		return FromCosts{}, err
+	}
+	return FromCosts{Label: label, Costs: costs}, nil
+}

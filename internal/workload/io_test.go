@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCostsRoundTrip(t *testing.T) {
+	orig := LinearIncreasing{N: 50}
+	var sb strings.Builder
+	if err := WriteCosts(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCosts(strings.NewReader(sb.String()), "loaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 || got.Name() != "loaded" {
+		t.Fatalf("loaded %d iterations as %q", got.Len(), got.Name())
+	}
+	for i := 0; i < 50; i++ {
+		if got.Cost(i) != orig.Cost(i) {
+			t.Fatalf("cost %d: %g vs %g", i, got.Cost(i), orig.Cost(i))
+		}
+	}
+}
+
+func TestReadCostsValidation(t *testing.T) {
+	cases := map[string]string{
+		"garbage row":   "iteration,cost\nhello\n",
+		"bad index":     "iteration,cost\nx,1\n",
+		"bad cost":      "iteration,cost\n0,x\n",
+		"negative cost": "iteration,cost\n0,-1\n",
+		"out of order":  "iteration,cost\n1,5\n0,3\n",
+		"gap":           "iteration,cost\n0,5\n2,3\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCosts(strings.NewReader(input), "x"); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Headerless files and blank lines are fine.
+	w, err := ReadCosts(strings.NewReader("0,1.5\n\n1,2.5\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 || w.Cost(1) != 2.5 {
+		t.Errorf("headerless parse: %+v", w)
+	}
+	// Empty input yields an empty (valid) workload.
+	e, err := ReadCosts(strings.NewReader(""), "empty")
+	if err != nil || e.Len() != 0 {
+		t.Errorf("empty input: %v %d", err, e.Len())
+	}
+}

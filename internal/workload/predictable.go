@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Section 2.1 distinguishes three difficulty classes: loops whose
+// iteration costs are known at compile time, *predictable* loops whose
+// costs can be ordered (even if not known exactly), and irregular
+// loops that cannot be ordered. This file supports the middle class:
+// when an ordering is available, scheduling the costliest iterations
+// first shrinks the critical chunk — the classic longest-processing-
+// time heuristic — and composes with every self-scheduling scheme.
+
+// SortDescending reorders a workload so iterations run costliest
+// first. The permutation is stable for equal costs, keeping runs
+// deterministic.
+func SortDescending(w Workload) Reordered {
+	n := w.Len()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return w.Cost(perm[a]) > w.Cost(perm[b])
+	})
+	return Reordered{Base: w, Perm: perm, Sf: 0}
+}
+
+// Random is a reproducible random-cost loop: costs are log-normal
+// (heavy-tailed, like real irregular kernels), drawn once at
+// construction from the seed.
+type Random struct {
+	n     int
+	seed  int64
+	costs []float64
+}
+
+// NewRandom builds a Random workload of n iterations whose log-costs
+// are normal with the given mean and sigma (natural log space).
+// sigma 0 selects 1.
+func NewRandom(n int, mean, sigma float64, seed int64) *Random {
+	if sigma <= 0 {
+		sigma = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = math.Exp(mean + sigma*rng.NormFloat64())
+	}
+	return &Random{n: n, seed: seed, costs: costs}
+}
+
+func (r *Random) Name() string       { return fmt.Sprintf("random(%d,seed=%d)", r.n, r.seed) }
+func (r *Random) Len() int           { return r.n }
+func (r *Random) Cost(i int) float64 { return r.costs[i] }
+
+// NewAutocorrelated builds an AR(1) cost series: successive iteration
+// costs are correlated with coefficient rho ∈ (−1, 1), so expensive
+// regions cluster — the structure that makes contiguous chunks
+// dangerous and the sampling reorder valuable. Costs are exp() of the
+// AR(1) process (positive, heavy-tailed), scaled so the mean is
+// roughly e^mean.
+func NewAutocorrelated(n int, mean, sigma, rho float64, seed int64) *Random {
+	if sigma <= 0 {
+		sigma = 1
+	}
+	if rho <= -1 || rho >= 1 {
+		rho = 0.9
+	}
+	rng := rand.New(rand.NewSource(seed))
+	costs := make([]float64, n)
+	// Innovation variance chosen so the process variance is sigma².
+	innov := sigma * math.Sqrt(1-rho*rho)
+	x := rng.NormFloat64() * sigma
+	for i := range costs {
+		costs[i] = math.Exp(mean + x)
+		x = rho*x + innov*rng.NormFloat64()
+	}
+	return &Random{n: n, seed: seed, costs: costs}
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSortDescending(t *testing.T) {
+	w := FromCosts{Costs: []float64{3, 9, 1, 9, 5}}
+	d := SortDescending(w)
+	if d.Len() != 5 {
+		t.Fatalf("len %d", d.Len())
+	}
+	// Costs non-increasing.
+	for i := 1; i < d.Len(); i++ {
+		if d.Cost(i) > d.Cost(i-1) {
+			t.Fatalf("not descending at %d: %v", i, d.Perm)
+		}
+	}
+	// Stable for ties: the first 9 (index 1) precedes the second (3).
+	if d.Perm[0] != 1 || d.Perm[1] != 3 {
+		t.Errorf("tie order not stable: %v", d.Perm)
+	}
+	// Still a permutation with the same total.
+	if math.Abs(TotalCost(d)-TotalCost(w)) > 1e-12 {
+		t.Errorf("total changed: %g vs %g", TotalCost(d), TotalCost(w))
+	}
+	seen := map[int]bool{}
+	for _, v := range d.Perm {
+		if seen[v] {
+			t.Fatalf("duplicate %d in perm", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandomWorkload(t *testing.T) {
+	a := NewRandom(1000, 2, 0.8, 7)
+	b := NewRandom(1000, 2, 0.8, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Cost(i) != b.Cost(i) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a.Cost(i) <= 0 {
+			t.Fatalf("non-positive cost at %d", i)
+		}
+	}
+	c := NewRandom(1000, 2, 0.8, 8)
+	same := true
+	for i := 0; i < 1000; i++ {
+		if a.Cost(i) != c.Cost(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical costs")
+	}
+	// Log-normal: heavy-tailed, max well above mean.
+	st := Describe(a, 0)
+	if st.Max < 3*st.Mean {
+		t.Errorf("tail too light: max %g mean %g", st.Max, st.Mean)
+	}
+	if (&Random{}).Len() != 0 {
+		t.Error("zero Random not empty")
+	}
+	if NewRandom(3, 0, 0, 1).Len() != 3 { // sigma default path
+		t.Error("sigma default broken")
+	}
+}
+
+// TestAutocorrelated: AR(1) costs are positive, reproducible, and the
+// clustering actually happens — the lag-1 sample autocorrelation of
+// the log-costs is near rho, and the sampling reorder flattens the
+// windowed imbalance far more than it does for independent costs.
+func TestAutocorrelated(t *testing.T) {
+	const n = 4000
+	w := NewAutocorrelated(n, 2, 1, 0.95, 5)
+	again := NewAutocorrelated(n, 2, 1, 0.95, 5)
+	for i := 0; i < n; i++ {
+		if w.Cost(i) <= 0 {
+			t.Fatalf("non-positive cost at %d", i)
+		}
+		if w.Cost(i) != again.Cost(i) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	// Lag-1 autocorrelation of log-costs ≈ rho.
+	logs := make([]float64, n)
+	var mean float64
+	for i := range logs {
+		logs[i] = math.Log(w.Cost(i))
+		mean += logs[i]
+	}
+	mean /= n
+	var num, den float64
+	for i := 0; i < n-1; i++ {
+		num += (logs[i] - mean) * (logs[i+1] - mean)
+	}
+	for i := 0; i < n; i++ {
+		den += (logs[i] - mean) * (logs[i] - mean)
+	}
+	if r := num / den; r < 0.85 || r > 1.0 {
+		t.Errorf("lag-1 autocorrelation %.3f, want ≈0.95", r)
+	}
+	// The reorder flattens clustered costs dramatically.
+	before := Describe(w, n/16).WindowCV
+	after := Describe(Reorder(w, 8), n/16).WindowCV
+	if after >= before/2 {
+		t.Errorf("reorder too weak on clustered costs: %.3f → %.3f", before, after)
+	}
+	// Degenerate rho falls back.
+	if NewAutocorrelated(10, 0, 1, 2, 1).Len() != 10 {
+		t.Error("rho fallback broken")
+	}
+}
+
+// TestLPTShrinksCriticalChunk: longest-first ordering puts the cheap
+// iterations at the tail, so the last chunk of a decreasing-chunk
+// scheme carries less work.
+func TestLPTShrinksCriticalChunk(t *testing.T) {
+	w := NewRandom(2000, 3, 1, 11)
+	lastQuarter := func(v Workload) float64 {
+		return RangeCost(v, 3*v.Len()/4, v.Len())
+	}
+	if lastQuarter(SortDescending(w)) >= lastQuarter(w) {
+		t.Errorf("LPT did not lighten the tail: %g vs %g",
+			lastQuarter(SortDescending(w)), lastQuarter(w))
+	}
+}

@@ -1,0 +1,64 @@
+package workload
+
+import "fmt"
+
+// SamplingPermutation returns the iteration reordering of section 2.1:
+// for sampling frequency sf, the loop is scanned sf times, first
+// taking iterations with i mod sf == 0, then i mod sf == 1, and so on,
+// concatenating the samples. perm[k] is the original index of the
+// iteration executed k-th. sf ≤ 1 is the identity.
+func SamplingPermutation(n, sf int) []int {
+	perm := make([]int, 0, n)
+	if sf < 1 {
+		sf = 1
+	}
+	for r := 0; r < sf; r++ {
+		for i := r; i < n; i += sf {
+			perm = append(perm, i)
+		}
+	}
+	return perm
+}
+
+// Reordered presents a workload through a permutation: iteration k of
+// the reordered loop is iteration Perm[k] of the original. Because
+// loop iterations are independent, executing the reordered loop
+// produces the same results; the permutation only smooths the cost
+// profile seen by consecutive chunks (Figure 1(b) of the paper).
+type Reordered struct {
+	Base Workload
+	Perm []int
+	Sf   int // informational: the sampling frequency that built Perm
+}
+
+// Reorder applies the sampling reorder with frequency sf.
+func Reorder(w Workload, sf int) Reordered {
+	return Reordered{Base: w, Perm: SamplingPermutation(w.Len(), sf), Sf: sf}
+}
+
+func (r Reordered) Name() string {
+	return fmt.Sprintf("%s/sf=%d", r.Base.Name(), r.Sf)
+}
+
+func (r Reordered) Len() int { return len(r.Perm) }
+
+func (r Reordered) Cost(i int) float64 { return r.Base.Cost(r.Perm[i]) }
+
+// Original returns the base-loop index of reordered iteration i, which
+// executors need to write results to the right place.
+func (r Reordered) Original(i int) int { return r.Perm[i] }
+
+// OriginalIndexer is implemented by workloads whose iteration order
+// differs from the underlying problem's natural order.
+type OriginalIndexer interface {
+	Original(i int) int
+}
+
+// OriginalIndex maps a workload iteration to the underlying problem
+// index, unwrapping reorderings; for plain workloads it is identity.
+func OriginalIndex(w Workload, i int) int {
+	if o, ok := w.(OriginalIndexer); ok {
+		return o.Original(i)
+	}
+	return i
+}

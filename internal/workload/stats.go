@@ -1,0 +1,75 @@
+package workload
+
+import "math"
+
+// Stats summarises a cost profile; the Figure 1 harness uses it to
+// show how sampling reordering flattens the Mandelbrot distribution.
+type Stats struct {
+	N        int
+	Total    float64
+	Mean     float64
+	Min, Max float64
+	StdDev   float64
+	// WindowCV is the coefficient of variation of window sums — the
+	// imbalance a contiguous-chunk scheduler actually experiences.
+	WindowCV float64
+}
+
+// Describe computes Stats with the given window size (≤ 0 picks
+// N/16, minimum 1).
+func Describe(w Workload, window int) Stats {
+	n := w.Len()
+	s := Stats{N: n, Min: math.Inf(1), Max: math.Inf(-1)}
+	if n == 0 {
+		s.Min, s.Max = 0, 0
+		return s
+	}
+	for i := 0; i < n; i++ {
+		c := w.Cost(i)
+		s.Total += c
+		if c < s.Min {
+			s.Min = c
+		}
+		if c > s.Max {
+			s.Max = c
+		}
+	}
+	s.Mean = s.Total / float64(n)
+	var varSum float64
+	for i := 0; i < n; i++ {
+		d := w.Cost(i) - s.Mean
+		varSum += d * d
+	}
+	s.StdDev = math.Sqrt(varSum / float64(n))
+
+	if window <= 0 {
+		window = n / 16
+		if window < 1 {
+			window = 1
+		}
+	}
+	var sums []float64
+	for start := 0; start < n; start += window {
+		end := start + window
+		if end > n {
+			end = n
+		}
+		sums = append(sums, RangeCost(w, start, end)/float64(end-start))
+	}
+	if len(sums) > 1 {
+		var wm, wv float64
+		for _, v := range sums {
+			wm += v
+		}
+		wm /= float64(len(sums))
+		for _, v := range sums {
+			d := v - wm
+			wv += d * d
+		}
+		wv /= float64(len(sums))
+		if wm > 0 {
+			s.WindowCV = math.Sqrt(wv) / wm
+		}
+	}
+	return s
+}

@@ -1,0 +1,135 @@
+// Package workload generates the parallel-loop styles of section 2.1
+// of the paper: uniform, linearly increasing/decreasing, conditional,
+// and irregular (cost profiles supplied by a kernel such as the
+// Mandelbrot computation). A Workload maps each iteration to its cost
+// in abstract work units; schedulers never look at costs (that is the
+// point of *self*-scheduling), but the simulator and the metrics do.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload describes a parallel loop: I independent iterations, each
+// with a (possibly unknown-to-the-scheduler) execution cost.
+type Workload interface {
+	// Name identifies the loop style in reports.
+	Name() string
+	// Len returns I, the iteration count.
+	Len() int
+	// Cost returns the work units of iteration i (0 ≤ i < Len).
+	Cost(i int) float64
+}
+
+// TotalCost sums every iteration's cost.
+func TotalCost(w Workload) float64 {
+	var t float64
+	for i := 0; i < w.Len(); i++ {
+		t += w.Cost(i)
+	}
+	return t
+}
+
+// RangeCost sums the costs of iterations [start, end).
+func RangeCost(w Workload, start, end int) float64 {
+	var t float64
+	for i := start; i < end; i++ {
+		t += w.Cost(i)
+	}
+	return t
+}
+
+// MaxCost returns the largest single-iteration cost (0 for an empty
+// loop).
+func MaxCost(w Workload) float64 {
+	var m float64
+	for i := 0; i < w.Len(); i++ {
+		if c := w.Cost(i); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Uniform is the uniformly distributed loop: every iteration costs the
+// same (the DOALL X[K] = X[K] + A example).
+type Uniform struct {
+	N int
+	C float64 // cost per iteration; 0 means 1
+}
+
+func (u Uniform) Name() string { return fmt.Sprintf("uniform(%d)", u.N) }
+func (u Uniform) Len() int     { return u.N }
+func (u Uniform) Cost(i int) float64 {
+	if u.C <= 0 {
+		return 1
+	}
+	return u.C
+}
+
+// LinearIncreasing is the increasing triangular loop: iteration K runs
+// an inner serial loop of K+1 steps.
+type LinearIncreasing struct{ N int }
+
+func (l LinearIncreasing) Name() string       { return fmt.Sprintf("linear-inc(%d)", l.N) }
+func (l LinearIncreasing) Len() int           { return l.N }
+func (l LinearIncreasing) Cost(i int) float64 { return float64(i + 1) }
+
+// LinearDecreasing is the decreasing triangular loop: iteration K runs
+// an inner serial loop of I−K steps.
+type LinearDecreasing struct{ N int }
+
+func (l LinearDecreasing) Name() string       { return fmt.Sprintf("linear-dec(%d)", l.N) }
+func (l LinearDecreasing) Len() int           { return l.N }
+func (l LinearDecreasing) Cost(i int) float64 { return float64(l.N - i) }
+
+// Conditional models the IF/ELSE loop: a deterministic pseudo-random
+// fraction PTrue of iterations execute Block1 (cost CTrue), the rest
+// Block2 (cost CFalse). The same Seed always produces the same loop.
+type Conditional struct {
+	N      int
+	PTrue  float64
+	CTrue  float64
+	CFalse float64
+	Seed   int64
+
+	costs []float64
+}
+
+// NewConditional materialises the iteration costs once.
+func NewConditional(n int, pTrue, cTrue, cFalse float64, seed int64) *Conditional {
+	c := &Conditional{N: n, PTrue: pTrue, CTrue: cTrue, CFalse: cFalse, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	c.costs = make([]float64, n)
+	for i := range c.costs {
+		if rng.Float64() < pTrue {
+			c.costs[i] = cTrue
+		} else {
+			c.costs[i] = cFalse
+		}
+	}
+	return c
+}
+
+func (c *Conditional) Name() string { return fmt.Sprintf("conditional(%d,p=%g)", c.N, c.PTrue) }
+func (c *Conditional) Len() int     { return c.N }
+func (c *Conditional) Cost(i int) float64 {
+	return c.costs[i]
+}
+
+// FromCosts wraps an explicit cost vector — how irregular kernels
+// (Mandelbrot columns) become workloads.
+type FromCosts struct {
+	Label string
+	Costs []float64
+}
+
+func (f FromCosts) Name() string {
+	if f.Label == "" {
+		return fmt.Sprintf("costs(%d)", len(f.Costs))
+	}
+	return f.Label
+}
+func (f FromCosts) Len() int           { return len(f.Costs) }
+func (f FromCosts) Cost(i int) float64 { return f.Costs[i] }

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	u := Uniform{N: 10}
+	if u.Len() != 10 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if u.Cost(i) != 1 {
+			t.Fatalf("Cost(%d) = %g", i, u.Cost(i))
+		}
+	}
+	if TotalCost(u) != 10 {
+		t.Errorf("TotalCost = %g", TotalCost(u))
+	}
+	u2 := Uniform{N: 5, C: 2.5}
+	if TotalCost(u2) != 12.5 {
+		t.Errorf("TotalCost = %g", TotalCost(u2))
+	}
+}
+
+func TestLinear(t *testing.T) {
+	inc := LinearIncreasing{N: 4}
+	dec := LinearDecreasing{N: 4}
+	// inc: 1 2 3 4; dec: 4 3 2 1 — mirror images with equal totals.
+	if TotalCost(inc) != 10 || TotalCost(dec) != 10 {
+		t.Fatalf("totals %g %g", TotalCost(inc), TotalCost(dec))
+	}
+	for i := 0; i < 4; i++ {
+		if inc.Cost(i) != dec.Cost(3-i) {
+			t.Errorf("not mirrored at %d", i)
+		}
+	}
+	if MaxCost(inc) != 4 {
+		t.Errorf("MaxCost = %g", MaxCost(inc))
+	}
+}
+
+func TestConditionalDeterministic(t *testing.T) {
+	a := NewConditional(1000, 0.3, 10, 1, 42)
+	b := NewConditional(1000, 0.3, 10, 1, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Cost(i) != b.Cost(i) {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+	}
+	// Roughly 30% expensive iterations.
+	expensive := 0
+	for i := 0; i < 1000; i++ {
+		if a.Cost(i) == 10 {
+			expensive++
+		}
+	}
+	if expensive < 230 || expensive > 370 {
+		t.Errorf("expensive fraction %d/1000, want ≈300", expensive)
+	}
+}
+
+func TestSamplingPermutationIsPermutation(t *testing.T) {
+	f := func(n uint16, sf uint8) bool {
+		nn := int(n)%500 + 1
+		s := int(sf)%9 + 1
+		perm := SamplingPermutation(nn, s)
+		if len(perm) != nn {
+			return false
+		}
+		seen := make([]int, nn)
+		copy(seen, perm)
+		sort.Ints(seen)
+		for i, v := range seen {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplingPermutationOrder(t *testing.T) {
+	// The paper's scheme: first i mod sf == 0, then == 1, ...
+	got := SamplingPermutation(10, 4)
+	want := []int{0, 4, 8, 1, 5, 9, 2, 6, 3, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", got, want)
+		}
+	}
+	// sf=1 is identity.
+	id := SamplingPermutation(5, 1)
+	for i, v := range id {
+		if v != i {
+			t.Fatalf("sf=1 not identity: %v", id)
+		}
+	}
+}
+
+func TestReorderPreservesMultiset(t *testing.T) {
+	base := LinearIncreasing{N: 97}
+	r := Reorder(base, 4)
+	if r.Len() != 97 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if math.Abs(TotalCost(r)-TotalCost(base)) > 1e-9 {
+		t.Errorf("reorder changed total cost: %g vs %g", TotalCost(r), TotalCost(base))
+	}
+	// Original() must invert the view.
+	for i := 0; i < r.Len(); i++ {
+		if r.Cost(i) != base.Cost(r.Original(i)) {
+			t.Fatalf("cost/original mismatch at %d", i)
+		}
+	}
+	if OriginalIndex(r, 1) != 4 {
+		t.Errorf("OriginalIndex(r,1) = %d, want 4", OriginalIndex(r, 1))
+	}
+	if OriginalIndex(base, 7) != 7 {
+		t.Errorf("identity OriginalIndex = %d", OriginalIndex(base, 7))
+	}
+}
+
+// TestReorderFlattens: the sampling reorder must flatten *clustered*
+// irregularity — a Mandelbrot-style expensive interior region — which
+// is the entire purpose of Figure 1. (It deliberately does NOT help a
+// globally monotone ramp: each sample is itself a ramp.)
+func TestReorderFlattens(t *testing.T) {
+	costs := make([]float64, 1200)
+	for i := range costs {
+		costs[i] = 1
+		if i >= 500 && i < 700 { // the expensive hump
+			costs[i] = 50
+		}
+	}
+	base := FromCosts{Label: "hump", Costs: costs}
+	before := Describe(base, 150).WindowCV
+	after := Describe(Reorder(base, 4), 150).WindowCV
+	if after >= before {
+		t.Errorf("reorder did not flatten: CV %g → %g", before, after)
+	}
+	if after > before/3 {
+		t.Errorf("reorder too weak: CV %g → %g", before, after)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s := Describe(Uniform{N: 100}, 10)
+	if s.Mean != 1 || s.StdDev != 0 || s.Total != 100 || s.Min != 1 || s.Max != 1 {
+		t.Errorf("uniform stats: %+v", s)
+	}
+	if s.WindowCV != 0 {
+		t.Errorf("uniform WindowCV = %g", s.WindowCV)
+	}
+	empty := Describe(FromCosts{Costs: nil}, 0)
+	if empty.N != 0 || empty.Total != 0 {
+		t.Errorf("empty stats: %+v", empty)
+	}
+}
+
+func TestFromCosts(t *testing.T) {
+	f := FromCosts{Costs: []float64{3, 1, 2}}
+	if f.Len() != 3 || f.Cost(2) != 2 {
+		t.Errorf("FromCosts basic accessors broken")
+	}
+	if f.Name() != "costs(3)" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	g := FromCosts{Label: "mandel", Costs: []float64{1}}
+	if g.Name() != "mandel" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if RangeCost(f, 1, 3) != 3 {
+		t.Errorf("RangeCost = %g", RangeCost(f, 1, 3))
+	}
+}
