@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "artefact: table1, table2, table3, fig1, fig4, fig5, fig6, fig7, scaling, all")
+		run   = flag.String("run", "all", "artefact: table1, table2, table3, fig1, fig4, fig5, fig6, fig7, scaling, overlap, all")
 		small = flag.Bool("small", false, "use the scaled-down test configuration")
 		plot  = flag.Bool("plot", false, "render figures as terminal charts too")
 		out   = flag.String("out", "", "directory to write per-artefact text files into")
@@ -99,7 +99,7 @@ func main() {
 		return
 	}
 
-	artefacts := []string{"table1", "table2", "table3", "fig1", "fig4", "fig5", "fig6", "fig7", "scaling"}
+	artefacts := []string{"table1", "table2", "table3", "fig1", "fig4", "fig5", "fig6", "fig7", "scaling", "overlap"}
 	if *run != "all" {
 		artefacts = []string{*run}
 	}
@@ -214,6 +214,12 @@ func produce(name string, cfg experiments.Config, plot bool) (string, error) {
 			text += "\n" + metrics.PlotSpeedups(f.Title, f.Curves, 14)
 		}
 		return text, nil
+	case "overlap":
+		res, err := experiments.Overlap(cfg)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatOverlap(res), nil
 	default:
 		return "", fmt.Errorf("unknown artefact %q", name)
 	}

@@ -62,6 +62,8 @@ func main() {
 	}
 	fmt.Printf("master: %d columns in %d chunks, %.2fs, %d replans\n",
 		rep.Iterations, rep.Chunks, rep.Tp, rep.Replans)
+	fmt.Printf("master: mean per-PE comm %.2fs, wait %.2fs, idle %.2fs\n",
+		rep.MeanComm(), rep.MeanWait(), rep.MeanIdle())
 
 	p := loopsched.MandelbrotParams{
 		Region: loopsched.PaperRegion, Width: *width, Height: *height, MaxIter: *maxIter,

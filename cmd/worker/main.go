@@ -25,6 +25,7 @@ func main() {
 		height     = flag.Int("height", 900, "image height — must match the master")
 		maxIter    = flag.Int("maxiter", 200, "escape-time bound — must match the master")
 		probeOS    = flag.Bool("os-load", true, "report the host's real run queue (/proc/loadavg) as Q_i")
+		pipeline   = flag.Bool("pipeline", true, "prefetch the next chunk while computing (double-buffered protocol)")
 	)
 	flag.Parse()
 
@@ -35,6 +36,7 @@ func main() {
 		ID:           *id,
 		VirtualPower: *power,
 		WorkScale:    *scale,
+		Pipeline:     *pipeline,
 		ACPModel:     loopsched.ACPModel{Scale: 10},
 		Kernel: func(col int) []byte {
 			return loopsched.MandelbrotShadedColumn(p, col)

@@ -17,6 +17,17 @@ import (
 // call the master for work, piggy-backing the results of the previous
 // chunk on each request (§5's communication optimisation), and the
 // master replies with an iteration interval or a stop flag.
+//
+// On top of the paper's protocol the runtime supports a pipelined,
+// double-buffered mode (Worker.Pipeline): the slave requests chunk
+// k+1 while still computing chunk k, so the master round-trip and the
+// result transfer overlap with the kernel instead of serialising with
+// it. The master then tracks up to two outstanding assignments per
+// worker. See docs/PROTOCOL.md for the handshake.
+
+// maxOutstanding is the depth of the per-worker assignment ledger:
+// the chunk being computed plus one prefetched chunk.
+const maxOutstanding = 2
 
 // ChunkResult carries the output of one computed iteration back to
 // the master.
@@ -35,11 +46,27 @@ type ChunkArgs struct {
 	// chunk (0 on the first request) — the master derives the paper's
 	// per-PE T_comp/T_comm breakdown from it.
 	CompSeconds float64
+	// IdleSeconds is how long the worker's compute loop sat stalled
+	// waiting for the previous request to be answered. Serial workers
+	// leave it 0 (their whole round-trip is communication); pipelined
+	// workers report the prefetch-miss residue so the master can tell
+	// hidden communication from a genuine stall.
+	IdleSeconds float64
 	// Results are the outputs of the previously assigned chunk.
 	Results []ChunkResult
+	// Prefetch marks a double-buffered request: the worker is still
+	// computing its current chunk and wants the next one in advance.
+	// The master answers immediately — with a second assignment, or
+	// with an empty reply (Assign.Size == 0, Stop false) when nothing
+	// can be issued right now — and must not treat the worker's
+	// in-flight chunk as abandoned.
+	Prefetch bool
 }
 
-// ChunkReply is the master's answer.
+// ChunkReply is the master's answer. An empty reply (zero Assign, Stop
+// false) to a Prefetch request means "nothing to prefetch right now":
+// the worker should finish its current chunk and ask again without the
+// flag.
 type ChunkReply struct {
 	Assign sched.Assignment
 	Stop   bool
@@ -61,16 +88,16 @@ type Master struct {
 	liveACP     []int
 	planACP     []int
 	base        int
-	stopped     int
 	stoppedSet  []bool
 	results     [][]byte
 	got         []bool
 	received    int
 	chunks      int
 	replans     int
-	outstanding map[int]sched.Assignment // chunk in flight per worker
-	requeued    []sched.Assignment       // failed workers' chunks to re-issue
+	outstanding map[int][]sched.Assignment // chunks in flight per worker (≤ maxOutstanding)
+	requeued    []sched.Assignment         // failed workers' chunks to re-issue
 	failed      map[int]bool
+	parked      []bool // workers idling inside a held NextChunk call
 	lastSeen    []time.Time
 	lastReply   []time.Time
 	perWorker   []metrics.Times
@@ -98,8 +125,9 @@ func NewMaster(scheme sched.Scheme, iterations, workers int) (*Master, error) {
 		planACP:     make([]int, workers),
 		results:     make([][]byte, iterations),
 		got:         make([]bool, iterations),
-		outstanding: make(map[int]sched.Assignment),
+		outstanding: make(map[int][]sched.Assignment),
 		failed:      make(map[int]bool),
+		parked:      make([]bool, workers),
 		lastSeen:    make([]time.Time, workers),
 		lastReply:   make([]time.Time, workers),
 		perWorker:   make([]metrics.Times, workers),
@@ -117,6 +145,9 @@ func NewMaster(scheme sched.Scheme, iterations, workers int) (*Master, error) {
 			return nil, err
 		}
 		m.policy = pol
+	}
+	if iterations == 0 {
+		m.maybeFinish()
 	}
 	return m, nil
 }
@@ -164,28 +195,25 @@ func (m *Master) plan() error {
 }
 
 // NextChunk is the RPC the slaves call: deposit previous results, get
-// the next interval.
-func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) error {
+// the next interval (or, with Prefetch, the one after it).
+func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 	if args.Worker < 0 || args.Worker >= m.workers {
 		return fmt.Errorf("exec: unknown worker %d", args.Worker)
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := time.Now()
-	m.lastSeen[args.Worker] = now
-	// Per-PE breakdown: the worker reports its computation time; the
-	// rest of the reply-to-request turnaround is communication (the
-	// request/results transfer) from the master's point of view.
-	if args.CompSeconds > 0 {
-		m.perWorker[args.Worker].Comp += args.CompSeconds
-		if prev := m.lastReply[args.Worker]; !prev.IsZero() {
-			if gap := now.Sub(prev).Seconds() - args.CompSeconds; gap > 0 {
-				m.perWorker[args.Worker].Comm += gap
-			}
+	// Stamp the reply time only when a reply is actually produced: an
+	// errored call never reaches the worker's loop, so stamping it
+	// would corrupt the next request's communication gap.
+	defer func() {
+		if err == nil {
+			m.lastReply[args.Worker] = time.Now()
 		}
-	}
-	defer func() { m.lastReply[args.Worker] = time.Now() }()
+	}()
 
+	// Deposit piggy-backed results first — they are valid data even
+	// when the sender has since been declared dead.
 	for _, r := range args.Results {
 		if r.Index < 0 || r.Index >= m.iterations {
 			return fmt.Errorf("exec: result index %d out of range", r.Index)
@@ -196,6 +224,37 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) error {
 		}
 		m.results[r.Index] = r.Data
 	}
+	m.retireDelivered(args.Worker, !args.Prefetch)
+	m.checkDone()
+
+	// Resurrected-worker race: a worker declared dead that calls again
+	// was merely slow. Its chunks were requeued, so handing it more
+	// work would compute iterations twice; send it home, and keep it
+	// out of both the stopped and failed completion counters (it is
+	// already in failed).
+	if m.failed[args.Worker] {
+		reply.Stop = true
+		return nil
+	}
+
+	m.lastSeen[args.Worker] = now
+	// Per-PE breakdown: the worker reports computation and stall time;
+	// the rest of the reply-to-request turnaround is communication
+	// (request/result transfer) from the master's point of view. The
+	// gap is charged even for near-zero-duration chunks — only the
+	// very first request (no previous reply) has no gap to measure.
+	if args.CompSeconds > 0 {
+		m.perWorker[args.Worker].Comp += args.CompSeconds
+	}
+	if args.IdleSeconds > 0 {
+		m.perWorker[args.Worker].Idle += args.IdleSeconds
+	}
+	if prev := m.lastReply[args.Worker]; !prev.IsZero() {
+		if gap := now.Sub(prev).Seconds() - args.CompSeconds - args.IdleSeconds; gap > 0 {
+			m.perWorker[args.Worker].Comm += gap
+		}
+	}
+
 	m.liveACP[args.Worker] = args.ACP
 
 	if m.policy == nil { // distributed: gather all first reports
@@ -223,57 +282,154 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) error {
 		}
 	}
 
-	// The worker has delivered (or abandoned) its previous chunk.
-	delete(m.outstanding, args.Worker)
+	return m.assign(args, reply)
+}
 
-	// Chunks requeued from failed workers are re-issued before new
-	// policy assignments.
-	if len(m.requeued) > 0 {
+// assign hands the worker its next interval: requeued chunks before
+// fresh policy assignments. When the policy is drained, a prefetch
+// request gets an immediate empty reply, while a plain request parks
+// inside the call until the run completes or a failure requeues work —
+// so a late FailWorker always finds a live worker to absorb the chunk
+// (the lost-iterations fix). Callers hold mu.
+func (m *Master) assign(args ChunkArgs, reply *ChunkReply) error {
+	w := args.Worker
+	for {
+		select {
+		case <-m.done:
+			if !m.stoppedSet[w] {
+				m.stoppedSet[w] = true
+			}
+			reply.Stop = true
+			return nil
+		default:
+		}
+		if m.err != nil {
+			return m.err
+		}
+		if m.failed[w] { // failed while parked
+			reply.Stop = true
+			return nil
+		}
+		if len(m.outstanding[w]) >= maxOutstanding {
+			// Ledger full — only reachable on a prefetch from a worker
+			// that has not delivered yet. Empty reply: ask again later.
+			return nil
+		}
+		if a, ok := m.takeRequeued(); ok {
+			m.grant(w, a, reply)
+			return nil
+		}
+		if a, ok := m.policy.Next(sched.Request{Worker: w, ACP: float64(args.ACP)}); ok {
+			m.base = a.End()
+			m.grant(w, a, reply)
+			return nil
+		}
+		if args.Prefetch {
+			// Nothing to prefetch right now; the worker still has its
+			// current chunk to finish and deliver.
+			return nil
+		}
+		// The worker is idle with nothing in flight. Hold the call:
+		// either the run completes (Stop) or a failed worker's chunk
+		// is requeued and lands here.
+		m.parked[w] = true
+		m.ready.Wait()
+		m.parked[w] = false
+		m.lastSeen[w] = time.Now() // parked, not silent
+	}
+}
+
+// grant records an assignment in the outstanding ledger and fills the
+// reply; callers hold mu.
+func (m *Master) grant(w int, a sched.Assignment, reply *ChunkReply) {
+	m.outstanding[w] = append(m.outstanding[w], a)
+	m.chunks++
+	reply.Assign = a
+}
+
+// takeRequeued pops the next requeued chunk that still has undelivered
+// iterations (a failed worker may have delivered its chunk after the
+// requeue); callers hold mu.
+func (m *Master) takeRequeued() (sched.Assignment, bool) {
+	for len(m.requeued) > 0 {
 		a := m.requeued[0]
 		m.requeued = m.requeued[1:]
-		m.outstanding[args.Worker] = a
-		m.chunks++
-		reply.Assign = a
-		return nil
+		if !m.delivered(a) {
+			return a, true
+		}
 	}
+	return sched.Assignment{}, false
+}
 
-	a, ok := m.policy.Next(sched.Request{Worker: args.Worker, ACP: float64(args.ACP)})
-	if !ok {
-		reply.Stop = true
-		if !m.stoppedSet[args.Worker] {
-			m.stoppedSet[args.Worker] = true
-			m.stopped++
+// delivered reports whether every iteration of the assignment has been
+// received; callers hold mu.
+func (m *Master) delivered(a sched.Assignment) bool {
+	for i := a.Start; i < a.End(); i++ {
+		if !m.got[i] {
+			return false
 		}
-		if m.stopped+m.failedCount() >= m.workers {
-			m.maybeFinish()
-		}
-		return nil
 	}
-	m.base = a.End()
-	m.chunks++
-	m.outstanding[args.Worker] = a
-	reply.Assign = a
-	return nil
+	return true
+}
+
+// retireDelivered drops outstanding assignments the worker has fully
+// delivered. A non-prefetch request additionally declares the worker
+// has nothing left in flight: any still-undelivered chunk was
+// abandoned (e.g. the worker process restarted) and is requeued rather
+// than lost. Callers hold mu.
+func (m *Master) retireDelivered(w int, clearAll bool) {
+	out := m.outstanding[w]
+	if len(out) == 0 {
+		return
+	}
+	kept := out[:0]
+	for _, a := range out {
+		if !m.delivered(a) {
+			kept = append(kept, a)
+		}
+	}
+	if clearAll && len(kept) > 0 {
+		m.requeued = append(m.requeued, kept...)
+		m.ready.Broadcast() // a parked worker can pick these up
+		kept = kept[:0]
+	}
+	if len(kept) == 0 {
+		delete(m.outstanding, w)
+	} else {
+		m.outstanding[w] = kept
+	}
 }
 
 // failedCount is the number of workers declared dead; callers hold mu.
 func (m *Master) failedCount() int { return len(m.failed) }
 
-// maybeFinish closes done once; callers hold mu.
+// checkDone finishes the run when every result is in, or when no
+// worker is left to produce the missing ones; callers hold mu.
+func (m *Master) checkDone() {
+	if m.received >= m.iterations || m.failedCount() >= m.workers {
+		m.maybeFinish()
+	}
+}
+
+// maybeFinish closes done once and wakes parked workers so they can be
+// stopped; callers hold mu.
 func (m *Master) maybeFinish() {
 	select {
 	case <-m.done:
 	default:
 		m.finished = time.Now()
 		close(m.done)
+		if m.ready != nil {
+			m.ready.Broadcast()
+		}
 	}
 }
 
-// FailWorker declares a worker dead: its in-flight chunk (if any) is
-// requeued for the surviving workers, and it no longer counts toward
-// run completion. Call it when a slave's connection drops or a
-// heartbeat times out; the loop still completes as long as at least
-// one worker survives.
+// FailWorker declares a worker dead: its in-flight chunks (up to two
+// in pipelined mode) are requeued for the surviving workers, and it no
+// longer counts toward run completion. Call it when a slave's
+// connection drops or a heartbeat times out; the loop still completes
+// as long as at least one worker survives.
 func (m *Master) FailWorker(worker int) error {
 	if worker < 0 || worker >= m.workers {
 		return fmt.Errorf("exec: unknown worker %d", worker)
@@ -284,9 +440,9 @@ func (m *Master) FailWorker(worker int) error {
 		return nil // already accounted for
 	}
 	m.failed[worker] = true
-	if a, ok := m.outstanding[worker]; ok {
+	if out := m.outstanding[worker]; len(out) > 0 {
 		delete(m.outstanding, worker)
-		m.requeued = append(m.requeued, a)
+		m.requeued = append(m.requeued, out...)
 	}
 	// A worker that dies during the distributed gather must not stall
 	// the barrier.
@@ -296,11 +452,9 @@ func (m *Master) FailWorker(worker int) error {
 		if m.gathered >= m.workers {
 			m.err = m.plan()
 		}
-		m.ready.Broadcast()
 	}
-	if m.stopped+m.failedCount() >= m.workers {
-		m.maybeFinish()
-	}
+	m.checkDone()
+	m.ready.Broadcast() // wake parked workers: requeued work or all-failed finish
 	return nil
 }
 
@@ -319,6 +473,8 @@ func (m *Master) LastContact(worker int) (time.Time, error) {
 // checking every `interval`, until the run completes or stop is
 // closed. It runs in the calling goroutine; start it with `go`. This
 // turns FailWorker's manual requeue into automatic crash recovery.
+// Workers parked inside a held NextChunk call are alive by definition
+// and are never timed out.
 func (m *Master) WatchTimeouts(interval, timeout time.Duration, stop <-chan struct{}) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
@@ -333,7 +489,7 @@ func (m *Master) WatchTimeouts(interval, timeout time.Duration, stop <-chan stru
 			m.mu.Lock()
 			var stale []int
 			for w := 0; w < m.workers; w++ {
-				if !m.failed[w] && now.Sub(m.lastSeen[w]) > timeout {
+				if !m.failed[w] && !m.parked[w] && now.Sub(m.lastSeen[w]) > timeout {
 					stale = append(stale, w)
 				}
 			}
@@ -347,18 +503,36 @@ func (m *Master) WatchTimeouts(interval, timeout time.Duration, stop <-chan stru
 }
 
 // Outstanding returns the chunks currently in flight, keyed by worker.
-func (m *Master) Outstanding() map[int]sched.Assignment {
+// Pipelined workers can hold up to two entries: the chunk being
+// computed and the prefetched one.
+func (m *Master) Outstanding() map[int][]sched.Assignment {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[int]sched.Assignment, len(m.outstanding))
-	for w, a := range m.outstanding {
-		out[w] = a
+	out := make(map[int][]sched.Assignment, len(m.outstanding))
+	for w, as := range m.outstanding {
+		out[w] = append([]sched.Assignment(nil), as...)
 	}
 	return out
 }
 
-// Wait blocks until every worker has been stopped and returns the
-// collected per-iteration results plus a report.
+// Parked returns how many workers are currently idling inside a held
+// NextChunk call, waiting for requeued work or the end of the run.
+func (m *Master) Parked() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.parked {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// Wait blocks until the run completes — every iteration delivered, or
+// no live worker left to produce the missing ones — and returns the
+// collected per-iteration results plus a report. Missing results
+// surface as a non-nil error.
 func (m *Master) Wait() ([][]byte, metrics.Report, error) {
 	<-m.done
 	m.mu.Lock()
@@ -372,7 +546,7 @@ func (m *Master) Wait() ([][]byte, metrics.Report, error) {
 		Tp:         m.finished.Sub(m.started).Seconds(),
 		PerWorker:  append([]metrics.Times(nil), m.perWorker...),
 	}
-	// What is neither computing nor communicating is waiting.
+	// What is neither computing, communicating nor stalled is waiting.
 	for i := range rep.PerWorker {
 		if wait := rep.Tp - rep.PerWorker[i].Total(); wait > 0 {
 			rep.PerWorker[i].Wait = wait
@@ -397,13 +571,19 @@ type Worker struct {
 	// VirtualPower is the slave's V_i (≥ 1; 0 means 1).
 	VirtualPower float64
 	// LoadProbe returns the current external load (Q_i − 1); nil
-	// means unloaded.
+	// means unloaded. In pipelined mode it is called from the
+	// communication goroutine, concurrently with the kernel.
 	LoadProbe func() int
 	// ACPModel converts power and load into the reported ACP.
 	ACPModel acp.Model
 	// WorkScale repeats the kernel per iteration to emulate a slower
 	// machine (1 = full speed).
 	WorkScale int
+	// Pipeline enables the double-buffered protocol: the next chunk is
+	// prefetched and the previous results uploaded while the kernel
+	// runs, hiding the master round-trip whenever it is shorter than
+	// the chunk's computation.
+	Pipeline bool
 }
 
 func (w Worker) power() float64 {
@@ -420,6 +600,35 @@ func (w Worker) scale() int {
 	return w.WorkScale
 }
 
+// args builds one request from the worker's current state.
+func (w Worker) args(prefetch bool, results []ChunkResult, comp, idle float64) ChunkArgs {
+	load := 0
+	if w.LoadProbe != nil {
+		load = w.LoadProbe()
+	}
+	return ChunkArgs{
+		Worker:      w.ID,
+		ACP:         w.ACPModel.ACP(w.power(), 1+load),
+		CompSeconds: comp,
+		IdleSeconds: idle,
+		Results:     results,
+		Prefetch:    prefetch,
+	}
+}
+
+// compute runs the kernel over one assignment.
+func (w Worker) compute(a sched.Assignment) []ChunkResult {
+	results := make([]ChunkResult, 0, a.Size)
+	for i := a.Start; i < a.End(); i++ {
+		var data []byte
+		for rep := 0; rep < w.scale(); rep++ {
+			data = w.Kernel(i)
+		}
+		results = append(results, ChunkResult{Index: i, Data: data})
+	}
+	return results
+}
+
 // Run connects to the master at addr and participates until stopped.
 func (w Worker) Run(addr string) error {
 	if w.Kernel == nil {
@@ -430,36 +639,83 @@ func (w Worker) Run(addr string) error {
 		return err
 	}
 	defer client.Close()
+	if w.Pipeline {
+		return w.runPipelined(client)
+	}
+	return w.runSerial(client)
+}
 
+// runSerial is the paper's §3.1 slave loop: request, compute, piggy-
+// back, repeat. Communication is strictly serialised with computation.
+func (w Worker) runSerial(client *rpc.Client) error {
 	var results []ChunkResult
 	var compSeconds float64
 	for {
-		load := 0
-		if w.LoadProbe != nil {
-			load = w.LoadProbe()
-		}
-		args := ChunkArgs{
-			Worker:      w.ID,
-			ACP:         w.ACPModel.ACP(w.power(), 1+load),
-			CompSeconds: compSeconds,
-			Results:     results,
-		}
 		var reply ChunkReply
-		if err := client.Call("Master.NextChunk", args, &reply); err != nil {
+		if err := client.Call("Master.NextChunk", w.args(false, results, compSeconds, 0), &reply); err != nil {
 			return err
 		}
 		if reply.Stop {
 			return nil
 		}
-		results = results[:0]
 		start := time.Now()
-		for i := reply.Assign.Start; i < reply.Assign.End(); i++ {
-			var data []byte
-			for rep := 0; rep < w.scale(); rep++ {
-				data = w.Kernel(i)
-			}
-			results = append(results, ChunkResult{Index: i, Data: data})
-		}
+		results = w.compute(reply.Assign)
 		compSeconds = time.Since(start).Seconds()
+	}
+}
+
+// runPipelined overlaps communication with computation: while the
+// kernel runs on chunk k, the request for chunk k+1 — carrying chunk
+// k−1's results — is already in flight on a second goroutine, so the
+// master round-trip is hidden whenever it is shorter than the kernel.
+func (w Worker) runPipelined(client *rpc.Client) error {
+	// The first chunk is fetched synchronously (for distributed
+	// schemes this request also joins the gather barrier).
+	var reply ChunkReply
+	if err := client.Call("Master.NextChunk", w.args(false, nil, 0, 0), &reply); err != nil {
+		return err
+	}
+	var pending []ChunkResult // computed results not yet shipped
+	var comp, idle float64    // their timing, not yet shipped
+	for {
+		switch {
+		case reply.Stop:
+			if len(pending) == 0 {
+				return nil
+			}
+			// Ship the final chunk's results; the master answers Stop
+			// again (or, if it somehow has work, the loop runs it).
+			if err := client.Call("Master.NextChunk", w.args(false, pending, comp, idle), &reply); err != nil {
+				return err
+			}
+			pending, comp, idle = nil, 0, 0
+
+		case reply.Assign.Size == 0:
+			// Empty prefetch reply: the master had nothing to issue.
+			// Deliver what we hold and ask again without the flag —
+			// the call parks at the master until the run completes or
+			// a failed worker's chunk needs a new home.
+			if err := client.Call("Master.NextChunk", w.args(false, pending, comp, idle), &reply); err != nil {
+				return err
+			}
+			pending, comp, idle = nil, 0, 0
+
+		default:
+			// Launch the prefetch for the next chunk (carrying the
+			// previous chunk's results), then compute this one.
+			fetch := client.Go("Master.NextChunk", w.args(true, pending, comp, idle), &ChunkReply{}, nil)
+			start := time.Now()
+			results := w.compute(reply.Assign)
+			comp = time.Since(start).Seconds()
+
+			waitStart := time.Now()
+			<-fetch.Done
+			idle = time.Since(waitStart).Seconds() // prefetch-miss stall
+			if fetch.Error != nil {
+				return fetch.Error
+			}
+			reply = *fetch.Reply.(*ChunkReply)
+			pending = results
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -225,7 +226,7 @@ func TestRPCFailWorkerRequeues(t *testing.T) {
 		t.Fatalf("dead worker got no chunk: %+v", reply)
 	}
 	out := m.Outstanding()
-	if a, ok := out[2]; !ok || a != reply.Assign {
+	if as, ok := out[2]; !ok || len(as) != 1 || as[0] != reply.Assign {
 		t.Fatalf("outstanding ledger wrong: %v", out)
 	}
 	if err := m.FailWorker(2); err != nil {
@@ -325,8 +326,9 @@ func TestRPCWatchTimeouts(t *testing.T) {
 	defer close(stopWatch)
 	go m.WatchTimeouts(5*time.Millisecond, 30*time.Millisecond, stopWatch)
 
-	// Give the watcher time to fire, then run the survivors.
-	time.Sleep(80 * time.Millisecond)
+	// The survivors run immediately: they drain the policy, then park
+	// inside NextChunk (parked workers are immune to the watcher) and
+	// absorb worker 2's chunk once the heartbeat deadline requeues it.
 	runWorkers(t, addr, []Worker{
 		{ID: 0, Kernel: intKernel},
 		{ID: 1, Kernel: intKernel},
@@ -365,6 +367,329 @@ func TestRPCStoppedWorkerNotFailed(t *testing.T) {
 	}
 	if err := m.FailWorker(0); err != nil {
 		t.Fatalf("FailWorker after graceful stop: %v", err)
+	}
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+// countingKernel returns a kernel that counts invocations per index.
+func countingKernel(counts []int32) Kernel {
+	return func(i int) []byte {
+		atomic.AddInt32(&counts[i], 1)
+		return intKernel(i)
+	}
+}
+
+// TestRPCLateFailureRequeued is the lost-iterations race regression:
+// a worker that drains the policy is parked inside NextChunk rather
+// than stopped while another worker's chunk is still in flight, so a
+// late FailWorker finds a live worker to absorb the requeued chunk
+// instead of "completing" the run with silently missing results.
+func TestRPCLateFailureRequeued(t *testing.T) {
+	const n = 300
+	m, addr, stop := startMaster(t, sched.TSSScheme{}, n, 2)
+	defer stop()
+
+	// Worker 1 grabs the first chunk and goes silent.
+	var reply ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 1}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Stop || reply.Assign.Size == 0 {
+		t.Fatalf("worker 1 got no chunk: %+v", reply)
+	}
+
+	// Worker 0 computes everything else, then must wait — not exit.
+	errc := make(chan error, 1)
+	go func() { errc <- (Worker{ID: 0, Kernel: intKernel}).Run(addr) }()
+	waitUntil(t, func() bool { return m.Parked() == 1 })
+
+	// Only now does worker 1 die; its chunk must reach worker 0.
+	if err := m.FailWorker(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("worker 0: %v", err)
+	}
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatalf("run lost iterations: %v", err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d missing after late failure", i)
+		}
+	}
+}
+
+// TestRPCResurrectedWorkerStopped is the resurrected-worker race
+// regression: a worker declared dead that was merely slow gets Stop on
+// its next call (no more chunks, no double counting), and the results
+// it piggy-backs are banked so its requeued chunk is not recomputed.
+func TestRPCResurrectedWorkerStopped(t *testing.T) {
+	const n = 200
+	m, addr, stop := startMaster(t, sched.TSSScheme{}, n, 2)
+	defer stop()
+
+	var reply ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 1}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	a := reply.Assign
+	if err := m.FailWorker(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "dead" worker reports back with its chunk's results.
+	res := make([]ChunkResult, 0, a.Size)
+	for i := a.Start; i < a.End(); i++ {
+		res = append(res, ChunkResult{Index: i, Data: intKernel(i)})
+	}
+	var again ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 1, Results: res}, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Stop {
+		t.Fatalf("resurrected worker handed more work: %+v", again)
+	}
+
+	// The survivor must not recompute the delivered chunk.
+	counts := make([]int32, n)
+	runWorkers(t, addr, []Worker{{ID: 0, Kernel: countingKernel(counts)}})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d corrupted", i)
+		}
+		c := atomic.LoadInt32(&counts[i])
+		if i >= a.Start && i < a.End() {
+			if c != 0 {
+				t.Errorf("delivered iteration %d recomputed %d times", i, c)
+			}
+		} else if c != 1 {
+			t.Errorf("iteration %d computed %d times, want 1", i, c)
+		}
+	}
+}
+
+// TestRPCPipelinedWorkers: the double-buffered protocol computes every
+// iteration exactly once and loses nothing.
+func TestRPCPipelinedWorkers(t *testing.T) {
+	const n = 500
+	m, addr, stop := startMaster(t, sched.TSSScheme{}, n, 3)
+	defer stop()
+
+	counts := make([]int32, n)
+	k := countingKernel(counts)
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: k, Pipeline: true},
+		{ID: 1, Kernel: k, Pipeline: true},
+		{ID: 2, Kernel: k, Pipeline: true},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n || rep.Chunks == 0 {
+		t.Errorf("report: %+v", rep)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d corrupted: %v", i, r)
+		}
+		if c := atomic.LoadInt32(&counts[i]); c != 1 {
+			t.Errorf("iteration %d computed %d times, want 1", i, c)
+		}
+	}
+}
+
+// TestRPCPipelinedDistributed: pipelined workers pass the distributed
+// gather barrier (the first, synchronous request joins it) and the
+// run balances with real ACPs.
+func TestRPCPipelinedDistributed(t *testing.T) {
+	const n = 600
+	m, addr, stop := startMaster(t, sched.DTSSScheme{}, n, 2)
+	defer stop()
+
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel, VirtualPower: 3, Pipeline: true},
+		{ID: 1, Kernel: intKernel, VirtualPower: 1, WorkScale: 3, Pipeline: true},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d corrupted", i)
+		}
+	}
+}
+
+// TestRPCPipelinedFailWorker: a pipelined worker dies holding two
+// outstanding chunks (computing + prefetched); both are requeued, the
+// third slot is refused, and the survivors compute everything exactly
+// once.
+func TestRPCPipelinedFailWorker(t *testing.T) {
+	const n = 400
+	m, addr, stop := startMaster(t, sched.FSSScheme{}, n, 3)
+	defer stop()
+
+	// Worker 2 double-buffers two chunks into flight…
+	var r1, r2 ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 2}, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.NextChunk(ChunkArgs{Worker: 2, Prefetch: true}, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stop || r1.Assign.Size == 0 || r2.Stop || r2.Assign.Size == 0 {
+		t.Fatalf("no double buffer: %+v %+v", r1, r2)
+	}
+	out := m.Outstanding()
+	if len(out[2]) != 2 {
+		t.Fatalf("outstanding ledger: %v", out)
+	}
+	// …a third prefetch is refused (two-slot cap)…
+	var r3 ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 2, Prefetch: true}, &r3); err != nil {
+		t.Fatal(err)
+	}
+	if r3.Stop || r3.Assign.Size != 0 {
+		t.Fatalf("two-slot cap not enforced: %+v", r3)
+	}
+	// …and dies. Both chunks must be requeued.
+	if err := m.FailWorker(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Outstanding()) != 0 {
+		t.Fatalf("failed worker still outstanding: %v", m.Outstanding())
+	}
+
+	counts := make([]int32, n)
+	k := countingKernel(counts)
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: k, Pipeline: true},
+		{ID: 1, Kernel: k, Pipeline: true},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Errorf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d missing/corrupted after requeue", i)
+		}
+		if c := atomic.LoadInt32(&counts[i]); c != 1 {
+			t.Errorf("iteration %d computed %d times, want 1", i, c)
+		}
+	}
+}
+
+// TestRPCCommGapZeroComp: the T_comm gap is charged even when the
+// previous chunk's measured computation time rounds to zero (the old
+// CompSeconds > 0 guard silently dropped it).
+func TestRPCCommGapZeroComp(t *testing.T) {
+	const n = 4
+	m, _, stop := startMaster(t, sched.CSSScheme{K: 2}, n, 1)
+	defer stop()
+
+	var reply ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 0}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	deliver := func(a sched.Assignment) []ChunkResult {
+		res := make([]ChunkResult, 0, a.Size)
+		for i := a.Start; i < a.End(); i++ {
+			res = append(res, ChunkResult{Index: i, Data: intKernel(i)})
+		}
+		return res
+	}
+	// Zero-duration chunk: CompSeconds stays 0.
+	var r2 ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 0, Results: deliver(reply.Assign)}, &r2); err != nil {
+		t.Fatal(err)
+	}
+	var r3 ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 0, Results: deliver(r2.Assign)}, &r3); err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Stop {
+		t.Fatalf("run not complete: %+v", r3)
+	}
+	_, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PerWorker[0].Comm < 0.015 {
+		t.Errorf("Comm = %.4fs, want ≥ 0.015s (zero-comp gap dropped)", rep.PerWorker[0].Comm)
+	}
+}
+
+// TestRPCLastReplyNotStampedOnError: an errored NextChunk produces no
+// reply the worker can see, so it must not reset the communication-gap
+// clock.
+func TestRPCLastReplyNotStampedOnError(t *testing.T) {
+	const n = 2
+	m, _, stop := startMaster(t, sched.CSSScheme{K: 2}, n, 1)
+	defer stop()
+
+	var reply ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 0}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	// A malformed call fails — and must not be counted as a reply.
+	var bad ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 0, Results: []ChunkResult{{Index: 99}}}, &bad); err == nil {
+		t.Fatal("out-of-range result index accepted")
+	}
+	res := []ChunkResult{
+		{Index: 0, Data: intKernel(0)},
+		{Index: 1, Data: intKernel(1)},
+	}
+	var final ChunkReply
+	if err := m.NextChunk(ChunkArgs{Worker: 0, Results: res}, &final); err != nil {
+		t.Fatal(err)
+	}
+	if !final.Stop {
+		t.Fatalf("run not complete: %+v", final)
+	}
+	_, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The gap spans from the first (successful) reply, not from the
+	// errored call: ≥ the 30ms sleep.
+	if rep.PerWorker[0].Comm < 0.02 {
+		t.Errorf("Comm = %.4fs, want ≥ 0.02s (gap clock reset by errored call)", rep.PerWorker[0].Comm)
 	}
 }
 

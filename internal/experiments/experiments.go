@@ -268,6 +268,81 @@ func tableN(cfg Config, title string, schemes []sched.Scheme, weightedTree bool)
 	return TableResult{Title: title, Dedicated: ded, NonDedicated: non}, nil
 }
 
+// OverlapResult compares the serial request–reply protocol with the
+// pipelined, double-buffered one for a single scheme on the same
+// cluster and workload. PayloadMult scales the per-iteration result
+// size relative to the paper's 2·Height bytes per column.
+type OverlapResult struct {
+	Scheme      string
+	PayloadMult float64
+	Serial      metrics.Report
+	Pipelined   metrics.Report
+}
+
+// Hidden returns the communication time per PE the pipeline hid.
+func (o OverlapResult) Hidden() float64 {
+	return metrics.HiddenComm(o.Serial, o.Pipelined)
+}
+
+// OverlapPayloadMults are the two result-payload regimes of the
+// overlap study: the paper's own payload (compute-bound chunks) and a
+// heavy-results regime where the transfer is a real fraction of each
+// chunk's round-trip.
+var OverlapPayloadMults = []float64{1, 128}
+
+// Overlap runs the serial and pipelined protocols for every scheme at
+// p = 8 on the dedicated cluster, in the two payload regimes. The
+// study shows both faces of the double-buffered protocol: with heavy
+// results it hides most of the exposed communication and cuts T_p,
+// while on compute-bound chunks the prefetch's one-chunk lookahead
+// binds work to a slave one round-trip early — a slow PE can hoard two
+// large trapezoid chunks — and self-scheduling loses adaptivity, so
+// T_p can grow even though the (tiny) communication is still hidden.
+func Overlap(cfg Config) ([]OverlapResult, error) {
+	c := Cluster(8, false)
+	w := cfg.Workload()
+	var out []OverlapResult
+	for _, mult := range OverlapPayloadMults {
+		for _, s := range append(SimpleSchemes(), DistributedSchemes()...) {
+			p := cfg.SimParams()
+			p.BytesPerIter *= mult
+			serial, err := sim.Run(c, s, w, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s serial: %w", s.Name(), err)
+			}
+			p.Prefetch = true
+			pip, err := sim.Run(c, s, w, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s pipelined: %w", s.Name(), err)
+			}
+			out = append(out, OverlapResult{
+				Scheme: s.Name(), PayloadMult: mult, Serial: serial, Pipelined: pip,
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatOverlap renders the overlap study as aligned tables, one block
+// per payload regime.
+func FormatOverlap(results []OverlapResult) string {
+	var sb strings.Builder
+	sb.WriteString("Overlap study: serial vs pipelined protocol, p = 8 dedicated\n")
+	last := -1.0
+	for _, o := range results {
+		if o.PayloadMult != last {
+			last = o.PayloadMult
+			fmt.Fprintf(&sb, "result payload ×%g\n", o.PayloadMult)
+			fmt.Fprintf(&sb, "%-8s %10s %10s %10s %10s %10s\n",
+				"scheme", "Tp_ser", "Tp_pipe", "comm_ser", "idle_pipe", "hidden")
+		}
+		fmt.Fprintf(&sb, "%-8s %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			o.Scheme, o.Serial.Tp, o.Pipelined.Tp,
+			o.Serial.MeanComm(), o.Pipelined.MeanIdle(), o.Hidden())
+	}
+	return sb.String()
+}
+
 // Figure1 returns the per-column cost series before and after the
 // sampling reorder — the two panels of Figure 1.
 func Figure1(cfg Config) (original, reordered []float64) {

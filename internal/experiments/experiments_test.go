@@ -262,6 +262,50 @@ func TestPaperScaleHeadline(t *testing.T) {
 	}
 }
 
+// TestOverlapStudy: both faces of the pipelined protocol show up. In
+// the heavy-results regime it hides communication and beats the serial
+// protocol for several schemes; in every regime iterations are
+// conserved and hidden communication is non-negative.
+func TestOverlapStudy(t *testing.T) {
+	res, err := Overlap(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nSchemes := len(SimpleSchemes()) + len(DistributedSchemes())
+	if len(res) != nSchemes*len(OverlapPayloadMults) {
+		t.Fatalf("%d rows", len(res))
+	}
+	var hidden float64
+	wins := 0
+	for _, o := range res {
+		if o.Pipelined.Iterations != o.Serial.Iterations {
+			t.Errorf("%s ×%g: iterations %d vs %d",
+				o.Scheme, o.PayloadMult, o.Pipelined.Iterations, o.Serial.Iterations)
+		}
+		if o.Hidden() < 0 {
+			t.Errorf("%s ×%g: negative hidden comm", o.Scheme, o.PayloadMult)
+		}
+		if o.PayloadMult > 1 {
+			hidden += o.Hidden()
+			if o.Pipelined.Tp < o.Serial.Tp {
+				wins++
+			}
+		}
+	}
+	if hidden <= 0 {
+		t.Error("no communication hidden in the heavy-results regime")
+	}
+	if wins < 2 {
+		t.Errorf("pipelined beat serial for only %d schemes in the heavy-results regime", wins)
+	}
+	out := FormatOverlap(res)
+	for _, want := range []string{"Overlap study", "TSS", "hidden", "×128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overlap table missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // TestScalingStudy: speedup keeps growing to p=16 for the distributed
 // schemes, but each extra slave buys less (master/communication
 // saturation), and no point beats the power bound.

@@ -17,17 +17,30 @@ import (
 //	Comm — transferring requests, assignments and results
 //	Wait — blocked on the master (queueing, scheduling latency) or idle
 //	Comp — executing loop iterations
+//	Idle — compute loop stalled on an unanswered prefetch (pipelined
+//	       runtimes only; the round-trip residue that was NOT hidden
+//	       behind computation)
+//
+// A serial run reports Idle = 0 and its full round-trip under Comm; a
+// pipelined run reports Comm ≈ 0 and only the prefetch-miss residue
+// under Idle, so Comm(serial) − Idle(pipelined) is the communication
+// the overlap managed to hide.
 type Times struct {
 	Comm float64
 	Wait float64
 	Comp float64
+	Idle float64
 }
 
 // Total returns the slave's busy-plus-blocked span.
-func (t Times) Total() float64 { return t.Comm + t.Wait + t.Comp }
+func (t Times) Total() float64 { return t.Comm + t.Wait + t.Comp + t.Idle }
 
-// String renders the paper's "T_com/T_wait/T_comp" cell format.
+// String renders the paper's "T_com/T_wait/T_comp" cell format; a
+// non-zero Idle (pipelined runs) is appended as a fourth "+Xi" cell.
 func (t Times) String() string {
+	if t.Idle > 0 {
+		return fmt.Sprintf("%.1f/%.1f/%.1f/+%.1fi", t.Comm, t.Wait, t.Comp, t.Idle)
+	}
 	return fmt.Sprintf("%.1f/%.1f/%.1f", t.Comm, t.Wait, t.Comp)
 }
 
@@ -115,6 +128,31 @@ func (r Report) MeanComm() float64 {
 		sum += t.Comm
 	}
 	return sum / float64(len(r.PerWorker))
+}
+
+// MeanIdle returns the average prefetch-stall time across slaves —
+// the part of the master round-trip a pipelined run failed to hide.
+func (r Report) MeanIdle() float64 {
+	if len(r.PerWorker) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, t := range r.PerWorker {
+		sum += t.Idle
+	}
+	return sum / float64(len(r.PerWorker))
+}
+
+// HiddenComm estimates how much communication time the pipelined run
+// `pipelined` hid relative to the serial run `serial` of the same
+// problem: the serial exposed overhead (Comm) minus what the pipeline
+// still exposes (Comm plus prefetch stalls), clamped at zero.
+func HiddenComm(serial, pipelined Report) float64 {
+	h := serial.MeanComm() - (pipelined.MeanComm() + pipelined.MeanIdle())
+	if h < 0 {
+		return 0
+	}
+	return h
 }
 
 // Speedup is one point of a Figures 4–7 curve.

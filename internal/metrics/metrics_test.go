@@ -14,6 +14,31 @@ func TestTimesTotalAndString(t *testing.T) {
 	if tt.String() != "1.5/2.0/3.2" {
 		t.Errorf("String = %q", tt.String())
 	}
+	// Idle (pipelined runs) counts toward the total and shows up as a
+	// fourth cell only when present.
+	tt.Idle = 0.25
+	if tt.Total() != 7.0 {
+		t.Errorf("Total with idle = %g", tt.Total())
+	}
+	if tt.String() != "1.5/2.0/3.2/+0.2i" {
+		t.Errorf("String with idle = %q", tt.String())
+	}
+}
+
+func TestMeanIdleAndHiddenComm(t *testing.T) {
+	serial := Report{PerWorker: []Times{{Comm: 4}, {Comm: 6}}}
+	pipelined := Report{PerWorker: []Times{{Idle: 1}, {Comm: 0.5, Idle: 0.5}}}
+	if pipelined.MeanIdle() != 0.75 {
+		t.Errorf("MeanIdle = %g", pipelined.MeanIdle())
+	}
+	// serial comm 5, pipelined exposed 0.25+0.75 = 1 → 4 hidden.
+	if got := HiddenComm(serial, pipelined); math.Abs(got-4) > 1e-12 {
+		t.Errorf("HiddenComm = %g, want 4", got)
+	}
+	// Never negative.
+	if got := HiddenComm(Report{}, pipelined); got != 0 {
+		t.Errorf("HiddenComm clamp = %g", got)
+	}
 }
 
 func TestCompImbalance(t *testing.T) {
@@ -80,8 +105,9 @@ func TestSpeedupCurve(t *testing.T) {
 
 func TestFormatTable(t *testing.T) {
 	reports := []Report{
-		{Scheme: "TSS", Tp: 23.6, PerWorker: []Times{{2.7, 17.5, 3.5}, {0.9, 18.8, 3.7}}},
-		{Scheme: "FSS", Tp: 28.1, PerWorker: []Times{{0.2, 0.8, 3.2}}},
+		{Scheme: "TSS", Tp: 23.6, PerWorker: []Times{
+			{Comm: 2.7, Wait: 17.5, Comp: 3.5}, {Comm: 0.9, Wait: 18.8, Comp: 3.7}}},
+		{Scheme: "FSS", Tp: 28.1, PerWorker: []Times{{Comm: 0.2, Wait: 0.8, Comp: 3.2}}},
 	}
 	out := FormatTable("Table 2 (dedicated)", reports)
 	for _, want := range []string{"Table 2", "TSS", "FSS", "2.7/17.5/3.5", "23.6", "28.1", "Tp"} {

@@ -33,6 +33,15 @@ type Params struct {
 	// slaves hold their results and dump them to the master when the
 	// loop ends (the slower alternative §5 describes).
 	CollectAtEnd bool
+	// Prefetch models the pipelined, double-buffered runtime: a slave
+	// requests chunk k+1 the moment chunk k starts computing, so the
+	// master round-trip overlaps with the kernel. Transfers and master
+	// services still shape the timeline, but they are no longer charged
+	// to Comm/Wait — only the residue the pipeline fails to hide is
+	// charged, as Idle (compute stalls between consecutive chunks).
+	// Incompatible with CollectAtEnd: the pipeline piggy-backs results
+	// by construction.
+	Prefetch bool
 	// SharedBus serialises every transfer on one half-duplex medium —
 	// the hub/coax Ethernet of the paper's era — instead of giving
 	// each slave an independent link. Queueing for the medium is
@@ -129,6 +138,13 @@ type workerState struct {
 	finishedAt float64
 	iterations int
 	requests   int
+	// Pipelined-mode state (Params.Prefetch).
+	computing      bool             // a chunk is executing right now
+	queued         sched.Assignment // reply that arrived mid-compute
+	hasQueued      bool
+	stopPending    bool    // Stop arrived mid-compute; drain after
+	lastComputeEnd float64 // when the previous chunk finished
+	computedOnce   bool
 }
 
 type simulator struct {
@@ -162,7 +178,11 @@ type simulator struct {
 // waiting time.
 func (s *simulator) transfer(w int, t, d float64, ev event) {
 	if !s.params.SharedBus {
-		s.workers[w].times.Comm += d
+		// Pipelined transfers overlap with computation; their exposed
+		// cost surfaces as Idle at the compute loop, not here.
+		if !s.params.Prefetch {
+			s.workers[w].times.Comm += d
+		}
 		ev.t = t + d
 		s.push(ev)
 		return
@@ -179,9 +199,11 @@ func (s *simulator) serviceBus(t float64) {
 	s.busQueue = s.busQueue[1:]
 	s.busBusy = true
 	st := &s.workers[job.worker]
-	st.times.Comm += job.duration
-	if q := t - job.enqueued; q > 0 {
-		st.times.Wait += q
+	if !s.params.Prefetch {
+		st.times.Comm += job.duration
+		if q := t - job.enqueued; q > 0 {
+			st.times.Wait += q
+		}
 	}
 	deliver := job.deliver
 	deliver.t = t + job.duration
@@ -193,6 +215,9 @@ func (s *simulator) serviceBus(t float64) {
 func Run(c Cluster, s sched.Scheme, w workload.Workload, p Params) (metrics.Report, error) {
 	if err := c.Validate(); err != nil {
 		return metrics.Report{}, err
+	}
+	if p.Prefetch && p.CollectAtEnd {
+		return metrics.Report{}, fmt.Errorf("sim: Prefetch piggy-backs results and cannot be combined with CollectAtEnd")
 	}
 	p = p.withDefaults()
 	if p.Trace != nil {
@@ -370,6 +395,10 @@ func (s *simulator) run() error {
 			s.serviceNext()
 
 		case evReplyArrive:
+			if s.params.Prefetch {
+				s.prefetchReply(e)
+				continue
+			}
 			w := e.worker
 			st := &s.workers[w]
 			if e.stop {
@@ -409,6 +438,10 @@ func (s *simulator) run() error {
 			s.push(event{t: e.t + d, kind: evComputeDone, worker: w})
 
 		case evComputeDone:
+			if s.params.Prefetch {
+				s.prefetchComputeDone(e)
+				continue
+			}
 			s.sendRequest(e.worker, e.t)
 
 		case evBusDone:
@@ -420,6 +453,90 @@ func (s *simulator) run() error {
 		}
 	}
 	return nil
+}
+
+// startCompute begins executing assignment a on worker w at time t and
+// immediately sends the next (prefetch) request — carrying the results
+// of the previously finished chunk — so the master round-trip overlaps
+// with the kernel. Any gap since the last chunk ended is the stall the
+// pipeline failed to hide, charged as Idle.
+func (s *simulator) startCompute(w int, a sched.Assignment, t float64) {
+	st := &s.workers[w]
+	if st.computedOnce {
+		if stall := t - st.lastComputeEnd; stall > 0 {
+			st.times.Idle += stall
+		}
+	}
+	m := s.cluster.Machines[w]
+	work := workload.RangeCost(s.work, a.Start, a.End())
+	d := m.ComputeTime(s.params.BaseRate, t, work)
+	st.times.Comp += d
+	st.fbWork, st.fbElapsed = work, d
+	if s.params.Trace != nil {
+		s.params.Trace.Add(trace.Event{
+			Worker: w,
+			Start:  a.Start,
+			Size:   a.Size,
+			Begin:  t,
+			End:    t + d,
+			ACP:    s.liveACP[w],
+		})
+	}
+	st.iterations += a.Size
+	st.computing = true
+	s.push(event{t: t + d, kind: evComputeDone, worker: w, assign: a})
+	s.sendRequest(w, t)
+}
+
+// prefetchReply handles a master reply in pipelined mode: an
+// assignment either starts computing at once (slave was stalled) or is
+// buffered as the second outstanding chunk; a Stop either terminates
+// an idle slave, triggers the final result drain, or is deferred until
+// the current chunk finishes.
+func (s *simulator) prefetchReply(e event) {
+	w := e.worker
+	st := &s.workers[w]
+	if e.stop {
+		if st.computing {
+			st.stopPending = true
+			return
+		}
+		if st.lastChunk > 0 {
+			// Ship the held results; the master's next (Stop) reply
+			// then terminates the slave.
+			s.sendRequest(w, e.t)
+			return
+		}
+		st.done = true
+		st.finishedAt = e.t
+		return
+	}
+	if st.computing {
+		st.queued, st.hasQueued = e.assign, true
+		return
+	}
+	s.startCompute(w, e.assign, e.t)
+}
+
+// prefetchComputeDone finishes a chunk in pipelined mode: if the
+// prefetched reply already arrived the next chunk starts back-to-back
+// (the hidden-communication case); a deferred Stop drains the final
+// results; otherwise the slave stalls until its prefetch lands.
+func (s *simulator) prefetchComputeDone(e event) {
+	st := &s.workers[e.worker]
+	st.computing = false
+	st.lastChunk = e.assign.Size
+	st.lastComputeEnd = e.t
+	st.computedOnce = true
+	switch {
+	case st.hasQueued:
+		a := st.queued
+		st.hasQueued = false
+		s.startCompute(e.worker, a, e.t)
+	case st.stopPending:
+		st.stopPending = false
+		s.sendRequest(e.worker, e.t)
+	}
 }
 
 // serviceNext pops the head request if the master is idle, decides the
@@ -436,7 +553,9 @@ func (s *simulator) serviceNext() {
 	recv := s.params.MasterOverhead + req.bytes/s.cluster.masterBandwidth()
 	done := s.now + recv
 	st := &s.workers[req.worker]
-	st.times.Wait += done - req.arrival
+	if !s.params.Prefetch {
+		st.times.Wait += done - req.arrival
+	}
 
 	if req.dump {
 		s.push(event{t: done, kind: evServiceDone, worker: req.worker,

@@ -290,6 +290,127 @@ func TestWeightedFactoringUsesStaticPowers(t *testing.T) {
 
 func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
+// TestPrefetchHidesCommunication: with per-chunk compute comparable to
+// the master round-trip, the pipelined protocol overlaps the two and
+// finishes measurably sooner than the serial request–reply cycle.
+func TestPrefetchHidesCommunication(t *testing.T) {
+	c := testCluster(0, 2)
+	w := workload.Uniform{N: 3000}
+	p := testParams()
+	pre := p
+	pre.Prefetch = true
+	ser := mustRun(t, c, sched.CSSScheme{K: 300}, w, p)
+	pip := mustRun(t, c, sched.CSSScheme{K: 300}, w, pre)
+	if pip.Iterations != 3000 || ser.Iterations != 3000 {
+		t.Fatalf("iterations: serial %d, pipelined %d", ser.Iterations, pip.Iterations)
+	}
+	if pip.Tp >= ser.Tp*0.9 {
+		t.Errorf("pipelined Tp %.4f not measurably below serial %.4f", pip.Tp, ser.Tp)
+	}
+	// Pipelined runs expose no Comm; the serial run exposes no Idle.
+	if pip.MeanComm() != 0 {
+		t.Errorf("pipelined MeanComm = %g, want 0", pip.MeanComm())
+	}
+	if ser.MeanIdle() != 0 {
+		t.Errorf("serial MeanIdle = %g, want 0", ser.MeanIdle())
+	}
+	if h := metrics.HiddenComm(ser, pip); h <= 0 {
+		t.Errorf("HiddenComm = %g, want > 0", h)
+	}
+}
+
+// TestPrefetchExposesStalls: when the round-trip dwarfs the kernel the
+// pipeline cannot hide it all, and the residue must surface as Idle.
+func TestPrefetchExposesStalls(t *testing.T) {
+	c := testCluster(0, 2)
+	p := testParams()
+	p.Prefetch = true
+	rep := mustRun(t, c, sched.CSSScheme{K: 10}, workload.Uniform{N: 2000}, p)
+	if rep.MeanIdle() <= 0 {
+		t.Errorf("MeanIdle = %g, want > 0 with round-trip ≫ compute", rep.MeanIdle())
+	}
+}
+
+// TestPrefetchCoverageAllSchemes: the pipelined protocol conserves
+// every iteration and stays deterministic under every scheme,
+// including the distributed ones with their gather phase and re-plans.
+func TestPrefetchCoverageAllSchemes(t *testing.T) {
+	c := testCluster(2, 2)
+	c.Machines[1].Load = LoadScript{{Start: 0.01, End: 1e9, Extra: 1}}
+	w := workload.LinearIncreasing{N: 2000}
+	for _, name := range sched.Names() {
+		s, err := sched.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := testParams()
+		p.Prefetch = true
+		rep := mustRun(t, c, s, w, p)
+		if rep.Iterations != 2000 {
+			t.Errorf("%s: %d iterations", name, rep.Iterations)
+		}
+		again := mustRun(t, c, s, w, p)
+		if !reflect.DeepEqual(rep, again) {
+			t.Errorf("%s: pipelined run not deterministic", name)
+		}
+		for i, tt := range rep.PerWorker {
+			if tt.Comm != 0 {
+				t.Errorf("%s: worker %d charged Comm %.4f in pipelined mode", name, i, tt.Comm)
+			}
+			if tt.Idle < 0 || tt.Comp < 0 {
+				t.Errorf("%s: worker %d negative component: %+v", name, i, tt)
+			}
+			if tt.Total() > rep.Tp+1e-9 {
+				t.Errorf("%s: worker %d total %.4f exceeds Tp %.4f", name, i, tt.Total(), rep.Tp)
+			}
+		}
+	}
+}
+
+// TestPrefetchTraceCoverage: the pipelined trace still tiles the
+// iteration space exactly and never overruns Tp.
+func TestPrefetchTraceCoverage(t *testing.T) {
+	c := testCluster(1, 2)
+	tr := &trace.Trace{}
+	p := testParams()
+	p.Prefetch = true
+	p.Trace = tr
+	rep := mustRun(t, c, sched.TSSScheme{}, workload.Uniform{N: 2500}, p)
+	if err := tr.CoverageError(2500); err != nil {
+		t.Error(err)
+	}
+	if tr.Len() != rep.Chunks {
+		t.Errorf("%d traced chunks vs %d reported", tr.Len(), rep.Chunks)
+	}
+	if _, end := tr.Span(); end > rep.Tp+1e-9 {
+		t.Errorf("trace end %.4f after Tp %.4f", end, rep.Tp)
+	}
+}
+
+// TestPrefetchEmptyWorkload: a zero-iteration pipelined loop stops at
+// the first reply.
+func TestPrefetchEmptyWorkload(t *testing.T) {
+	c := testCluster(1, 1)
+	p := testParams()
+	p.Prefetch = true
+	rep := mustRun(t, c, sched.GSSScheme{}, workload.Uniform{N: 0}, p)
+	if rep.Iterations != 0 || rep.Chunks != 0 {
+		t.Errorf("empty pipelined loop: %+v", rep)
+	}
+}
+
+// TestPrefetchRejectsCollectAtEnd: the pipeline piggy-backs results by
+// construction; asking it to also hold them until the end is an error.
+func TestPrefetchRejectsCollectAtEnd(t *testing.T) {
+	c := testCluster(1, 1)
+	p := testParams()
+	p.Prefetch = true
+	p.CollectAtEnd = true
+	if _, err := Run(c, sched.TSSScheme{}, workload.Uniform{N: 100}, p); err == nil {
+		t.Error("Prefetch+CollectAtEnd accepted")
+	}
+}
+
 // TestDifferentialAgainstPolicy: with a single worker the simulator's
 // request order is deterministic, so the traced chunk sequence must
 // equal the policy's raw sequence exactly — tying the DES master to
