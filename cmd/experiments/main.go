@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "artefact: table1, table2, table3, fig1, fig4, fig5, fig6, fig7, scaling, overlap, all")
+		run   = flag.String("run", "all", "artefact: table1, table2, table3, fig1, fig4, fig5, fig6, fig7, scaling, overlap, hierarchy, all")
 		small = flag.Bool("small", false, "use the scaled-down test configuration")
 		plot  = flag.Bool("plot", false, "render figures as terminal charts too")
 		out   = flag.String("out", "", "directory to write per-artefact text files into")
@@ -99,30 +99,52 @@ func main() {
 		return
 	}
 
-	artefacts := []string{"table1", "table2", "table3", "fig1", "fig4", "fig5", "fig6", "fig7", "scaling", "overlap"}
+	artefacts := []string{"table1", "table2", "table3", "fig1", "fig4", "fig5", "fig6", "fig7", "scaling", "overlap", "hierarchy"}
 	if *run != "all" {
 		artefacts = []string{*run}
 	}
 
+	// One broken artefact must not hide the rest: produce everything,
+	// then exit non-zero naming every failure.
+	var failed []string
+	fail := func(a string, err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a, err)
+		failed = append(failed, a)
+	}
 	for _, a := range artefacts {
-		text, err := produce(a, cfg, *plot)
+		text, extras, err := produce(a, cfg, *plot)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", a, err)
-			os.Exit(1)
+			fail(a, err)
+			continue
 		}
 		fmt.Println(text)
 		if *out != "" {
 			if err := os.MkdirAll(*out, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+				fail(a, err)
+				continue
 			}
-			path := filepath.Join(*out, a+".txt")
-			if err := os.WriteFile(path, []byte(text+"\n"), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(1)
+			files := append([]extraFile{{name: a + ".txt", data: []byte(text + "\n")}}, extras...)
+			for _, f := range files {
+				if err := os.WriteFile(filepath.Join(*out, f.name), f.data, 0o644); err != nil {
+					fail(a, err)
+					break
+				}
 			}
 		}
 	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d artefact(s) failed: %s\n",
+			len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
+	}
+}
+
+// extraFile is a non-text companion artefact (e.g. the hierarchy
+// study's machine-readable JSON), written next to the .txt when -out
+// is set.
+type extraFile struct {
+	name string
+	data []byte
 }
 
 // renderSVGs writes Figure 1, Figures 4-7 and the scaling study as
@@ -163,22 +185,22 @@ func renderSVGs(cfg experiments.Config, dir string) error {
 	return write("scaling.svg", viz.SpeedupSVG(f.Title, f.Curves))
 }
 
-func produce(name string, cfg experiments.Config, plot bool) (string, error) {
+func produce(name string, cfg experiments.Config, plot bool) (string, []extraFile, error) {
 	switch name {
 	case "table1":
-		return experiments.Table1(), nil
+		return experiments.Table1(), nil, nil
 	case "table2":
 		t, err := experiments.Table2(cfg)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return t.Format(), nil
+		return t.Format(), nil, nil
 	case "table3":
 		t, err := experiments.Table3(cfg)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return t.Format(), nil
+		return t.Format(), nil, nil
 	case "fig1":
 		orig, reord := experiments.Figure1(cfg)
 		var sb strings.Builder
@@ -186,41 +208,51 @@ func produce(name string, cfg experiments.Config, plot bool) (string, error) {
 		if plot {
 			fmt.Fprintf(&sb, "original : %s\n", metrics.Sparkline(orig, 100))
 			fmt.Fprintf(&sb, "reordered: %s\n", metrics.Sparkline(reord, 100))
-			return sb.String(), nil
+			return sb.String(), nil, nil
 		}
 		sb.WriteString("column\toriginal\treordered\n")
 		for i := range orig {
 			fmt.Fprintf(&sb, "%d\t%.0f\t%.0f\n", i, orig[i], reord[i])
 		}
-		return sb.String(), nil
+		return sb.String(), nil, nil
 	case "fig4", "fig5", "fig6", "fig7":
 		num := int(name[3] - '0')
 		f, err := experiments.Figure(num, cfg)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
 		text := f.Format()
 		if plot {
 			text += "\n" + metrics.PlotSpeedups(f.Title, f.Curves, 14)
 		}
-		return text, nil
+		return text, nil, nil
 	case "scaling":
 		f, err := experiments.ScalingStudy(cfg, experiments.DistributedSchemes(), nil)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
 		text := f.Format()
 		if plot {
 			text += "\n" + metrics.PlotSpeedups(f.Title, f.Curves, 14)
 		}
-		return text, nil
+		return text, nil, nil
 	case "overlap":
 		res, err := experiments.Overlap(cfg)
 		if err != nil {
-			return "", err
+			return "", nil, err
 		}
-		return experiments.FormatOverlap(res), nil
+		return experiments.FormatOverlap(res), nil, nil
+	case "hierarchy":
+		res, err := experiments.Hierarchy(cfg, nil)
+		if err != nil {
+			return "", nil, err
+		}
+		js, err := res.JSON()
+		if err != nil {
+			return "", nil, err
+		}
+		return experiments.FormatHierarchy(res), []extraFile{{name: "hierarchy.json", data: js}}, nil
 	default:
-		return "", fmt.Errorf("unknown artefact %q", name)
+		return "", nil, fmt.Errorf("unknown artefact %q", name)
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -105,6 +106,7 @@ type Master struct {
 	finished    time.Time
 	done        chan struct{}
 	err         error
+	cancelErr   error
 }
 
 // NewMaster builds a master scheduling `iterations` loop iterations
@@ -263,17 +265,22 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 			m.gathered++
 		}
 		if m.gathered < m.workers {
-			for m.policy == nil && m.err == nil && m.gathered < m.workers {
+			// A cancelled run closes done without ever completing the
+			// gather; the barrier must observe that or waiters hang.
+			for m.policy == nil && m.err == nil && m.gathered < m.workers && !m.doneClosed() {
 				m.ready.Wait()
 			}
 		}
-		if m.policy == nil && m.err == nil {
+		if m.policy == nil && m.err == nil && !m.doneClosed() {
 			m.err = m.plan()
 			m.ready.Broadcast()
 		}
 		if m.err != nil {
 			m.ready.Broadcast()
 			return m.err
+		}
+		if m.policy == nil { // cancelled mid-gather: assign sends Stop
+			return m.assign(args, reply)
 		}
 	} else if sched.Distributed(m.scheme) && !m.disableRe &&
 		acp.MajorityChanged(m.planACP, m.liveACP) {
@@ -411,6 +418,17 @@ func (m *Master) checkDone() {
 	}
 }
 
+// doneClosed reports whether the run has finished (or been cancelled);
+// callers hold mu.
+func (m *Master) doneClosed() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // maybeFinish closes done once and wakes parked workers so they can be
 // stopped; callers hold mu.
 func (m *Master) maybeFinish() {
@@ -529,6 +547,48 @@ func (m *Master) Parked() int {
 	return n
 }
 
+// DisableReplan turns off the mid-run majority re-plan for distributed
+// schemes. The hierarchical root scheme requires it: steals grant
+// ranges out of monotone order, which the re-plan's base-offset
+// bookkeeping would corrupt. Call before serving.
+func (m *Master) DisableReplan() {
+	m.mu.Lock()
+	m.disableRe = true
+	m.mu.Unlock()
+}
+
+// Cancel aborts the run: parked workers are released with Stop
+// replies, in-progress workers are stopped on their next request, and
+// Wait returns cause. A nil cause means context.Canceled. Cancelling
+// an already-finished run is a no-op.
+func (m *Master) Cancel(cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case <-m.done: // finished first; keep that outcome
+		return
+	default:
+	}
+	m.cancelErr = cause
+	m.maybeFinish()
+	m.ready.Broadcast()
+}
+
+// WaitContext is Wait with cancellation: when ctx ends first the run
+// is cancelled (releasing any workers parked in NextChunk) and ctx's
+// error is returned.
+func (m *Master) WaitContext(ctx context.Context) ([][]byte, metrics.Report, error) {
+	select {
+	case <-m.done:
+	case <-ctx.Done():
+		m.Cancel(ctx.Err())
+	}
+	return m.Wait()
+}
+
 // Wait blocks until the run completes — every iteration delivered, or
 // no live worker left to produce the missing ones — and returns the
 // collected per-iteration results plus a report. Missing results
@@ -555,6 +615,9 @@ func (m *Master) Wait() ([][]byte, metrics.Report, error) {
 	var err error
 	if m.received != m.iterations {
 		err = fmt.Errorf("exec: %d of %d results missing", m.iterations-m.received, m.iterations)
+	}
+	if m.cancelErr != nil {
+		err = m.cancelErr
 	}
 	return m.results, rep, err
 }
@@ -631,18 +694,41 @@ func (w Worker) compute(a sched.Assignment) []ChunkResult {
 
 // Run connects to the master at addr and participates until stopped.
 func (w Worker) Run(addr string) error {
+	return w.RunContext(context.Background(), addr)
+}
+
+// RunContext is Run with cancellation: the dial honours ctx, and a
+// cancellation mid-run closes the RPC client, which unblocks any
+// in-flight NextChunk call; the method then returns ctx's error.
+func (w Worker) RunContext(ctx context.Context, addr string) error {
 	if w.Kernel == nil {
 		return errors.New("exec: worker needs a kernel")
 	}
-	client, err := rpc.Dial("tcp", addr)
+	var dialer net.Dialer
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return err
 	}
+	client := rpc.NewClient(conn)
 	defer client.Close()
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			client.Close()
+		case <-watchDone:
+		}
+	}()
 	if w.Pipeline {
-		return w.runPipelined(client)
+		err = w.runPipelined(client)
+	} else {
+		err = w.runSerial(client)
 	}
-	return w.runSerial(client)
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
 }
 
 // runSerial is the paper's §3.1 slave loop: request, compute, piggy-

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"loopsched/internal/hier"
+	"loopsched/internal/sched"
+	"loopsched/internal/sim"
+	"loopsched/internal/tree"
+)
+
+// The hierarchy study compares three coordination topologies on the
+// same cluster and workload as the paper's evaluation, at worker
+// counts where a single master saturates:
+//
+//   - flat      — one master serves every slave (the paper's §3.1);
+//   - 2-level   — the hier runtime: a root partitions the loop among
+//     ⌈√p⌉ submasters by aggregate power and rebalances by stealing;
+//   - tree      — Tree Scheduling (Kim & Purtilo), the decentralised
+//     comparison point the paper itself uses.
+//
+// The flat master costs MasterOverhead plus the result transfer per
+// service and serves one request at a time, so its service queue grows
+// linearly with p; the hierarchy splits that load across submasters
+// and only K clients ever contend at the root.
+
+// HierarchyPoint is one (worker count, scheme, topology) simulated
+// run of the study.
+type HierarchyPoint struct {
+	Workers  int     `json:"workers"`
+	Scheme   string  `json:"scheme"`
+	Topology string  `json:"topology"` // "flat", "2-level" or "tree"
+	Shards   int     `json:"shards,omitempty"`
+	Tp       float64 `json:"tp_seconds"`
+	Chunks   int     `json:"chunks"`
+	Steals   int     `json:"steals,omitempty"`
+}
+
+// HierarchyResult is the full study.
+type HierarchyResult struct {
+	Workload string           `json:"workload"`
+	Points   []HierarchyPoint `json:"points"`
+}
+
+// HierarchySchemes are the schemes the study runs under both flat and
+// 2-level coordination: the paper's TSS and its distributed variant.
+func HierarchySchemes() []sched.Scheme {
+	return []sched.Scheme{sched.TSSScheme{}, sched.DTSSScheme{}}
+}
+
+// HierarchyWorkerCounts are the study's default cluster sizes.
+var HierarchyWorkerCounts = []int{8, 32, 128}
+
+// Hierarchy runs the topology study on the dedicated cluster. Passing
+// nil worker counts uses HierarchyWorkerCounts.
+func Hierarchy(cfg Config, ps []int) (HierarchyResult, error) {
+	if len(ps) == 0 {
+		ps = HierarchyWorkerCounts
+	}
+	w := cfg.Workload()
+	params := cfg.SimParams()
+	res := HierarchyResult{Workload: w.Name()}
+	for _, p := range ps {
+		c := Cluster(p, false)
+		for _, s := range HierarchySchemes() {
+			flat, err := sim.Run(c, s, w, params)
+			if err != nil {
+				return res, fmt.Errorf("flat %s p=%d: %w", s.Name(), p, err)
+			}
+			res.Points = append(res.Points, HierarchyPoint{
+				Workers: p, Scheme: s.Name(), Topology: "flat",
+				Tp: flat.Tp, Chunks: flat.Chunks,
+			})
+			two, err := hier.Simulate(context.Background(), c, s, w, params, hier.Config{})
+			if err != nil {
+				return res, fmt.Errorf("2-level %s p=%d: %w", s.Name(), p, err)
+			}
+			res.Points = append(res.Points, HierarchyPoint{
+				Workers: p, Scheme: s.Name(), Topology: "2-level",
+				Shards: len(two.Shards), Tp: two.Tp, Chunks: two.Chunks,
+				Steals: two.Steals,
+			})
+		}
+		treeRep, err := tree.Run(c, tree.Options{Weighted: true}, w, params)
+		if err != nil {
+			return res, fmt.Errorf("tree p=%d: %w", p, err)
+		}
+		res.Points = append(res.Points, HierarchyPoint{
+			Workers: p, Scheme: "TreeS", Topology: "tree",
+			Tp: treeRep.Tp, Chunks: treeRep.Chunks,
+		})
+	}
+	return res, nil
+}
+
+// Lookup returns the study's point for (p, scheme, topology), or nil.
+func (r HierarchyResult) Lookup(p int, scheme, topology string) *HierarchyPoint {
+	for i := range r.Points {
+		pt := &r.Points[i]
+		if pt.Workers == p && pt.Scheme == scheme && pt.Topology == topology {
+			return pt
+		}
+	}
+	return nil
+}
+
+// JSON renders the study for the CI artifact.
+func (r HierarchyResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// FormatHierarchy renders the study as a table; the "vs flat" column
+// is the 2-level topology's speedup over the flat master with the same
+// scheme at the same p.
+func FormatHierarchy(r HierarchyResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Hierarchy study: flat vs 2-level vs tree (workload %s)\n", r.Workload)
+	tw := tabwriter.NewWriter(&sb, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "p\tscheme\ttopology\tshards\tT_p\tchunks\tsteals\tvs flat")
+	for _, pt := range r.Points {
+		vs := ""
+		if pt.Topology == "2-level" {
+			if flat := r.Lookup(pt.Workers, pt.Scheme, "flat"); flat != nil && pt.Tp > 0 {
+				vs = fmt.Sprintf("%.2f×", flat.Tp/pt.Tp)
+			}
+		}
+		shards := ""
+		if pt.Shards > 0 {
+			shards = fmt.Sprintf("%d", pt.Shards)
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%s\t%.2f\t%d\t%d\t%s\n",
+			pt.Workers, pt.Scheme, pt.Topology, shards, pt.Tp, pt.Chunks, pt.Steals, vs)
+	}
+	tw.Flush()
+	return sb.String()
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestHierarchyStudy runs the full topology study at test scale and
+// checks the central claim: at p = 128 the two-level runtime beats the
+// flat single master for every scheme in the study.
+func TestHierarchyStudy(t *testing.T) {
+	res, err := Hierarchy(Small(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPoints := len(HierarchyWorkerCounts) * (2*len(HierarchySchemes()) + 1)
+	if len(res.Points) != wantPoints {
+		t.Fatalf("study has %d points, want %d", len(res.Points), wantPoints)
+	}
+	for _, s := range HierarchySchemes() {
+		flat := res.Lookup(128, s.Name(), "flat")
+		two := res.Lookup(128, s.Name(), "2-level")
+		if flat == nil || two == nil {
+			t.Fatalf("%s: missing p=128 points", s.Name())
+		}
+		if two.Tp >= flat.Tp {
+			t.Errorf("%s at p=128: 2-level Tp %.3f not better than flat %.3f",
+				s.Name(), two.Tp, flat.Tp)
+		}
+		if two.Shards == 0 || two.Chunks == 0 {
+			t.Errorf("%s at p=128: 2-level point incomplete: %+v", s.Name(), *two)
+		}
+	}
+	if res.Lookup(128, "TreeS", "tree") == nil {
+		t.Error("missing tree comparison point")
+	}
+}
+
+func TestHierarchyJSONRoundTrip(t *testing.T) {
+	res, err := Hierarchy(Small(), []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HierarchyResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(res.Points) || back.Workload != res.Workload {
+		t.Fatalf("round-trip lost data: %d vs %d points", len(back.Points), len(res.Points))
+	}
+	text := FormatHierarchy(res)
+	if !strings.Contains(text, "2-level") || !strings.Contains(text, "vs flat") {
+		t.Fatalf("table misses expected columns:\n%s", text)
+	}
+}

@@ -1,0 +1,341 @@
+package hier
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loopsched/internal/acp"
+	"loopsched/internal/exec"
+	"loopsched/internal/metrics"
+	"loopsched/internal/sched"
+	"loopsched/internal/trace"
+	"loopsched/internal/workload"
+)
+
+// LocalRun executes a loop hierarchically inside one process: the
+// workers are goroutines (exec.WorkerSpec emulated slaves), grouped
+// into shards each driven by its own submaster goroutine, with the
+// shared Root allocator handing out super-chunks and rebalancing by
+// stealing. It is the shared-memory analogue of the RPC hierarchy —
+// same partition, same steal policy, no wire.
+type LocalRun struct {
+	Scheme  sched.Scheme
+	Workers []*exec.WorkerSpec
+	// ACP is the availability model for distributed schemes.
+	ACP acp.Model
+	// Config tunes the hierarchy (zero value = defaults).
+	Config Config
+	// Trace, when non-nil, records each computed chunk with wall-clock
+	// timestamps relative to Run's start.
+	Trace *trace.Trace
+}
+
+type hlReq struct {
+	local     int // index within the shard
+	acp       int
+	fbWork    float64
+	fbElapsed float64
+	reply     chan hlReply
+}
+
+type hlReply struct {
+	assign sched.Assignment
+	ok     bool
+}
+
+// shardState is one submaster's bookkeeping, written by its goroutine
+// and read by Run after all goroutines join.
+type shardState struct {
+	members  []int
+	requests chan hlReq
+	chunks   int
+	iters    int
+	finished float64
+}
+
+// Run executes body(i) exactly once for every iteration of the
+// workload. Cancelling ctx stops the masters from handing out chunks;
+// started iterations still complete.
+func (l *LocalRun) Run(ctx context.Context, w workload.Workload, body func(i int)) (metrics.Report, error) {
+	p := len(l.Workers)
+	if p == 0 {
+		return metrics.Report{}, fmt.Errorf("hier: no workers")
+	}
+	dist := sched.Distributed(l.Scheme)
+	cfg := l.Config.withDefaults(w.Len(), p)
+
+	maxScale := 1
+	for _, ws := range l.Workers {
+		s := ws.WorkScale
+		if s < 1 {
+			s = 1
+		}
+		if s > maxScale {
+			maxScale = s
+		}
+	}
+	scale := func(i int) int {
+		if s := l.Workers[i].WorkScale; s > 1 {
+			return s
+		}
+		return 1
+	}
+	virtual := func(i int) float64 { return float64(maxScale) / float64(scale(i)) }
+
+	powers := make([]float64, p)
+	for i := range powers {
+		powers[i] = virtual(i)
+	}
+	assignment := AssignShards(powers, cfg.Shards)
+	shardPowers := make([]float64, len(assignment))
+	shards := make([]*shardState, len(assignment))
+	shardOf := make([]int, p)
+	localOf := make([]int, p)
+	for si, members := range assignment {
+		shards[si] = &shardState{members: members, requests: make(chan hlReq)}
+		for li, wi := range members {
+			shardOf[wi] = si
+			localOf[wi] = li
+			if dist {
+				a := l.ACP.ACP(virtual(wi), 1+l.Workers[wi].Load())
+				if a < 1 {
+					a = 1
+				}
+				shardPowers[si] += float64(a)
+			} else {
+				shardPowers[si] += virtual(wi)
+			}
+		}
+	}
+	root, err := NewRoot(w.Len(), shardPowers, cfg)
+	if err != nil {
+		return metrics.Report{}, err
+	}
+
+	start := time.Now()
+	if l.Trace != nil {
+		l.Trace.Scheme = l.Scheme.Name()
+		l.Trace.Workload = w.Name()
+		l.Trace.Workers = p
+	}
+
+	times := make([]metrics.Times, p)
+	iters := make([]int64, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			spec := l.Workers[id]
+			sh := shards[shardOf[id]]
+			reply := make(chan hlReply, 1)
+			var fbWork, fbElapsed float64
+			for {
+				a := l.ACP.ACP(virtual(id), 1+spec.Load())
+				waitStart := time.Now()
+				select {
+				case sh.requests <- hlReq{local: localOf[id], acp: a,
+					fbWork: fbWork, fbElapsed: fbElapsed, reply: reply}:
+				case <-ctx.Done():
+					return
+				}
+				r := <-reply // an accepted request is always answered
+				times[id].Wait += time.Since(waitStart).Seconds()
+				if !r.ok {
+					return
+				}
+				compStart := time.Now()
+				for it := r.assign.Start; it < r.assign.End(); it++ {
+					for rep := 0; rep < scale(id); rep++ {
+						body(it)
+					}
+				}
+				fbWork = workload.RangeCost(w, r.assign.Start, r.assign.End())
+				fbElapsed = time.Since(compStart).Seconds()
+				times[id].Comp += fbElapsed
+				atomic.AddInt64(&iters[id], int64(r.assign.Size))
+				if l.Trace != nil {
+					l.Trace.Add(trace.Event{
+						Worker: id,
+						Start:  r.assign.Start,
+						Size:   r.assign.Size,
+						Begin:  compStart.Sub(start).Seconds(),
+						End:    time.Since(start).Seconds(),
+						ACP:    a,
+					})
+				}
+			}
+		}(i)
+	}
+
+	errs := make([]error, len(shards))
+	var mwg sync.WaitGroup
+	for si := range shards {
+		mwg.Add(1)
+		go func(si int) {
+			defer mwg.Done()
+			errs[si] = l.submaster(ctx, root, si, shards[si], powers, dist, start)
+			if errs[si] != nil {
+				// Keep draining so the shard's workers can exit; the
+				// channel is closed once they have all joined.
+				go func() {
+					for req := range shards[si].requests {
+						req.reply <- hlReply{}
+					}
+				}()
+			}
+		}(si)
+	}
+	mwg.Wait()
+	wg.Wait()
+	for _, sh := range shards {
+		close(sh.requests)
+	}
+
+	rep := metrics.Report{
+		Scheme:   l.Scheme.Name(),
+		Workload: w.Name(),
+		Workers:  p,
+		Tp:       time.Since(start).Seconds(),
+		Steals:   root.Steals(),
+	}
+	for i := 0; i < p; i++ {
+		rep.PerWorker = append(rep.PerWorker, times[i])
+		rep.Iterations += int(iters[i])
+	}
+	for si, sh := range shards {
+		rep.Chunks += sh.chunks
+		var comp float64
+		for _, wi := range sh.members {
+			comp += times[wi].Comp
+		}
+		rep.Shards = append(rep.Shards,
+			shardStats(si, sh.members, sh.iters, sh.chunks, comp, sh.finished, root))
+	}
+	for _, e := range errs {
+		if e != nil {
+			return rep, e
+		}
+	}
+	if rep.Iterations != w.Len() {
+		return rep, fmt.Errorf("hier: executed %d of %d iterations", rep.Iterations, w.Len())
+	}
+	return rep, nil
+}
+
+// submaster drives one shard: it fetches super-chunks from the root
+// and schedules them over its members with the configured scheme,
+// re-planning from the freshest ACP reports at every super-chunk
+// boundary (the hierarchy's adaptivity cadence).
+func (l *LocalRun) submaster(ctx context.Context, root *Root, si int, sh *shardState, virtual []float64, dist bool, start time.Time) error {
+	k := len(sh.members)
+	liveACP := make([]int, k)
+	var policy sched.Policy
+	var pending []hlReq
+
+	// Distributed submasters gather every member's first report before
+	// the first plan, so it reflects real ACPs (master step 1(a),
+	// applied per shard).
+	if dist {
+		seen := make([]bool, k)
+		n := 0
+		for n < k {
+			select {
+			case req := <-sh.requests:
+				liveACP[req.local] = req.acp
+				if !seen[req.local] {
+					seen[req.local] = true
+					n++
+				}
+				pending = append(pending, req)
+			case <-ctx.Done():
+				for _, req := range pending {
+					req.reply <- hlReply{}
+				}
+				return ctx.Err()
+			}
+		}
+	}
+
+	// plan points the policy at the next super-chunk; false = root dry.
+	plan := func() (bool, error) {
+		g, ok := root.Next(si)
+		if !ok {
+			return false, nil
+		}
+		cfg := sched.Config{Iterations: g.Size(), Workers: k}
+		switch l.Scheme.(type) {
+		case sched.WFScheme, sched.WeightedStaticScheme:
+			powers := make([]float64, k)
+			for li, wi := range sh.members {
+				powers[li] = virtual[wi]
+			}
+			cfg.Powers = powers
+		default:
+			if dist {
+				powers := make([]float64, k)
+				for li, a := range liveACP {
+					if a < 1 {
+						a = 1
+					}
+					powers[li] = float64(a)
+				}
+				cfg.Powers = powers
+			}
+		}
+		pol, err := l.Scheme.NewPolicy(cfg)
+		if err != nil {
+			return false, err
+		}
+		policy = sched.Offset(pol, g.Start)
+		return true, nil
+	}
+
+	stopped := 0
+	serve := func(req hlReq) error {
+		liveACP[req.local] = req.acp
+		if fb, ok := policy.(sched.FeedbackPolicy); ok && req.fbElapsed > 0 {
+			fb.Feedback(req.local, req.fbWork, req.fbElapsed)
+		}
+		for {
+			if policy != nil {
+				if a, ok := policy.Next(sched.Request{Worker: req.local, ACP: float64(req.acp)}); ok {
+					sh.chunks++
+					sh.iters += a.Size
+					req.reply <- hlReply{assign: a, ok: true}
+					return nil
+				}
+			}
+			ok, err := plan()
+			if err != nil {
+				req.reply <- hlReply{}
+				return err
+			}
+			if !ok {
+				stopped++
+				req.reply <- hlReply{}
+				return nil
+			}
+		}
+	}
+	for _, req := range pending {
+		if err := serve(req); err != nil {
+			return err
+		}
+	}
+	for stopped < k {
+		select {
+		case req := <-sh.requests:
+			if err := serve(req); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	sh.finished = time.Since(start).Seconds()
+	return nil
+}

@@ -1,0 +1,222 @@
+package hier
+
+import (
+	"testing"
+)
+
+func TestPartitionExact(t *testing.T) {
+	cases := []struct {
+		n      int
+		powers []float64
+	}{
+		{100, []float64{1, 1, 1, 1}},
+		{101, []float64{1, 1, 1}},
+		{1000, []float64{5, 2, 1}},
+		{7, []float64{10, 1, 1, 1, 1, 1, 1, 1, 1, 1}},
+		{0, []float64{1, 2}},
+		{1, []float64{3, 3, 3}},
+	}
+	for _, c := range cases {
+		parts := Partition(c.n, c.powers)
+		if len(parts) != len(c.powers) {
+			t.Fatalf("Partition(%d, %v): %d parts", c.n, c.powers, len(parts))
+		}
+		start, total := 0, 0
+		for i, p := range parts {
+			if p.Start != start {
+				t.Errorf("Partition(%d, %v): part %d starts at %d, want %d", c.n, c.powers, i, p.Start, start)
+			}
+			if p.Size() < 0 {
+				t.Errorf("Partition(%d, %v): part %d has negative size", c.n, c.powers, i)
+			}
+			start = p.End
+			total += p.Size()
+		}
+		if total != c.n {
+			t.Errorf("Partition(%d, %v): sizes sum to %d", c.n, c.powers, total)
+		}
+	}
+}
+
+func TestPartitionProportional(t *testing.T) {
+	parts := Partition(900, []float64{2, 1})
+	if parts[0].Size() != 600 || parts[1].Size() != 300 {
+		t.Fatalf("got sizes %d, %d; want 600, 300", parts[0].Size(), parts[1].Size())
+	}
+}
+
+func TestAssignShardsCoversAllWorkers(t *testing.T) {
+	powers := []float64{5, 5, 5, 2, 2, 1, 1, 1}
+	for k := 1; k <= len(powers)+2; k++ {
+		shards := AssignShards(powers, k)
+		want := k
+		if want > len(powers) {
+			want = len(powers)
+		}
+		if len(shards) != want {
+			t.Fatalf("k=%d: %d shards, want %d", k, len(shards), want)
+		}
+		seen := make([]bool, len(powers))
+		for si, members := range shards {
+			if len(members) == 0 {
+				t.Errorf("k=%d: shard %d empty", k, si)
+			}
+			for i := 1; i < len(members); i++ {
+				if members[i-1] >= members[i] {
+					t.Errorf("k=%d: shard %d members not sorted: %v", k, si, members)
+				}
+			}
+			for _, w := range members {
+				if seen[w] {
+					t.Errorf("k=%d: worker %d in two shards", k, w)
+				}
+				seen[w] = true
+			}
+		}
+		for w, ok := range seen {
+			if !ok {
+				t.Errorf("k=%d: worker %d unassigned", k, w)
+			}
+		}
+	}
+}
+
+// drain pulls super-chunks for the given shard order until everyone is
+// told to stop, checking exact single coverage of [0, n).
+func drain(t *testing.T, root *Root, n, shards int, pick func(step int) int) {
+	t.Helper()
+	covered := make([]int, n)
+	stopped := make([]bool, shards)
+	allStopped := func() bool {
+		for _, s := range stopped {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	for step := 0; !allStopped(); step++ {
+		si := pick(step)
+		if stopped[si] {
+			// Fall back to any live shard so preferences like
+			// "always shard 0" still terminate.
+			for j := range stopped {
+				if !stopped[j] {
+					si = j
+					break
+				}
+			}
+		}
+		g, ok := root.Next(si)
+		if !ok {
+			stopped[si] = true
+			continue
+		}
+		if g.Start < 0 || g.End > n || g.Size() <= 0 {
+			t.Fatalf("bad grant %+v for n=%d", g, n)
+		}
+		for i := g.Start; i < g.End; i++ {
+			covered[i]++
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("iteration %d covered %d times", i, c)
+		}
+	}
+	// Monotone-false: once stopped, a shard stays stopped.
+	for si := 0; si < shards; si++ {
+		if _, ok := root.Next(si); ok {
+			t.Fatalf("shard %d got work after the root drained", si)
+		}
+	}
+	if rem := root.Remaining(); rem != 0 {
+		t.Fatalf("root still holds %d iterations", rem)
+	}
+}
+
+func TestRootRoundRobinCoverage(t *testing.T) {
+	const n, k = 10000, 4
+	root, err := NewRoot(n, []float64{3, 2, 1, 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, root, n, k, func(step int) int { return step % k })
+}
+
+func TestRootStealsFromSlowShard(t *testing.T) {
+	const n = 8000
+	root, err := NewRoot(n, []float64{1, 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shard 0 fetches greedily; shard 1 never fetches, so every one of
+	// shard 0's fetches after its own region drains must be a steal
+	// from shard 1's untouched tail.
+	drain(t, root, n, 2, func(step int) int { return 0 })
+	if root.Steals() == 0 {
+		t.Fatal("expected steals when one shard does all the work")
+	}
+	fetches, steals := root.ShardCounts(0)
+	if steals == 0 || steals >= fetches {
+		t.Fatalf("shard 0: %d fetches, %d steals; want 0 < steals < fetches", fetches, steals)
+	}
+	if _, s1 := root.ShardCounts(1); s1 != 0 {
+		t.Fatalf("idle shard recorded %d steals", s1)
+	}
+}
+
+func TestRootStealThresholdStops(t *testing.T) {
+	// With a threshold larger than the whole loop, a drained shard must
+	// stop rather than steal.
+	root, err := NewRoot(100, []float64{1, 1}, Config{StealThreshold: 1000, MinGrant: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := root.Next(0); !ok {
+			break
+		}
+	}
+	if root.Steals() != 0 {
+		t.Fatalf("stole %d super-chunks despite the threshold", root.Steals())
+	}
+	if root.Remaining() != 50 {
+		t.Fatalf("root should still hold shard 1's region, has %d", root.Remaining())
+	}
+}
+
+func TestRootGrantsShrink(t *testing.T) {
+	root, err := NewRoot(1<<16, []float64{1}, Config{MinGrant: 1, StealThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1 << 17
+	for {
+		g, ok := root.Next(0)
+		if !ok {
+			break
+		}
+		if g.Size() > prev {
+			t.Fatalf("grant grew: %d after %d", g.Size(), prev)
+		}
+		prev = g.Size()
+	}
+}
+
+func TestMinGrantFloorsSuperChunks(t *testing.T) {
+	const min = 64
+	root, err := NewRoot(4096, []float64{1, 1}, Config{MinGrant: min, StealThreshold: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		g, ok := root.Next(0)
+		if !ok {
+			break
+		}
+		if g.Size() < min && root.Remaining() > 0 {
+			t.Fatalf("grant %d below MinGrant %d with work left", g.Size(), min)
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package hier
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"loopsched/internal/exec"
+	"loopsched/internal/sched"
+)
+
+// Submaster is the middle tier of the RPC hierarchy. To its workers it
+// is indistinguishable from a flat master: it registers the same
+// "Master" RPC service name and speaks the same NextChunk protocol, so
+// stock exec.Worker slaves connect unchanged. To the root it is a
+// pipelined client: it fetches super-chunks with the same
+// double-buffered Prefetch handshake the flat runtime uses between
+// worker and master, piggy-backing its shard's accumulated results on
+// every fetch, so the root round-trip hides behind local computation.
+//
+// Deadlock discipline: a blocking (parkable) fetch is issued only when
+// the shard holds no undelivered results — every iteration the
+// submaster ever received has either been forwarded or rides on that
+// very fetch. The root can therefore retire the shard's ledger
+// entirely on receipt, and parking the fetch until the global run
+// finishes is safe.
+type Submaster struct {
+	shard   int
+	workers int
+	scheme  sched.Scheme
+	dist    bool
+	root    *rpc.Client
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	policy   sched.Policy
+	buffered []sched.Assignment // fetched super-chunks not yet planned
+	fetching bool
+	rootDone bool
+	rootErr  error
+
+	liveACP  []int
+	seen     []bool
+	gathered int
+
+	pending     []exec.ChunkResult // results awaiting the next fetch
+	outstanding int                // granted iterations not yet deposited back
+
+	iters      int
+	chunks     int
+	fetches    int
+	comp       float64
+	stopped    int
+	finishedAt time.Time
+	done       chan struct{}
+}
+
+// NewSubmaster connects shard `shard` to the root master at rootAddr,
+// serving `workers` local slaves under the scheme.
+func NewSubmaster(shard int, scheme sched.Scheme, workers int, rootAddr string) (*Submaster, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("hier: submaster needs at least one worker")
+	}
+	client, err := rpc.Dial("tcp", rootAddr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Submaster{
+		shard:   shard,
+		workers: workers,
+		scheme:  scheme,
+		dist:    sched.Distributed(scheme),
+		root:    client,
+		liveACP: make([]int, workers),
+		seen:    make([]bool, workers),
+		done:    make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// Serve registers the submaster under the flat master's service name
+// and accepts worker connections until the listener closes.
+func (s *Submaster) Serve(l net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Master", s); err != nil {
+		return err
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return nil
+}
+
+// Close releases the root connection.
+func (s *Submaster) Close() error { return s.root.Close() }
+
+// Wait blocks until every local worker has been stopped, or ctx ends.
+func (s *Submaster) Wait(ctx context.Context) error {
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Counts returns the shard's tallies for the run report; finishedAt is
+// zero until the last worker stops. fetches counts root round-trips
+// the submaster initiated (its own view; the root counts grants).
+func (s *Submaster) Counts() (iters, chunks, fetches int, comp float64, finishedAt time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.iters, s.chunks, s.fetches, s.comp, s.finishedAt
+}
+
+// aggregateACP sums the freshest member reports; callers hold mu.
+func (s *Submaster) aggregateACP() int {
+	total := 0
+	for _, a := range s.liveACP {
+		if a < 1 {
+			a = 1
+		}
+		total += a
+	}
+	return total
+}
+
+// NextChunk is the worker-facing RPC, protocol-compatible with
+// exec.Master.NextChunk.
+func (s *Submaster) NextChunk(args exec.ChunkArgs, reply *exec.ChunkReply) error {
+	if args.Worker < 0 || args.Worker >= s.workers {
+		return fmt.Errorf("hier: unknown worker %d", args.Worker)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if len(args.Results) > 0 {
+		s.pending = append(s.pending, args.Results...)
+		s.outstanding -= len(args.Results)
+		s.cond.Broadcast() // a drained peer may now issue the fetch
+	}
+	if args.CompSeconds > 0 {
+		s.comp += args.CompSeconds
+	}
+	s.liveACP[args.Worker] = args.ACP
+	if !s.seen[args.Worker] {
+		s.seen[args.Worker] = true
+		s.gathered++
+		if s.gathered == s.workers {
+			s.cond.Broadcast() // gather complete: the first fetch may go
+		}
+	}
+
+	for {
+		if s.rootErr != nil {
+			return s.rootErr
+		}
+		if s.policy != nil {
+			if a, ok := s.policy.Next(sched.Request{Worker: args.Worker, ACP: float64(args.ACP)}); ok {
+				s.chunks++
+				s.iters += a.Size
+				s.outstanding += a.Size
+				reply.Assign = a
+				return nil
+			}
+		}
+		if len(s.buffered) > 0 {
+			if err := s.planLocked(); err != nil {
+				return err
+			}
+			continue
+		}
+		if s.rootDone {
+			if args.Prefetch {
+				return nil // empty: finish your chunk, ask again plainly
+			}
+			reply.Stop = true
+			s.stopped++
+			if s.stopped >= s.workers {
+				s.finishedAt = time.Now()
+				close(s.done)
+			}
+			return nil
+		}
+		if args.Prefetch {
+			// Can't give the pipelined worker anything yet; keep a root
+			// prefetch moving and answer empty.
+			s.launchPrefetchLocked()
+			return nil
+		}
+		// Plain request with nothing local. Fetch from the root once the
+		// shard is quiescent (gather done, no undelivered results, no
+		// fetch already in flight); otherwise wait for state to change.
+		if !s.fetching && s.gathered == s.workers && s.outstanding == 0 {
+			if err := s.blockingFetchLocked(); err != nil {
+				return err
+			}
+			continue
+		}
+		s.cond.Wait()
+	}
+}
+
+// planLocked pops the next buffered super-chunk into a fresh local
+// policy — powers re-derived from the members' latest ACP reports, the
+// hierarchy's per-super-chunk adaptivity — and keeps the root pipeline
+// primed. Callers hold mu.
+func (s *Submaster) planLocked() error {
+	g := s.buffered[0]
+	s.buffered = s.buffered[1:]
+	cfg := sched.Config{Iterations: g.Size, Workers: s.workers}
+	if s.dist || s.isWeighted() {
+		powers := make([]float64, s.workers)
+		for i, a := range s.liveACP {
+			if a < 1 {
+				a = 1
+			}
+			powers[i] = float64(a)
+		}
+		cfg.Powers = powers
+	}
+	pol, err := s.scheme.NewPolicy(cfg)
+	if err != nil {
+		s.rootErr = err
+		s.cond.Broadcast()
+		return err
+	}
+	s.policy = sched.Offset(pol, g.Start)
+	if len(s.buffered) == 0 {
+		s.launchPrefetchLocked()
+	}
+	return nil
+}
+
+// isWeighted reports whether the scheme wants static weights; the
+// submaster has no machine table for its remote workers, so their
+// reported ACPs stand in (proportional to virtual power on an
+// unloaded slave).
+func (s *Submaster) isWeighted() bool {
+	switch s.scheme.(type) {
+	case sched.WFScheme, sched.WeightedStaticScheme:
+		return true
+	}
+	return false
+}
+
+// takeFetchArgs snapshots the outgoing fetch payload; callers hold mu.
+func (s *Submaster) takeFetchArgs(prefetch bool) exec.ChunkArgs {
+	args := exec.ChunkArgs{
+		Worker:   s.shard,
+		ACP:      s.aggregateACP(),
+		Results:  s.pending,
+		Prefetch: prefetch,
+	}
+	s.pending = nil
+	s.fetches++
+	return args
+}
+
+// launchPrefetchLocked starts an asynchronous Prefetch fetch if the
+// pipeline is idle. The root answers immediately — possibly with an
+// empty reply — so this never parks. Callers hold mu.
+func (s *Submaster) launchPrefetchLocked() {
+	if s.fetching || s.rootDone || s.gathered < s.workers {
+		return
+	}
+	s.fetching = true
+	args := s.takeFetchArgs(true)
+	go func() {
+		var reply exec.ChunkReply
+		err := s.root.Call("Master.NextChunk", args, &reply)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.fetching = false
+		if err != nil {
+			// The results rode on this call; without knowing whether the
+			// root got them, the run cannot continue safely.
+			s.rootErr = err
+		} else {
+			s.absorbReplyLocked(reply)
+		}
+		s.cond.Broadcast()
+	}()
+}
+
+// blockingFetchLocked performs a plain (parkable) fetch, dropping mu
+// for the duration of the RPC. Only called when the shard is quiescent
+// — see the type comment for why that makes parking at the root safe.
+// Callers hold mu; it is held again on return.
+func (s *Submaster) blockingFetchLocked() error {
+	s.fetching = true
+	args := s.takeFetchArgs(false)
+	s.mu.Unlock()
+	var reply exec.ChunkReply
+	err := s.root.Call("Master.NextChunk", args, &reply)
+	s.mu.Lock()
+	s.fetching = false
+	if err != nil {
+		s.rootErr = err
+		s.cond.Broadcast()
+		return err
+	}
+	s.absorbReplyLocked(reply)
+	s.cond.Broadcast()
+	return nil
+}
+
+// absorbReplyLocked files a root reply; callers hold mu.
+func (s *Submaster) absorbReplyLocked(reply exec.ChunkReply) {
+	switch {
+	case reply.Stop:
+		s.rootDone = true
+	case reply.Assign.Size > 0:
+		s.buffered = append(s.buffered, reply.Assign)
+	}
+}

@@ -1,0 +1,177 @@
+package hier
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"loopsched/internal/exec"
+	"loopsched/internal/sched"
+)
+
+// startHierarchy wires a complete two-level RPC runtime on loopback:
+// a root exec.Master running RootScheme over K submasters, each
+// serving its share of stock exec.Workers. Returns the root, the
+// captured allocator, the submasters and their member counts.
+func startHierarchy(t *testing.T, scheme sched.Scheme, n int, members [][]int, pipeline bool) (*exec.Master, **Root, []*Submaster, chan error) {
+	t.Helper()
+	workerErrs := make(chan error, 16)
+	k := len(members)
+	// The allocator is built lazily, at root-gather completion; hand the
+	// caller a slot it can read after Wait (which orders the write).
+	captured := new(*Root)
+	rootScheme := RootScheme{OnRoot: func(r *Root) { *captured = r }}
+	root, err := exec.NewMaster(rootScheme, n, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.DisableReplan()
+	rootL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rootL.Close() })
+	if err := root.Serve(rootL); err != nil {
+		t.Fatal(err)
+	}
+
+	subs := make([]*Submaster, k)
+	for si := range members {
+		sub, err := NewSubmaster(si, scheme, len(members[si]), rootL.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sub.Close() })
+		subL, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { subL.Close() })
+		if err := sub.Serve(subL); err != nil {
+			t.Fatal(err)
+		}
+		subs[si] = sub
+		for li, scale := range members[si] {
+			w := exec.Worker{
+				ID:           li,
+				WorkScale:    scale,
+				VirtualPower: float64(4 / scale),
+				Pipeline:     pipeline,
+				Kernel: func(i int) []byte {
+					buf := make([]byte, 8)
+					binary.LittleEndian.PutUint64(buf, uint64(i*i))
+					return buf
+				},
+			}
+			go func(w exec.Worker, addr string) {
+				if err := w.Run(addr); err != nil {
+					select {
+					case workerErrs <- fmt.Errorf("worker %d: %w", w.ID, err):
+					default:
+					}
+				}
+			}(w, subL.Addr().String())
+		}
+	}
+	return root, captured, subs, workerErrs
+}
+
+func checkResults(t *testing.T, results [][]byte, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if len(results[i]) != 8 {
+			t.Fatalf("iteration %d: missing result", i)
+		}
+		if got := binary.LittleEndian.Uint64(results[i]); got != uint64(i*i) {
+			t.Fatalf("iteration %d: got %d", i, got)
+		}
+	}
+}
+
+func TestRPCHierarchyEndToEnd(t *testing.T) {
+	for _, tc := range []struct {
+		scheme   string
+		pipeline bool
+	}{
+		{"TSS", false},
+		{"DTSS", false},
+		{"FSS", true},
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("%s/pipeline=%v", tc.scheme, tc.pipeline), func(t *testing.T) {
+			const n = 2000
+			scheme, err := sched.Lookup(tc.scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Worker entries are WorkScales; two shards of three.
+			members := [][]int{{1, 2, 4}, {1, 2, 4}}
+			root, captured, subs, workerErrs := startHierarchy(t, scheme, n, members, tc.pipeline)
+
+			results, rep, err := root.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkResults(t, results, n)
+			if *captured == nil {
+				t.Fatal("OnRoot never ran")
+			}
+			if rem := (*captured).Remaining(); rem != 0 {
+				t.Fatalf("root still holds %d iterations", rem)
+			}
+			if rep.Iterations != n {
+				t.Fatalf("report iterations %d", rep.Iterations)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			defer cancel()
+			var localIters int
+			for _, sub := range subs {
+				if err := sub.Wait(ctx); err != nil {
+					t.Fatal(err)
+				}
+				it, chunks, fetches, _, fin := sub.Counts()
+				localIters += it
+				if chunks == 0 || fetches == 0 || fin.IsZero() {
+					t.Fatalf("submaster tallies incomplete: %d chunks, %d fetches", chunks, fetches)
+				}
+			}
+			if localIters != n {
+				t.Fatalf("submaster iterations sum to %d", localIters)
+			}
+			select {
+			case err := <-workerErrs:
+				t.Fatal(err)
+			default:
+			}
+		})
+	}
+}
+
+func TestRPCHierarchyCancel(t *testing.T) {
+	const n = 1 << 20
+	scheme, _ := sched.Lookup("TSS")
+	members := [][]int{{1, 1}, {1, 1}}
+	root, _, subs, _ := startHierarchy(t, scheme, n, members, false)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := root.WaitContext(ctx)
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// Cancellation must release the submasters' parked fetches so every
+	// local worker is sent home — no goroutine left behind.
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer waitCancel()
+	for _, sub := range subs {
+		if err := sub.Wait(waitCtx); err != nil {
+			t.Fatalf("submaster did not drain after cancel: %v", err)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package hier
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/sim"
+	"loopsched/internal/trace"
+	"loopsched/internal/workload"
+)
+
+// testCluster builds a heterogeneous p-machine cluster in the paper's
+// 2:1 fast/slow mix, with per-machine links.
+func testCluster(p int) sim.Cluster {
+	c := sim.Cluster{}
+	for i := 0; i < p; i++ {
+		power := 1.0
+		link := sim.Link{Latency: 1e-4, Bandwidth: sim.Mbit10}
+		if i%3 == 0 {
+			power = 2
+			link = sim.Link{Latency: 1e-4, Bandwidth: sim.Mbit100}
+		}
+		c.Machines = append(c.Machines, sim.Machine{
+			Name:  fmt.Sprintf("m%d", i),
+			Power: power,
+			Link:  link,
+		})
+	}
+	return c
+}
+
+// TestSimulateCoverageAllSchemes is the hierarchy invariant test: for
+// every registered scheme, the two-level run executes each iteration
+// exactly once — the per-shard chunk sequences tile the loop with no
+// overlap and no gap — and the report's totals agree.
+func TestSimulateCoverageAllSchemes(t *testing.T) {
+	const n = 4000
+	cluster := testCluster(9)
+	w := workload.Uniform{N: n, C: 1}
+	for _, name := range sched.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			scheme, err := sched.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := &trace.Trace{}
+			rep, err := Simulate(context.Background(), cluster, scheme, w,
+				sim.Params{Trace: tr}, Config{Shards: 3})
+			if err != nil {
+				t.Fatalf("Simulate(%s): %v", name, err)
+			}
+			covered := make([]int, n)
+			for _, e := range tr.Events() {
+				for i := e.Start; i < e.Start+e.Size; i++ {
+					if i < 0 || i >= n {
+						t.Fatalf("event outside loop: %+v", e)
+					}
+					covered[i]++
+				}
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("%s: iteration %d executed %d times", name, i, c)
+				}
+			}
+			if rep.Iterations != n {
+				t.Fatalf("%s: report says %d iterations", name, rep.Iterations)
+			}
+			var shardIters int
+			for _, s := range rep.Shards {
+				shardIters += s.Iterations
+			}
+			if shardIters != n {
+				t.Fatalf("%s: shard iterations sum to %d", name, shardIters)
+			}
+			if len(rep.Shards) != 3 {
+				t.Fatalf("%s: %d shards in report", name, len(rep.Shards))
+			}
+		})
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	cluster := testCluster(8)
+	w := workload.LinearDecreasing{N: 5000}
+	scheme, _ := sched.Lookup("DTSS")
+	run := func() float64 {
+		rep, err := Simulate(context.Background(), cluster, scheme, w, sim.Params{}, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Tp
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %g vs %g", a, b)
+	}
+}
+
+func TestSimulateRejectsFlatKnobs(t *testing.T) {
+	cluster := testCluster(4)
+	w := workload.Uniform{N: 100, C: 1}
+	scheme, _ := sched.Lookup("TSS")
+	for _, p := range []sim.Params{{Prefetch: true}, {CollectAtEnd: true}, {SharedBus: true}} {
+		if _, err := Simulate(context.Background(), cluster, scheme, w, p, Config{}); err == nil {
+			t.Fatalf("expected rejection for %+v", p)
+		}
+	}
+}
+
+func TestSimulateCancel(t *testing.T) {
+	cluster := testCluster(8)
+	w := workload.Uniform{N: 200000, C: 1}
+	scheme, _ := sched.Lookup("FSS")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Simulate(ctx, cluster, scheme, w, sim.Params{}, Config{}); err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestSimulateStealsUnderLoad drives one shard's machines with heavy
+// external load and checks the root rebalances toward the others.
+func TestSimulateStealsUnderLoad(t *testing.T) {
+	cluster := testCluster(8)
+	// Load down every machine of shard 0 for the whole run, so that
+	// shard falls far behind its static-power partition.
+	for _, w := range AssignShards(cluster.Powers(), 2)[0] {
+		cluster.Machines[w].Load = sim.LoadScript{{Start: 0, End: 1e9, Extra: 8}}
+	}
+	// Compute-bound run (tiny result payloads), so the external load —
+	// not the wire — decides which shard lags.
+	w := workload.Uniform{N: 20000, C: 100}
+	scheme, _ := sched.Lookup("TSS")
+	rep, err := Simulate(context.Background(), cluster, scheme, w,
+		sim.Params{BytesPerIter: 1}, Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Steals == 0 {
+		t.Fatal("expected root-level steals with half the cluster loaded")
+	}
+}

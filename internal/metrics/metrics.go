@@ -59,6 +59,34 @@ type Report struct {
 	Iterations int
 	// Replans counts master re-planning events (distributed schemes).
 	Replans int
+	// Shards, when non-empty, is the per-shard breakdown of a
+	// hierarchical (two-level) run: one entry per submaster.
+	Shards []ShardStats
+	// Steals counts root-level rebalances in a hierarchical run: tail
+	// ranges moved from one shard's partition to another.
+	Steals int
+}
+
+// ShardStats is one submaster's slice of a hierarchical run.
+type ShardStats struct {
+	// Shard is the 0-based shard index.
+	Shard int
+	// Workers is the number of slaves the submaster drives.
+	Workers int
+	// Iterations the shard executed.
+	Iterations int
+	// Chunks is the number of local scheduling steps (submaster grants).
+	Chunks int
+	// Fetches is the number of super-chunks obtained from the root.
+	Fetches int
+	// Steals is how many of those fetches were tail ranges stolen from
+	// another shard's partition.
+	Steals int
+	// Comp is the shard's aggregate computation time in seconds.
+	Comp float64
+	// Finished is when the shard's last worker drained, in seconds from
+	// the start of the run (0 when the backend does not measure it).
+	Finished float64
 }
 
 // CompImbalance returns (max−min)/mean over the per-worker computation
@@ -222,6 +250,37 @@ func FormatTable(title string, reports []Report) string {
 		fmt.Fprintf(tw, "\t%.2f", r.CompImbalance())
 	}
 	fmt.Fprintln(tw)
+	tw.Flush()
+	return sb.String()
+}
+
+// FormatShards renders the per-shard breakdown of a hierarchical run
+// as an aligned table, one row per submaster plus a totals row.
+func FormatShards(r Report) string {
+	if len(r.Shards) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s on %s: %d workers in %d shards, Tp %.2f s, %d steals\n",
+		r.Scheme, r.Workload, r.Workers, len(r.Shards), r.Tp, r.Steals)
+	tw := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shard\tworkers\titers\tchunks\tfetches\tsteals\tcomp\tfinished")
+	var total ShardStats
+	for _, s := range r.Shards {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f\n",
+			s.Shard, s.Workers, s.Iterations, s.Chunks, s.Fetches, s.Steals, s.Comp, s.Finished)
+		total.Workers += s.Workers
+		total.Iterations += s.Iterations
+		total.Chunks += s.Chunks
+		total.Fetches += s.Fetches
+		total.Steals += s.Steals
+		total.Comp += s.Comp
+		if s.Finished > total.Finished {
+			total.Finished = s.Finished
+		}
+	}
+	fmt.Fprintf(tw, "all\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f\n",
+		total.Workers, total.Iterations, total.Chunks, total.Fetches, total.Steals, total.Comp, total.Finished)
 	tw.Flush()
 	return sb.String()
 }

@@ -1,6 +1,7 @@
 package mp
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"time"
@@ -98,6 +99,17 @@ type MasterOptions struct {
 // communicator's size−1 slaves and collects their results (indexed by
 // iteration). It returns when every slave has been stopped.
 func RunMaster(c Comm, scheme sched.Scheme, iterations int, opts MasterOptions) ([][]byte, metrics.Report, error) {
+	return RunMasterContext(context.Background(), c, scheme, iterations, opts)
+}
+
+// RunMasterContext is RunMaster with cancellation. When ctx ends the
+// master stops handing out work, sends tagStop to every slave it has
+// not already stopped — so their loops terminate instead of blocking
+// on a reply that will never come — and returns ctx's error alongside
+// whatever results arrived. With the built-in transports a blocked
+// Recv is woken immediately (via an injected sentinel); a foreign Comm
+// implementation is only checked between messages.
+func RunMasterContext(ctx context.Context, c Comm, scheme sched.Scheme, iterations int, opts MasterOptions) ([][]byte, metrics.Report, error) {
 	if c.Rank() != 0 {
 		return nil, metrics.Report{}, fmt.Errorf("mp: master must be rank 0, not %d", c.Rank())
 	}
@@ -108,6 +120,29 @@ func RunMaster(c Comm, scheme sched.Scheme, iterations int, opts MasterOptions) 
 	dist := sched.Distributed(scheme)
 	results := make([][]byte, iterations)
 	rep := metrics.Report{Scheme: scheme.Name(), Workers: workers, Iterations: iterations}
+
+	stoppedSet := make([]bool, workers+1) // indexed by rank
+	cancelled := func() ([][]byte, metrics.Report, error) {
+		for r := 1; r <= workers; r++ {
+			if !stoppedSet[r] {
+				_ = c.Send(r, tagStop, nil) // best effort: rank may not be connected yet
+			}
+		}
+		return results, rep, ctx.Err()
+	}
+	if ctx.Done() != nil {
+		if inj, ok := c.(injector); ok {
+			quit := make(chan struct{})
+			defer close(quit)
+			go func() {
+				select {
+				case <-ctx.Done():
+					_ = inj.inject(Message{From: wakeSource, Tag: tagRequest})
+				case <-quit:
+				}
+			}()
+		}
+	}
 
 	liveACP := make([]int, workers)
 	planACP := make([]int, workers)
@@ -164,6 +199,9 @@ func RunMaster(c Comm, scheme sched.Scheme, iterations int, opts MasterOptions) 
 			if err != nil {
 				return nil, rep, err
 			}
+			if msg.From == wakeSource || ctx.Err() != nil {
+				return cancelled()
+			}
 			a, _, entries, err := decodeRequest(msg.Data)
 			if err != nil {
 				return nil, rep, err
@@ -202,6 +240,7 @@ func RunMaster(c Comm, scheme sched.Scheme, iterations int, opts MasterOptions) 
 		a, ok := policy.Next(sched.Request{Worker: p.worker - 1, ACP: float64(p.acp)})
 		if !ok {
 			stopped++
+			stoppedSet[p.worker] = true
 			return c.Send(p.worker, tagStop, nil)
 		}
 		base = a.End()
@@ -217,6 +256,9 @@ func RunMaster(c Comm, scheme sched.Scheme, iterations int, opts MasterOptions) 
 		msg, err := c.Recv(AnySource, tagRequest)
 		if err != nil {
 			return nil, rep, err
+		}
+		if msg.From == wakeSource || ctx.Err() != nil {
+			return cancelled()
 		}
 		a, compMicros, entries, err := decodeRequest(msg.Data)
 		if err != nil {

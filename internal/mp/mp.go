@@ -47,6 +47,21 @@ type Comm interface {
 // ErrClosed is returned by operations on a closed communicator.
 var ErrClosed = errors.New("mp: communicator closed")
 
+// wakeSource is an impossible rank used to wake a blocked master Recv
+// when its context is cancelled. Neither transport ever produces it
+// from a real peer (ranks are ≥ 0 and AnySource is −1).
+const wakeSource = -2
+
+// injector delivers a synthetic message straight into a rank's own
+// inbox. Both built-in transports implement it; RunMasterContext uses
+// it for prompt cancellation (a tcpMaster cannot Send to itself — it
+// holds no connection for rank 0 — so the wake must be injected).
+type injector interface {
+	inject(Message) error
+}
+
+func (c *localComm) inject(m Message) error { return c.in.put(m) }
+
 // inbox is a matching queue shared by both transports.
 type inbox struct {
 	mu     sync.Mutex

@@ -126,6 +126,8 @@ func (m *tcpMaster) Send(to, tag int, data []byte) error {
 
 func (m *tcpMaster) Recv(from, tag int) (Message, error) { return m.in.get(from, tag) }
 
+func (m *tcpMaster) inject(msg Message) error { return m.in.put(msg) }
+
 func (m *tcpMaster) Close() error {
 	m.in.close()
 	m.mu.Lock()

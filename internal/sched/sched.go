@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -177,39 +178,46 @@ var ErrUnknownScheme = errors.New("sched: unknown scheme")
 
 var (
 	registryMu sync.RWMutex
-	registry   = map[string]Scheme{}
+	registry   = map[string]Scheme{} // keyed by canonical (upper-case) name
 )
+
+// canonical folds a scheme name for case-insensitive lookup.
+func canonical(name string) string { return strings.ToUpper(name) }
 
 // Register makes a scheme available to Lookup and Names. The standard
 // schemes register themselves; callers may add their own. Registering
-// a duplicate name panics, mirroring database/sql's driver registry.
+// a duplicate name (compared case-insensitively) panics, mirroring
+// database/sql's driver registry.
 func Register(s Scheme) {
 	registryMu.Lock()
 	defer registryMu.Unlock()
-	if _, dup := registry[s.Name()]; dup {
+	key := canonical(s.Name())
+	if _, dup := registry[key]; dup {
 		panic("sched: duplicate registration of " + s.Name())
 	}
-	registry[s.Name()] = s
+	registry[key] = s
 }
 
-// Lookup finds a registered scheme by name.
+// Lookup finds a registered scheme by name. Matching is
+// case-insensitive: "tss", "TSS" and "Tss" all resolve to TSS.
 func Lookup(name string) (Scheme, error) {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
-	s, ok := registry[name]
+	s, ok := registry[canonical(name)]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownScheme, name)
 	}
 	return s, nil
 }
 
-// Names returns all registered scheme names, sorted.
+// Names returns all registered scheme names (in their canonical
+// spelling, as reported by Scheme.Name), sorted.
 func Names() []string {
 	registryMu.RLock()
 	defer registryMu.RUnlock()
 	names := make([]string, 0, len(registry))
-	for n := range registry {
-		names = append(names, n)
+	for _, s := range registry {
+		names = append(names, s.Name())
 	}
 	sort.Strings(names)
 	return names

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 
@@ -57,6 +58,11 @@ type Params struct {
 	// iteration range, compute interval, reported ACP).
 	Trace *trace.Trace
 }
+
+// WithDefaults resolves the documented zero-value defaults; other
+// packages that reuse Params (e.g. the hierarchical simulator) call it
+// so the knobs mean the same thing everywhere.
+func (p Params) WithDefaults() Params { return p.withDefaults() }
 
 func (p Params) withDefaults() Params {
 	if p.BaseRate <= 0 {
@@ -153,6 +159,8 @@ type simulator struct {
 	scheme   sched.Scheme
 	work     workload.Workload
 	dist     bool
+	ctx      context.Context
+	steps    int64
 	now      float64
 	seq      int64
 	events   eventQueue
@@ -213,6 +221,13 @@ func (s *simulator) serviceBus(t float64) {
 // Run executes the workload on the cluster under the scheme and
 // returns the paper-style report. The simulation is deterministic.
 func Run(c Cluster, s sched.Scheme, w workload.Workload, p Params) (metrics.Report, error) {
+	return RunContext(context.Background(), c, s, w, p)
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx and
+// aborts with its error. The simulation stays deterministic — ctx only
+// decides whether it runs to completion.
+func RunContext(ctx context.Context, c Cluster, s sched.Scheme, w workload.Workload, p Params) (metrics.Report, error) {
 	if err := c.Validate(); err != nil {
 		return metrics.Report{}, err
 	}
@@ -230,6 +245,7 @@ func Run(c Cluster, s sched.Scheme, w workload.Workload, p Params) (metrics.Repo
 		params:  p,
 		scheme:  s,
 		work:    w,
+		ctx:     ctx,
 		dist:    sched.Distributed(s),
 		workers: make([]workerState, len(c.Machines)),
 		planACP: make([]int, len(c.Machines)),
@@ -340,7 +356,17 @@ func (s *simulator) run() error {
 	for w := range s.cluster.Machines {
 		s.sendRequest(w, 0)
 	}
+	if s.ctx != nil { // a pre-cancelled run must not simulate at all
+		if err := s.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	for s.events.Len() > 0 {
+		if s.steps++; s.steps&1023 == 0 && s.ctx != nil {
+			if err := s.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		e := heap.Pop(&s.events).(event)
 		s.now = e.t
 		if e.t > s.lastTime {

@@ -28,6 +28,7 @@
 package loopsched
 
 import (
+	"context"
 	"image"
 	"io"
 	"net"
@@ -288,6 +289,10 @@ const (
 
 // Simulate runs the workload on the cluster under the scheme in the
 // discrete-event simulator and returns the paper-style report.
+//
+// Simulate is a legacy adapter kept for compatibility; prefer
+// Run(ctx, RunSpec{Backend: BackendSim, …}), which adds cancellation
+// and the hierarchical runtime behind the same spec.
 func Simulate(c Cluster, s Scheme, w Workload, p SimParams) (Report, error) {
 	return sim.Run(c, s, w, p)
 }
@@ -352,7 +357,8 @@ type TraceEvent = trace.Event
 
 type (
 	// LocalExecutor runs a loop with goroutine workers and a channel
-	// master.
+	// master. Its Run method is a legacy adapter; prefer
+	// Run(ctx, RunSpec{Backend: BackendLocal, …}).
 	LocalExecutor = exec.Local
 	// WorkerSpec emulates one heterogeneous worker in-process.
 	WorkerSpec = exec.WorkerSpec
@@ -370,6 +376,11 @@ type (
 
 // NewMaster builds an RPC master scheduling `iterations` across
 // `workers` slaves under the scheme.
+//
+// NewMaster + Serve + Wait is the manual wiring for multi-process
+// deployments; when everything runs in one process, prefer
+// Run(ctx, RunSpec{Backend: BackendRPC, …}), which self-hosts the
+// master and workers on loopback and supports cancellation.
 func NewMaster(scheme Scheme, iterations, workers int) (*Master, error) {
 	return exec.NewMaster(scheme, iterations, workers)
 }
@@ -407,8 +418,19 @@ func ListenTCP(ln net.Listener, size int) (Comm, error) { return mp.ListenTCP(ln
 func DialTCP(addr string, rank, size int) (Comm, error) { return mp.DialTCP(addr, rank, size) }
 
 // RunMPMaster runs the paper's master program (§3.1) on rank 0.
+//
+// RunMPMaster is a legacy adapter kept for custom Comm wiring; prefer
+// Run(ctx, RunSpec{Backend: BackendMP, …}) for in-process worlds, or
+// RunMPMasterContext when you need cancellation over your own Comm.
 func RunMPMaster(c Comm, scheme Scheme, iterations int, opts MPMasterOptions) ([][]byte, Report, error) {
 	return mp.RunMaster(c, scheme, iterations, opts)
+}
+
+// RunMPMasterContext is RunMPMaster with cancellation: when ctx ends
+// the master stops every slave it has not already stopped and returns
+// ctx's error.
+func RunMPMasterContext(ctx context.Context, c Comm, scheme Scheme, iterations int, opts MPMasterOptions) ([][]byte, Report, error) {
+	return mp.RunMasterContext(ctx, c, scheme, iterations, opts)
 }
 
 // RunMPWorker runs the paper's slave program on a non-zero rank.

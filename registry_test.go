@@ -1,0 +1,71 @@
+package loopsched_test
+
+import (
+	"strings"
+	"testing"
+
+	"loopsched"
+)
+
+// TestSchemeRegistryRoundTrip pins the catalogue API contract: every
+// name SchemeNames advertises resolves through LookupScheme, back to a
+// scheme carrying that exact name, in any letter case.
+func TestSchemeRegistryRoundTrip(t *testing.T) {
+	names := loopsched.SchemeNames()
+	if len(names) < 10 {
+		t.Fatalf("suspiciously small registry: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Errorf("SchemeNames lists %q twice", name)
+		}
+		seen[name] = true
+		s, err := loopsched.LookupScheme(name)
+		if err != nil {
+			t.Errorf("advertised name %q does not resolve: %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("LookupScheme(%q) returned scheme named %q", name, s.Name())
+		}
+		for _, variant := range []string{strings.ToLower(name), strings.ToUpper(name)} {
+			v, err := loopsched.LookupScheme(variant)
+			if err != nil {
+				t.Errorf("lookup is not case-insensitive: %q failed: %v", variant, err)
+				continue
+			}
+			if v.Name() != s.Name() {
+				t.Errorf("LookupScheme(%q) = %q, want %q", variant, v.Name(), s.Name())
+			}
+		}
+	}
+	if _, err := loopsched.LookupScheme("no-such-scheme"); err == nil {
+		t.Error("unknown scheme name resolved")
+	}
+}
+
+// TestDescribeSchemesCoversCatalogue checks the prose catalogue and
+// the machine-readable one agree: DescribeSchemes with no filter
+// documents every SchemeCatalogue entry, and per-name filters select
+// exactly that entry.
+func TestDescribeSchemesCoversCatalogue(t *testing.T) {
+	cat := loopsched.SchemeCatalogue()
+	if len(cat) == 0 {
+		t.Fatal("empty catalogue")
+	}
+	all := loopsched.DescribeSchemes("")
+	for _, info := range cat {
+		header := info.Name + " (" + info.Category + ")"
+		if !strings.Contains(all, header) {
+			t.Errorf("DescribeSchemes omits %q", header)
+		}
+		if info.Formula == "" || !strings.Contains(all, info.Formula) {
+			t.Errorf("DescribeSchemes omits the chunk rule of %s", info.Name)
+		}
+		only := loopsched.DescribeSchemes(info.Name)
+		if !strings.Contains(only, info.Formula) {
+			t.Errorf("DescribeSchemes(%q) misses its own formula", info.Name)
+		}
+	}
+}

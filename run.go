@@ -1,0 +1,499 @@
+package loopsched
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"loopsched/internal/exec"
+	"loopsched/internal/hier"
+	"loopsched/internal/metrics"
+	"loopsched/internal/mp"
+	"loopsched/internal/sim"
+)
+
+// ---- The unified entry point ----
+//
+// Run executes one self-scheduled loop on a chosen backend. It is the
+// recommended entry point: the same RunSpec — scheme, workload, and a
+// description of the machines — runs unchanged on the discrete-event
+// simulator, the in-process goroutine executor, the net/rpc runtime
+// (self-hosted on loopback), or the message-passing substrate, flat or
+// hierarchical, and always honours context cancellation.
+
+// Backend names an execution substrate for Run.
+type Backend string
+
+const (
+	// BackendSim runs the deterministic discrete-event simulator.
+	BackendSim Backend = "sim"
+	// BackendLocal runs goroutine workers driven by a channel master.
+	BackendLocal Backend = "local"
+	// BackendRPC self-hosts the net/rpc master and workers on loopback
+	// TCP — the full wire protocol without external processes.
+	BackendRPC Backend = "rpc"
+	// BackendMP runs the MPI-style master/slave program on an
+	// in-process message-passing world.
+	BackendMP Backend = "mp"
+)
+
+// Hierarchy tunes the two-level (root + submasters) runtime; attach
+// one to RunSpec.Hierarchy to run hierarchically. The zero value picks
+// the documented defaults (⌈√p⌉ shards, halving grants, steal-half).
+type Hierarchy = hier.Config
+
+// DefaultShards returns the default submaster count for p workers.
+func DefaultShards(p int) int { return hier.DefaultShards(p) }
+
+// ShardStats is one submaster's slice of a hierarchical run; see
+// Report.Shards.
+type ShardStats = metrics.ShardStats
+
+// FormatShards renders a hierarchical report's per-shard breakdown as
+// a table (empty string for flat runs).
+func FormatShards(r Report) string { return metrics.FormatShards(r) }
+
+// RunSpec describes one loop execution for Run. Scheme and Workload
+// are always required; the remaining fields depend on the backend:
+//
+//   - BackendSim uses Cluster and Sim;
+//   - BackendLocal uses Workers and Body (or Kernel);
+//   - BackendRPC and BackendMP use Workers and Kernel (or Body).
+//
+// Setting Hierarchy selects the two-level runtime on the sim, local
+// and rpc backends (the mp backend is flat-only).
+type RunSpec struct {
+	// Scheme is the self-scheduling scheme (see LookupScheme).
+	Scheme Scheme
+	// Workload is the loop: its length and per-iteration costs.
+	Workload Workload
+	// Backend selects the substrate; empty means BackendSim.
+	Backend Backend
+
+	// Cluster describes the simulated machines (BackendSim).
+	Cluster Cluster
+	// Sim tunes the simulated protocol (BackendSim).
+	Sim SimParams
+
+	// Workers emulate heterogeneous slaves (local, rpc, mp backends):
+	// one goroutine / RPC slave / rank per entry, slowed by WorkScale.
+	Workers []*WorkerSpec
+	// Body executes one iteration for its side effects. Required on
+	// BackendLocal unless Kernel is set.
+	Body func(i int)
+	// Kernel computes one iteration and serialises its result
+	// (rpc and mp backends). When nil, Body is wrapped.
+	Kernel Kernel
+	// ACP is the availability model distributed schemes report with.
+	ACP ACPModel
+	// Pipeline enables the double-buffered RPC worker protocol.
+	Pipeline bool
+	// DisableReplan turns off the majority re-plan (ablation). The
+	// hierarchical rpc root always runs with re-planning disabled.
+	DisableReplan bool
+	// Trace, when non-nil, records chunk-level events (local backend;
+	// for the simulator set Sim.Trace instead).
+	Trace *Trace
+
+	// Hierarchy, when non-nil, runs the two-level sharded runtime.
+	Hierarchy *Hierarchy
+}
+
+// Executor runs RunSpecs on one backend. NewExecutor returns the
+// implementation for a Backend; Run is the one-call convenience.
+type Executor interface {
+	Run(ctx context.Context, spec RunSpec) (Report, error)
+}
+
+// NewExecutor returns the Executor for a backend. The empty Backend
+// means BackendSim.
+func NewExecutor(b Backend) (Executor, error) {
+	switch b {
+	case "", BackendSim:
+		return simExecutor{}, nil
+	case BackendLocal:
+		return localExecutor{}, nil
+	case BackendRPC:
+		return rpcExecutor{}, nil
+	case BackendMP:
+		return mpExecutor{}, nil
+	default:
+		return nil, fmt.Errorf("loopsched: unknown backend %q", b)
+	}
+}
+
+// Run executes the spec on its backend and returns the paper-style
+// report. Cancelling ctx stops the run promptly on every backend:
+// masters stop handing out chunks, workers drain, and Run returns
+// ctx's error (iterations already started still complete).
+func Run(ctx context.Context, spec RunSpec) (Report, error) {
+	ex, err := NewExecutor(spec.Backend)
+	if err != nil {
+		return Report{}, err
+	}
+	return ex.Run(ctx, spec)
+}
+
+// validate checks the backend-independent requirements.
+func (s RunSpec) validate() error {
+	if s.Scheme == nil {
+		return fmt.Errorf("loopsched: RunSpec.Scheme is required")
+	}
+	if s.Workload == nil {
+		return fmt.Errorf("loopsched: RunSpec.Workload is required")
+	}
+	if s.Hierarchy != nil {
+		if err := s.Hierarchy.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// body returns the per-iteration side-effect function, wrapping Kernel
+// when only a kernel was given.
+func (s RunSpec) body() (func(i int), error) {
+	if s.Body != nil {
+		return s.Body, nil
+	}
+	if s.Kernel != nil {
+		return func(i int) { s.Kernel(i) }, nil
+	}
+	return nil, fmt.Errorf("loopsched: RunSpec needs Body or Kernel on backend %q", s.Backend)
+}
+
+// kernel returns the result-producing kernel, wrapping Body when only
+// a body was given.
+func (s RunSpec) kernel() (Kernel, error) {
+	if s.Kernel != nil {
+		return s.Kernel, nil
+	}
+	if s.Body != nil {
+		return func(i int) []byte { s.Body(i); return nil }, nil
+	}
+	return nil, fmt.Errorf("loopsched: RunSpec needs Kernel or Body on backend %q", s.Backend)
+}
+
+// virtualPowers derives V_i for each worker spec: the slowest worker
+// has power 1 and the rest scale up, mirroring the paper's testbed
+// power normalisation.
+func virtualPowers(workers []*WorkerSpec) []float64 {
+	maxScale := 1
+	for _, w := range workers {
+		if w.WorkScale > maxScale {
+			maxScale = w.WorkScale
+		}
+	}
+	out := make([]float64, len(workers))
+	for i, w := range workers {
+		s := w.WorkScale
+		if s < 1 {
+			s = 1
+		}
+		out[i] = float64(maxScale) / float64(s)
+	}
+	return out
+}
+
+// ---- Simulator backend ----
+
+type simExecutor struct{}
+
+func (simExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
+	if err := spec.validate(); err != nil {
+		return Report{}, err
+	}
+	if spec.Hierarchy != nil {
+		return hier.Simulate(ctx, spec.Cluster, spec.Scheme, spec.Workload, spec.Sim, *spec.Hierarchy)
+	}
+	return sim.RunContext(ctx, spec.Cluster, spec.Scheme, spec.Workload, spec.Sim)
+}
+
+// ---- Local (goroutine) backend ----
+
+type localExecutor struct{}
+
+func (localExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
+	if err := spec.validate(); err != nil {
+		return Report{}, err
+	}
+	if len(spec.Workers) == 0 {
+		return Report{}, fmt.Errorf("loopsched: local backend needs Workers")
+	}
+	body, err := spec.body()
+	if err != nil {
+		return Report{}, err
+	}
+	if spec.Hierarchy != nil {
+		run := &hier.LocalRun{
+			Scheme:  spec.Scheme,
+			Workers: spec.Workers,
+			ACP:     spec.ACP,
+			Config:  *spec.Hierarchy,
+			Trace:   spec.Trace,
+		}
+		return run.Run(ctx, spec.Workload, body)
+	}
+	l := &LocalExecutor{
+		Scheme:        spec.Scheme,
+		Workers:       spec.Workers,
+		ACP:           spec.ACP,
+		DisableReplan: spec.DisableReplan,
+		Trace:         spec.Trace,
+	}
+	return l.RunContext(ctx, spec.Workload, body)
+}
+
+// ---- net/rpc backend (self-hosted on loopback) ----
+
+type rpcExecutor struct{}
+
+func (rpcExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
+	if err := spec.validate(); err != nil {
+		return Report{}, err
+	}
+	if len(spec.Workers) == 0 {
+		return Report{}, fmt.Errorf("loopsched: rpc backend needs Workers")
+	}
+	kernel, err := spec.kernel()
+	if err != nil {
+		return Report{}, err
+	}
+	if spec.Hierarchy != nil {
+		return runRPCHierarchy(ctx, spec, kernel)
+	}
+	return runRPCFlat(ctx, spec, kernel)
+}
+
+// rpcWorker builds the exec.Worker for spec.Workers[i].
+func rpcWorker(spec RunSpec, kernel Kernel, powers []float64, i int) exec.Worker {
+	ws := spec.Workers[i]
+	return exec.Worker{
+		ID:           i,
+		Kernel:       kernel,
+		VirtualPower: powers[i],
+		LoadProbe:    ws.Load,
+		ACPModel:     spec.ACP,
+		WorkScale:    ws.WorkScale,
+		Pipeline:     spec.Pipeline,
+	}
+}
+
+func runRPCFlat(ctx context.Context, spec RunSpec, kernel Kernel) (Report, error) {
+	n := spec.Workload.Len()
+	p := len(spec.Workers)
+	master, err := exec.NewMaster(spec.Scheme, n, p)
+	if err != nil {
+		return Report{}, err
+	}
+	if spec.DisableReplan {
+		master.DisableReplan()
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Report{}, err
+	}
+	defer ln.Close()
+	if err := master.Serve(ln); err != nil {
+		return Report{}, err
+	}
+
+	powers := virtualPowers(spec.Workers)
+	var wg sync.WaitGroup
+	for i := range spec.Workers {
+		w := rpcWorker(spec, kernel, powers, i)
+		wg.Add(1)
+		go func(w exec.Worker) {
+			defer wg.Done()
+			if werr := w.RunContext(ctx, ln.Addr().String()); werr != nil && ctx.Err() == nil {
+				// A broken worker must not hang the run: surface its
+				// error through the master.
+				master.Cancel(fmt.Errorf("loopsched: rpc worker %d: %w", w.ID, werr))
+			}
+		}(w)
+	}
+	_, rep, err := master.WaitContext(ctx)
+	wg.Wait()
+	rep.Workload = spec.Workload.Name()
+	return rep, err
+}
+
+func runRPCHierarchy(ctx context.Context, spec RunSpec, kernel Kernel) (Report, error) {
+	n := spec.Workload.Len()
+	p := len(spec.Workers)
+	powers := virtualPowers(spec.Workers)
+	k := spec.Hierarchy.Shards
+	if k <= 0 {
+		k = hier.DefaultShards(p)
+	}
+	if k > p {
+		k = p
+	}
+	members := hier.AssignShards(powers, k)
+
+	// The root is a stock RPC master running the hierarchy's allocator
+	// as its scheme; each of its "workers" is a submaster. Steals make
+	// root grants non-monotone, so mid-run re-planning must stay off.
+	captured := new(*hier.Root)
+	root, err := exec.NewMaster(hier.RootScheme{
+		Config: *spec.Hierarchy,
+		OnRoot: func(r *hier.Root) { *captured = r },
+	}, n, k)
+	if err != nil {
+		return Report{}, err
+	}
+	root.DisableReplan()
+	rootL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return Report{}, err
+	}
+	defer rootL.Close()
+	if err := root.Serve(rootL); err != nil {
+		return Report{}, err
+	}
+
+	start := time.Now()
+	subs := make([]*hier.Submaster, k)
+	var wg sync.WaitGroup
+	// Workers unwind through the Stop protocol: cancelling the run
+	// cancels the root, whose released fetches become submaster Stops.
+	// Killing the worker connections with the caller's ctx instead
+	// would strand the submasters mid-count, so workers get their own
+	// context, cancelled only if a submaster fails to drain.
+	workerCtx, workerCancel := context.WithCancel(context.Background())
+	defer workerCancel()
+	for si := range members {
+		sub, err := hier.NewSubmaster(si, spec.Scheme, len(members[si]), rootL.Addr().String())
+		if err != nil {
+			root.Cancel(err)
+			break
+		}
+		defer sub.Close()
+		subL, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			root.Cancel(err)
+			break
+		}
+		defer subL.Close()
+		if err := sub.Serve(subL); err != nil {
+			root.Cancel(err)
+			break
+		}
+		subs[si] = sub
+		for li, wi := range members[si] {
+			w := rpcWorker(spec, kernel, powers, wi)
+			w.ID = li // worker ids are shard-local
+			wg.Add(1)
+			go func(w exec.Worker, addr string) {
+				defer wg.Done()
+				if werr := w.RunContext(workerCtx, addr); werr != nil && workerCtx.Err() == nil {
+					root.Cancel(fmt.Errorf("loopsched: rpc worker %d: %w", w.ID, werr))
+				}
+			}(w, subL.Addr().String())
+		}
+	}
+
+	_, rep, err := root.WaitContext(ctx)
+
+	// Even after cancellation the submasters drain (released parked
+	// fetches turn into Stops), but never wait on them unboundedly.
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer drainCancel()
+	for _, sub := range subs {
+		if sub == nil {
+			continue
+		}
+		if werr := sub.Wait(drainCtx); werr != nil {
+			workerCancel() // kick any workers a wedged submaster stranded
+			if err == nil {
+				err = fmt.Errorf("loopsched: submaster did not drain: %w", werr)
+			}
+		}
+	}
+	workerCancel()
+	wg.Wait()
+
+	rep.Workload = spec.Workload.Name()
+	if r := *captured; r != nil {
+		rep.Steals = r.Steals()
+		rep.Chunks = 0 // count submaster grants, not root super-chunks
+		rep.Shards = rep.Shards[:0]
+		for si, sub := range subs {
+			if sub == nil {
+				continue
+			}
+			iters, chunks, _, comp, finishedAt := sub.Counts()
+			finished := 0.0
+			if !finishedAt.IsZero() {
+				finished = finishedAt.Sub(start).Seconds()
+			}
+			rep.Chunks += chunks
+			rep.Shards = append(rep.Shards,
+				r.Stats(si, len(members[si]), iters, chunks, comp, finished))
+		}
+	}
+	return rep, err
+}
+
+// ---- Message-passing backend ----
+
+type mpExecutor struct{}
+
+func (mpExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
+	if err := spec.validate(); err != nil {
+		return Report{}, err
+	}
+	if spec.Hierarchy != nil {
+		return Report{}, fmt.Errorf("loopsched: the mp backend is flat-only; use sim, local or rpc for hierarchies")
+	}
+	if len(spec.Workers) == 0 {
+		return Report{}, fmt.Errorf("loopsched: mp backend needs Workers")
+	}
+	kernel, err := spec.kernel()
+	if err != nil {
+		return Report{}, err
+	}
+	p := len(spec.Workers)
+	world, err := mp.NewWorld(p + 1)
+	if err != nil {
+		return Report{}, err
+	}
+	defer func() {
+		for _, c := range world {
+			c.Close()
+		}
+	}()
+
+	powers := virtualPowers(spec.Workers)
+	var wg sync.WaitGroup
+	workerErrs := make([]error, p)
+	for i := 0; i < p; i++ {
+		ws := spec.Workers[i]
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = mp.RunWorker(world[i+1], mp.WorkerOptions{
+				Kernel:       kernel,
+				VirtualPower: powers[i],
+				LoadProbe:    ws.Load,
+				ACP:          spec.ACP,
+				WorkScale:    ws.WorkScale,
+			})
+		}(i)
+	}
+	_, rep, err := mp.RunMasterContext(ctx, world[0], spec.Scheme, spec.Workload.Len(),
+		mp.MasterOptions{DisableReplan: spec.DisableReplan})
+	wg.Wait()
+	rep.Workload = spec.Workload.Name()
+	if err != nil {
+		return rep, err
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			return rep, fmt.Errorf("loopsched: mp worker %d: %w", i, werr)
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,267 @@
+package loopsched_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"loopsched"
+)
+
+// runWorkers builds a small heterogeneous worker set (two full-speed,
+// two half-speed) for the executing backends.
+func runWorkers() []*loopsched.WorkerSpec {
+	return []*loopsched.WorkerSpec{
+		{WorkScale: 1}, {WorkScale: 1}, {WorkScale: 2}, {WorkScale: 2},
+	}
+}
+
+// executingBackends are the backends that actually run the body (the
+// simulator only models it).
+var executingBackends = []loopsched.Backend{
+	loopsched.BackendLocal, loopsched.BackendRPC, loopsched.BackendMP,
+}
+
+// TestRunSameSpecEveryBackend is the API's core promise: the same
+// (scheme, workload) pair runs unchanged on every backend through the
+// one entry point.
+func TestRunSameSpecEveryBackend(t *testing.T) {
+	const n = 1500
+	scheme, err := loopsched.LookupScheme("DTSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := loopsched.Uniform{N: n, C: 1}
+
+	t.Run("sim", func(t *testing.T) {
+		rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+			Scheme:   scheme,
+			Workload: w,
+			Backend:  loopsched.BackendSim,
+			Cluster:  loopsched.PaperCluster(8, false),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Iterations != n || rep.Tp <= 0 {
+			t.Fatalf("sim report: %d iterations, Tp=%g", rep.Iterations, rep.Tp)
+		}
+	})
+
+	for _, backend := range executingBackends {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			var hits = make([]int32, n)
+			rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+				Scheme:   scheme,
+				Workload: w,
+				Backend:  backend,
+				Workers:  runWorkers(),
+				Body: func(i int) {
+					atomic.AddInt32(&hits[i], 1)
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Iterations != n {
+				t.Fatalf("report claims %d of %d iterations", rep.Iterations, n)
+			}
+			for i := range hits {
+				if atomic.LoadInt32(&hits[i]) == 0 {
+					t.Fatalf("iteration %d never executed", i)
+				}
+			}
+			if rep.Chunks == 0 {
+				t.Fatal("report has no chunks")
+			}
+		})
+	}
+}
+
+// TestRunHierarchical drives the two-level runtime through the same
+// entry point on every backend that supports it and checks the
+// per-shard breakdown is coherent.
+func TestRunHierarchical(t *testing.T) {
+	const n = 1500
+	scheme, err := loopsched.LookupScheme("TSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := loopsched.Uniform{N: n, C: 1}
+	h := &loopsched.Hierarchy{Shards: 2}
+
+	check := func(t *testing.T, rep loopsched.Report, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Iterations != n {
+			t.Fatalf("report claims %d of %d iterations", rep.Iterations, n)
+		}
+		if len(rep.Shards) != 2 {
+			t.Fatalf("want 2 shards in report, got %d", len(rep.Shards))
+		}
+		sum := 0
+		for _, s := range rep.Shards {
+			sum += s.Iterations
+			if s.Fetches == 0 {
+				t.Fatalf("shard %d reports no root fetches", s.Shard)
+			}
+		}
+		if sum != n {
+			t.Fatalf("shard iterations sum to %d, want %d", sum, n)
+		}
+	}
+
+	t.Run("sim", func(t *testing.T) {
+		rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+			Scheme:    scheme,
+			Workload:  w,
+			Backend:   loopsched.BackendSim,
+			Cluster:   loopsched.PaperCluster(8, false),
+			Hierarchy: h,
+		})
+		check(t, rep, err)
+	})
+	for _, backend := range []loopsched.Backend{loopsched.BackendLocal, loopsched.BackendRPC} {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+				Scheme:    scheme,
+				Workload:  w,
+				Backend:   backend,
+				Workers:   runWorkers(),
+				Body:      func(i int) {},
+				Hierarchy: h,
+			})
+			check(t, rep, err)
+		})
+	}
+	t.Run("mp-unsupported", func(t *testing.T) {
+		_, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+			Scheme:    scheme,
+			Workload:  w,
+			Backend:   loopsched.BackendMP,
+			Workers:   runWorkers(),
+			Body:      func(i int) {},
+			Hierarchy: h,
+		})
+		if err == nil {
+			t.Fatal("mp backend accepted a hierarchy")
+		}
+	})
+}
+
+// TestRunCancellation cancels mid-run on every backend and requires
+// Run to return ctx's error with all machinery drained (the test
+// binary's goroutine leak would otherwise trip -race / timeouts).
+func TestRunCancellation(t *testing.T) {
+	scheme, err := loopsched.LookupScheme("TSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("sim", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := loopsched.Run(ctx, loopsched.RunSpec{
+			Scheme:   scheme,
+			Workload: loopsched.Uniform{N: 1 << 20, C: 1},
+			Backend:  loopsched.BackendSim,
+			Cluster:  loopsched.PaperCluster(8, false),
+		})
+		if err != context.Canceled {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	})
+
+	for _, backend := range executingBackends {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var once sync.Once
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_, err := loopsched.Run(ctx, loopsched.RunSpec{
+					Scheme:   scheme,
+					Workload: loopsched.Uniform{N: 1 << 20, C: 1},
+					Backend:  backend,
+					Workers:  runWorkers(),
+					Body: func(i int) {
+						once.Do(cancel)
+					},
+				})
+				if err != context.Canceled {
+					t.Errorf("got %v, want context.Canceled", err)
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("cancelled run did not return")
+			}
+		})
+	}
+
+	t.Run("rpc-hierarchy", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var once sync.Once
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_, err := loopsched.Run(ctx, loopsched.RunSpec{
+				Scheme:    scheme,
+				Workload:  loopsched.Uniform{N: 1 << 20, C: 1},
+				Backend:   loopsched.BackendRPC,
+				Workers:   runWorkers(),
+				Body:      func(i int) { once.Do(cancel) },
+				Hierarchy: &loopsched.Hierarchy{Shards: 2},
+			})
+			if err != context.Canceled {
+				t.Errorf("got %v, want context.Canceled", err)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("cancelled hierarchical run did not return")
+		}
+	})
+}
+
+func TestRunSpecValidation(t *testing.T) {
+	if _, err := loopsched.NewExecutor("quantum"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	_, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Workload: loopsched.Uniform{N: 10, C: 1},
+	})
+	if err == nil {
+		t.Fatal("missing scheme accepted")
+	}
+	scheme, _ := loopsched.LookupScheme("TSS")
+	_, err = loopsched.Run(context.Background(), loopsched.RunSpec{
+		Scheme:  scheme,
+		Backend: loopsched.BackendLocal,
+		Workers: runWorkers(),
+		Body:    func(i int) {},
+	})
+	if err == nil {
+		t.Fatal("missing workload accepted")
+	}
+	_, err = loopsched.Run(context.Background(), loopsched.RunSpec{
+		Scheme:   scheme,
+		Workload: loopsched.Uniform{N: 10, C: 1},
+		Backend:  loopsched.BackendLocal,
+		Workers:  runWorkers(),
+	})
+	if err == nil {
+		t.Fatal("local backend ran without a body or kernel")
+	}
+}
