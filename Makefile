@@ -2,9 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench experiments baseline check-baseline clean
+# Pinned tool versions, so CI and local runs install identical bits.
+# They live here rather than in a tools.go: the module graph must stay
+# buildable offline, so tool dependencies cannot enter go.mod/go.sum.
+# XTOOLS_VERSION is the golang.org/x/tools release to adopt if
+# internal/lint ever migrates from its stdlib-only go/analysis clone to
+# the upstream framework (see docs/LINTING.md).
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+XTOOLS_VERSION      ?= v0.24.0
 
-all: build vet test
+LINT_TOOL := bin/loopschedlint
+
+.PHONY: all build vet test race fuzz bench experiments baseline check-baseline clean \
+	lint lint-tool lint-json fmt-check staticcheck govulncheck
+
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,8 +25,39 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint-tool builds the domain linter and prints its absolute path, for
+# use as `go vet -vettool=$$(make -s lint-tool) ./...`.
+lint-tool:
+	@$(GO) build -o $(LINT_TOOL) ./cmd/loopschedlint
+	@echo $(abspath $(LINT_TOOL))
+
+# lint runs the loopsched analyzer suite (docs/LINTING.md) through the
+# go vet driver, which caches per-package results.
+lint:
+	$(GO) build -o $(LINT_TOOL) ./cmd/loopschedlint
+	$(GO) vet -vettool=$(abspath $(LINT_TOOL)) ./...
+
+# lint-json writes machine-readable diagnostics to lint-report.json
+# (uploaded as a CI artifact); it reports but never fails.
+lint-json:
+	$(GO) build -o $(LINT_TOOL) ./cmd/loopschedlint
+	./$(LINT_TOOL) -json ./... > lint-report.json || true
+	@cat lint-report.json
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+staticcheck:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	staticcheck ./...
+
+govulncheck:
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+	govulncheck ./...
+
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./internal/exec/ ./internal/mp/ .

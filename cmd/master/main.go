@@ -45,18 +45,28 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	defer ln.Close()
+	defer master.Shutdown(ln)
 	if err := master.Serve(ln); err != nil {
 		fail(err)
 	}
 	fmt.Printf("master: %s on %s, waiting for %d workers (%dx%d)\n",
 		scheme.Name(), ln.Addr(), *workers, *width, *height)
 
+	var watchDone chan struct{}
 	if *timeout > 0 {
-		go master.WatchTimeouts(*timeout/4, *timeout, nil)
+		watchDone = make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			// Returns when the run's done channel closes, so the join
+			// below cannot outlast Wait by more than an instant.
+			master.WatchTimeouts(*timeout/4, *timeout, nil)
+		}()
 	}
 
 	columns, rep, err := master.Wait()
+	if watchDone != nil {
+		<-watchDone
+	}
 	if err != nil {
 		fail(err)
 	}

@@ -1,0 +1,16 @@
+package exec
+
+import (
+	"os"
+	"testing"
+
+	"loopsched/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine started by the runtime —
+// accept loops, ServeConn servers, worker pipelines, timeout watchers
+// — survives the tests. Complements the static gojoin analyzer: the
+// joins it proves exist must also fire.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

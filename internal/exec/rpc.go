@@ -80,8 +80,10 @@ type Master struct {
 	iterations int
 	workers    int
 	disableRe  bool
+	serveWG    sync.WaitGroup
 
 	mu          sync.Mutex
+	conns       []net.Conn // accepted by Serve, closed by Shutdown
 	gathered    int
 	seen        []bool
 	ready       *sync.Cond
@@ -162,16 +164,43 @@ func (m *Master) Serve(l net.Listener) error {
 	if err := srv.RegisterName("Master", m); err != nil {
 		return err
 	}
+	m.serveWG.Add(1)
 	go func() {
+		defer m.serveWG.Done()
 		for {
 			conn, err := l.Accept()
 			if err != nil {
 				return
 			}
-			go srv.ServeConn(conn)
+			m.mu.Lock()
+			m.conns = append(m.conns, conn)
+			m.mu.Unlock()
+			m.serveWG.Add(1)
+			go func() {
+				defer m.serveWG.Done()
+				srv.ServeConn(conn)
+			}()
 		}
 	}()
 	return nil
+}
+
+// Shutdown closes the listener and every connection accepted by Serve,
+// then joins the serving goroutines. Call it after Wait: slaves have
+// already been told to stop, so tearing down their connections only
+// unblocks any straggling RPC server loops.
+func (m *Master) Shutdown(l net.Listener) {
+	if l != nil {
+		l.Close()
+	}
+	m.mu.Lock()
+	conns := m.conns
+	m.conns = nil
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	m.serveWG.Wait()
 }
 
 // plan (re)builds the policy from the live ACPs; callers hold mu.

@@ -1,0 +1,16 @@
+package hier
+
+import (
+	"os"
+	"testing"
+
+	"loopsched/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine started by the hierarchy
+// — submaster accept loops, prefetch fetches, local shard workers —
+// survives the tests. Complements the static gojoin analyzer: the
+// joins it proves exist must also fire.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -33,8 +33,11 @@ type Submaster struct {
 	scheme  sched.Scheme
 	dist    bool
 	root    *rpc.Client
+	bg      sync.WaitGroup // in-flight prefetch goroutines
+	serveWG sync.WaitGroup // accept loop + per-connection servers
 
 	mu       sync.Mutex
+	conns    []net.Conn // accepted by Serve, closed by Close
 	cond     *sync.Cond
 	policy   sched.Policy
 	buffered []sched.Assignment // fetched super-chunks not yet planned
@@ -89,20 +92,51 @@ func (s *Submaster) Serve(l net.Listener) error {
 	if err := srv.RegisterName("Master", s); err != nil {
 		return err
 	}
+	s.serveWG.Add(1)
 	go func() {
+		defer s.serveWG.Done()
 		for {
 			conn, err := l.Accept()
 			if err != nil {
 				return
 			}
-			go srv.ServeConn(conn)
+			s.mu.Lock()
+			s.conns = append(s.conns, conn)
+			s.mu.Unlock()
+			s.serveWG.Add(1)
+			go func() {
+				defer s.serveWG.Done()
+				srv.ServeConn(conn)
+			}()
 		}
 	}()
 	return nil
 }
 
-// Close releases the root connection.
-func (s *Submaster) Close() error { return s.root.Close() }
+// Close joins the in-flight prefetch (the root answers prefetches
+// immediately, so this never parks), releases the root connection —
+// which errors out any parked blocking fetch — and tears down the
+// worker connections accepted by Serve, joining their server
+// goroutines. Close the listener first so the accept loop can exit.
+func (s *Submaster) Close() error {
+	s.bg.Wait()
+	err := s.root.Close()
+	s.mu.Lock()
+	if !s.rootDone && s.rootErr == nil {
+		// Wake any NextChunk handler still parked on the pipeline so its
+		// ServeConn loop can unwind before we join serveWG.
+		s.rootErr = fmt.Errorf("hier: submaster closed")
+	}
+	s.cond.Broadcast()
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.serveWG.Wait()
+	return err
+}
 
 // Wait blocks until every local worker has been stopped, or ctx ends.
 func (s *Submaster) Wait(ctx context.Context) error {
@@ -276,7 +310,9 @@ func (s *Submaster) launchPrefetchLocked() {
 	}
 	s.fetching = true
 	args := s.takeFetchArgs(true)
+	s.bg.Add(1)
 	go func() {
+		defer s.bg.Done()
 		var reply exec.ChunkReply
 		err := s.root.Call("Master.NextChunk", args, &reply)
 		s.mu.Lock()

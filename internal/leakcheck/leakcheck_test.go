@@ -1,0 +1,34 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCheckReportsBlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+
+	stacks := Check(50 * time.Millisecond)
+	found := false
+	for _, s := range stacks {
+		if strings.Contains(s, "TestCheckReportsBlockedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Check did not report the deliberately leaked goroutine; got %d stacks", len(stacks))
+	}
+
+	close(release)
+	if stacks := Check(2 * time.Second); len(stacks) != 0 {
+		t.Fatalf("Check still reports %d stacks after the goroutine exited:\n%s",
+			len(stacks), strings.Join(stacks, "\n\n"))
+	}
+}

@@ -1,0 +1,16 @@
+package lint
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxLoop, ChunkMath, LockSafe, RegSync, GoJoin}
+}
+
+// ByName resolves a comma-separable analyzer name; nil when unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// ChunkMath guards the paper's chunk-size arithmetic (§4–5 of
+// Chronopoulos et al.): every fractional chunk expression must go
+// through the shared rounding helpers in internal/sched/chunkmath.go
+// (RoundNearest, CeilPos, FloorPos, CeilDiv) rather than an ad-hoc
+// int(...) truncation — silent floor-rounding is how a scheme loses
+// the work-conservation property ΣC_i = I — and every subtraction of a
+// remaining-iteration count must be guarded against going negative
+// before it is used, or a drifted frontier turns into a negative
+// Config.Iterations and a planning failure mid-run.
+//
+// The analyzer activates only in packages named "sched"; the helper
+// file chunkmath.go is the one place raw float→int conversions are
+// allowed.
+var ChunkMath = &Analyzer{
+	Name: "chunkmath",
+	Doc: "chunk-size float→int conversions must use the shared chunkmath helpers, " +
+		"and remaining-iteration subtractions must be guarded against negatives",
+	Run: runChunkMath,
+}
+
+// remainingNames mark an expression as a remaining/total iteration
+// count for the subtraction check.
+func isRemainingName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range []string{"remaining", "iteration", "total"} {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	switch lower {
+	case "rem", "iters", "left":
+		return true
+	}
+	return false
+}
+
+func runChunkMath(pass *Pass) error {
+	if pass.Pkg.Name() != "sched" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		file := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if file != "chunkmath.go" && isFloatToIntConversion(pass.TypesInfo, x) {
+					pass.Report(x.Pos(),
+						"int(...) truncation of a float chunk expression bypasses the shared "+
+							"rounding helpers; use RoundNearest/CeilPos/FloorPos from chunkmath.go")
+				}
+			case *ast.BinaryExpr:
+				if x.Op == token.SUB && subtractsRemaining(x) && !guardedSubtraction(parents, x) {
+					pass.Report(x.Pos(),
+						"subtraction of a remaining-iteration count is not guarded against "+
+							"going negative; clamp the result (if r > 0 / max) before use")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatToIntConversion matches T(expr) where T is an integer type
+// and expr is float-typed.
+func isFloatToIntConversion(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	funTV, ok := info.Types[call.Fun]
+	if !ok || !funTV.IsType() {
+		return false
+	}
+	dst, ok := funTV.Type.Underlying().(*types.Basic)
+	if !ok || dst.Info()&types.IsInteger == 0 {
+		return false
+	}
+	argTV, ok := info.Types[call.Args[0]]
+	if !ok || argTV.Type == nil {
+		return false
+	}
+	src, ok := argTV.Type.Underlying().(*types.Basic)
+	return ok && src.Info()&types.IsFloat != 0
+}
+
+// subtractsRemaining reports whether either operand of the subtraction
+// names a remaining/total iteration count.
+func subtractsRemaining(bin *ast.BinaryExpr) bool {
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && isRemainingName(id.Name) {
+				found = true
+				return false
+			}
+			return !found
+		})
+		return found
+	}
+	return mentions(bin.X) || mentions(bin.Y)
+}
+
+// guardedSubtraction decides whether the subtraction's result is
+// visibly clamped or range-checked:
+//
+//   - it is an argument of a call whose name suggests clamping
+//     (max, min, clamp, nonneg), or
+//   - it initialises a variable inside an if-init whose condition
+//     tests that variable (`if r := a - b; r > 0`), or
+//   - it is assigned to a variable and a following statement in the
+//     same block is an if testing that variable, or
+//   - an enclosing if-statement's condition compares identifiers that
+//     also appear in the subtraction (the caller pre-checked the
+//     ordering).
+func guardedSubtraction(parents parentMap, bin *ast.BinaryExpr) bool {
+	// Walk up: calls to clamp-like functions and pre-checked ifs.
+	for p := parents[ast.Node(bin)]; p != nil; p = parents[p] {
+		switch anc := p.(type) {
+		case *ast.CallExpr:
+			if name := callName(anc); name != "" {
+				lower := strings.ToLower(name)
+				for _, w := range []string{"max", "min", "clamp", "nonneg"} {
+					if strings.Contains(lower, w) {
+						return true
+					}
+				}
+			}
+		case *ast.IfStmt:
+			if condGuards(anc.Cond, bin) {
+				return true
+			}
+		case *ast.AssignStmt:
+			if v := singleAssignTarget(anc); v != "" && guardedAfter(parents, anc, v) {
+				return true
+			}
+		case *ast.FuncDecl, *ast.FuncLit:
+			return false
+		}
+	}
+	return false
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func singleAssignTarget(assign *ast.AssignStmt) string {
+	if len(assign.Lhs) != 1 {
+		return ""
+	}
+	if id, ok := assign.Lhs[0].(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// condGuards reports whether the if-condition is a comparison that
+// mentions a variable also mentioned by the subtraction (or its
+// result variable).
+func condGuards(cond ast.Expr, sub ast.Node) bool {
+	comparison := false
+	condNames := map[string]bool{}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			switch x.Op {
+			case token.GTR, token.GEQ, token.LSS, token.LEQ, token.EQL, token.NEQ:
+				comparison = true
+			}
+		case *ast.Ident:
+			condNames[x.Name] = true
+		}
+		return true
+	})
+	if !comparison {
+		return false
+	}
+	shared := false
+	ast.Inspect(sub, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && condNames[id.Name] {
+			shared = true
+			return false
+		}
+		return !shared
+	})
+	return shared
+}
+
+// guardedAfter looks for an if-statement testing variable v among the
+// statements that follow assign in its enclosing block.
+func guardedAfter(parents parentMap, assign *ast.AssignStmt, v string) bool {
+	block, ok := parents[ast.Node(assign)].(*ast.BlockStmt)
+	if !ok {
+		// Could be an if-init: `if r := a - b; r > 0`.
+		if ifs, ok := parents[ast.Node(assign)].(*ast.IfStmt); ok && ifs.Init == ast.Stmt(assign) {
+			return exprMentions(ifs.Cond, v)
+		}
+		return false
+	}
+	past := false
+	for _, st := range block.List {
+		if st == ast.Stmt(assign) {
+			past = true
+			continue
+		}
+		if !past {
+			continue
+		}
+		if ifs, ok := st.(*ast.IfStmt); ok && exprMentions(ifs.Cond, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprMentions(e ast.Expr, name string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxLoop flags for-loops that block — receiving from a channel,
+// waiting on a sync.Cond, or issuing a net/rpc round-trip — without
+// observing any cancellation or termination signal on some path.
+//
+// This is the invariant behind the hand-threaded shutdown plumbing in
+// internal/{exec,hier,mp,sim}: every blocking service loop must be
+// able to see ctx.Done(), a done/stop/quit channel, a closed flag, or
+// a Stop reply, or a cancelled run hangs exactly the way the PR 2
+// gather-barrier did before its wakeup fix. A loop "observes" shutdown
+// when its condition or body mentions ctx.Done()/ctx.Err() or any
+// identifier carrying a termination name (done, stop, quit, closed,
+// cancel, finish).
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "blocking for-loops (chan receive, cond.Wait, rpc Call) must observe " +
+		"ctx.Done() or a done/stop/closed termination signal",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			kind := blockingKind(pass, loop)
+			if kind == "" {
+				return true
+			}
+			if loopObservesTermination(pass, loop) {
+				return true
+			}
+			pass.Report(loop.For,
+				"blocking loop (%s) never observes ctx.Done() or a done/stop signal; "+
+					"a cancelled run will hang here", kind)
+			return true
+		})
+	}
+	return nil
+}
+
+// blockingKind classifies the loop's blocking operations, descending
+// into nested statements but not into function literals (a goroutine
+// launched from the loop blocks its own loop, not this one).
+func blockingKind(pass *Pass, loop *ast.ForStmt) string {
+	kind := ""
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if kind != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				kind = "channel receive"
+			}
+		case *ast.CallExpr:
+			if recv, name := receiverOf(x); recv != nil {
+				switch name {
+				case "Wait":
+					if tv, ok := pass.TypesInfo.Types[recv]; ok && isNamedType(tv.Type, "sync", "Cond") {
+						kind = "cond.Wait"
+					}
+				case "Call":
+					if tv, ok := pass.TypesInfo.Types[recv]; ok && isNamedType(tv.Type, "net/rpc", "Client") {
+						kind = "rpc round-trip"
+					}
+				}
+			}
+		}
+		return true
+	})
+	return kind
+}
+
+// loopObservesTermination reports whether the loop's condition or body
+// (excluding nested function literals) shows a shutdown signal:
+// ctx.Done()/ctx.Err() on a context.Context, or any termination-named
+// identifier (see terminationWords).
+func loopObservesTermination(pass *Pass, loop *ast.ForStmt) bool {
+	observed := false
+	check := func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			if observed {
+				return false
+			}
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if recv, name := receiverOf(call); recv != nil &&
+					(name == "Done" || name == "Err") && isContext(pass.TypesInfo, recv) {
+					observed = true
+					return false
+				}
+			}
+			if id, ok := n.(*ast.Ident); ok && mentionsTermination(id) {
+				observed = true
+				return false
+			}
+			return true
+		})
+	}
+	if loop.Cond != nil {
+		check(loop.Cond)
+	}
+	if !observed {
+		check(loop.Body)
+	}
+	return observed
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoJoin requires every `go` statement in non-test code to have a
+// visible join or bound: the goroutine must either signal someone
+// (sync.WaitGroup Done/Add, a channel send or close) or be bounded by
+// a channel it receives from (a done channel, ctx.Done() in a select,
+// a `for range ch` drain). Fire-and-forget goroutines are how the RPC
+// teardown paths leaked before this suite existed: nothing joins them,
+// so nothing notices when they block forever on a dead peer.
+//
+// For `go someFunc(...)` / `go recv.Method(...)` forms the analyzer
+// resolves the callee inside the package and inspects its body with
+// the same criteria; an unresolvable callee (another package's
+// function) is reported, since its bound cannot be proven here — wrap
+// it in a literal that signals a WaitGroup, or suppress with a
+// justification.
+var GoJoin = &Analyzer{
+	Name: "gojoin",
+	Doc: "every goroutine must be joined or bounded: WaitGroup, channel " +
+		"send/close, or a receive (done channel / ctx-bounded select)",
+	Run: runGoJoin,
+}
+
+func runGoJoin(pass *Pass) error {
+	// Package-level declarations, for resolving `go f(...)` callees.
+	funcBodies := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				funcBodies[obj] = fn
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !joinEvidence(pass, lit.Body) {
+					pass.Report(g.Pos(),
+						"goroutine has no visible join or bound (no WaitGroup Done, channel "+
+							"send/close, or receive); it can outlive the run undetected")
+				}
+				return true
+			}
+			// Named callee: resolve within the package.
+			body := resolveCalleeBody(pass, funcBodies, g.Call)
+			if body == nil {
+				pass.Report(g.Pos(),
+					"goroutine body is outside this package, so its join cannot be verified; "+
+						"wrap it in a literal that signals a WaitGroup or done channel")
+				return true
+			}
+			if !joinEvidence(pass, body) {
+				pass.Report(g.Pos(),
+					"goroutine callee has no visible join or bound (no WaitGroup Done, channel "+
+						"send/close, or receive); it can outlive the run undetected")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// resolveCalleeBody maps `go f(...)` or `go recv.Method(...)` to the
+// callee's body when declared in this package.
+func resolveCalleeBody(pass *Pass, funcBodies map[*types.Func]*ast.FuncDecl, call *ast.CallExpr) *ast.BlockStmt {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if decl, ok := funcBodies[obj]; ok {
+		return decl.Body
+	}
+	return nil
+}
+
+// joinEvidence reports whether the goroutine body shows any of the
+// accepted join/bound mechanisms. Nested function literals are not
+// descended into — their evidence belongs to the goroutines they
+// spawn — except that launching a further goroutine does not count as
+// evidence for this one.
+func joinEvidence(pass *Pass, body *ast.BlockStmt) bool {
+	evidence := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if evidence {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			evidence = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				evidence = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					evidence = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					evidence = true
+				}
+			}
+			if recv, name := receiverOf(x); recv != nil && (name == "Done" || name == "Add") {
+				if tv, ok := pass.TypesInfo.Types[recv]; ok && tv.Type != nil &&
+					isNamedType(tv.Type, "sync", "WaitGroup") {
+					evidence = true
+				}
+			}
+		}
+		return !evidence
+	})
+	return evidence
+}

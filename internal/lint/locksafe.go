@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockSafe is an intra-package call-graph pass over each struct's
+// methods: Go's sync.Mutex is not reentrant, so a method that acquires
+// its receiver's mutex must never be called from another method of the
+// same type that already holds it — that is a guaranteed self-deadlock
+// of exactly the kind the mutex-guarded ledgers in exec.Master and
+// hier.Submaster are one refactor away from. The runtime encodes the
+// convention as a `...Locked` method-name suffix ("callers hold mu");
+// the analyzer machine-checks both directions:
+//
+//   - a method holding recv.mu (Lock seen, or a deferred Unlock) calls
+//     a same-receiver method whose first mutex operation is Lock →
+//     deadlock report;
+//   - a method named `...Locked` whose first mutex operation on any
+//     receiver mutex is Lock → convention violation report.
+//
+// Goroutine bodies launched while the lock is held run after the
+// caller releases it, so function literals are not traversed.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "methods must not re-acquire a receiver mutex a caller already holds; " +
+		"`...Locked` methods must not acquire the mutex themselves",
+	Run: runLockSafe,
+}
+
+// mutexFacts summarises one method's interaction with its receiver's
+// mutex fields.
+type mutexFacts struct {
+	decl     *ast.FuncDecl
+	recvName string
+	// firstOp maps mutex field name → "Lock" or "Unlock" (the first
+	// operation the method performs on that field, in source order,
+	// outside function literals). A method whose first op is Unlock
+	// drops and reacquires — safe to call with the lock held.
+	firstOp map[string]string
+}
+
+func runLockSafe(pass *Pass) error {
+	// Pass 1: collect per-(type, method) mutex facts.
+	facts := map[string]map[string]*mutexFacts{} // type name → method name → facts
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			typeName, recvName := receiverInfo(fn)
+			if typeName == "" || recvName == "" {
+				continue
+			}
+			mf := &mutexFacts{decl: fn, recvName: recvName, firstOp: map[string]string{}}
+			walkOutsideFuncLits(fn.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				field, op := recvFieldMutexOp(pass.TypesInfo, call, recvName)
+				if field == "" {
+					return
+				}
+				if _, seen := mf.firstOp[field]; !seen {
+					if op == "RLock" {
+						op = "Lock"
+					}
+					if op == "RUnlock" {
+						op = "Unlock"
+					}
+					mf.firstOp[field] = op
+				}
+			})
+			if facts[typeName] == nil {
+				facts[typeName] = map[string]*mutexFacts{}
+			}
+			facts[typeName][fn.Name.Name] = mf
+		}
+	}
+
+	// Pass 2: simulate each method's held-set in source order and flag
+	// same-receiver calls into lock-acquiring methods; also enforce the
+	// `...Locked` naming convention.
+	for typeName, methods := range facts {
+		for _, mf := range methods {
+			if strings.HasSuffix(mf.decl.Name.Name, "Locked") {
+				for field, op := range mf.firstOp {
+					if op == "Lock" {
+						pass.Report(mf.decl.Pos(),
+							"%s.%s is named *Locked (callers hold the mutex) but acquires %s.%s itself",
+							typeName, mf.decl.Name.Name, mf.recvName, field)
+					}
+				}
+			}
+			checkMethod(pass, typeName, methods, mf)
+		}
+	}
+	return nil
+}
+
+// receiverInfo extracts the receiver's type and identifier names.
+func receiverInfo(fn *ast.FuncDecl) (typeName, recvName string) {
+	if len(fn.Recv.List) != 1 {
+		return "", ""
+	}
+	field := fn.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return typeName, recvName
+}
+
+// walkOutsideFuncLits visits nodes in source order, skipping function
+// literal bodies.
+func walkOutsideFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// checkMethod tracks which receiver mutexes are held through the
+// method body — a linear source-order approximation: Lock sets held,
+// Unlock clears it, a deferred Unlock holds to the end of the function
+// — and reports same-receiver calls into methods whose first mutex
+// operation would re-acquire a held mutex.
+func checkMethod(pass *Pass, typeName string, methods map[string]*mutexFacts, mf *mutexFacts) {
+	held := map[string]bool{}
+	walkOutsideFuncLits(mf.decl.Body, func(n ast.Node) {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			if field, op := recvFieldMutexOp(pass.TypesInfo, x.Call, mf.recvName); field != "" {
+				if op == "Unlock" || op == "RUnlock" {
+					held[field] = true // held for the rest of the method
+				}
+			}
+		case *ast.CallExpr:
+			if field, op := recvFieldMutexOp(pass.TypesInfo, x, mf.recvName); field != "" {
+				switch op {
+				case "Lock", "RLock":
+					held[field] = true
+				case "Unlock", "RUnlock":
+					if !isDeferredCall(x, mf.decl) {
+						held[field] = false
+					}
+				}
+				return
+			}
+			callee := sameReceiverCallee(x, mf.recvName)
+			if callee == "" {
+				return
+			}
+			target, ok := methods[callee]
+			if !ok {
+				return
+			}
+			for field, op := range target.firstOp {
+				if op == "Lock" && held[field] {
+					pass.Report(x.Pos(),
+						"%s.%s calls %s while holding %s.%s, and %s acquires it again: self-deadlock "+
+							"(extract a *Locked variant)",
+						typeName, mf.decl.Name.Name, callee, mf.recvName, field, callee)
+				}
+			}
+		}
+	})
+}
+
+// isDeferredCall reports whether the call expression is the operand of
+// a defer statement in fn.
+func isDeferredCall(call *ast.CallExpr, fn *ast.FuncDecl) bool {
+	deferred := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Call == call {
+			deferred = true
+		}
+		return !deferred
+	})
+	return deferred
+}
+
+// sameReceiverCallee matches calls of the form recv.Method(...) and
+// returns the method name.
+func sameReceiverCallee(call *ast.CallExpr, recvName string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || base.Name != recvName {
+		return ""
+	}
+	return sel.Sel.Name
+}

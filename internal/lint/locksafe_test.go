@@ -1,0 +1,11 @@
+package lint_test
+
+import (
+	"testing"
+
+	"loopsched/internal/lint"
+)
+
+func TestLockSafe(t *testing.T) {
+	runFixture(t, lint.LockSafe, "locksafe")
+}

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+	"strings"
+)
+
+// RegSync cross-checks the scheme registry (internal/sched's
+// database/sql-style Register/Lookup pair) against the package's
+// declarations:
+//
+//   - every exported type implementing the package's Scheme interface
+//     must be registered (directly, through a package variable, or via
+//     a constructor whose body builds it) — an unregistered scheme is
+//     invisible to Lookup, cmd/loopsched -scheme and the experiment
+//     configs;
+//   - Register must only be called from init functions, so the
+//     registry is complete before any Lookup can run;
+//   - two Register calls must not pass syntactically identical
+//     arguments, and statically-known scheme names must be unique
+//     case-insensitively — both would panic at init time, but only on
+//     the first import, which tests that stub the registry never see;
+//   - a statically-known scheme name must be non-empty.
+//
+// The analyzer activates in any package that declares both a `Scheme`
+// interface (with a Name() string method) and a `Register` function.
+var RegSync = &Analyzer{
+	Name: "regsync",
+	Doc: "every exported Scheme must be registered exactly once from an init " +
+		"function, with case-insensitively unique names",
+	Run: runRegSync,
+}
+
+func runRegSync(pass *Pass) error {
+	scope := pass.Pkg.Scope()
+	schemeObj := scope.Lookup("Scheme")
+	regObj := scope.Lookup("Register")
+	if schemeObj == nil || regObj == nil {
+		return nil
+	}
+	iface, ok := schemeObj.Type().Underlying().(*types.Interface)
+	if !ok || iface.NumMethods() == 0 {
+		return nil
+	}
+
+	// Collect package function declarations for constructor-body and
+	// init-function scanning.
+	funcDecls := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Recv == nil {
+				funcDecls[fn.Name.Name] = fn
+			}
+		}
+	}
+
+	registered := map[string]bool{}   // named type → seen in a Register call
+	argSeen := map[string]ast.Node{}  // exact argument text → first call site
+	nameSeen := map[string]ast.Node{} // canonical static name → first call site
+
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != regObj {
+				return true
+			}
+			arg := call.Args[0]
+
+			if fn, _, isDecl := enclosingFunc(parents, call); !isDecl || fn.Name.Name != "init" {
+				pass.Report(call.Pos(),
+					"Register must be called from an init function so the registry is "+
+						"complete before the first Lookup")
+			}
+
+			var buf bytes.Buffer
+			if err := printer.Fprint(&buf, pass.Fset, arg); err != nil {
+				buf.Reset()
+				buf.WriteString(types.ExprString(arg))
+			}
+			argText := buf.String()
+			exactDup := false
+			if prev, dup := argSeen[argText]; dup {
+				prevPos := pass.Fset.Position(prev.Pos())
+				pass.Report(call.Pos(),
+					"duplicate registration of %s (previously registered at %s); Register panics on duplicates",
+					argText, prevPos)
+				exactDup = true
+			} else {
+				argSeen[argText] = call
+			}
+
+			for _, tn := range registeredTypes(pass, funcDecls, arg) {
+				registered[tn] = true
+			}
+
+			if name, ok := staticSchemeName(pass, funcDecls, arg); ok && !exactDup {
+				if name == "" {
+					pass.Report(call.Pos(), "registered scheme has an empty name")
+				} else {
+					key := strings.ToUpper(name)
+					if prev, dup := nameSeen[key]; dup {
+						prevPos := pass.Fset.Position(prev.Pos())
+						pass.Report(call.Pos(),
+							"scheme name %q collides case-insensitively with a registration at %s",
+							name, prevPos)
+					} else {
+						nameSeen[key] = call
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Every exported implementation of Scheme must have been registered.
+	for _, name := range scope.Names() {
+		obj, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !obj.Exported() || obj.IsAlias() {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok || named.Obj() == schemeObj {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if !registered[name] {
+			pass.Report(obj.Pos(),
+				"exported scheme type %s is never registered; Lookup(%q...) and the "+
+					"-scheme flags cannot reach it", name, name)
+		}
+	}
+	return nil
+}
+
+// registeredTypes resolves which package-level named types a Register
+// argument covers: the argument's own named type, or — when the
+// argument is a call to a package constructor returning the Scheme
+// interface — every package type composite-literal'd in that
+// constructor's body.
+func registeredTypes(pass *Pass, funcDecls map[string]*ast.FuncDecl, arg ast.Expr) []string {
+	var out []string
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == pass.Pkg {
+			if _, isIface := named.Underlying().(*types.Interface); !isIface {
+				out = append(out, named.Obj().Name())
+				return out
+			}
+		}
+	}
+	call, ok := arg.(*ast.CallExpr)
+	if !ok {
+		return out
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return out
+	}
+	ctor, ok := funcDecls[id.Name]
+	if !ok || ctor.Body == nil {
+		return out
+	}
+	ast.Inspect(ctor.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[lit]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if named, ok := tv.Type.(*types.Named); ok && named.Obj().Pkg() == pass.Pkg {
+			out = append(out, named.Obj().Name())
+		}
+		return true
+	})
+	return out
+}
+
+// staticSchemeName tries to compute the registered scheme's Name()
+// result at analysis time. It succeeds for two shapes: a concrete type
+// whose Name method is a single `return "literal"`, and a constructor
+// whose body builds a composite literal with a `name: "literal"`
+// field. Conditional names (GSS vs GSS(8)) are left to the runtime
+// round-trip tests.
+func staticSchemeName(pass *Pass, funcDecls map[string]*ast.FuncDecl, arg ast.Expr) (string, bool) {
+	// Constructor form: look for a name: "..." field in the built literal.
+	if call, ok := arg.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if ctor, ok := funcDecls[id.Name]; ok && ctor.Body != nil {
+				return literalNameField(ctor.Body)
+			}
+		}
+	}
+	// Concrete type form: single-return Name method.
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Name.Name != "Name" || fn.Body == nil {
+				continue
+			}
+			tn, _ := receiverInfo(fn)
+			if tn != named.Obj().Name() {
+				continue
+			}
+			return singleStringReturn(fn.Body)
+		}
+	}
+	return "", false
+}
+
+// literalNameField extracts `name: "literal"` from the body's sole
+// composite literal, when unambiguous.
+func literalNameField(body *ast.BlockStmt) (string, bool) {
+	name, found, ambiguous := "", false, false
+	ast.Inspect(body, func(n ast.Node) bool {
+		kv, ok := n.(*ast.KeyValueExpr)
+		if !ok {
+			return true
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "name" {
+			return true
+		}
+		lit, ok := kv.Value.(*ast.BasicLit)
+		if !ok {
+			ambiguous = true // computed name: give up
+			return true
+		}
+		if found {
+			ambiguous = true
+			return true
+		}
+		name, found = strings.Trim(lit.Value, `"`), true
+		return true
+	})
+	if ambiguous {
+		return "", false
+	}
+	return name, found
+}
+
+// singleStringReturn returns the literal when the body is exactly one
+// `return "literal"`.
+func singleStringReturn(body *ast.BlockStmt) (string, bool) {
+	returns := 0
+	value := ""
+	literal := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		returns++
+		if len(ret.Results) != 1 {
+			literal = false
+			return true
+		}
+		lit, ok := ret.Results[0].(*ast.BasicLit)
+		if !ok {
+			literal = false
+			return true
+		}
+		value = strings.Trim(lit.Value, `"`)
+		return true
+	})
+	if returns != 1 || !literal {
+		return "", false
+	}
+	return value, true
+}

@@ -1,0 +1,79 @@
+// Fixture for the chunkmath analyzer: ad-hoc float truncation and
+// unguarded remaining-count subtraction.
+package sched
+
+// Flagged: silent truncation of a fractional chunk size.
+func truncatedChunk(remaining float64, p int) int {
+	return int(remaining / float64(p)) // want `int\(\.\.\.\) truncation of a float chunk expression`
+}
+
+// Flagged: the rounding idiom still bypasses the shared helpers.
+func handRolledRound(share float64) int {
+	return int(share + 0.5) // want `int\(\.\.\.\) truncation of a float chunk expression`
+}
+
+// Clean: conversions through the chunkmath.go helpers.
+func helperChunk(remaining float64, p int) int {
+	return RoundNearest(remaining / float64(p))
+}
+
+// Clean: int→float widening is not a truncation.
+func widen(total int) float64 {
+	return float64(total) / 2
+}
+
+// Flagged: a drifted frontier makes this negative, and nothing clamps.
+func unguardedRemaining(total, next int) int {
+	return total - next // want `subtraction of a remaining-iteration count is not guarded`
+}
+
+// Flagged: the config field is built from an unguarded subtraction.
+type planConfig struct {
+	Iterations int
+}
+
+func unguardedPlan(iterations, base int) planConfig {
+	return planConfig{Iterations: iterations - base} // want `subtraction of a remaining-iteration count is not guarded`
+}
+
+// Clean: the if-init guard is the canonical pattern.
+func guardedRemaining(total, next int) int {
+	if r := total - next; r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Clean: assign-then-test also counts.
+func guardedAssign(iterations, base int) int {
+	r := iterations - base
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// Clean: clamped through a max-style helper.
+func clampNonNeg(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func guardedByClamp(total, next int) int {
+	return clampNonNeg(total-next, 0)
+}
+
+// Clean: the enclosing if pre-checks the ordering.
+func guardedByBranch(total, next int) int {
+	if total > next {
+		return total - next
+	}
+	return 0
+}
+
+// Clean: subtraction of unrelated quantities is out of scope.
+func unrelated(a, b int) int {
+	return a - b
+}

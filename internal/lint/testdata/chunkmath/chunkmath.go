@@ -1,0 +1,23 @@
+// chunkmath.go is the one file where raw float→int conversions are
+// allowed: it hosts the shared rounding helpers everything else must
+// go through (mirrors internal/sched/chunkmath.go).
+package sched
+
+// RoundNearest rounds half away from zero for non-negative x.
+func RoundNearest(x float64) int {
+	return int(x + 0.5)
+}
+
+// CeilPos is ⌈x⌉ for non-negative x.
+func CeilPos(x float64) int {
+	v := int(x)
+	if float64(v) < x {
+		v++
+	}
+	return v
+}
+
+// FloorPos is ⌊x⌋ for non-negative x.
+func FloorPos(x float64) int {
+	return int(x)
+}

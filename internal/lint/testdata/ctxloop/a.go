@@ -1,0 +1,111 @@
+// Fixture for the ctxloop analyzer: blocking loops must observe a
+// cancellation or termination signal.
+package ctxloop
+
+import (
+	"context"
+	"net/rpc"
+	"sync"
+)
+
+// Flagged: receives forever with no way to observe shutdown.
+func recvForever(ch chan int, out *int) {
+	for { // want `blocking loop \(channel receive\) never observes ctx\.Done`
+		v := <-ch
+		*out += v
+	}
+}
+
+// Flagged: the canonical condvar loop, but nothing in the predicate or
+// body reflects a closed/done flag.
+func condForever(c *sync.Cond, n *int) {
+	c.L.Lock()
+	for *n == 0 { // want `blocking loop \(cond\.Wait\) never observes ctx\.Done`
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// Flagged: an RPC client loop that can only end via transport error.
+func callForever(client *rpc.Client, acc *int) error {
+	for { // want `blocking loop \(rpc round-trip\) never observes ctx\.Done`
+		var reply int
+		if err := client.Call("Master.NextChunk", 1, &reply); err != nil {
+			return err
+		}
+		*acc += reply
+	}
+}
+
+// Clean: the select observes ctx.Done().
+func recvWithCtx(ctx context.Context, ch chan int, out *int) {
+	for {
+		select {
+		case v := <-ch:
+			*out += v
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Clean: the condvar predicate includes a closed flag.
+func condWithClosed(c *sync.Cond, n *int, closed *bool) {
+	c.L.Lock()
+	for *n == 0 && !*closed {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+type chunkReply struct {
+	Size int
+	Stop bool
+}
+
+// Clean: the protocol's Stop reply terminates the loop.
+func callWithStop(client *rpc.Client, acc *int) error {
+	for {
+		var reply chunkReply
+		if err := client.Call("Master.NextChunk", 1, &reply); err != nil {
+			return err
+		}
+		if reply.Stop {
+			return nil
+		}
+		*acc += reply.Size
+	}
+}
+
+// Clean: a done channel is as good as a context.
+func recvWithDone(done chan struct{}, ch chan int, out *int) {
+	for {
+		select {
+		case v := <-ch:
+			*out += v
+		case <-done:
+			return
+		}
+	}
+}
+
+// Clean: non-blocking loops are out of scope.
+func pureCompute(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Suppressed: the justification rides on the directive.
+func suppressedRecv(ch chan int, out *int) {
+	//lint:loopsched-ignore ctxloop fixture: lifetime bounded by the sender closing ch
+	for {
+		v := <-ch
+		if v == 0 {
+			return
+		}
+		*out += v
+	}
+}

@@ -1,0 +1,117 @@
+// Fixture for the gojoin analyzer: every goroutine needs a visible
+// join or bound.
+package gojoin
+
+import (
+	"context"
+	"net"
+	"net/rpc"
+	"sync"
+)
+
+// Flagged: fire-and-forget literal with no join evidence.
+func fire(f func()) {
+	go func() { // want `goroutine has no visible join or bound`
+		f()
+	}()
+}
+
+// Clean: WaitGroup join.
+func joined(f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+	wg.Wait()
+}
+
+// Clean: signals completion by closing a channel.
+func closer(f func()) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f()
+	}()
+	return done
+}
+
+// Clean: bounded by a ctx-aware select.
+func watcher(ctx context.Context, kick chan struct{}, f func()) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-kick:
+			f()
+		}
+	}()
+}
+
+// Clean: bounded by draining a channel the producer closes.
+func drain(ch chan int, total *int) {
+	go func() {
+		for v := range ch {
+			*total += v
+		}
+	}()
+}
+
+// worker's body drains its channel: launching it is clean.
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+func spawnWorker(ch chan int) {
+	go worker(ch)
+}
+
+// pump has no join evidence, so launching it is flagged.
+func pump(xs []int) {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	_ = s
+}
+
+func spawnPump(xs []int) {
+	go pump(xs) // want `goroutine callee has no visible join or bound`
+}
+
+// Method callee resolution: run is bounded by its done channel.
+type looper struct {
+	done chan struct{}
+}
+
+func (l *looper) run() {
+	<-l.done
+}
+
+func (l *looper) spawn() {
+	go l.run()
+}
+
+// Flagged: a foreign callee's body cannot be checked from here.
+func serveConn(srv *rpc.Server, conn net.Conn) {
+	go srv.ServeConn(conn) // want `goroutine body is outside this package`
+}
+
+// Flagged then suppressed: the justification rides on the directive.
+func suppressed(f func()) {
+	//lint:loopsched-ignore gojoin fixture: process-lifetime helper, exits with main
+	go func() {
+		f()
+	}()
+}
+
+// Nested literals: the outer goroutine's evidence cannot come from the
+// inner one.
+func nested(ch chan int) {
+	go func() { // want `goroutine has no visible join or bound`
+		go func() {
+			<-ch
+		}()
+	}()
+}

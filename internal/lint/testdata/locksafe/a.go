@@ -1,0 +1,95 @@
+// Fixture for the locksafe analyzer: non-reentrant mutex discipline
+// across a type's methods.
+package locksafe
+
+import "sync"
+
+type ledger struct {
+	mu      sync.Mutex
+	pending int
+}
+
+func (l *ledger) bump() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending++
+}
+
+// Flagged: bump re-acquires the mutex flush already holds.
+func (l *ledger) flush() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bump() // want `flush calls bump while holding l\.mu.*self-deadlock`
+	return l.pending
+}
+
+// Flagged: the *Locked suffix promises the caller holds the mutex.
+func (l *ledger) resetLocked() { // want `resetLocked is named \*Locked .* but acquires l\.mu itself`
+	l.mu.Lock()
+	l.pending = 0
+	l.mu.Unlock()
+}
+
+// Clean: the snapshot is taken under the lock, the call happens after.
+func (l *ledger) poll() {
+	l.mu.Lock()
+	n := l.pending
+	l.mu.Unlock()
+	if n > 0 {
+		l.bump()
+	}
+}
+
+// Clean: drainLocked's first operation is Unlock (drop and reacquire),
+// so calling it with the mutex held is the intended contract.
+func (l *ledger) drainLocked() {
+	l.mu.Unlock()
+	l.mu.Lock()
+}
+
+func (l *ledger) hold() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.drainLocked()
+}
+
+// Clean: the goroutine body runs after hold returns and the deferred
+// Unlock has released the mutex.
+func (l *ledger) spawnUnderLock(wg *sync.WaitGroup) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		l.bump()
+	}()
+}
+
+// Clean: helpers that never touch the mutex are callable anywhere.
+func (l *ledger) size() int { return l.pending }
+
+func (l *ledger) report() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size()
+}
+
+// twoLocks: fields are tracked independently.
+type twoLocks struct {
+	mu  sync.Mutex
+	wmu sync.Mutex
+	n   int
+}
+
+func (t *twoLocks) write() {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	t.n++
+}
+
+// Clean: holds mu, calls a method that locks wmu — different mutexes.
+func (t *twoLocks) coordinate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.write()
+}

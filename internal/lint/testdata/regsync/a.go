@@ -1,0 +1,72 @@
+// Fixture for the regsync analyzer: a miniature of internal/sched's
+// Register/Lookup registry.
+package regsync
+
+// Scheme mirrors sched.Scheme's shape.
+type Scheme interface {
+	Name() string
+}
+
+var registry = map[string]Scheme{}
+
+// Register adds a scheme to the registry.
+func Register(s Scheme) {
+	registry[s.Name()] = s
+}
+
+// GoodScheme is registered once: clean.
+type GoodScheme struct{}
+
+func (GoodScheme) Name() string { return "GOOD" }
+
+// OrphanScheme is exported, implements Scheme, and never registered.
+type OrphanScheme struct{} // want `exported scheme type OrphanScheme is never registered`
+
+func (OrphanScheme) Name() string { return "ORPHAN" }
+
+// ShadowScheme's name collides with GoodScheme's up to case.
+type ShadowScheme struct{}
+
+func (ShadowScheme) Name() string { return "good" }
+
+// NamelessScheme registers under the empty string.
+type NamelessScheme struct{}
+
+func (NamelessScheme) Name() string { return "" }
+
+// builtScheme is unexported: exempt from the registration requirement,
+// but its constructor-carried name still participates in uniqueness.
+type builtScheme struct{ name string }
+
+func (b builtScheme) Name() string { return b.name }
+
+// NewBuilt mirrors sched's NewDFSS-style constructors.
+func NewBuilt() Scheme { return builtScheme{name: "BUILT"} }
+
+// VariantScheme has a conditional name: statically indeterminate, so
+// only the runtime round-trip tests can check it.
+type VariantScheme struct{ K int }
+
+func (v VariantScheme) Name() string {
+	if v.K > 1 {
+		return "VARIANT+"
+	}
+	return "VARIANT"
+}
+
+func init() {
+	Register(GoodScheme{})
+	Register(GoodScheme{})     // want `duplicate registration of GoodScheme{}`
+	Register(ShadowScheme{})   // want `scheme name "good" collides case-insensitively`
+	Register(NamelessScheme{}) // want `registered scheme has an empty name`
+	Register(NewBuilt())
+	Register(VariantScheme{K: 1})
+	Register(VariantScheme{K: 8})
+}
+
+// registerLate sneaks a registration past init ordering.
+func registerLate() { // the call below, not the decl, is flagged
+	Register(builtScheme{name: "late"}) // want `Register must be called from an init function`
+}
+
+var _ = registerLate

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Shared AST/type helpers for the analyzers.
+
+// isNamedType reports whether t (after pointer indirection) is the
+// named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name {
+		return false
+	}
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isContext reports whether the expression has type context.Context.
+func isContext(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isNamedType(tv.Type, "context", "Context")
+}
+
+// receiverOf returns the method call's receiver expression and method
+// name, or nil/"" when the call is not of the form expr.Method(...).
+func receiverOf(call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	return sel.X, sel.Sel.Name
+}
+
+// terminationWords are name fragments that mark an expression as part
+// of a run-termination or cancellation signal. A blocking loop that
+// mentions one of these is considered to observe shutdown.
+var terminationWords = []string{"done", "stop", "quit", "closed", "cancel", "finish"}
+
+// mentionsTermination reports whether any identifier under n carries a
+// termination-signal name (case-insensitive substring match).
+func mentionsTermination(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lower := strings.ToLower(id.Name)
+		for _, w := range terminationWords {
+			if strings.Contains(lower, w) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// parentMap records each node's syntactic parent within a file.
+type parentMap map[ast.Node]ast.Node
+
+func buildParents(f *ast.File) parentMap {
+	parents := parentMap{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// enclosingFunc walks up the parent chain to the nearest function
+// declaration or literal containing n; the bool distinguishes a
+// FuncDecl (true) from a FuncLit (false). Returns nil, nil, false at
+// file scope.
+func enclosingFunc(parents parentMap, n ast.Node) (*ast.FuncDecl, *ast.FuncLit, bool) {
+	for p := parents[n]; p != nil; p = parents[p] {
+		switch f := p.(type) {
+		case *ast.FuncDecl:
+			return f, nil, true
+		case *ast.FuncLit:
+			return nil, f, false
+		}
+	}
+	return nil, nil, false
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
+}
+
+// recvFieldMutexOp decodes calls of the form recv.field.Lock() (and
+// Unlock/RLock/RUnlock) where field is a mutex on the method's
+// receiver: it returns the field name and the operation. The receiver
+// identifier must match recvName.
+func recvFieldMutexOp(info *types.Info, call *ast.CallExpr, recvName string) (field, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	op = sel.Sel.Name
+	if op != "Lock" && op != "Unlock" && op != "RLock" && op != "RUnlock" {
+		return "", ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	base, ok := inner.X.(*ast.Ident)
+	if !ok || base.Name != recvName {
+		return "", ""
+	}
+	if tv, ok := info.Types[inner]; !ok || !isMutexType(tv.Type) {
+		return "", ""
+	}
+	return inner.Sel.Name, op
+}

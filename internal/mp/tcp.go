@@ -54,6 +54,7 @@ func readFrame(r io.Reader) (Message, error) {
 type tcpMaster struct {
 	size  int
 	in    *inbox
+	wg    sync.WaitGroup // accept loop + per-connection readers
 	mu    sync.Mutex
 	wmu   sync.Mutex // serialises frame writes (a frame is two Writes)
 	conns map[int]net.Conn
@@ -68,7 +69,11 @@ func ListenTCP(ln net.Listener, size int) (Comm, error) {
 		return nil, fmt.Errorf("mp: TCP world needs ≥ 2 ranks")
 	}
 	m := &tcpMaster{size: size, in: newInbox(), conns: map[int]net.Conn{}, ln: ln}
-	go m.accept()
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.accept()
+	}()
 	return m, nil
 }
 
@@ -78,7 +83,13 @@ func (m *tcpMaster) accept() {
 		if err != nil {
 			return
 		}
-		go m.serve(conn)
+		// The accept goroutine is still counted, so this Add cannot race
+		// a Wait that has already drained the group.
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.serve(conn)
+		}()
 	}
 }
 
@@ -135,7 +146,9 @@ func (m *tcpMaster) Close() error {
 		c.Close()
 	}
 	m.mu.Unlock()
-	return m.ln.Close()
+	err := m.ln.Close()
+	m.wg.Wait() // closed conns and listener unblock every reader
+	return err
 }
 
 // tcpWorker is a non-zero rank of a TCP star.
@@ -144,6 +157,7 @@ type tcpWorker struct {
 	size int
 	conn net.Conn
 	in   *inbox
+	wg   sync.WaitGroup // reader goroutine
 	wmu  sync.Mutex
 }
 
@@ -162,7 +176,11 @@ func DialTCP(addr string, rank, size int) (Comm, error) {
 		conn.Close()
 		return nil, err
 	}
-	go w.read()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.read()
+	}()
 	return w, nil
 }
 
@@ -196,5 +214,7 @@ func (w *tcpWorker) Recv(from, tag int) (Message, error) { return w.in.get(from,
 
 func (w *tcpWorker) Close() error {
 	w.in.close()
-	return w.conn.Close()
+	err := w.conn.Close()
+	w.wg.Wait() // the closed conn unblocks the reader
+	return err
 }

@@ -1,0 +1,37 @@
+package sched
+
+// This file is the only place in the package allowed to convert float
+// chunk arithmetic to integer iteration counts (enforced by the
+// chunkmath analyzer in internal/lint). Centralising the conversions
+// keeps every scheme's rounding bias explicit and uniform: the paper's
+// chunk formulas are real-valued, and an ad-hoc int(...) truncation
+// at a call site silently switches a scheme from round-to-nearest to
+// floor, which over thousands of chunks drifts the assigned total away
+// from N.
+
+// RoundNearest converts a non-negative float chunk expression to an
+// iteration count, rounding half away from zero (the paper's ⌊x+0.5⌋).
+func RoundNearest(x float64) int {
+	return int(x + 0.5)
+}
+
+// CeilPos returns ⌈x⌉ for non-negative x.
+func CeilPos(x float64) int {
+	v := int(x)
+	if float64(v) < x {
+		v++
+	}
+	return v
+}
+
+// FloorPos returns ⌊x⌋ for non-negative x.
+func FloorPos(x float64) int {
+	return int(x)
+}
+
+// CeilDiv returns ⌈a/b⌉ for a ≥ 0, b > 0 in integer arithmetic,
+// replacing hand-written (a + b - 1) / b sites that the chunkmath
+// analyzer would otherwise flag as unguarded subtractions.
+func CeilDiv(a, b int) int {
+	return (a + b - 1) / b
+}

@@ -123,7 +123,7 @@ type dtfssTotals struct {
 
 func newDTFSSTotals(cfg Config) *dtfssTotals {
 	a := cfg.TotalPower()
-	aInt := int(a + 0.5)
+	aInt := RoundNearest(a)
 	if aInt < 1 {
 		aInt = 1
 	}

@@ -28,7 +28,7 @@ func (s DTSSScheme) NewPolicy(cfg Config) (Policy, error) {
 		return nil, err
 	}
 	a := cfg.TotalPower()
-	aInt := int(a + 0.5)
+	aInt := RoundNearest(a)
 	if aInt < 1 {
 		aInt = 1
 	}
@@ -74,7 +74,7 @@ func (t *dtssPolicy) Next(req Request) (Assignment, bool) {
 	if perUnit < t.l {
 		perUnit = t.l
 	}
-	size := int(acp*perUnit + 0.5)
+	size := RoundNearest(acp * perUnit)
 	t.s += acp
 	return t.take(size)
 }

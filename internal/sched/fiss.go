@@ -54,7 +54,7 @@ func (s FISSScheme) NewPolicy(cfg Config) (Policy, error) {
 			if stage >= sigma-1 {
 				// Final stage (and any overflow stages forced by
 				// rounding): split the remainder evenly.
-				return (remaining + p - 1) / p
+				return CeilDiv(remaining, p)
 			}
 			return c0 + stage*bump
 		},

@@ -38,7 +38,7 @@ type gssPolicy struct {
 
 func (g *gssPolicy) Next(req Request) (Assignment, bool) {
 	r := g.Remaining()
-	size := (r + g.p - 1) / g.p // ⌈R/p⌉
+	size := CeilDiv(r, g.p) // ⌈R/p⌉
 	if size < g.k {
 		size = g.k
 	}

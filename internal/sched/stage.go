@@ -34,14 +34,11 @@ func (r Rounding) apply(x float64) int {
 	var v int
 	switch r {
 	case RoundCeil:
-		v = int(x)
-		if float64(v) < x {
-			v++
-		}
+		v = CeilPos(x)
 	case RoundFloor:
-		v = int(x)
+		v = FloorPos(x)
 	default: // half-even
-		f := int(x)
+		f := FloorPos(x)
 		frac := x - float64(f)
 		switch {
 		case frac > 0.5:

@@ -78,7 +78,7 @@ func (s *weightedStaticPolicy) Next(req Request) (Assignment, bool) {
 	if total <= 0 {
 		total = pw
 	}
-	size := int(float64(s.Remaining())*pw/total + 0.5)
+	size := RoundNearest(float64(s.Remaining()) * pw / total)
 	s.issued++
 	s.power += pw
 	if s.issued == s.cfg.Workers {

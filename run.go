@@ -295,7 +295,7 @@ func runRPCFlat(ctx context.Context, spec RunSpec, kernel Kernel) (Report, error
 	if err != nil {
 		return Report{}, err
 	}
-	defer ln.Close()
+	defer master.Shutdown(ln)
 	if err := master.Serve(ln); err != nil {
 		return Report{}, err
 	}
@@ -349,7 +349,7 @@ func runRPCHierarchy(ctx context.Context, spec RunSpec, kernel Kernel) (Report, 
 	if err != nil {
 		return Report{}, err
 	}
-	defer rootL.Close()
+	defer root.Shutdown(rootL)
 	if err := root.Serve(rootL); err != nil {
 		return Report{}, err
 	}
