@@ -60,7 +60,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/exec/ ./internal/mp/ .
+	$(GO) test -race ./internal/exec/ ./internal/mp/ ./internal/hier/ ./internal/telemetry/ .
 
 fuzz:
 	$(GO) test -fuzz FuzzSchemeCoverage -fuzztime 30s ./internal/sched/

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "artefact: table1, table2, table3, fig1, fig4, fig5, fig6, fig7, scaling, overlap, hierarchy, all")
+		run   = flag.String("run", "all", "artefact: table1, table2, table3, fig1, fig4, fig5, fig6, fig7, scaling, overlap, hierarchy, telemetry, all")
 		small = flag.Bool("small", false, "use the scaled-down test configuration")
 		plot  = flag.Bool("plot", false, "render figures as terminal charts too")
 		out   = flag.String("out", "", "directory to write per-artefact text files into")
@@ -99,7 +99,7 @@ func main() {
 		return
 	}
 
-	artefacts := []string{"table1", "table2", "table3", "fig1", "fig4", "fig5", "fig6", "fig7", "scaling", "overlap", "hierarchy"}
+	artefacts := []string{"table1", "table2", "table3", "fig1", "fig4", "fig5", "fig6", "fig7", "scaling", "overlap", "hierarchy", "telemetry"}
 	if *run != "all" {
 		artefacts = []string{*run}
 	}
@@ -252,6 +252,15 @@ func produce(name string, cfg experiments.Config, plot bool) (string, []extraFil
 			return "", nil, err
 		}
 		return experiments.FormatHierarchy(res), []extraFile{{name: "hierarchy.json", data: js}}, nil
+	case "telemetry":
+		res, err := experiments.Telemetry(cfg)
+		if err != nil {
+			return "", nil, err
+		}
+		// The Perfetto document is deterministic (virtual-time events
+		// from the simulator); CI uploads it as a browsable artefact.
+		return experiments.FormatTelemetry(res),
+			[]extraFile{{name: "telemetry.perfetto.json", data: res.Perfetto}}, nil
 	default:
 		return "", nil, fmt.Errorf("unknown artefact %q", name)
 	}

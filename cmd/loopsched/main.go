@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,9 @@ func main() {
 		ganttSVG     = flag.String("gantt-svg", "", "write the Gantt chart as SVG to this file")
 		bus          = flag.Bool("bus", false, "simulate a shared half-duplex medium (hub Ethernet) instead of independent links")
 		acpScale     = flag.Int("acp-scale", 0, "ACP decimal scale factor (0 = default 10; 1 = the original integer DTSS)")
+		shards       = flag.Int("shards", 0, "run the two-level hierarchy with this many submaster shards (0 = flat)")
+		debugAddr    = flag.String("debug-addr", "", "serve live run telemetry on this address for the duration of the run (Prometheus /metrics, expvar /debug/vars, net/http/pprof /debug/pprof/)")
+		perfetto     = flag.String("perfetto", "", "write a Perfetto-loadable Chrome trace-event JSON of the run to this file")
 		list         = flag.Bool("list", false, "list available schemes and exit")
 		describe     = flag.String("describe", "", "describe schemes ('all', a category, or a name) and exit")
 	)
@@ -62,9 +66,27 @@ func main() {
 		fail(err)
 	}
 
-	if *real {
-		runReal(*schemeName, w, *p)
-		return
+	// A telemetry session observes the run live: the debug endpoint
+	// stays up while the loop executes, and the Perfetto document is
+	// finished when the session closes below.
+	var tele *loopsched.Telemetry
+	var perfettoFile *os.File
+	if *debugAddr != "" || *perfetto != "" {
+		opts := loopsched.TelemetryOptions{DebugAddr: *debugAddr}
+		if *perfetto != "" {
+			perfettoFile, err = os.Create(*perfetto)
+			if err != nil {
+				fail(err)
+			}
+			opts.Perfetto = perfettoFile
+		}
+		tele, err = loopsched.NewTelemetry(opts)
+		if err != nil {
+			fail(err)
+		}
+		if addr := tele.DebugAddr(); addr != "" {
+			fmt.Printf("telemetry: http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", addr)
+		}
 	}
 
 	cluster := loopsched.PaperCluster(*p, *nondedicated)
@@ -87,23 +109,50 @@ func main() {
 	var tr *loopsched.Trace
 	if *gantt || *traceCSV != "" || *ganttSVG != "" {
 		tr = &loopsched.Trace{}
-		params.Trace = tr
 	}
 
 	var rep loopsched.Report
 	if *tree {
+		// Tree Scheduling predates the unified executor; it runs on the
+		// legacy simulator path without hierarchy or telemetry.
+		params.Trace = tr
 		rep, err = loopsched.SimulateTree(cluster, loopsched.TreeOptions{Weighted: true}, w, params)
 	} else {
 		var s loopsched.Scheme
 		s, err = loopsched.LookupScheme(*schemeName)
 		if err == nil {
-			rep, err = loopsched.Simulate(cluster, s, w, params)
+			spec := loopsched.RunSpec{Scheme: s, Workload: w, Telemetry: tele}
+			if *shards > 0 {
+				spec.Hierarchy = &loopsched.Hierarchy{Shards: *shards}
+			}
+			if *real {
+				spec.Backend = loopsched.BackendLocal
+				spec.Workers = realWorkers(*p)
+				spec.Body = burnBody(w)
+				spec.Trace = tr
+			} else {
+				spec.Backend = loopsched.BackendSim
+				spec.Cluster = cluster
+				spec.Sim = params
+				// With telemetry on, the trace is rebuilt from the event
+				// stream; otherwise the simulator fills it natively (the
+				// hierarchical simulator merges its per-shard traces).
+				if tele != nil {
+					spec.Trace = tr
+				} else {
+					spec.Sim.Trace = tr
+				}
+			}
+			rep, err = loopsched.Run(context.Background(), spec)
 		}
 	}
 	if err != nil {
 		fail(err)
 	}
 	printReport(rep)
+	if s := loopsched.FormatShards(rep); s != "" {
+		fmt.Print(s)
+	}
 	if tr != nil && *gantt {
 		fmt.Print(tr.Gantt(100))
 		fmt.Printf("mean utilization: %.0f%%\n", 100*tr.MeanUtilization())
@@ -124,6 +173,17 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("wrote", *traceCSV)
+	}
+	if tele != nil {
+		if err := tele.Close(); err != nil {
+			fail(err)
+		}
+		if perfettoFile != nil {
+			if err := perfettoFile.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", *perfetto, "(open at https://ui.perfetto.dev)")
+		}
 	}
 }
 
@@ -169,32 +229,30 @@ func buildWorkload(name string, iterations, width, height, maxIter, sf int) (loo
 	return w, nil
 }
 
-func runReal(schemeName string, w loopsched.Workload, p int) {
-	s, err := loopsched.LookupScheme(schemeName)
-	if err != nil {
-		fail(err)
-	}
+// realWorkers builds the -real worker set with the same fast/slow mix
+// as the paper cluster.
+func realWorkers(p int) []*loopsched.WorkerSpec {
 	workers := make([]*loopsched.WorkerSpec, p)
 	for i := range workers {
 		scale := 1
-		if i >= (3*p+7)/8 { // same fast/slow mix as the paper cluster
+		if i >= (3*p+7)/8 {
 			scale = 3
 		}
 		workers[i] = &loopsched.WorkerSpec{WorkScale: scale}
 	}
-	ex := &loopsched.LocalExecutor{Scheme: s, Workers: workers}
+	return workers
+}
+
+// burnBody returns a loop body that burns work proportional to the
+// iteration's cost.
+func burnBody(w loopsched.Workload) func(i int) {
 	var sink int64
-	rep, err := ex.Run(w, func(i int) {
-		// Burn work proportional to the iteration's cost.
+	return func(i int) {
 		n := int(w.Cost(i))
 		for k := 0; k < n; k++ {
 			sink += int64(k ^ i)
 		}
-	})
-	if err != nil {
-		fail(err)
 	}
-	printReport(rep)
 }
 
 func printReport(rep loopsched.Report) {

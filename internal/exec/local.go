@@ -15,6 +15,7 @@ import (
 	"loopsched/internal/acp"
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
 	"loopsched/internal/trace"
 	"loopsched/internal/workload"
 )
@@ -64,6 +65,9 @@ type Local struct {
 	// Trace, when non-nil, records each computed chunk with
 	// wall-clock timestamps relative to Run's start.
 	Trace *trace.Trace
+	// Telemetry, when non-nil, receives live protocol events
+	// (requests, grants, completions, replans). Independent of Trace.
+	Telemetry *telemetry.Bus
 }
 
 type localRequest struct {
@@ -71,6 +75,7 @@ type localRequest struct {
 	acp       int
 	fbWork    float64 // cost of the previous chunk (0 = none)
 	fbElapsed float64 // its measured execution time
+	at        float64 // send instant on the telemetry clock (0 = no bus)
 	reply     chan localReply
 }
 
@@ -125,13 +130,22 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 			defer wg.Done()
 			spec := l.Workers[id]
 			reply := make(chan localReply, 1)
+			l.Telemetry.Publish(telemetry.Event{
+				Kind: telemetry.WorkerJoined, Worker: id,
+				At: l.Telemetry.Now(),
+			})
 			var fbWork, fbElapsed float64
 			for {
 				a := l.ACP.ACP(virtual(id), 1+spec.Load())
+				reqAt := l.Telemetry.Now()
+				l.Telemetry.Publish(telemetry.Event{
+					Kind: telemetry.ChunkRequested, Worker: id,
+					ACP: a, At: reqAt,
+				})
 				waitStart := time.Now()
 				select {
 				case requests <- localRequest{worker: id, acp: a,
-					fbWork: fbWork, fbElapsed: fbElapsed, reply: reply}:
+					fbWork: fbWork, fbElapsed: fbElapsed, at: reqAt, reply: reply}:
 				case <-ctx.Done():
 					return
 				}
@@ -150,6 +164,11 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 				fbElapsed = time.Since(compStart).Seconds()
 				times[id].Comp += time.Since(compStart).Seconds()
 				atomic.AddInt64(&iters[id], int64(r.assign.Size))
+				l.Telemetry.Publish(telemetry.Event{
+					Kind: telemetry.ChunkCompleted, Worker: id,
+					Start: r.assign.Start, Size: r.assign.Size, ACP: a,
+					At: l.Telemetry.Now(), Seconds: fbElapsed,
+				})
 				if l.Trace != nil {
 					l.Trace.Add(trace.Event{
 						Worker: id,
@@ -259,6 +278,10 @@ func (l *Local) master(ctx context.Context, w workload.Workload, p int, dist boo
 			if p2, err2 := plan(); err2 == nil {
 				policy = p2
 				rep.Replans++
+				l.Telemetry.Publish(telemetry.Event{
+					Kind: telemetry.StageAdvanced, Worker: req.worker,
+					At: l.Telemetry.Now(),
+				})
 			}
 		}
 		a, ok := policy.Next(sched.Request{Worker: req.worker, ACP: float64(req.acp)})
@@ -269,6 +292,12 @@ func (l *Local) master(ctx context.Context, w workload.Workload, p int, dist boo
 		}
 		base = a.End()
 		rep.Chunks++
+		now := l.Telemetry.Now()
+		l.Telemetry.Publish(telemetry.Event{
+			Kind: telemetry.ChunkGranted, Worker: req.worker,
+			Start: a.Start, Size: a.Size, ACP: req.acp,
+			At: now, Seconds: now - req.at,
+		})
 		req.reply <- localReply{assign: a, ok: true}
 	}
 	for _, req := range pending {

@@ -12,6 +12,7 @@ import (
 	"loopsched/internal/acp"
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
 )
 
 // The RPC runtime mirrors the paper's mpich implementation: slaves
@@ -81,11 +82,13 @@ type Master struct {
 	workers    int
 	disableRe  bool
 	serveWG    sync.WaitGroup
+	bus        *telemetry.Bus // nil unless SetTelemetry was called
 
 	mu          sync.Mutex
 	conns       []net.Conn // accepted by Serve, closed by Shutdown
 	gathered    int
 	seen        []bool
+	joined      []bool // workers that made first contact (telemetry)
 	ready       *sync.Cond
 	policy      sched.Policy
 	liveACP     []int
@@ -125,6 +128,7 @@ func NewMaster(scheme sched.Scheme, iterations, workers int) (*Master, error) {
 		iterations:  iterations,
 		workers:     workers,
 		seen:        make([]bool, workers),
+		joined:      make([]bool, workers),
 		liveACP:     make([]int, workers),
 		planACP:     make([]int, workers),
 		results:     make([][]byte, iterations),
@@ -154,6 +158,16 @@ func NewMaster(scheme sched.Scheme, iterations, workers int) (*Master, error) {
 		m.maybeFinish()
 	}
 	return m, nil
+}
+
+// SetTelemetry attaches an event bus: the master publishes protocol
+// events (requests, grants, prefetch hits/misses, worker joins,
+// timeouts, rejected resurrections, replans) to it. Call before Serve.
+// A nil bus is valid and disables publishing.
+func (m *Master) SetTelemetry(bus *telemetry.Bus) {
+	m.mu.Lock()
+	m.bus = bus
+	m.mu.Unlock()
 }
 
 // Serve registers the master on a fresh RPC server and accepts
@@ -234,6 +248,7 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := time.Now()
+	reqAt := m.bus.Now() // request arrival on the telemetry clock
 	// Stamp the reply time only when a reply is actually produced: an
 	// errored call never reaches the worker's loop, so stamping it
 	// would corrupt the next request's communication gap.
@@ -264,9 +279,23 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 	// out of both the stopped and failed completion counters (it is
 	// already in failed).
 	if m.failed[args.Worker] {
+		m.bus.Publish(telemetry.Event{
+			Kind: telemetry.WorkerRejected, Worker: args.Worker, At: reqAt,
+		})
 		reply.Stop = true
 		return nil
 	}
+	if !m.joined[args.Worker] {
+		m.joined[args.Worker] = true
+		m.bus.Publish(telemetry.Event{
+			Kind: telemetry.WorkerJoined, Worker: args.Worker,
+			ACP: args.ACP, At: reqAt,
+		})
+	}
+	m.bus.Publish(telemetry.Event{
+		Kind: telemetry.ChunkRequested, Worker: args.Worker,
+		ACP: args.ACP, At: reqAt,
+	})
 
 	m.lastSeen[args.Worker] = now
 	// Per-PE breakdown: the worker reports computation and stall time;
@@ -309,16 +338,20 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 			return m.err
 		}
 		if m.policy == nil { // cancelled mid-gather: assign sends Stop
-			return m.assign(args, reply)
+			return m.assign(args, reply, reqAt)
 		}
 	} else if sched.Distributed(m.scheme) && !m.disableRe &&
 		acp.MajorityChanged(m.planACP, m.liveACP) {
 		if err := m.plan(); err == nil {
 			m.replans++
+			m.bus.Publish(telemetry.Event{
+				Kind: telemetry.StageAdvanced, Worker: args.Worker,
+				At: m.bus.Now(),
+			})
 		}
 	}
 
-	return m.assign(args, reply)
+	return m.assign(args, reply, reqAt)
 }
 
 // assign hands the worker its next interval: requeued chunks before
@@ -327,7 +360,7 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 // inside the call until the run completes or a failure requeues work —
 // so a late FailWorker always finds a live worker to absorb the chunk
 // (the lost-iterations fix). Callers hold mu.
-func (m *Master) assign(args ChunkArgs, reply *ChunkReply) error {
+func (m *Master) assign(args ChunkArgs, reply *ChunkReply, reqAt float64) error {
 	w := args.Worker
 	for {
 		select {
@@ -349,20 +382,26 @@ func (m *Master) assign(args ChunkArgs, reply *ChunkReply) error {
 		if len(m.outstanding[w]) >= maxOutstanding {
 			// Ledger full — only reachable on a prefetch from a worker
 			// that has not delivered yet. Empty reply: ask again later.
+			m.bus.Publish(telemetry.Event{
+				Kind: telemetry.PrefetchMissed, Worker: w, At: m.bus.Now(),
+			})
 			return nil
 		}
 		if a, ok := m.takeRequeued(); ok {
-			m.grant(w, a, reply)
+			m.grant(w, a, reply, args.Prefetch, reqAt)
 			return nil
 		}
 		if a, ok := m.policy.Next(sched.Request{Worker: w, ACP: float64(args.ACP)}); ok {
 			m.base = a.End()
-			m.grant(w, a, reply)
+			m.grant(w, a, reply, args.Prefetch, reqAt)
 			return nil
 		}
 		if args.Prefetch {
 			// Nothing to prefetch right now; the worker still has its
 			// current chunk to finish and deliver.
+			m.bus.Publish(telemetry.Event{
+				Kind: telemetry.PrefetchMissed, Worker: w, At: m.bus.Now(),
+			})
 			return nil
 		}
 		// The worker is idle with nothing in flight. Hold the call:
@@ -376,11 +415,23 @@ func (m *Master) assign(args ChunkArgs, reply *ChunkReply) error {
 }
 
 // grant records an assignment in the outstanding ledger and fills the
-// reply; callers hold mu.
-func (m *Master) grant(w int, a sched.Assignment, reply *ChunkReply) {
+// reply, publishing the grant (with its request-to-grant latency) to
+// the telemetry bus; callers hold mu.
+func (m *Master) grant(w int, a sched.Assignment, reply *ChunkReply, prefetch bool, reqAt float64) {
 	m.outstanding[w] = append(m.outstanding[w], a)
 	m.chunks++
 	reply.Assign = a
+	if m.bus != nil {
+		kind := telemetry.ChunkGranted
+		if prefetch {
+			kind = telemetry.ChunkPrefetched
+		}
+		now := m.bus.Now()
+		m.bus.Publish(telemetry.Event{
+			Kind: kind, Worker: w, Start: a.Start, Size: a.Size,
+			ACP: m.liveACP[w], At: now, Seconds: now - reqAt,
+		})
+	}
 }
 
 // takeRequeued pops the next requeued chunk that still has undelivered
@@ -487,6 +538,9 @@ func (m *Master) FailWorker(worker int) error {
 		return nil // already accounted for
 	}
 	m.failed[worker] = true
+	m.bus.Publish(telemetry.Event{
+		Kind: telemetry.WorkerTimedOut, Worker: worker, At: m.bus.Now(),
+	})
 	if out := m.outstanding[worker]; len(out) > 0 {
 		delete(m.outstanding, worker)
 		m.requeued = append(m.requeued, out...)
@@ -676,6 +730,25 @@ type Worker struct {
 	// runs, hiding the master round-trip whenever it is shorter than
 	// the chunk's computation.
 	Pipeline bool
+	// Telemetry, when non-nil, receives a ChunkCompleted event for
+	// every chunk this worker computes. TelemetryID and TelemetryShard
+	// label those events; TelemetryID must be the run-global worker id
+	// (the hierarchical runtime hands workers shard-local IDs).
+	Telemetry      *telemetry.Bus
+	TelemetryID    int
+	TelemetryShard int
+}
+
+// publishCompleted reports one computed chunk to the telemetry bus
+// (no-op when none is attached). reportedACP is the ACP carried on the
+// request that fetched the chunk.
+func (w Worker) publishCompleted(a sched.Assignment, reportedACP int, comp float64) {
+	w.Telemetry.Publish(telemetry.Event{
+		Kind:   telemetry.ChunkCompleted,
+		Worker: w.TelemetryID, Shard: w.TelemetryShard,
+		Start: a.Start, Size: a.Size, ACP: reportedACP,
+		At: w.Telemetry.Now(), Seconds: comp,
+	})
 }
 
 func (w Worker) power() float64 {
@@ -766,8 +839,9 @@ func (w Worker) runSerial(client *rpc.Client) error {
 	var results []ChunkResult
 	var compSeconds float64
 	for {
+		req := w.args(false, results, compSeconds, 0)
 		var reply ChunkReply
-		if err := client.Call("Master.NextChunk", w.args(false, results, compSeconds, 0), &reply); err != nil {
+		if err := client.Call("Master.NextChunk", req, &reply); err != nil {
 			return err
 		}
 		if reply.Stop {
@@ -776,6 +850,7 @@ func (w Worker) runSerial(client *rpc.Client) error {
 		start := time.Now()
 		results = w.compute(reply.Assign)
 		compSeconds = time.Since(start).Seconds()
+		w.publishCompleted(reply.Assign, req.ACP, compSeconds)
 	}
 }
 
@@ -818,10 +893,12 @@ func (w Worker) runPipelined(client *rpc.Client) error {
 		default:
 			// Launch the prefetch for the next chunk (carrying the
 			// previous chunk's results), then compute this one.
-			fetch := client.Go("Master.NextChunk", w.args(true, pending, comp, idle), &ChunkReply{}, nil)
+			req := w.args(true, pending, comp, idle)
+			fetch := client.Go("Master.NextChunk", req, &ChunkReply{}, nil)
 			start := time.Now()
 			results := w.compute(reply.Assign)
 			comp = time.Since(start).Seconds()
+			w.publishCompleted(reply.Assign, req.ACP, comp)
 
 			waitStart := time.Now()
 			<-fetch.Done

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestTelemetryArtifact checks the CI-published Perfetto document: it
+// must be valid JSON whose trace events carry the keys the Perfetto UI
+// requires, and the counters must reconcile (every granted iteration
+// accounted for, nothing dropped).
+func TestTelemetryArtifact(t *testing.T) {
+	res, err := Telemetry(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot.Dropped != 0 {
+		t.Errorf("%d events dropped", res.Snapshot.Dropped)
+	}
+	if got, want := int(res.Snapshot.Iterations), Small().Workload().Len(); got != want {
+		t.Errorf("iterations granted %d, want %d", got, want)
+	}
+	if res.Snapshot.ChunksGranted == 0 {
+		t.Error("no chunks granted")
+	}
+
+	if !json.Valid(res.Perfetto) {
+		t.Fatalf("perfetto export is not valid JSON (%d bytes)", len(res.Perfetto))
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(res.Perfetto, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("displayTimeUnit missing")
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	completes := 0
+	for i, raw := range doc.TraceEvents {
+		var ev map[string]any
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %s", i, key, raw)
+			}
+		}
+		if ev["ph"] == "X" {
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event %d missing dur: %s", i, raw)
+			}
+			completes++
+		}
+	}
+	// One complete slice per granted chunk: the simulator publishes a
+	// completion for every chunk it grants.
+	if completes != int(res.Snapshot.ChunksGranted) {
+		t.Errorf("%d complete slices, %d chunks granted", completes, res.Snapshot.ChunksGranted)
+	}
+}

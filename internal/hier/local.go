@@ -11,6 +11,7 @@ import (
 	"loopsched/internal/exec"
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
 	"loopsched/internal/trace"
 	"loopsched/internal/workload"
 )
@@ -31,6 +32,10 @@ type LocalRun struct {
 	// Trace, when non-nil, records each computed chunk with wall-clock
 	// timestamps relative to Run's start.
 	Trace *trace.Trace
+	// Telemetry, when non-nil, receives live protocol events. Worker
+	// ids in those events are run-global; Shard carries the shard
+	// index.
+	Telemetry *telemetry.Bus
 }
 
 type hlReq struct {
@@ -38,6 +43,7 @@ type hlReq struct {
 	acp       int
 	fbWork    float64
 	fbElapsed float64
+	at        float64 // send instant on the telemetry clock (0 = no bus)
 	reply     chan hlReply
 }
 
@@ -114,6 +120,7 @@ func (l *LocalRun) Run(ctx context.Context, w workload.Workload, body func(i int
 	if err != nil {
 		return metrics.Report{}, err
 	}
+	root.SetTelemetry(l.Telemetry)
 
 	start := time.Now()
 	if l.Trace != nil {
@@ -132,13 +139,22 @@ func (l *LocalRun) Run(ctx context.Context, w workload.Workload, body func(i int
 			spec := l.Workers[id]
 			sh := shards[shardOf[id]]
 			reply := make(chan hlReply, 1)
+			l.Telemetry.Publish(telemetry.Event{
+				Kind: telemetry.WorkerJoined, Worker: id,
+				Shard: shardOf[id], At: l.Telemetry.Now(),
+			})
 			var fbWork, fbElapsed float64
 			for {
 				a := l.ACP.ACP(virtual(id), 1+spec.Load())
+				reqAt := l.Telemetry.Now()
+				l.Telemetry.Publish(telemetry.Event{
+					Kind: telemetry.ChunkRequested, Worker: id,
+					Shard: shardOf[id], ACP: a, At: reqAt,
+				})
 				waitStart := time.Now()
 				select {
 				case sh.requests <- hlReq{local: localOf[id], acp: a,
-					fbWork: fbWork, fbElapsed: fbElapsed, reply: reply}:
+					fbWork: fbWork, fbElapsed: fbElapsed, at: reqAt, reply: reply}:
 				case <-ctx.Done():
 					return
 				}
@@ -157,6 +173,12 @@ func (l *LocalRun) Run(ctx context.Context, w workload.Workload, body func(i int
 				fbElapsed = time.Since(compStart).Seconds()
 				times[id].Comp += fbElapsed
 				atomic.AddInt64(&iters[id], int64(r.assign.Size))
+				l.Telemetry.Publish(telemetry.Event{
+					Kind: telemetry.ChunkCompleted, Worker: id,
+					Shard: shardOf[id], Start: r.assign.Start,
+					Size: r.assign.Size, ACP: a,
+					At: l.Telemetry.Now(), Seconds: fbElapsed,
+				})
 				if l.Trace != nil {
 					l.Trace.Add(trace.Event{
 						Worker: id,
@@ -291,6 +313,11 @@ func (l *LocalRun) submaster(ctx context.Context, root *Root, si int, sh *shardS
 			return false, err
 		}
 		policy = sched.Offset(pol, g.Start)
+		// Each super-chunk is a fresh scheduling stage for the shard.
+		l.Telemetry.Publish(telemetry.Event{
+			Kind: telemetry.StageAdvanced, Shard: si,
+			Start: g.Start, Size: g.Size(), At: l.Telemetry.Now(),
+		})
 		return true, nil
 	}
 
@@ -305,6 +332,12 @@ func (l *LocalRun) submaster(ctx context.Context, root *Root, si int, sh *shardS
 				if a, ok := policy.Next(sched.Request{Worker: req.local, ACP: float64(req.acp)}); ok {
 					sh.chunks++
 					sh.iters += a.Size
+					now := l.Telemetry.Now()
+					l.Telemetry.Publish(telemetry.Event{
+						Kind: telemetry.ChunkGranted, Worker: sh.members[req.local],
+						Shard: si, Start: a.Start, Size: a.Size, ACP: req.acp,
+						At: now, Seconds: now - req.at,
+					})
 					req.reply <- hlReply{assign: a, ok: true}
 					return nil
 				}

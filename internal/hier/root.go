@@ -7,6 +7,7 @@ import (
 
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
 )
 
 // Root is the top-level allocator of the hierarchy. It owns the loop's
@@ -27,10 +28,38 @@ import (
 type Root struct {
 	mu      sync.Mutex
 	cfg     Config
+	bus     *telemetry.Bus // nil unless SetTelemetry was called
+	clock   func() float64 // event timestamps; nil means bus.Now
 	regions []region
 	fetches []int
 	steals  []int
 	total   int
+}
+
+// SetTelemetry attaches an event bus: the root publishes
+// ShardStealStarted/ShardStealDone events for every steal attempt,
+// stamped with the bus's wall-monotonic clock. A nil bus disables
+// publishing.
+func (r *Root) SetTelemetry(bus *telemetry.Bus) {
+	r.SetTelemetryClock(bus, nil)
+}
+
+// SetTelemetryClock is SetTelemetry with an explicit clock, for
+// callers whose events live on a different timeline (the discrete-
+// event simulator stamps virtual seconds).
+func (r *Root) SetTelemetryClock(bus *telemetry.Bus, now func() float64) {
+	r.mu.Lock()
+	r.bus = bus
+	r.clock = now
+	r.mu.Unlock()
+}
+
+// now returns the telemetry timestamp for an event; callers hold mu.
+func (r *Root) now() float64 {
+	if r.clock != nil {
+		return r.clock()
+	}
+	return r.bus.Now()
 }
 
 type region struct {
@@ -85,6 +114,10 @@ func (r *Root) Next(shard int) (Range, bool) {
 		return g, true
 	}
 	// Steal from the shard with the largest unclaimed tail.
+	r.bus.Publish(telemetry.Event{
+		Kind: telemetry.ShardStealStarted, Worker: shard, Shard: shard,
+		At: r.now(),
+	})
 	victim, rem := -1, 0
 	for j := range r.regions {
 		if j == shard {
@@ -103,6 +136,10 @@ func (r *Root) Next(shard int) (Range, bool) {
 	r.fetches[shard]++
 	r.steals[shard]++
 	r.total++
+	r.bus.Publish(telemetry.Event{
+		Kind: telemetry.ShardStealDone, Worker: shard, Shard: victim,
+		Start: v.hi, Size: size, At: r.now(),
+	})
 	return Range{Start: v.hi, End: v.hi + size}, true
 }
 

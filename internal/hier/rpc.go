@@ -10,6 +10,7 @@ import (
 
 	"loopsched/internal/exec"
 	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
 )
 
 // Submaster is the middle tier of the RPC hierarchy. To its workers it
@@ -35,6 +36,9 @@ type Submaster struct {
 	root    *rpc.Client
 	bg      sync.WaitGroup // in-flight prefetch goroutines
 	serveWG sync.WaitGroup // accept loop + per-connection servers
+
+	bus      *telemetry.Bus // nil unless SetTelemetry was called
+	globalID []int          // shard-local worker index → run-global id
 
 	mu       sync.Mutex
 	conns    []net.Conn // accepted by Serve, closed by Close
@@ -83,6 +87,27 @@ func NewSubmaster(shard int, scheme sched.Scheme, workers int, rootAddr string) 
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
+}
+
+// SetTelemetry attaches an event bus: the submaster publishes
+// worker-level protocol events (joins, requests, grants, prefetch
+// misses, stage advances) tagged with its shard index. globalIDs maps
+// the shard-local worker index to the run-global worker id used in
+// events; nil keeps local ids. Call before Serve.
+func (s *Submaster) SetTelemetry(bus *telemetry.Bus, globalIDs []int) {
+	s.mu.Lock()
+	s.bus = bus
+	s.globalID = globalIDs
+	s.mu.Unlock()
+}
+
+// telemetryID maps a shard-local worker index to the id published in
+// telemetry events. Callers hold mu.
+func (s *Submaster) telemetryID(local int) int {
+	if local >= 0 && local < len(s.globalID) {
+		return s.globalID[local]
+	}
+	return local
 }
 
 // Serve registers the submaster under the flat master's service name
@@ -172,11 +197,16 @@ func (s *Submaster) aggregateACP() int {
 // NextChunk is the worker-facing RPC, protocol-compatible with
 // exec.Master.NextChunk.
 func (s *Submaster) NextChunk(args exec.ChunkArgs, reply *exec.ChunkReply) error {
-	if args.Worker < 0 || args.Worker >= s.workers {
-		return fmt.Errorf("hier: unknown worker %d", args.Worker)
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if args.Worker < 0 || args.Worker >= s.workers {
+		s.bus.Publish(telemetry.Event{
+			Kind: telemetry.WorkerRejected, Worker: args.Worker,
+			Shard: s.shard, At: s.bus.Now(),
+		})
+		return fmt.Errorf("hier: unknown worker %d", args.Worker)
+	}
+	reqAt := s.bus.Now()
 
 	if len(args.Results) > 0 {
 		s.pending = append(s.pending, args.Results...)
@@ -190,10 +220,18 @@ func (s *Submaster) NextChunk(args exec.ChunkArgs, reply *exec.ChunkReply) error
 	if !s.seen[args.Worker] {
 		s.seen[args.Worker] = true
 		s.gathered++
+		s.bus.Publish(telemetry.Event{
+			Kind: telemetry.WorkerJoined, Worker: s.telemetryID(args.Worker),
+			Shard: s.shard, ACP: args.ACP, At: reqAt,
+		})
 		if s.gathered == s.workers {
 			s.cond.Broadcast() // gather complete: the first fetch may go
 		}
 	}
+	s.bus.Publish(telemetry.Event{
+		Kind: telemetry.ChunkRequested, Worker: s.telemetryID(args.Worker),
+		Shard: s.shard, ACP: args.ACP, At: reqAt,
+	})
 
 	for {
 		if s.rootErr != nil {
@@ -205,6 +243,18 @@ func (s *Submaster) NextChunk(args exec.ChunkArgs, reply *exec.ChunkReply) error
 				s.iters += a.Size
 				s.outstanding += a.Size
 				reply.Assign = a
+				kind := telemetry.ChunkGranted
+				if args.Prefetch {
+					kind = telemetry.ChunkPrefetched
+				}
+				if s.bus != nil {
+					now := s.bus.Now()
+					s.bus.Publish(telemetry.Event{
+						Kind: kind, Worker: s.telemetryID(args.Worker),
+						Shard: s.shard, Start: a.Start, Size: a.Size,
+						ACP: args.ACP, At: now, Seconds: now - reqAt,
+					})
+				}
 				return nil
 			}
 		}
@@ -216,6 +266,10 @@ func (s *Submaster) NextChunk(args exec.ChunkArgs, reply *exec.ChunkReply) error
 		}
 		if s.rootDone {
 			if args.Prefetch {
+				s.bus.Publish(telemetry.Event{
+					Kind: telemetry.PrefetchMissed, Worker: s.telemetryID(args.Worker),
+					Shard: s.shard, At: reqAt,
+				})
 				return nil // empty: finish your chunk, ask again plainly
 			}
 			reply.Stop = true
@@ -230,6 +284,10 @@ func (s *Submaster) NextChunk(args exec.ChunkArgs, reply *exec.ChunkReply) error
 			// Can't give the pipelined worker anything yet; keep a root
 			// prefetch moving and answer empty.
 			s.launchPrefetchLocked()
+			s.bus.Publish(telemetry.Event{
+				Kind: telemetry.PrefetchMissed, Worker: s.telemetryID(args.Worker),
+				Shard: s.shard, At: reqAt,
+			})
 			return nil
 		}
 		// Plain request with nothing local. Fetch from the root once the
@@ -270,6 +328,11 @@ func (s *Submaster) planLocked() error {
 		return err
 	}
 	s.policy = sched.Offset(pol, g.Start)
+	// Each super-chunk is a fresh scheduling stage for the shard.
+	s.bus.Publish(telemetry.Event{
+		Kind: telemetry.StageAdvanced, Shard: s.shard,
+		Start: g.Start, Size: g.Size, At: s.bus.Now(),
+	})
 	if len(s.buffered) == 0 {
 		s.launchPrefetchLocked()
 	}

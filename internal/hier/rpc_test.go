@@ -10,20 +10,38 @@ import (
 
 	"loopsched/internal/exec"
 	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
 )
 
 // startHierarchy wires a complete two-level RPC runtime on loopback:
 // a root exec.Master running RootScheme over K submasters, each
 // serving its share of stock exec.Workers. Returns the root, the
-// captured allocator, the submasters and their member counts.
-func startHierarchy(t *testing.T, scheme sched.Scheme, n int, members [][]int, pipeline bool) (*exec.Master, **Root, []*Submaster, chan error) {
+// captured allocator, the submasters and their member counts. When
+// bus is non-nil the submasters, workers and root allocator publish
+// telemetry to it (the root master itself stays silent: its grants
+// are super-chunks and would double-count).
+func startHierarchy(t *testing.T, scheme sched.Scheme, n int, members [][]int, pipeline bool, bus *telemetry.Bus) (*exec.Master, **Root, []*Submaster, chan error) {
 	t.Helper()
 	workerErrs := make(chan error, 16)
 	k := len(members)
+	// Run-global worker ids: shard-local index li in shard si maps to
+	// globalID[si][li], mirroring run.go's numbering.
+	globalID := make([][]int, k)
+	next := 0
+	for si := range members {
+		globalID[si] = make([]int, len(members[si]))
+		for li := range members[si] {
+			globalID[si][li] = next
+			next++
+		}
+	}
 	// The allocator is built lazily, at root-gather completion; hand the
 	// caller a slot it can read after Wait (which orders the write).
 	captured := new(*Root)
-	rootScheme := RootScheme{OnRoot: func(r *Root) { *captured = r }}
+	rootScheme := RootScheme{OnRoot: func(r *Root) {
+		*captured = r
+		r.SetTelemetry(bus)
+	}}
 	root, err := exec.NewMaster(rootScheme, n, k)
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +62,9 @@ func startHierarchy(t *testing.T, scheme sched.Scheme, n int, members [][]int, p
 		if err != nil {
 			t.Fatal(err)
 		}
+		if bus != nil {
+			sub.SetTelemetry(bus, globalID[si])
+		}
 		t.Cleanup(func() { sub.Close() })
 		subL, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -56,10 +77,13 @@ func startHierarchy(t *testing.T, scheme sched.Scheme, n int, members [][]int, p
 		subs[si] = sub
 		for li, scale := range members[si] {
 			w := exec.Worker{
-				ID:           li,
-				WorkScale:    scale,
-				VirtualPower: float64(4 / scale),
-				Pipeline:     pipeline,
+				ID:             li,
+				WorkScale:      scale,
+				VirtualPower:   float64(4 / scale),
+				Pipeline:       pipeline,
+				Telemetry:      bus,
+				TelemetryID:    globalID[si][li],
+				TelemetryShard: si,
 				Kernel: func(i int) []byte {
 					buf := make([]byte, 8)
 					binary.LittleEndian.PutUint64(buf, uint64(i*i))
@@ -109,7 +133,7 @@ func TestRPCHierarchyEndToEnd(t *testing.T) {
 			}
 			// Worker entries are WorkScales; two shards of three.
 			members := [][]int{{1, 2, 4}, {1, 2, 4}}
-			root, captured, subs, workerErrs := startHierarchy(t, scheme, n, members, tc.pipeline)
+			root, captured, subs, workerErrs := startHierarchy(t, scheme, n, members, tc.pipeline, nil)
 
 			results, rep, err := root.Wait()
 			if err != nil {
@@ -154,7 +178,7 @@ func TestRPCHierarchyCancel(t *testing.T) {
 	const n = 1 << 20
 	scheme, _ := sched.Lookup("TSS")
 	members := [][]int{{1, 1}, {1, 1}}
-	root, _, subs, _ := startHierarchy(t, scheme, n, members, false)
+	root, _, subs, _ := startHierarchy(t, scheme, n, members, false, nil)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -173,5 +197,67 @@ func TestRPCHierarchyCancel(t *testing.T) {
 		if err := sub.Wait(waitCtx); err != nil {
 			t.Fatalf("submaster did not drain after cancel: %v", err)
 		}
+	}
+}
+
+// TestRPCHierarchyTelemetry runs the full two-level RPC stack with a
+// telemetry session attached — debug HTTP server included — and checks
+// the worker-level counters reconcile: chunks granted at the
+// submasters equal the submasters' own chunk tallies, and granted
+// iterations tile the loop. The package's leak-checked TestMain covers
+// the teardown: closing the session after Submaster.Close must leave
+// no drainer or HTTP goroutine behind.
+func TestRPCHierarchyTelemetry(t *testing.T) {
+	tele, err := telemetry.New(telemetry.Options{DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+
+	const n = 3000
+	scheme, err := sched.Lookup("DTSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := [][]int{{1, 2}, {1, 4}}
+	root, _, subs, workerErrs := startHierarchy(t, scheme, n, members, true, tele.Bus())
+
+	results, rep, err := root.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResults(t, results, n)
+	if rep.Iterations != n {
+		t.Fatalf("report iterations %d", rep.Iterations)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var subChunks int
+	for _, sub := range subs {
+		if err := sub.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		_, chunks, _, _, _ := sub.Counts()
+		subChunks += chunks
+	}
+	select {
+	case err := <-workerErrs:
+		t.Fatal(err)
+	default:
+	}
+
+	tele.Bus().Flush()
+	snap := tele.Aggregator().Snapshot()
+	if int(snap.ChunksGranted) != subChunks {
+		t.Errorf("snapshot chunks granted %d, submasters granted %d", snap.ChunksGranted, subChunks)
+	}
+	if int(snap.Iterations) != n {
+		t.Errorf("snapshot iterations %d, want %d", snap.Iterations, n)
+	}
+	if snap.Dropped != 0 {
+		t.Errorf("%d events dropped", snap.Dropped)
+	}
+	if err := tele.Close(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
 	"loopsched/internal/sim"
+	"loopsched/internal/telemetry"
 	"loopsched/internal/trace"
 	"loopsched/internal/workload"
 )
@@ -104,7 +105,9 @@ type hsim struct {
 	subs     []hsub
 	workers  []hworker
 	liveACP  []int
-	mbw      float64 // submaster/root NIC bandwidth, bytes/s
+	joined   []bool
+	shardTr  []*trace.Trace // per-shard traces, merged into params.Trace
+	mbw      float64        // submaster/root NIC bandwidth, bytes/s
 	events   heventQueue
 	rootBusy bool
 	rootQ    []hpending // worker field holds the shard id
@@ -151,6 +154,7 @@ func Simulate(ctx context.Context, c sim.Cluster, scheme sched.Scheme, w workloa
 		shardOf: make([]int, n),
 		workers: make([]hworker, n),
 		liveACP: make([]int, n),
+		joined:  make([]bool, n),
 		mbw:     c.MasterBandwidth,
 	}
 	if s.mbw <= 0 {
@@ -181,9 +185,24 @@ func Simulate(ctx context.Context, c sim.Cluster, scheme sched.Scheme, w workloa
 		return metrics.Report{}, err
 	}
 	s.root = root
+	// Steal events carry virtual timestamps, like everything else here.
+	root.SetTelemetryClock(p.Telemetry, func() float64 { return s.now })
+
+	// Each shard records its own trace; they are merged into the
+	// caller's at the end, mirroring how the RPC hierarchy combines
+	// shard traces shipped back by the submasters.
+	if p.Trace != nil {
+		s.shardTr = make([]*trace.Trace, len(shards))
+		for si := range shards {
+			s.shardTr[si] = &trace.Trace{Scheme: scheme.Name(), Workload: w.Name(), Workers: n}
+		}
+	}
 
 	if err := s.run(ctx); err != nil {
 		return metrics.Report{}, err
+	}
+	for _, tr := range s.shardTr {
+		p.Trace.Merge(tr)
 	}
 
 	// Terminal idle: early-stopped workers sit in the barrier until the
@@ -295,6 +314,11 @@ func (s *hsim) planRange(si int, g Range) error {
 		return err
 	}
 	sub.policy = sched.Offset(pol, g.Start)
+	// Each super-chunk is a fresh scheduling stage for the shard.
+	s.params.Telemetry.Publish(telemetry.Event{
+		Kind: telemetry.StageAdvanced, Shard: si,
+		Start: g.Start, Size: g.Size(), At: s.now,
+	})
 	return nil
 }
 
@@ -326,6 +350,17 @@ func (s *hsim) run(ctx context.Context) error {
 			si := s.shardOf[w]
 			sub := &s.subs[si]
 			s.liveACP[w] = s.acpAt(w, s.workers[w].reqSent)
+			if !s.joined[w] {
+				s.joined[w] = true
+				s.params.Telemetry.Publish(telemetry.Event{
+					Kind: telemetry.WorkerJoined, Worker: w, Shard: si,
+					ACP: s.liveACP[w], At: e.t,
+				})
+			}
+			s.params.Telemetry.Publish(telemetry.Event{
+				Kind: telemetry.ChunkRequested, Worker: w, Shard: si,
+				ACP: s.liveACP[w], At: e.t,
+			})
 			sub.pendingBytes += e.bytes
 			sub.queue = append(sub.queue, hpending{worker: w, arrival: e.t, acp: s.liveACP[w], bytes: e.bytes})
 			if s.dist && !sub.gathered {
@@ -372,8 +407,8 @@ func (s *hsim) run(ctx context.Context) error {
 			d := m.ComputeTime(s.params.BaseRate, e.t, work)
 			st.times.Comp += d
 			s.subs[s.shardOf[w]].comp += d
-			if s.params.Trace != nil {
-				s.params.Trace.Add(trace.Event{
+			if s.shardTr != nil {
+				s.shardTr[s.shardOf[w]].Add(trace.Event{
 					Worker: w,
 					Start:  e.assign.Start,
 					Size:   e.assign.Size,
@@ -382,6 +417,11 @@ func (s *hsim) run(ctx context.Context) error {
 					ACP:    s.liveACP[w],
 				})
 			}
+			s.params.Telemetry.Publish(telemetry.Event{
+				Kind: telemetry.ChunkCompleted, Worker: w, Shard: s.shardOf[w],
+				Start: e.assign.Start, Size: e.assign.Size,
+				ACP: s.liveACP[w], At: e.t + d, Seconds: d,
+			})
 			st.iterations += e.assign.Size
 			st.lastChunk = e.assign.Size
 			s.subs[s.shardOf[w]].iterations += e.assign.Size
@@ -479,6 +519,11 @@ func (s *hsim) serviceShard(si int) error {
 		sub.chunks++
 		done := s.now + s.params.MasterOverhead + req.bytes/s.mbw
 		s.workers[req.worker].times.Wait += done - req.arrival
+		s.params.Telemetry.Publish(telemetry.Event{
+			Kind: telemetry.ChunkGranted, Worker: req.worker, Shard: si,
+			Start: assign.Start, Size: assign.Size, ACP: req.acp,
+			At: done, Seconds: done - req.arrival,
+		})
 		s.push(hevent{t: done, kind: hevWService, worker: req.worker, assign: assign})
 		return nil
 	}

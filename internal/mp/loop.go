@@ -9,6 +9,7 @@ import (
 	"loopsched/internal/acp"
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
 )
 
 // This file is the paper's master/slave program (§3.1's pseudocode)
@@ -93,6 +94,12 @@ func decodeAssign(data []byte) (sched.Assignment, error) {
 type MasterOptions struct {
 	// DisableReplan turns off the step-2(c) majority re-plan.
 	DisableReplan bool
+	// Telemetry, when non-nil, receives live protocol events. Workers
+	// are identified by rank−1 (matching Report.PerWorker indexing).
+	// Completion events are emitted when a slave's timing report
+	// arrives piggy-backed on its next request, so the last chunk of a
+	// stopped slave has no completion event.
+	Telemetry *telemetry.Bus
 }
 
 // RunMaster schedules `iterations` loop iterations over the
@@ -187,8 +194,37 @@ func RunMasterContext(ctx context.Context, c Comm, scheme sched.Scheme, iteratio
 	type pending struct {
 		worker int
 		acp    int
+		at     float64 // arrival instant on the telemetry clock
 	}
 	var queue []pending
+	bus := opts.Telemetry
+	joined := make([]bool, workers+1)                 // indexed by rank
+	lastAssign := make([]sched.Assignment, workers+1) // chunk awaiting its timing report
+	// arrived notes a request's protocol events and returns its arrival
+	// instant for the grant-latency measurement.
+	arrived := func(rank, acpVal int, compMicros int64) float64 {
+		at := bus.Now()
+		if !joined[rank] {
+			joined[rank] = true
+			bus.Publish(telemetry.Event{
+				Kind: telemetry.WorkerJoined, Worker: rank - 1,
+				ACP: acpVal, At: at,
+			})
+		}
+		if compMicros > 0 && lastAssign[rank].Size > 0 {
+			bus.Publish(telemetry.Event{
+				Kind: telemetry.ChunkCompleted, Worker: rank - 1,
+				Start: lastAssign[rank].Start, Size: lastAssign[rank].Size,
+				ACP: acpVal, At: at, Seconds: float64(compMicros) / 1e6,
+			})
+			lastAssign[rank] = sched.Assignment{}
+		}
+		bus.Publish(telemetry.Event{
+			Kind: telemetry.ChunkRequested, Worker: rank - 1,
+			ACP: acpVal, At: at,
+		})
+		return at
+	}
 
 	// Step 1(a): a distributed master waits for every slave's first
 	// report before planning.
@@ -211,7 +247,7 @@ func RunMasterContext(ctx context.Context, c Comm, scheme sched.Scheme, iteratio
 			}
 			liveACP[msg.From-1] = a
 			seen[msg.From] = true
-			queue = append(queue, pending{worker: msg.From, acp: a})
+			queue = append(queue, pending{worker: msg.From, acp: a, at: arrived(msg.From, a, 0)})
 		}
 		// Service the initial queue in decreasing-ACP order.
 		for i := 0; i < len(queue); i++ {
@@ -235,6 +271,10 @@ func RunMasterContext(ctx context.Context, c Comm, scheme sched.Scheme, iteratio
 			if p2, err := plan(); err == nil {
 				policy = p2
 				rep.Replans++
+				bus.Publish(telemetry.Event{
+					Kind: telemetry.StageAdvanced, Worker: p.worker - 1,
+					Start: base, Size: iterations - base, At: bus.Now(),
+				})
 			}
 		}
 		a, ok := policy.Next(sched.Request{Worker: p.worker - 1, ACP: float64(p.acp)})
@@ -245,6 +285,15 @@ func RunMasterContext(ctx context.Context, c Comm, scheme sched.Scheme, iteratio
 		}
 		base = a.End()
 		rep.Chunks++
+		lastAssign[p.worker] = a
+		if bus != nil {
+			now := bus.Now()
+			bus.Publish(telemetry.Event{
+				Kind: telemetry.ChunkGranted, Worker: p.worker - 1,
+				Start: a.Start, Size: a.Size, ACP: p.acp,
+				At: now, Seconds: now - p.at,
+			})
+		}
 		return c.Send(p.worker, tagAssign, encodeAssign(a))
 	}
 	for _, p := range queue {
@@ -270,7 +319,7 @@ func RunMasterContext(ctx context.Context, c Comm, scheme sched.Scheme, iteratio
 		if err := store(entries); err != nil {
 			return nil, rep, err
 		}
-		if err := serve(pending{worker: msg.From, acp: a}); err != nil {
+		if err := serve(pending{worker: msg.From, acp: a, at: arrived(msg.From, a, compMicros)}); err != nil {
 			return nil, rep, err
 		}
 	}

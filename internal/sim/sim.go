@@ -9,6 +9,7 @@ import (
 	"loopsched/internal/acp"
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
 	"loopsched/internal/trace"
 	"loopsched/internal/workload"
 )
@@ -57,6 +58,12 @@ type Params struct {
 	// Trace, when non-nil, records every computed chunk (worker,
 	// iteration range, compute interval, reported ACP).
 	Trace *trace.Trace
+	// Telemetry, when non-nil, receives live protocol events stamped
+	// with *virtual* simulation time (Event.At is simulated seconds,
+	// not wall seconds). Prefetch hits/misses are not modelled: the
+	// simulator has no explicit prefetch handshake, so every grant is
+	// published as ChunkGranted.
+	Telemetry *telemetry.Bus
 }
 
 // WithDefaults resolves the documented zero-value defaults; other
@@ -175,6 +182,7 @@ type simulator struct {
 	initSeen int
 	chunks   int
 	replans  int
+	joined   []bool // workers whose first request arrived (telemetry)
 	lastTime float64
 	busBusy  bool
 	busQueue []busJob
@@ -250,6 +258,7 @@ func RunContext(ctx context.Context, c Cluster, s sched.Scheme, w workload.Workl
 		workers: make([]workerState, len(c.Machines)),
 		planACP: make([]int, len(c.Machines)),
 		liveACP: make([]int, len(c.Machines)),
+		joined:  make([]bool, len(c.Machines)),
 	}
 	if err := sim.run(); err != nil {
 		return metrics.Report{}, err
@@ -376,6 +385,17 @@ func (s *simulator) run() error {
 		case evRequestArrive:
 			w := e.worker
 			s.liveACP[w] = s.acpAt(w, s.workers[w].reqSent)
+			if !s.joined[w] {
+				s.joined[w] = true
+				s.params.Telemetry.Publish(telemetry.Event{
+					Kind: telemetry.WorkerJoined, Worker: w,
+					ACP: s.liveACP[w], At: e.t,
+				})
+			}
+			s.params.Telemetry.Publish(telemetry.Event{
+				Kind: telemetry.ChunkRequested, Worker: w,
+				ACP: s.liveACP[w], At: e.t,
+			})
 			s.queue = append(s.queue, pendingReq{
 				worker:  w,
 				arrival: e.t,
@@ -456,6 +476,11 @@ func (s *simulator) run() error {
 					ACP:    s.liveACP[w],
 				})
 			}
+			s.params.Telemetry.Publish(telemetry.Event{
+				Kind: telemetry.ChunkCompleted, Worker: w,
+				Start: e.assign.Start, Size: e.assign.Size,
+				ACP: s.liveACP[w], At: e.t + d, Seconds: d,
+			})
 			st.iterations += e.assign.Size
 			st.lastChunk = e.assign.Size
 			if s.params.CollectAtEnd {
@@ -508,6 +533,11 @@ func (s *simulator) startCompute(w int, a sched.Assignment, t float64) {
 			ACP:    s.liveACP[w],
 		})
 	}
+	s.params.Telemetry.Publish(telemetry.Event{
+		Kind: telemetry.ChunkCompleted, Worker: w,
+		Start: a.Start, Size: a.Size,
+		ACP: s.liveACP[w], At: t + d, Seconds: d,
+	})
 	st.iterations += a.Size
 	st.computing = true
 	s.push(event{t: t + d, kind: evComputeDone, worker: w, assign: a})
@@ -605,6 +635,9 @@ func (s *simulator) serviceNext() {
 			return
 		}
 		s.replans++
+		s.params.Telemetry.Publish(telemetry.Event{
+			Kind: telemetry.StageAdvanced, Worker: req.worker, At: done,
+		})
 	}
 
 	a, ok := s.policy.Next(sched.Request{Worker: req.worker, ACP: float64(req.acp)})
@@ -614,5 +647,10 @@ func (s *simulator) serviceNext() {
 	}
 	s.base = a.End()
 	s.chunks++
+	s.params.Telemetry.Publish(telemetry.Event{
+		Kind: telemetry.ChunkGranted, Worker: req.worker,
+		Start: a.Start, Size: a.Size, ACP: req.acp,
+		At: done, Seconds: done - req.arrival,
+	})
 	s.push(event{t: done, kind: evServiceDone, worker: req.worker, assign: a})
 }

@@ -1,0 +1,338 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the scheduling
+// latency histogram, exponential from 1 µs to 10 s. A final implicit
+// +Inf bucket catches the rest, per Prometheus convention.
+var latencyBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// workerKey identifies a worker within a (possibly hierarchical) run.
+type workerKey struct {
+	Shard, Worker int
+}
+
+// workerStats accumulates per-worker counters.
+type workerStats struct {
+	Chunks     uint64  // chunks granted to the worker (direct + prefetched)
+	Iterations uint64  // iterations granted
+	Completed  uint64  // chunks the worker reported computed
+	CompSec    float64 // computation seconds (sum of ChunkCompleted.Seconds)
+	WaitSec    float64 // scheduling-latency seconds (sum of grant latencies)
+	ACP        int     // last reported available computing power, percent
+}
+
+// Aggregator is a bus Subscriber that maintains the counters behind
+// the /metrics and /debug/vars endpoints. All methods are safe for
+// concurrent use: OnEvent runs on the bus drainer while WriteProm runs
+// on HTTP handler goroutines.
+type Aggregator struct {
+	droppedFn func() uint64 // reads the bus's dropped counter at render time
+
+	mu       sync.Mutex
+	meta     RunMeta
+	runs     uint64
+	kinds    [kindCount]uint64
+	workers  map[workerKey]*workerStats
+	latCount [9]uint64 // len(latencyBuckets)+1, last is +Inf
+	latSum   float64
+	latN     uint64
+}
+
+// NewAggregator creates an empty aggregator. dropped, if non-nil, is
+// read at render time to report the bus's dropped-event counter.
+func NewAggregator(dropped func() uint64) *Aggregator {
+	return &Aggregator{
+		droppedFn: dropped,
+		workers:   make(map[workerKey]*workerStats),
+	}
+}
+
+// BeginRun implements Subscriber.
+func (a *Aggregator) BeginRun(m RunMeta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.meta = m
+	a.runs++
+}
+
+// Close implements Subscriber. The aggregator keeps its totals after
+// close so a debug endpoint can still be scraped post-run.
+func (a *Aggregator) Close() error { return nil }
+
+// OnEvent implements Subscriber.
+func (a *Aggregator) OnEvent(e Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e.Kind < kindCount {
+		a.kinds[e.Kind]++
+	}
+	switch e.Kind {
+	case ChunkGranted, ChunkPrefetched:
+		w := a.worker(e)
+		w.Chunks++
+		w.Iterations += uint64(e.Size)
+		w.WaitSec += e.Seconds
+		a.observeLatency(e.Seconds)
+	case ChunkCompleted:
+		w := a.worker(e)
+		w.Completed++
+		w.CompSec += e.Seconds
+	case WorkerJoined, ChunkRequested:
+		a.worker(e)
+	}
+}
+
+// worker returns (creating if needed) the stats for the event's
+// worker, refreshing its last-seen ACP. Callers hold a.mu.
+func (a *Aggregator) worker(e Event) *workerStats {
+	k := workerKey{Shard: e.Shard, Worker: e.Worker}
+	w := a.workers[k]
+	if w == nil {
+		w = &workerStats{}
+		a.workers[k] = w
+	}
+	if e.ACP > 0 {
+		w.ACP = e.ACP
+	}
+	return w
+}
+
+// observeLatency records one scheduling latency. Callers hold a.mu.
+func (a *Aggregator) observeLatency(sec float64) {
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	a.latCount[i]++
+	a.latSum += sec
+	a.latN++
+}
+
+// Snapshot is a point-in-time copy of the aggregator's state, used by
+// tests and the expvar endpoint.
+type Snapshot struct {
+	Meta           RunMeta
+	Runs           uint64
+	Events         map[string]uint64
+	ChunksGranted  uint64
+	Iterations     uint64
+	PrefetchHits   uint64
+	PrefetchMisses uint64
+	PrefetchRatio  float64
+	Steals         uint64
+	Timeouts       uint64
+	Rejected       uint64
+	Stages         uint64
+	Dropped        uint64
+	Workers        map[string]workerStats
+	LatencySum     float64
+	LatencyCount   uint64
+}
+
+// Snapshot returns a copy of the current totals.
+func (a *Aggregator) Snapshot() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := Snapshot{
+		Meta:     a.meta,
+		Runs:     a.runs,
+		Events:   make(map[string]uint64, int(kindCount)),
+		Steals:   a.kinds[ShardStealDone],
+		Timeouts: a.kinds[WorkerTimedOut],
+		Rejected: a.kinds[WorkerRejected],
+		Stages:   a.kinds[StageAdvanced],
+		Workers:  make(map[string]workerStats, len(a.workers)),
+
+		PrefetchHits:   a.kinds[ChunkPrefetched],
+		PrefetchMisses: a.kinds[PrefetchMissed],
+		ChunksGranted:  a.kinds[ChunkGranted] + a.kinds[ChunkPrefetched],
+		LatencySum:     a.latSum,
+		LatencyCount:   a.latN,
+	}
+	for k := KindUnknown + 1; k < kindCount; k++ {
+		if a.kinds[k] > 0 {
+			s.Events[k.String()] = a.kinds[k]
+		}
+	}
+	for k, w := range a.workers {
+		s.Workers[fmt.Sprintf("%d/%d", k.Shard, k.Worker)] = *w
+		s.Iterations += w.Iterations
+	}
+	if att := s.PrefetchHits + s.PrefetchMisses; att > 0 {
+		s.PrefetchRatio = float64(s.PrefetchHits) / float64(att)
+	}
+	if a.droppedFn != nil {
+		s.Dropped = a.droppedFn()
+	}
+	return s
+}
+
+// WriteProm renders the totals in the Prometheus text exposition
+// format (version 0.0.4).
+func (a *Aggregator) WriteProm(w io.Writer) error {
+	a.mu.Lock()
+	// Copy everything we render, then release the lock before writing:
+	// a stalled scrape must not hold up the bus drainer.
+	meta := a.meta
+	runs := a.runs
+	kinds := a.kinds
+	lat := a.latCount
+	latSum, latN := a.latSum, a.latN
+	type workerRow struct {
+		key   workerKey
+		stats workerStats
+	}
+	rows := make([]workerRow, 0, len(a.workers))
+	for k, ws := range a.workers {
+		rows = append(rows, workerRow{k, *ws})
+	}
+	a.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].key.Shard != rows[j].key.Shard {
+			return rows[i].key.Shard < rows[j].key.Shard
+		}
+		return rows[i].key.Worker < rows[j].key.Worker
+	})
+
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	pf("# HELP loopsched_run_info Metadata of the most recent run (value is always 1).\n")
+	pf("# TYPE loopsched_run_info gauge\n")
+	pf("loopsched_run_info{scheme=%q,workload=%q,backend=%q} 1\n",
+		meta.Scheme, meta.Workload, meta.Backend)
+	pf("# HELP loopsched_runs_total Executor runs observed by this bus.\n")
+	pf("# TYPE loopsched_runs_total counter\n")
+	pf("loopsched_runs_total %d\n", runs)
+
+	pf("# HELP loopsched_events_total Protocol events by kind.\n")
+	pf("# TYPE loopsched_events_total counter\n")
+	for k := KindUnknown + 1; k < kindCount; k++ {
+		pf("loopsched_events_total{kind=%q} %d\n", k.String(), kinds[k])
+	}
+
+	pf("# HELP loopsched_chunks_granted_total Chunks granted per worker (direct and prefetched).\n")
+	pf("# TYPE loopsched_chunks_granted_total counter\n")
+	for _, r := range rows {
+		pf("loopsched_chunks_granted_total{shard=\"%d\",worker=\"%d\"} %d\n",
+			r.key.Shard, r.key.Worker, r.stats.Chunks)
+	}
+	pf("# HELP loopsched_iterations_granted_total Loop iterations granted per worker.\n")
+	pf("# TYPE loopsched_iterations_granted_total counter\n")
+	for _, r := range rows {
+		pf("loopsched_iterations_granted_total{shard=\"%d\",worker=\"%d\"} %d\n",
+			r.key.Shard, r.key.Worker, r.stats.Iterations)
+	}
+	pf("# HELP loopsched_worker_comp_seconds_total Computation seconds per worker.\n")
+	pf("# TYPE loopsched_worker_comp_seconds_total counter\n")
+	for _, r := range rows {
+		pf("loopsched_worker_comp_seconds_total{shard=\"%d\",worker=\"%d\"} %g\n",
+			r.key.Shard, r.key.Worker, r.stats.CompSec)
+	}
+	pf("# HELP loopsched_worker_wait_seconds_total Scheduling-latency seconds per worker.\n")
+	pf("# TYPE loopsched_worker_wait_seconds_total counter\n")
+	for _, r := range rows {
+		pf("loopsched_worker_wait_seconds_total{shard=\"%d\",worker=\"%d\"} %g\n",
+			r.key.Shard, r.key.Worker, r.stats.WaitSec)
+	}
+	pf("# HELP loopsched_worker_acp Last reported available computing power, percent.\n")
+	pf("# TYPE loopsched_worker_acp gauge\n")
+	for _, r := range rows {
+		pf("loopsched_worker_acp{shard=\"%d\",worker=\"%d\"} %d\n",
+			r.key.Shard, r.key.Worker, r.stats.ACP)
+	}
+
+	hits, misses := kinds[ChunkPrefetched], kinds[PrefetchMissed]
+	pf("# HELP loopsched_prefetch_hits_total Prefetch requests satisfied with a chunk.\n")
+	pf("# TYPE loopsched_prefetch_hits_total counter\n")
+	pf("loopsched_prefetch_hits_total %d\n", hits)
+	pf("# HELP loopsched_prefetch_misses_total Prefetch requests the master could not satisfy.\n")
+	pf("# TYPE loopsched_prefetch_misses_total counter\n")
+	pf("loopsched_prefetch_misses_total %d\n", misses)
+	pf("# HELP loopsched_prefetch_hit_ratio Fraction of prefetch requests satisfied.\n")
+	pf("# TYPE loopsched_prefetch_hit_ratio gauge\n")
+	ratio := 0.0
+	if att := hits + misses; att > 0 {
+		ratio = float64(hits) / float64(att)
+	}
+	pf("loopsched_prefetch_hit_ratio %g\n", ratio)
+
+	pf("# HELP loopsched_scheduling_latency_seconds Request-to-grant latency at the (sub)master.\n")
+	pf("# TYPE loopsched_scheduling_latency_seconds histogram\n")
+	cum := uint64(0)
+	for i, ub := range latencyBuckets {
+		cum += lat[i]
+		pf("loopsched_scheduling_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += lat[len(latencyBuckets)]
+	pf("loopsched_scheduling_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	pf("loopsched_scheduling_latency_seconds_sum %g\n", latSum)
+	pf("loopsched_scheduling_latency_seconds_count %d\n", latN)
+
+	pf("# HELP loopsched_shard_steals_total Completed shard steals at the hier root.\n")
+	pf("# TYPE loopsched_shard_steals_total counter\n")
+	pf("loopsched_shard_steals_total %d\n", kinds[ShardStealDone])
+	pf("# HELP loopsched_worker_timeouts_total Workers declared failed by the timeout watchdog.\n")
+	pf("# TYPE loopsched_worker_timeouts_total counter\n")
+	pf("loopsched_worker_timeouts_total %d\n", kinds[WorkerTimedOut])
+	pf("# HELP loopsched_worker_rejected_total Requests rejected from already-failed workers.\n")
+	pf("# TYPE loopsched_worker_rejected_total counter\n")
+	pf("loopsched_worker_rejected_total %d\n", kinds[WorkerRejected])
+	pf("# HELP loopsched_stage_advances_total Replans and hier super-chunk boundaries.\n")
+	pf("# TYPE loopsched_stage_advances_total counter\n")
+	pf("loopsched_stage_advances_total %d\n", kinds[StageAdvanced])
+
+	dropped := uint64(0)
+	if a.droppedFn != nil {
+		dropped = a.droppedFn()
+	}
+	pf("# HELP loopsched_dropped_events_total Events discarded because the telemetry ring was full.\n")
+	pf("# TYPE loopsched_dropped_events_total counter\n")
+	pf("loopsched_dropped_events_total %d\n", dropped)
+	return err
+}
+
+// ServeHTTP serves the Prometheus text format, so an Aggregator can be
+// mounted directly on a mux at /metrics.
+func (a *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := a.WriteProm(w); err != nil {
+		// The connection is gone; nothing useful to do.
+		return
+	}
+}
+
+// expvarAgg is the aggregator currently exported under the "loopsched"
+// expvar. expvar.Publish panics on duplicate names, so the variable is
+// registered once per process and indirects through this pointer.
+var expvarAgg atomic.Pointer[Aggregator]
+
+var expvarOnce sync.Once
+
+// publishExpvar exposes the aggregator's Snapshot as the "loopsched"
+// expvar (JSON at /debug/vars). The most recently published aggregator
+// wins; passing nil detaches.
+func publishExpvar(a *Aggregator) {
+	expvarOnce.Do(func() {
+		expvar.Publish("loopsched", expvar.Func(func() any {
+			agg := expvarAgg.Load()
+			if agg == nil {
+				return nil
+			}
+			return agg.Snapshot()
+		}))
+	})
+	expvarAgg.Store(a)
+}

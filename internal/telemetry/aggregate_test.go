@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// feed pushes events straight into the aggregator, bypassing the bus:
+// OnEvent is what the drainer would call anyway.
+func feed(a *Aggregator, events ...Event) {
+	for _, e := range events {
+		a.OnEvent(e)
+	}
+}
+
+func TestAggregatorCounters(t *testing.T) {
+	a := NewAggregator(func() uint64 { return 7 })
+	a.BeginRun(RunMeta{Scheme: "fss", Workload: "mandelbrot", Backend: "rpc", Workers: 2, Iterations: 100})
+	feed(a,
+		Event{Kind: WorkerJoined, Worker: 0, ACP: 100},
+		Event{Kind: WorkerJoined, Worker: 1, ACP: 50},
+		Event{Kind: ChunkGranted, Worker: 0, Start: 0, Size: 60, ACP: 100, Seconds: 0.002},
+		Event{Kind: ChunkPrefetched, Worker: 1, Start: 60, Size: 40, ACP: 50, Seconds: 0.001},
+		Event{Kind: PrefetchMissed, Worker: 1},
+		Event{Kind: ChunkCompleted, Worker: 0, Start: 0, Size: 60, Seconds: 0.5, At: 1.0},
+		Event{Kind: ChunkCompleted, Worker: 1, Start: 60, Size: 40, Seconds: 0.25, At: 1.0},
+		Event{Kind: ShardStealDone, Worker: 1, Shard: 0, Start: 90, Size: 10},
+		Event{Kind: WorkerTimedOut, Worker: 1},
+		Event{Kind: StageAdvanced},
+	)
+
+	s := a.Snapshot()
+	if s.ChunksGranted != 2 {
+		t.Errorf("ChunksGranted = %d, want 2", s.ChunksGranted)
+	}
+	if s.Iterations != 100 {
+		t.Errorf("Iterations = %d, want 100", s.Iterations)
+	}
+	if s.PrefetchHits != 1 || s.PrefetchMisses != 1 || s.PrefetchRatio != 0.5 {
+		t.Errorf("prefetch hits=%d misses=%d ratio=%g, want 1/1/0.5",
+			s.PrefetchHits, s.PrefetchMisses, s.PrefetchRatio)
+	}
+	if s.Steals != 1 || s.Timeouts != 1 || s.Stages != 1 {
+		t.Errorf("steals=%d timeouts=%d stages=%d, want 1 each", s.Steals, s.Timeouts, s.Stages)
+	}
+	if s.Dropped != 7 {
+		t.Errorf("Dropped = %d, want 7 (from droppedFn)", s.Dropped)
+	}
+	w0 := s.Workers["0/0"]
+	if w0.Chunks != 1 || w0.Iterations != 60 || w0.CompSec != 0.5 || w0.WaitSec != 0.002 {
+		t.Errorf("worker 0 stats = %+v", w0)
+	}
+	if s.LatencyCount != 2 {
+		t.Errorf("LatencyCount = %d, want 2", s.LatencyCount)
+	}
+	if s.Meta.Scheme != "fss" || s.Runs != 1 {
+		t.Errorf("meta=%+v runs=%d", s.Meta, s.Runs)
+	}
+}
+
+func TestWritePromFormat(t *testing.T) {
+	a := NewAggregator(func() uint64 { return 3 })
+	a.BeginRun(RunMeta{Scheme: "gss", Workload: "flat", Backend: "local", Workers: 1})
+	feed(a,
+		Event{Kind: ChunkGranted, Worker: 0, Size: 10, Seconds: 5e-5},
+		Event{Kind: ChunkCompleted, Worker: 0, Size: 10, Seconds: 0.125, At: 0.25},
+	)
+	var sb strings.Builder
+	if err := a.WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`loopsched_run_info{scheme="gss",workload="flat",backend="local"} 1`,
+		`loopsched_runs_total 1`,
+		`loopsched_events_total{kind="chunk_granted"} 1`,
+		`loopsched_chunks_granted_total{shard="0",worker="0"} 1`,
+		`loopsched_iterations_granted_total{shard="0",worker="0"} 10`,
+		`loopsched_worker_comp_seconds_total{shard="0",worker="0"} 0.125`,
+		`loopsched_scheduling_latency_seconds_bucket{le="0.0001"} 1`,
+		`loopsched_scheduling_latency_seconds_bucket{le="+Inf"} 1`,
+		`loopsched_scheduling_latency_seconds_count 1`,
+		`loopsched_dropped_events_total 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	// Every non-comment line must be "name{labels} value" or "name value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestLatencyHistogramBuckets(t *testing.T) {
+	a := NewAggregator(nil)
+	feed(a,
+		Event{Kind: ChunkGranted, Seconds: 5e-7}, // le 1e-6
+		Event{Kind: ChunkGranted, Seconds: 5e-3}, // le 1e-2
+		Event{Kind: ChunkGranted, Seconds: 50},   // +Inf
+	)
+	var sb strings.Builder
+	if err := a.WriteProm(&sb); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`loopsched_scheduling_latency_seconds_bucket{le="1e-06"} 1`,
+		`loopsched_scheduling_latency_seconds_bucket{le="0.01"} 2`,
+		`loopsched_scheduling_latency_seconds_bucket{le="10"} 2`,
+		`loopsched_scheduling_latency_seconds_bucket{le="+Inf"} 3`,
+		`loopsched_scheduling_latency_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+}

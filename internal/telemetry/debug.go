@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"context"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// shutdownGrace bounds how long Close waits for in-flight scrapes
+// before hard-closing their connections.
+const shutdownGrace = 2 * time.Second
+
+// debugServer is the opt-in HTTP endpoint: Prometheus text at
+// /metrics, expvar JSON at /debug/vars, and the stock pprof handlers
+// under /debug/pprof/. It uses its own mux, never http.DefaultServeMux,
+// so enabling telemetry cannot leak handlers into an embedding
+// application.
+type debugServer struct {
+	srv *http.Server
+	ln  net.Listener
+	wg  sync.WaitGroup
+}
+
+// newDebugServer listens on addr (":0" picks a free port) and serves
+// until Close.
+func newDebugServer(addr string, agg *Aggregator) (*debugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", agg)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	d := &debugServer{
+		srv: &http.Server{Handler: mux},
+		ln:  ln,
+	}
+	publishExpvar(agg)
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		// Serve returns ErrServerClosed once Close shuts it down.
+		_ = d.srv.Serve(ln)
+	}()
+	return d, nil
+}
+
+// Addr returns the listener's address, useful when the server was
+// started on ":0".
+func (d *debugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down: graceful for shutdownGrace so an
+// in-flight scrape can finish, then hard. The serve goroutine is
+// joined before returning, per the gojoin contract.
+func (d *debugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	if err != nil {
+		err = d.srv.Close()
+	}
+	d.wg.Wait()
+	publishExpvar(nil)
+	return err
+}

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// get fetches a URL from the debug server, returning the body.
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+func TestDebugServerEndpoints(t *testing.T) {
+	tl, err := New(Options{DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tl.Close()
+	bus := tl.Bus()
+	bus.BeginRun(RunMeta{Scheme: "tss", Workload: "flat", Backend: "local", Workers: 1, Iterations: 10})
+	bus.Publish(Event{Kind: ChunkGranted, Worker: 0, Size: 10, Seconds: 1e-4})
+	bus.Publish(Event{Kind: ChunkCompleted, Worker: 0, Size: 10, Seconds: 0.01, At: 0.02})
+	bus.Flush()
+
+	base := "http://" + tl.DebugAddr()
+
+	metrics := get(t, base+"/metrics")
+	for _, want := range []string{
+		`loopsched_run_info{scheme="tss"`,
+		`loopsched_chunks_granted_total{shard="0",worker="0"} 1`,
+		`loopsched_iterations_granted_total{shard="0",worker="0"} 10`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q\n--- got ---\n%s", want, metrics)
+		}
+	}
+
+	vars := get(t, base+"/debug/vars")
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, vars)
+	}
+	raw, ok := decoded["loopsched"]
+	if !ok {
+		t.Fatalf("/debug/vars has no loopsched var:\n%s", vars)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("loopsched expvar is not a Snapshot: %v", err)
+	}
+	if snap.ChunksGranted != 1 || snap.Iterations != 10 {
+		t.Errorf("expvar snapshot = %+v, want 1 chunk / 10 iterations", snap)
+	}
+
+	if idx := get(t, base+"/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", idx)
+	}
+}
+
+func TestDebugServerCloseStopsListening(t *testing.T) {
+	tl, err := New(Options{DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	addr := tl.DebugAddr()
+	if err := tl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}
+
+func TestNoServerWithoutDebugAddr(t *testing.T) {
+	tl, err := New(Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tl.Close()
+	if tl.DebugAddr() != "" {
+		t.Errorf("DebugAddr = %q, want empty when no server requested", tl.DebugAddr())
+	}
+}
+
+func TestSessionPerfettoEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	tl, err := New(Options{Perfetto: &sb})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	bus := tl.Bus()
+	bus.BeginRun(RunMeta{Scheme: "fss", Workload: "flat", Backend: "sim", Workers: 2})
+	for i := 0; i < 5; i++ {
+		bus.Publish(Event{Kind: ChunkCompleted, Worker: i % 2, Start: i * 10, Size: 10,
+			At: float64(i+1) * 0.1, Seconds: 0.05})
+	}
+	if err := tl.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	events := decodeTrace(t, []byte(sb.String()))
+	slices := 0
+	for _, e := range events {
+		if e["ph"] == "X" {
+			slices++
+		}
+	}
+	if slices != 5 {
+		t.Errorf("got %d slices, want 5", slices)
+	}
+}

@@ -1,0 +1,12 @@
+package telemetry
+
+import (
+	"os"
+	"testing"
+
+	"loopsched/internal/leakcheck"
+)
+
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// PerfettoWriter is a bus Subscriber that streams events as Chrome
+// trace-event JSON (the "JSON Array Format" with a traceEvents
+// wrapper), loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Layout: each run is one "process" (pid = run ordinal), each worker
+// one "thread" (tid = worker id), so every worker gets its own track.
+// ChunkCompleted events become complete ("X") slices on the worker's
+// track; steals, timeouts and stage advances become instant ("i")
+// events. Timestamps are microseconds on the backend clock (bus epoch
+// for real backends, virtual time for sim).
+//
+// The writer never seeks: JSON is emitted strictly append-only so it
+// can stream to a pipe, and Close finishes the document.
+type PerfettoWriter struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	run   int  // current pid; 0 until the first BeginRun
+	first bool // no event emitted yet (controls comma placement)
+	err   error
+}
+
+// NewPerfettoWriter starts a trace-event document on w. The caller
+// must Close (directly or via Bus.Close) to finish the JSON.
+func NewPerfettoWriter(w io.Writer) *PerfettoWriter {
+	p := &PerfettoWriter{bw: bufio.NewWriter(w), first: true}
+	p.printf("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")
+	return p
+}
+
+// printf appends to the stream, latching the first error.
+func (p *PerfettoWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.bw, format, args...)
+}
+
+// emit writes one raw trace-event object, handling the comma between
+// array elements.
+func (p *PerfettoWriter) emit(body string) {
+	if p.first {
+		p.first = false
+	} else {
+		p.printf(",")
+	}
+	p.printf("\n%s", body)
+}
+
+// BeginRun implements Subscriber: it opens a new "process" for the run
+// and names its worker tracks.
+func (p *PerfettoWriter) BeginRun(m RunMeta) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.run++
+	name := fmt.Sprintf("%s on %s (%s)", m.Scheme, m.Workload, m.Backend)
+	p.emit(fmt.Sprintf(
+		`{"name":"process_name","ph":"M","ts":0,"pid":%d,"tid":0,"args":{"name":%s}}`,
+		p.run, strconv.Quote(name)))
+	for w := 0; w < m.Workers; w++ {
+		p.emit(fmt.Sprintf(
+			`{"name":"thread_name","ph":"M","ts":0,"pid":%d,"tid":%d,"args":{"name":"PE %d"}}`,
+			p.run, w, w))
+	}
+}
+
+// OnEvent implements Subscriber.
+func (p *PerfettoWriter) OnEvent(e Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.run == 0 {
+		p.run = 1 // events without a BeginRun still land in a process
+	}
+	us := e.At * 1e6
+	switch e.Kind {
+	case ChunkCompleted:
+		// One complete slice per computed chunk: [At-Seconds, At].
+		dur := e.Seconds * 1e6
+		p.emit(fmt.Sprintf(
+			`{"name":"chunk","cat":"chunk","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":{"start":%d,"size":%d,"shard":%d,"acp":%d}}`,
+			jsonNum(us-dur), jsonNum(dur), p.run, e.Worker, e.Start, e.Size, e.Shard, e.ACP))
+	case ShardStealDone:
+		p.emit(fmt.Sprintf(
+			`{"name":"steal","cat":"steal","ph":"i","s":"p","ts":%s,"pid":%d,"tid":%d,"args":{"thief":%d,"victim":%d,"start":%d,"size":%d}}`,
+			jsonNum(us), p.run, e.Worker, e.Worker, e.Shard, e.Start, e.Size))
+	case WorkerTimedOut:
+		p.emit(fmt.Sprintf(
+			`{"name":"timeout","cat":"fault","ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"shard":%d}}`,
+			jsonNum(us), p.run, e.Worker, e.Shard))
+	case WorkerRejected:
+		p.emit(fmt.Sprintf(
+			`{"name":"rejected","cat":"fault","ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"shard":%d}}`,
+			jsonNum(us), p.run, e.Worker, e.Shard))
+	case StageAdvanced:
+		p.emit(fmt.Sprintf(
+			`{"name":"stage","cat":"stage","ph":"i","s":"p","ts":%s,"pid":%d,"tid":%d,"args":{"shard":%d}}`,
+			jsonNum(us), p.run, e.Worker, e.Shard))
+	}
+}
+
+// jsonNum formats a float as a JSON number: fixed-point (trace-event
+// ts/dur are microseconds; sub-µs precision is kept to 3 decimals) and
+// never NaN/Inf/exponent notation, which some trace viewers reject.
+func jsonNum(v float64) string {
+	if v != v || v > 1e18 || v < -1e18 {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// Close implements Subscriber: it terminates the JSON document and
+// flushes, returning the first error seen while streaming.
+func (p *PerfettoWriter) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.printf("\n]}\n")
+	if err := p.bw.Flush(); err != nil && p.err == nil {
+		p.err = err
+	}
+	return p.err
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// decodeTrace parses a finished Perfetto document, failing the test on
+// invalid JSON.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	if !json.Valid(data) {
+		t.Fatalf("export is not valid JSON:\n%s", data)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+func TestPerfettoExport(t *testing.T) {
+	var sb strings.Builder
+	p := NewPerfettoWriter(&sb)
+	p.BeginRun(RunMeta{Scheme: "tss", Workload: "mandelbrot", Backend: "sim", Workers: 2})
+	p.OnEvent(Event{Kind: ChunkCompleted, Worker: 0, Start: 0, Size: 32, ACP: 100, At: 1.5, Seconds: 0.5})
+	p.OnEvent(Event{Kind: ChunkCompleted, Worker: 1, Start: 32, Size: 16, ACP: 50, At: 2.0, Seconds: 1.0})
+	p.OnEvent(Event{Kind: ShardStealDone, Worker: 1, Shard: 0, Start: 48, Size: 8, At: 2.5})
+	p.OnEvent(Event{Kind: WorkerTimedOut, Worker: 0, At: 3.0})
+	p.OnEvent(Event{Kind: ChunkRequested, Worker: 0, At: 3.5}) // not exported
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	events := decodeTrace(t, []byte(sb.String()))
+	// 1 process_name + 2 thread_name metadata + 2 slices + 2 instants.
+	if len(events) != 7 {
+		t.Fatalf("got %d trace events, want 7:\n%s", len(events), sb.String())
+	}
+	var slices, instants int
+	for _, e := range events {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := e[key]; !ok {
+				t.Errorf("trace event missing required key %q: %v", key, e)
+			}
+		}
+		switch e["ph"] {
+		case "X":
+			slices++
+			if _, ok := e["dur"]; !ok {
+				t.Errorf("complete event missing dur: %v", e)
+			}
+		case "i":
+			instants++
+		}
+	}
+	if slices != 2 || instants != 2 {
+		t.Errorf("slices=%d instants=%d, want 2 and 2", slices, instants)
+	}
+}
+
+func TestPerfettoSliceTiming(t *testing.T) {
+	var sb strings.Builder
+	p := NewPerfettoWriter(&sb)
+	p.BeginRun(RunMeta{Workers: 1})
+	p.OnEvent(Event{Kind: ChunkCompleted, Worker: 0, At: 2.0, Seconds: 0.5})
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	events := decodeTrace(t, []byte(sb.String()))
+	for _, e := range events {
+		if e["ph"] != "X" {
+			continue
+		}
+		// At=2.0s, Seconds=0.5s: slice is [1.5s, 2.0s] = ts 1.5e6 µs, dur 5e5 µs.
+		if ts := e["ts"].(float64); ts != 1.5e6 {
+			t.Errorf("ts = %v µs, want 1.5e6", ts)
+		}
+		if dur := e["dur"].(float64); dur != 5e5 {
+			t.Errorf("dur = %v µs, want 5e5", dur)
+		}
+	}
+}
+
+func TestPerfettoEmptyDocumentIsValid(t *testing.T) {
+	var sb strings.Builder
+	p := NewPerfettoWriter(&sb)
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if events := decodeTrace(t, []byte(sb.String())); len(events) != 0 {
+		t.Errorf("empty document has %d events", len(events))
+	}
+}
+
+func TestPerfettoMultipleRunsGetSeparateProcesses(t *testing.T) {
+	var sb strings.Builder
+	p := NewPerfettoWriter(&sb)
+	p.BeginRun(RunMeta{Scheme: "tss", Workers: 1})
+	p.OnEvent(Event{Kind: ChunkCompleted, Worker: 0, At: 1, Seconds: 0.5})
+	p.BeginRun(RunMeta{Scheme: "gss", Workers: 1})
+	p.OnEvent(Event{Kind: ChunkCompleted, Worker: 0, At: 1, Seconds: 0.5})
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	pids := map[float64]bool{}
+	for _, e := range decodeTrace(t, []byte(sb.String())) {
+		if e["ph"] == "X" {
+			pids[e["pid"].(float64)] = true
+		}
+	}
+	if len(pids) != 2 {
+		t.Errorf("slices landed in %d processes, want 2", len(pids))
+	}
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import "io"
+
+// Options configures a telemetry session. The zero value enables the
+// bus and aggregator with no HTTP server and no Perfetto export.
+type Options struct {
+	// DebugAddr, when non-empty, starts an HTTP debug server on the
+	// address (":0" picks a free port; see Telemetry.DebugAddr)
+	// serving Prometheus text at /metrics, expvar at /debug/vars and
+	// net/http/pprof under /debug/pprof/.
+	DebugAddr string
+
+	// Perfetto, when non-nil, streams Chrome trace-event JSON to the
+	// writer. The document is finished when the session is Closed.
+	Perfetto io.Writer
+
+	// BufferSize overrides the event ring capacity
+	// (DefaultBufferSize when <= 0). When the ring overflows, events
+	// are dropped and counted, never blocking publishers.
+	BufferSize int
+}
+
+// Telemetry owns one bus plus the standard subscribers: the metric
+// aggregator, optionally the debug HTTP server, and optionally the
+// Perfetto exporter. One session can observe any number of runs
+// (sequentially); Close it when done.
+type Telemetry struct {
+	bus *Bus
+	agg *Aggregator
+	pf  *PerfettoWriter
+	srv *debugServer
+}
+
+// New starts a telemetry session.
+func New(o Options) (*Telemetry, error) {
+	bus := NewBus(o.BufferSize)
+	t := &Telemetry{bus: bus, agg: NewAggregator(bus.Dropped)}
+	bus.Subscribe(t.agg)
+	if o.Perfetto != nil {
+		t.pf = NewPerfettoWriter(o.Perfetto)
+		bus.Subscribe(t.pf)
+	}
+	if o.DebugAddr != "" {
+		srv, err := newDebugServer(o.DebugAddr, t.agg)
+		if err != nil {
+			_ = bus.Close()
+			return nil, err
+		}
+		t.srv = srv
+	}
+	return t, nil
+}
+
+// Bus returns the session's event bus. Nil-safe: a nil session has a
+// nil bus, whose methods are inert, so backends publish
+// unconditionally.
+func (t *Telemetry) Bus() *Bus {
+	if t == nil {
+		return nil
+	}
+	return t.bus
+}
+
+// Aggregator returns the session's metric aggregator (never nil on a
+// non-nil session).
+func (t *Telemetry) Aggregator() *Aggregator {
+	if t == nil {
+		return nil
+	}
+	return t.agg
+}
+
+// DebugAddr returns the debug server's listen address, or "" when no
+// server was started. Useful with Options.DebugAddr ":0".
+func (t *Telemetry) DebugAddr() string {
+	if t == nil || t.srv == nil {
+		return ""
+	}
+	return t.srv.Addr()
+}
+
+// Flush blocks until all published events reached the subscribers.
+func (t *Telemetry) Flush() {
+	if t == nil {
+		return
+	}
+	t.bus.Flush()
+}
+
+// Close drains the bus, finishes the Perfetto document, and stops the
+// debug server. Idempotent; nil-safe.
+func (t *Telemetry) Close() error {
+	if t == nil {
+		return nil
+	}
+	err := t.bus.Close() // drains, then closes aggregator + perfetto
+	if t.srv != nil {
+		if serr := t.srv.Close(); err == nil {
+			err = serr
+		}
+		t.srv = nil
+	}
+	return err
+}

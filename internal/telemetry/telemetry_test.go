@@ -1,0 +1,215 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// collector is a test Subscriber that records everything it sees.
+type collector struct {
+	mu     sync.Mutex
+	metas  []RunMeta
+	events []Event
+	closed int
+}
+
+func (c *collector) BeginRun(m RunMeta) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metas = append(c.metas, m)
+}
+
+func (c *collector) OnEvent(e Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+func (c *collector) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed++
+	return nil
+}
+
+func (c *collector) snapshot() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+func TestBusDeliversInOrder(t *testing.T) {
+	b := NewBus(64)
+	defer b.Close()
+	c := &collector{}
+	b.Subscribe(c)
+
+	const n = 1000 // far more than the ring: Flush between batches
+	for i := 0; i < n; i++ {
+		if i%50 == 0 {
+			b.Flush()
+		}
+		b.Publish(Event{Kind: ChunkGranted, Start: i})
+	}
+	b.Flush()
+
+	got := c.snapshot()
+	if len(got) != n {
+		t.Fatalf("delivered %d events, want %d (dropped=%d)", len(got), n, b.Dropped())
+	}
+	for i, e := range got {
+		if e.Start != i {
+			t.Fatalf("event %d out of order: Start=%d", i, e.Start)
+		}
+	}
+}
+
+func TestBusDropsWhenFull(t *testing.T) {
+	// A bus with no subscribers still drains (into the void), so to
+	// observe overflow deterministically use a blocking subscriber.
+	b := NewBus(4)
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	b.Subscribe(&funcSub{onEvent: func(Event) {
+		once.Do(func() { close(first) })
+		<-release
+	}})
+
+	b.Publish(Event{Kind: ChunkGranted})
+	<-first // drainer is now stuck inside the subscriber
+	// Fill the ring beyond capacity while delivery is blocked. The
+	// drainer may have already pulled a batch, so publish generously.
+	for i := 0; i < 64; i++ {
+		b.Publish(Event{Kind: ChunkGranted})
+	}
+	if b.Dropped() == 0 {
+		t.Error("expected dropped events on a saturated ring")
+	}
+	close(release)
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// funcSub adapts a function to Subscriber.
+type funcSub struct {
+	onEvent func(Event)
+}
+
+func (f *funcSub) BeginRun(RunMeta) {}
+func (f *funcSub) OnEvent(e Event) {
+	if f.onEvent != nil {
+		f.onEvent(e)
+	}
+}
+func (f *funcSub) Close() error { return nil }
+
+func TestBusCloseClosesSubscribers(t *testing.T) {
+	b := NewBus(16)
+	c := &collector{}
+	b.Subscribe(c)
+	b.Publish(Event{Kind: ChunkCompleted})
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if c.closed != 1 {
+		t.Errorf("subscriber closed %d times, want 1", c.closed)
+	}
+	if got := c.snapshot(); len(got) != 1 {
+		t.Errorf("events queued before Close must be drained: got %d, want 1", len(got))
+	}
+	// Idempotent, and publish-after-close is an inert no-op.
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	b.Publish(Event{Kind: ChunkCompleted})
+	if got := c.snapshot(); len(got) != 1 {
+		t.Errorf("publish after Close must not deliver: got %d events", len(got))
+	}
+}
+
+func TestBusBeginRunOrdering(t *testing.T) {
+	b := NewBus(16)
+	defer b.Close()
+	c := &collector{}
+	b.Subscribe(c)
+	b.Publish(Event{Kind: ChunkGranted, Start: 1})
+	b.BeginRun(RunMeta{Scheme: "tss", Workers: 4})
+	b.Publish(Event{Kind: ChunkGranted, Start: 2})
+	b.Flush()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.metas) != 1 || c.metas[0].Scheme != "tss" {
+		t.Fatalf("metas = %+v, want one tss entry", c.metas)
+	}
+	if len(c.events) != 2 {
+		t.Fatalf("got %d events, want 2", len(c.events))
+	}
+}
+
+func TestBusUnsubscribe(t *testing.T) {
+	b := NewBus(16)
+	defer b.Close()
+	c := &collector{}
+	b.Subscribe(c)
+	b.Publish(Event{Kind: ChunkGranted})
+	b.Flush()
+	b.Unsubscribe(c)
+	b.Publish(Event{Kind: ChunkGranted})
+	b.Flush()
+	if got := len(c.snapshot()); got != 1 {
+		t.Errorf("got %d events after unsubscribe, want 1", got)
+	}
+}
+
+func TestNilBusIsInert(t *testing.T) {
+	var b *Bus
+	b.Publish(Event{Kind: ChunkGranted}) // must not panic
+	b.Flush()
+	b.BeginRun(RunMeta{})
+	b.Subscribe(&collector{})
+	b.Unsubscribe(nil)
+	if b.Now() != 0 || b.Dropped() != 0 {
+		t.Error("nil bus must report zero Now/Dropped")
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+	var tl *Telemetry
+	if tl.Bus() != nil || tl.DebugAddr() != "" {
+		t.Error("nil Telemetry must expose nil bus and empty addr")
+	}
+	tl.Flush()
+	if err := tl.Close(); err != nil {
+		t.Errorf("nil Telemetry Close: %v", err)
+	}
+}
+
+// TestPublishDoesNotAllocate guards the chunk hot path: publishing to
+// a live bus — and to a nil bus, the telemetry-disabled default — must
+// not touch the heap.
+func TestPublishDoesNotAllocate(t *testing.T) {
+	b := NewBus(1 << 16) // roomy: the drainer (alloc-free) keeps up
+	defer b.Close()
+	e := Event{Kind: ChunkGranted, Worker: 3, Start: 100, Size: 8, ACP: 75, Seconds: 1e-4}
+	if avg := testing.AllocsPerRun(1000, func() { b.Publish(e) }); avg > 0 {
+		t.Errorf("Publish allocates %.1f objects per call, want 0", avg)
+	}
+	var nilBus *Bus
+	if avg := testing.AllocsPerRun(1000, func() { nilBus.Publish(e) }); avg > 0 {
+		t.Errorf("nil-bus Publish allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := KindUnknown; k < kindCount; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if got := Kind(200).String(); got != "invalid" {
+		t.Errorf("out-of-range kind = %q, want invalid", got)
+	}
+}

@@ -1,0 +1,40 @@
+package telemetry
+
+import "loopsched/internal/trace"
+
+// traceSubscriber rebuilds a trace.Trace from bus events, so the
+// post-hoc consumers (Gantt, CoverageError, WriteCSV, the experiments
+// suite) keep working unchanged when a backend routes its trace
+// through the bus instead of filling it directly: every ChunkCompleted
+// event becomes exactly one trace.Event.
+type traceSubscriber struct {
+	tr *trace.Trace
+}
+
+// TraceSubscriber returns a Subscriber that records ChunkCompleted
+// events into tr. BeginRun stamps the trace's Scheme/Workload/Workers.
+func TraceSubscriber(tr *trace.Trace) Subscriber {
+	return &traceSubscriber{tr: tr}
+}
+
+func (t *traceSubscriber) BeginRun(m RunMeta) {
+	t.tr.Scheme = m.Scheme
+	t.tr.Workload = m.Workload
+	t.tr.Workers = m.Workers
+}
+
+func (t *traceSubscriber) OnEvent(e Event) {
+	if e.Kind != ChunkCompleted {
+		return
+	}
+	t.tr.Add(trace.Event{
+		Worker: e.Worker,
+		Start:  e.Start,
+		Size:   e.Size,
+		Begin:  e.At - e.Seconds,
+		End:    e.At,
+		ACP:    e.ACP,
+	})
+}
+
+func (t *traceSubscriber) Close() error { return nil }

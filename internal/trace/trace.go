@@ -65,6 +65,32 @@ func (t *Trace) Len() int {
 	return len(t.events)
 }
 
+// Merge appends every event of other into t, so per-shard traces from
+// the hierarchical runtime can be combined into one root view. Worker
+// ids are taken as-is (the hier runtimes record run-global ids).
+// Metadata (Scheme/Workload) is adopted from other only where t's own
+// is empty, and t.Workers grows to cover the larger worker set. Safe
+// for concurrent use; merging a trace into itself is a no-op.
+func (t *Trace) Merge(other *Trace) {
+	if other == nil || other == t {
+		return
+	}
+	evs := other.Events()
+	scheme, wl, workers := other.Scheme, other.Workload, other.Workers
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, evs...)
+	if t.Scheme == "" {
+		t.Scheme = scheme
+	}
+	if t.Workload == "" {
+		t.Workload = wl
+	}
+	if workers > t.Workers {
+		t.Workers = workers
+	}
+}
+
 // Span returns the trace's time extent (earliest Begin, latest End).
 func (t *Trace) Span() (begin, end float64) {
 	evs := t.Events()
@@ -164,7 +190,9 @@ func (t *Trace) Gantt(width int) string {
 }
 
 // Utilization returns, for each of `buckets` equal time slices, the
-// fraction of workers computing (overlap-weighted, in [0, 1]).
+// fraction of workers computing (overlap-weighted, in [0, 1]). Each
+// event touches only the buckets its [Begin, End] interval maps to —
+// the scan is O(events + touched buckets), not O(events × buckets).
 func (t *Trace) Utilization(buckets int) []float64 {
 	if buckets < 1 {
 		buckets = 1
@@ -176,7 +204,20 @@ func (t *Trace) Utilization(buckets int) []float64 {
 	}
 	bucketLen := (end - begin) / float64(buckets)
 	for _, e := range t.Events() {
-		for b := 0; b < buckets; b++ {
+		if e.End <= e.Begin {
+			continue
+		}
+		// The event can only overlap buckets b0..b1; clamp against
+		// float rounding at the span edges.
+		b0 := int((e.Begin - begin) / bucketLen)
+		b1 := int((e.End - begin) / bucketLen)
+		if b0 < 0 {
+			b0 = 0
+		}
+		if b1 >= buckets {
+			b1 = buckets - 1
+		}
+		for b := b0; b <= b1; b++ {
 			lo := begin + float64(b)*bucketLen
 			hi := lo + bucketLen
 			overlap := math.Min(e.End, hi) - math.Max(e.Begin, lo)

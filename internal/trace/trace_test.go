@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -129,5 +130,106 @@ func TestUtilization(t *testing.T) {
 	}
 	if (&Trace{Workers: 2}).MeanUtilization() != 0 {
 		t.Error("empty mean utilization non-zero")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	root := &Trace{}
+	shard0 := &Trace{Scheme: "2level(tss)", Workload: "mandelbrot", Workers: 4}
+	shard0.Add(Event{Worker: 0, Start: 0, Size: 10, Begin: 0, End: 1})
+	shard0.Add(Event{Worker: 1, Start: 10, Size: 10, Begin: 0, End: 2})
+	shard1 := &Trace{Scheme: "2level(tss)", Workload: "mandelbrot", Workers: 4}
+	shard1.Add(Event{Worker: 2, Start: 20, Size: 10, Begin: 0.5, End: 1.5})
+	shard1.Add(Event{Worker: 3, Start: 30, Size: 10, Begin: 1, End: 3})
+
+	root.Merge(shard0)
+	root.Merge(shard1)
+	if root.Len() != 4 {
+		t.Fatalf("merged Len = %d, want 4", root.Len())
+	}
+	if root.Scheme != "2level(tss)" || root.Workload != "mandelbrot" || root.Workers != 4 {
+		t.Errorf("metadata not adopted: %q %q %d", root.Scheme, root.Workload, root.Workers)
+	}
+	if err := root.CoverageError(40); err != nil {
+		t.Errorf("merged trace does not tile the loop: %v", err)
+	}
+	// Events() keeps global Begin order across shards.
+	evs := root.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Begin < evs[i-1].Begin {
+			t.Errorf("merged events out of order at %d", i)
+		}
+	}
+	// Merging nil or self is a no-op.
+	root.Merge(nil)
+	root.Merge(root)
+	if root.Len() != 4 {
+		t.Errorf("nil/self merge changed Len to %d", root.Len())
+	}
+	// Existing metadata wins over the merged trace's.
+	named := &Trace{Scheme: "tss", Workers: 8}
+	named.Merge(shard0)
+	if named.Scheme != "tss" || named.Workers != 8 {
+		t.Errorf("merge overwrote metadata: %q %d", named.Scheme, named.Workers)
+	}
+}
+
+// bigTrace builds a trace with n back-to-back events round-robined
+// over 8 workers, spanning n/8 seconds.
+func bigTrace(n int) *Trace {
+	tr := &Trace{Workers: 8}
+	for i := 0; i < n; i++ {
+		w := i % 8
+		begin := float64(i/8) + float64(w)*1e-4
+		tr.Add(Event{
+			Worker: w, Start: i * 4, Size: 4,
+			Begin: begin, End: begin + 0.9,
+		})
+	}
+	return tr
+}
+
+// TestUtilizationBucketRange cross-checks the direct bucket-range scan
+// against a brute-force per-bucket evaluation.
+func TestUtilizationBucketRange(t *testing.T) {
+	tr := bigTrace(200)
+	buckets := 37 // deliberately not aligned with event boundaries
+	got := tr.Utilization(buckets)
+
+	begin, end := tr.Span()
+	bucketLen := (end - begin) / float64(buckets)
+	want := make([]float64, buckets)
+	for _, e := range tr.Events() {
+		for b := 0; b < buckets; b++ {
+			lo := begin + float64(b)*bucketLen
+			hi := lo + bucketLen
+			overlap := math.Min(e.End, hi) - math.Max(e.Begin, lo)
+			if overlap > 0 {
+				want[b] += overlap / (bucketLen * float64(tr.Workers))
+			}
+		}
+	}
+	for b := range want {
+		if want[b] > 1 {
+			want[b] = 1
+		}
+	}
+	for b := range want {
+		if diff := math.Abs(got[b] - want[b]); diff > 1e-9 {
+			t.Errorf("bucket %d: got %g want %g (diff %g)", b, got[b], want[b], diff)
+		}
+	}
+}
+
+// BenchmarkUtilization10k measures the bucket-range scan on a
+// 10k-event trace (the satellite target: the old implementation
+// visited every bucket for every event).
+func BenchmarkUtilization10k(b *testing.B) {
+	tr := bigTrace(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if u := tr.Utilization(1000); len(u) != 1000 {
+			b.Fatal("bad bucket count")
+		}
 	}
 }

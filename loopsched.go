@@ -43,6 +43,7 @@ import (
 	"loopsched/internal/mp"
 	"loopsched/internal/sched"
 	"loopsched/internal/sim"
+	"loopsched/internal/telemetry"
 	"loopsched/internal/trace"
 	"loopsched/internal/tree"
 	"loopsched/internal/viz"
@@ -352,6 +353,27 @@ type Trace = trace.Trace
 
 // TraceEvent is one chunk's lifecycle on a worker.
 type TraceEvent = trace.Event
+
+// ---- Live telemetry ----
+
+// Telemetry is a live observation session: an event bus every backend
+// publishes protocol events to, feeding a metric aggregator, an
+// optional HTTP debug endpoint (Prometheus /metrics, expvar,
+// net/http/pprof), and an optional Perfetto trace exporter. Attach one
+// via RunSpec.Telemetry; one session can observe several runs in
+// sequence. Close it when done.
+type Telemetry = telemetry.Telemetry
+
+// TelemetryOptions configures NewTelemetry: DebugAddr starts the HTTP
+// debug server, Perfetto streams Chrome trace-event JSON to a writer,
+// BufferSize overrides the event ring capacity.
+type TelemetryOptions = telemetry.Options
+
+// TelemetryEvent is one protocol event on the bus; see Telemetry.
+type TelemetryEvent = telemetry.Event
+
+// NewTelemetry starts a live telemetry session.
+func NewTelemetry(o TelemetryOptions) (*Telemetry, error) { return telemetry.New(o) }
 
 // ---- Real executors ----
 

@@ -12,6 +12,7 @@ import (
 	"loopsched/internal/metrics"
 	"loopsched/internal/mp"
 	"loopsched/internal/sim"
+	"loopsched/internal/telemetry"
 )
 
 // ---- The unified entry point ----
@@ -94,11 +95,19 @@ type RunSpec struct {
 	// hierarchical rpc root always runs with re-planning disabled.
 	DisableReplan bool
 	// Trace, when non-nil, records chunk-level events (local backend;
-	// for the simulator set Sim.Trace instead).
+	// for the simulator set Sim.Trace instead). With Telemetry
+	// attached, the trace is rebuilt from the live event stream on
+	// every backend, including rpc.
 	Trace *Trace
 
 	// Hierarchy, when non-nil, runs the two-level sharded runtime.
 	Hierarchy *Hierarchy
+
+	// Telemetry, when non-nil, streams live protocol events from the
+	// run — chunk requests/grants/completions, worker joins, steals,
+	// stage advances — into the session's aggregator, optional debug
+	// HTTP endpoint, and optional Perfetto exporter. See NewTelemetry.
+	Telemetry *Telemetry
 }
 
 // Executor runs RunSpecs on one backend. NewExecutor returns the
@@ -133,7 +142,54 @@ func Run(ctx context.Context, spec RunSpec) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	finish := beginTelemetry(&spec)
+	defer finish()
 	return ex.Run(ctx, spec)
+}
+
+// beginTelemetry announces the run on the spec's telemetry session and
+// returns the function that closes the run out (RunFinished, then a
+// flush so the aggregator and exporters have seen every event before
+// Run returns). When spec.Trace is also set, the trace is rebuilt from
+// the event stream — a bus subscriber mirrors every completed chunk —
+// so backends with no native trace plumbing (the rpc runtimes) still
+// produce one; spec.Trace is cleared before dispatch so backends that
+// do fill traces natively don't record each chunk twice.
+func beginTelemetry(spec *RunSpec) func() {
+	t := spec.Telemetry
+	if t == nil || spec.Scheme == nil || spec.Workload == nil {
+		return func() {}
+	}
+	bus := t.Bus()
+	var sub telemetry.Subscriber
+	if spec.Trace != nil {
+		sub = telemetry.TraceSubscriber(spec.Trace)
+		bus.Subscribe(sub)
+		spec.Trace = nil
+	}
+	backend := spec.Backend
+	if backend == "" {
+		backend = BackendSim
+	}
+	workers := len(spec.Workers)
+	if workers == 0 {
+		workers = len(spec.Cluster.Machines)
+	}
+	bus.BeginRun(telemetry.RunMeta{
+		Scheme:     spec.Scheme.Name(),
+		Workload:   spec.Workload.Name(),
+		Backend:    string(backend),
+		Workers:    workers,
+		Iterations: spec.Workload.Len(),
+	})
+	bus.Publish(telemetry.Event{Kind: telemetry.RunStarted, At: bus.Now()})
+	return func() {
+		bus.Publish(telemetry.Event{Kind: telemetry.RunFinished, At: bus.Now()})
+		bus.Flush()
+		if sub != nil {
+			bus.Unsubscribe(sub)
+		}
+	}
 }
 
 // validate checks the backend-independent requirements.
@@ -205,6 +261,9 @@ func (simExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 	if err := spec.validate(); err != nil {
 		return Report{}, err
 	}
+	if spec.Telemetry != nil {
+		spec.Sim.Telemetry = spec.Telemetry.Bus()
+	}
 	if spec.Hierarchy != nil {
 		return hier.Simulate(ctx, spec.Cluster, spec.Scheme, spec.Workload, spec.Sim, *spec.Hierarchy)
 	}
@@ -228,11 +287,12 @@ func (localExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 	}
 	if spec.Hierarchy != nil {
 		run := &hier.LocalRun{
-			Scheme:  spec.Scheme,
-			Workers: spec.Workers,
-			ACP:     spec.ACP,
-			Config:  *spec.Hierarchy,
-			Trace:   spec.Trace,
+			Scheme:    spec.Scheme,
+			Workers:   spec.Workers,
+			ACP:       spec.ACP,
+			Config:    *spec.Hierarchy,
+			Trace:     spec.Trace,
+			Telemetry: spec.Telemetry.Bus(),
 		}
 		return run.Run(ctx, spec.Workload, body)
 	}
@@ -242,6 +302,7 @@ func (localExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 		ACP:           spec.ACP,
 		DisableReplan: spec.DisableReplan,
 		Trace:         spec.Trace,
+		Telemetry:     spec.Telemetry.Bus(),
 	}
 	return l.RunContext(ctx, spec.Workload, body)
 }
@@ -278,6 +339,8 @@ func rpcWorker(spec RunSpec, kernel Kernel, powers []float64, i int) exec.Worker
 		ACPModel:     spec.ACP,
 		WorkScale:    ws.WorkScale,
 		Pipeline:     spec.Pipeline,
+		Telemetry:    spec.Telemetry.Bus(),
+		TelemetryID:  i,
 	}
 }
 
@@ -288,6 +351,7 @@ func runRPCFlat(ctx context.Context, spec RunSpec, kernel Kernel) (Report, error
 	if err != nil {
 		return Report{}, err
 	}
+	master.SetTelemetry(spec.Telemetry.Bus())
 	if spec.DisableReplan {
 		master.DisableReplan()
 	}
@@ -336,10 +400,16 @@ func runRPCHierarchy(ctx context.Context, spec RunSpec, kernel Kernel) (Report, 
 	// The root is a stock RPC master running the hierarchy's allocator
 	// as its scheme; each of its "workers" is a submaster. Steals make
 	// root grants non-monotone, so mid-run re-planning must stay off.
+	// The root master itself publishes no telemetry — its grants are
+	// super-chunks and would double-count against the submasters' — but
+	// the allocator reports steals on the bus.
 	captured := new(*hier.Root)
 	root, err := exec.NewMaster(hier.RootScheme{
 		Config: *spec.Hierarchy,
-		OnRoot: func(r *hier.Root) { *captured = r },
+		OnRoot: func(r *hier.Root) {
+			*captured = r
+			r.SetTelemetry(spec.Telemetry.Bus())
+		},
 	}, n, k)
 	if err != nil {
 		return Report{}, err
@@ -370,6 +440,7 @@ func runRPCHierarchy(ctx context.Context, spec RunSpec, kernel Kernel) (Report, 
 			root.Cancel(err)
 			break
 		}
+		sub.SetTelemetry(spec.Telemetry.Bus(), members[si])
 		defer sub.Close()
 		subL, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -384,7 +455,8 @@ func runRPCHierarchy(ctx context.Context, spec RunSpec, kernel Kernel) (Report, 
 		subs[si] = sub
 		for li, wi := range members[si] {
 			w := rpcWorker(spec, kernel, powers, wi)
-			w.ID = li // worker ids are shard-local
+			w.ID = li // worker ids are shard-local; telemetry keeps the global id
+			w.TelemetryShard = si
 			wg.Add(1)
 			go func(w exec.Worker, addr string) {
 				defer wg.Done()
@@ -484,7 +556,7 @@ func (mpExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 		}(i)
 	}
 	_, rep, err := mp.RunMasterContext(ctx, world[0], spec.Scheme, spec.Workload.Len(),
-		mp.MasterOptions{DisableReplan: spec.DisableReplan})
+		mp.MasterOptions{DisableReplan: spec.DisableReplan, Telemetry: spec.Telemetry.Bus()})
 	wg.Wait()
 	rep.Workload = spec.Workload.Name()
 	if err != nil {

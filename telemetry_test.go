@@ -1,0 +1,271 @@
+package loopsched_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"loopsched"
+)
+
+// scrapeMetrics fetches the Prometheus text exposition from the debug
+// server.
+func scrapeMetrics(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d: %s", resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// sumMetric adds up every sample of one metric family in Prometheus
+// text format (labelled or not).
+func sumMetric(t *testing.T, text, name string) float64 {
+	t.Helper()
+	var sum float64
+	found := false
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // a longer metric name sharing the prefix
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		sum += v
+		found = true
+	}
+	if !found {
+		t.Fatalf("metric %s not found in:\n%s", name, text)
+	}
+	return sum
+}
+
+// TestTelemetryEndToEnd runs a small Mandelbrot loop on the pipelined
+// RPC backend with a live telemetry session attached, then reconciles
+// the three views of the same run against each other: the scraped
+// /metrics counters, the post-hoc metrics.Report, and the execution
+// trace rebuilt from the event stream. It also checks the Perfetto
+// export is valid JSON with one complete slice per traced chunk.
+func TestTelemetryEndToEnd(t *testing.T) {
+	params := loopsched.MandelbrotParams{
+		Region: loopsched.PaperRegion, Width: 96, Height: 64, MaxIter: 120,
+	}
+	w := loopsched.MandelbrotWorkload(params)
+	kernel := func(i int) []byte { return loopsched.MandelbrotShadedColumn(params, i) }
+
+	var perfetto bytes.Buffer
+	tele, err := loopsched.NewTelemetry(loopsched.TelemetryOptions{
+		DebugAddr: "127.0.0.1:0",
+		Perfetto:  &perfetto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+	if tele.DebugAddr() == "" {
+		t.Fatal("no debug server address")
+	}
+
+	scheme, err := loopsched.LookupScheme("DTSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &loopsched.Trace{}
+	rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Scheme:    scheme,
+		Workload:  w,
+		Backend:   loopsched.BackendRPC,
+		Workers:   runWorkers(),
+		Kernel:    kernel,
+		Pipeline:  true,
+		Trace:     tr,
+		Telemetry: tele,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != params.Width {
+		t.Fatalf("report iterations %d, want %d", rep.Iterations, params.Width)
+	}
+
+	// The trace was rebuilt from the event stream: every chunk the
+	// master granted was computed, completed, and mirrored into it.
+	if tr.Len() != rep.Chunks {
+		t.Errorf("trace has %d chunks, report says %d", tr.Len(), rep.Chunks)
+	}
+	if err := tr.CoverageError(params.Width); err != nil {
+		t.Errorf("rebuilt trace does not tile the loop: %v", err)
+	}
+
+	// Scraped counters reconcile exactly with the report and the trace.
+	text := scrapeMetrics(t, tele.DebugAddr())
+	if got := sumMetric(t, text, "loopsched_chunks_granted_total"); int(got) != rep.Chunks {
+		t.Errorf("scraped chunks granted %g, report says %d", got, rep.Chunks)
+	}
+	if got := sumMetric(t, text, "loopsched_chunks_granted_total"); int(got) != tr.Len() {
+		t.Errorf("scraped chunks granted %g, trace has %d", got, tr.Len())
+	}
+	if got := sumMetric(t, text, "loopsched_iterations_granted_total"); int(got) != params.Width {
+		t.Errorf("scraped iterations %g, want %d", got, params.Width)
+	}
+	if got := sumMetric(t, text, "loopsched_dropped_events_total"); got != 0 {
+		t.Errorf("%g events dropped", got)
+	}
+	if !strings.Contains(text, `scheme="DTSS"`) || !strings.Contains(text, `backend="rpc"`) {
+		t.Errorf("run info labels missing:\n%s", text)
+	}
+
+	// The aggregator snapshot agrees with the scrape.
+	snap := tele.Aggregator().Snapshot()
+	if int(snap.ChunksGranted) != rep.Chunks {
+		t.Errorf("snapshot chunks granted %d, report says %d", snap.ChunksGranted, rep.Chunks)
+	}
+	if int(snap.Iterations) != params.Width {
+		t.Errorf("snapshot iterations %d, want %d", snap.Iterations, params.Width)
+	}
+
+	// Closing the session finishes the Perfetto document: valid JSON,
+	// one complete ("X") slice per traced chunk.
+	if err := tele.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(perfetto.Bytes()) {
+		t.Fatalf("perfetto export is not valid JSON:\n%s", perfetto.String())
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string  `json:"ph"`
+			Dur float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(perfetto.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	slices := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" {
+			slices++
+		}
+	}
+	if slices != tr.Len() {
+		t.Errorf("perfetto has %d complete slices, trace has %d chunks", slices, tr.Len())
+	}
+}
+
+// TestTelemetryHierarchyReconciles runs the two-level local runtime
+// under telemetry and checks the worker-level grant counters match the
+// report's chunk total (the root's super-chunk grants must not be
+// double-counted).
+func TestTelemetryHierarchyReconciles(t *testing.T) {
+	tele, err := loopsched.NewTelemetry(loopsched.TelemetryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+
+	scheme, err := loopsched.LookupScheme("TSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Scheme:    scheme,
+		Workload:  loopsched.Uniform{N: n, C: 1},
+		Backend:   loopsched.BackendLocal,
+		Workers:   runWorkers(),
+		Body:      func(i int) {},
+		Hierarchy: &loopsched.Hierarchy{Shards: 2},
+		Telemetry: tele,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tele.Aggregator().Snapshot()
+	if int(snap.ChunksGranted) != rep.Chunks {
+		t.Errorf("snapshot chunks granted %d, report says %d", snap.ChunksGranted, rep.Chunks)
+	}
+	if int(snap.Iterations) != n {
+		t.Errorf("snapshot iterations %d, want %d", snap.Iterations, n)
+	}
+	if int(snap.Steals) != rep.Steals {
+		t.Errorf("snapshot steals %d, report says %d", snap.Steals, rep.Steals)
+	}
+}
+
+// TestTelemetryMPReconciles runs the message-passing backend under
+// telemetry. Completion timing there rides the *next* request, so the
+// last chunk of each stopped slave never reports — grants must still
+// reconcile exactly.
+func TestTelemetryMPReconciles(t *testing.T) {
+	tele, err := loopsched.NewTelemetry(loopsched.TelemetryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+
+	scheme, err := loopsched.LookupScheme("TFSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1500
+	rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Scheme:    scheme,
+		Workload:  loopsched.Uniform{N: n, C: 1},
+		Backend:   loopsched.BackendMP,
+		Workers:   runWorkers(),
+		Body:      func(i int) {},
+		Telemetry: tele,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tele.Aggregator().Snapshot()
+	if int(snap.ChunksGranted) != rep.Chunks {
+		t.Errorf("snapshot chunks granted %d, report says %d", snap.ChunksGranted, rep.Chunks)
+	}
+	if int(snap.Iterations) != n {
+		t.Errorf("snapshot iterations %d, want %d", snap.Iterations, n)
+	}
+}
+
+// TestTelemetryDisabledIsInert asserts the default path: no Telemetry
+// on the spec means no events, no server, and no behaviour change.
+func TestTelemetryDisabledIsInert(t *testing.T) {
+	scheme, err := loopsched.LookupScheme("TSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Scheme:   scheme,
+		Workload: loopsched.Uniform{N: 500, C: 1},
+		Backend:  loopsched.BackendLocal,
+		Workers:  runWorkers(),
+		Body:     func(i int) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 500 {
+		t.Fatalf("iterations %d", rep.Iterations)
+	}
+}
