@@ -14,7 +14,7 @@ XTOOLS_VERSION      ?= v0.24.0
 
 LINT_TOOL := bin/loopschedlint
 
-.PHONY: all build vet test race fuzz bench experiments baseline check-baseline clean \
+.PHONY: all build vet test race fuzz bench bench-json experiments baseline check-baseline clean \
 	lint lint-tool lint-json fmt-check staticcheck govulncheck
 
 all: build vet lint test
@@ -66,9 +66,19 @@ fuzz:
 	$(GO) test -fuzz FuzzSchemeCoverage -fuzztime 30s ./internal/sched/
 	$(GO) test -fuzz FuzzWeightedCoverage -fuzztime 30s ./internal/sched/
 	$(GO) test -fuzz FuzzDecodeRequest -fuzztime 30s ./internal/mp/
+	$(GO) test -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire/
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# bench-json runs the wire-protocol benchmark matrix (gob vs binary ×
+# credit window, docs/PROTOCOL.md) and writes both the raw
+# benchstat-compatible text (bench_wire.txt) and the parsed JSON
+# artifact (BENCH_wire.json) that CI archives.
+bench-json:
+	$(GO) build -o bin/benchjson ./cmd/benchjson
+	$(GO) test -run '^$$' -bench BenchmarkRPCPipeline -benchmem -count=1 . | tee bench_wire.txt
+	./bin/benchjson -o BENCH_wire.json < bench_wire.txt
 
 experiments:
 	$(GO) run ./cmd/experiments

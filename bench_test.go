@@ -18,7 +18,6 @@ import (
 	"net/rpc"
 	"sync"
 	"testing"
-	"time"
 
 	"loopsched"
 	"loopsched/internal/acp"
@@ -515,38 +514,43 @@ func BenchmarkRPCRoundTrip(b *testing.B) {
 	}
 }
 
-// BenchmarkRPCPipeline runs a full master/worker loop over loopback
-// TCP with a kernel whose per-chunk cost is comparable to the RPC
-// round-trip — the regime where the double-buffered protocol pays.
-// The pipelined variant must complete the same loop measurably faster
-// than the serial request–compute–request cycle; the comm_s/idle_s
-// metrics show the round-trip moving out of Comm (serial) and mostly
-// vanishing into the overlap (pipelined).
+// BenchmarkRPCPipeline runs a full 512-chunk master/worker loop over
+// loopback TCP across the codec matrix: the original net/rpc+gob
+// protocol (serial and double-buffered) against the binary wire codec
+// at credit windows 1, 2 and 8. The kernel is near-free and the
+// payload small, so the numbers isolate protocol overhead — encoding,
+// allocation, and round-trip count — which is exactly what the binary
+// codec and the batched-grant window exist to shrink. One benchmark op
+// is one complete run (512 chunks), so ns/op and allocs/op compare
+// whole-loop protocol cost between variants; `make bench-json`
+// publishes the table as BENCH_wire.json.
 func BenchmarkRPCPipeline(b *testing.B) {
-	const n = 256
+	const n = 512
 	kernel := func(i int) []byte {
-		// An iteration that stalls off-CPU for about one loopback
-		// round-trip (think memory- or I/O-bound work): the core is
-		// free while it waits, so the overlap is observable even on a
-		// single-CPU machine where master and worker share the core.
-		// The 32 KiB result makes the transfer a real part of that
-		// round-trip, like the paper's piggy-backed pixel columns.
-		time.Sleep(50 * time.Microsecond)
-		buf := make([]byte, 32<<10)
+		buf := make([]byte, 1024)
 		binary.LittleEndian.PutUint64(buf, uint64(i)+1)
 		return buf
 	}
 	for _, variant := range []struct {
-		name     string
-		pipeline bool
-	}{{"serial", false}, {"pipelined", true}} {
+		name      string
+		transport loopsched.RPCTransport
+		pipeline  bool
+		window    int
+	}{
+		{"gob-serial", "netrpc", false, 0},
+		{"gob-pipelined", "netrpc", true, 0},
+		{"binary-w1", "binary", true, 1},
+		{"binary-w2", "binary", true, 2},
+		{"binary-w8", "binary", true, 8},
+	} {
 		b.Run(variant.name, func(b *testing.B) {
-			var comm, idle float64
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m, err := loopsched.NewMaster(loopsched.NewSS(), n, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
+				m.SetWindow(variant.window)
 				l, err := net.Listen("tcp", "127.0.0.1:0")
 				if err != nil {
 					b.Fatal(err)
@@ -554,20 +558,21 @@ func BenchmarkRPCPipeline(b *testing.B) {
 				if err := m.Serve(l); err != nil {
 					b.Fatal(err)
 				}
-				w := loopsched.Worker{ID: 0, Kernel: kernel, Pipeline: variant.pipeline}
+				w := loopsched.Worker{
+					ID: 0, Kernel: kernel,
+					Pipeline:  variant.pipeline,
+					Transport: variant.transport,
+					Window:    variant.window,
+				}
 				if err := w.Run(l.Addr().String()); err != nil {
 					b.Fatal(err)
 				}
-				_, rep, err := m.Wait()
-				if err != nil {
+				if _, _, err := m.Wait(); err != nil {
 					b.Fatal(err)
 				}
-				comm += rep.PerWorker[0].Comm
-				idle += rep.PerWorker[0].Idle
 				l.Close()
 			}
-			b.ReportMetric(comm/float64(b.N), "comm_s")
-			b.ReportMetric(idle/float64(b.N), "idle_s")
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "chunks/s")
 		})
 	}
 }

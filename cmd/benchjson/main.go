@@ -1,0 +1,134 @@
+// Command benchjson converts `go test -bench` output into JSON, so CI
+// can archive benchmark runs as machine-readable artifacts next to the
+// raw benchstat-compatible text.
+//
+//	go test -bench=BenchmarkRPCPipeline -benchmem . | benchjson -o BENCH_wire.json
+//
+// Each benchmark line becomes one entry carrying the iteration count,
+// ns/op, B/op, allocs/op and any custom metrics (`chunks/s`, `Tp_s`,
+// …). Non-benchmark lines (the artefact tables the bench suite prints)
+// pass through untouched on stderr when -echo is set, and are
+// otherwise dropped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the full benchmark name including sub-benchmark path
+	// and the trailing GOMAXPROCS suffix, e.g.
+	// "BenchmarkRPCPipeline/binary-w8-8".
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem was set.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric values by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Output is the artifact schema: the parsed entries plus the raw
+// benchmark lines, which remain directly consumable by benchstat.
+type Output struct {
+	Entries []Entry  `json:"entries"`
+	Raw     []string `json:"raw"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here (default stdout)")
+	echo := flag.Bool("echo", false, "echo non-benchmark lines to stderr")
+	flag.Parse()
+
+	var res Output
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		e, ok := parseLine(line)
+		if !ok {
+			if *echo {
+				fmt.Fprintln(os.Stderr, line)
+			}
+			continue
+		}
+		res.Entries = append(res.Entries, e)
+		res.Raw = append(res.Raw, line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+	if len(res.Entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkX/sub-8   100   11053042 ns/op   4096 B/op   12 allocs/op   52.1 chunks/s
+//
+// The grammar after the name is a sequence of (value, unit) pairs, the
+// first of which is the bare iteration count.
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			e.NsPerOp = val
+			seenNs = true
+		case "B/op":
+			v := val
+			e.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			e.AllocsPerOp = &v
+		default:
+			if e.Metrics == nil {
+				e.Metrics = make(map[string]float64)
+			}
+			e.Metrics[unit] = val
+		}
+	}
+	return e, seenNs
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	e, ok := parseLine("BenchmarkRPCPipeline/binary-w8-8   \t 100\t  11053042 ns/op\t  4096 B/op\t  12 allocs/op\t  52.1 chunks/s")
+	if !ok {
+		t.Fatal("line not recognised")
+	}
+	if e.Name != "BenchmarkRPCPipeline/binary-w8-8" || e.Iterations != 100 || e.NsPerOp != 11053042 {
+		t.Fatalf("parsed %+v", e)
+	}
+	if e.BytesPerOp == nil || *e.BytesPerOp != 4096 || e.AllocsPerOp == nil || *e.AllocsPerOp != 12 {
+		t.Fatalf("benchmem fields: %+v", e)
+	}
+	if e.Metrics["chunks/s"] != 52.1 {
+		t.Fatalf("custom metric: %+v", e.Metrics)
+	}
+
+	for _, bad := range []string{
+		"",
+		"goos: linux",
+		"PASS",
+		"ok  \tloopsched\t1.2s",
+		"BenchmarkX no-iterations here",
+		"BenchmarkX 100", // iteration count but no measurements
+	} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("parseLine(%q) accepted", bad)
+		}
+	}
+}

@@ -33,6 +33,9 @@ func main() {
 		maxIter      = flag.Int("maxiter", 160, "mandelbrot escape-time bound")
 		sf           = flag.Int("sf", 4, "sampling reorder frequency (1 = no reorder)")
 		real         = flag.Bool("real", false, "execute with real goroutine workers instead of the simulator")
+		rpcReal      = flag.Bool("rpc", false, "execute with real RPC slaves self-hosted on loopback (overrides -real)")
+		transport    = flag.String("transport", "", "rpc wire format: binary or netrpc (default: $LOOPSCHED_TRANSPORT, else binary)")
+		window       = flag.Int("window", 0, "rpc credit window: chunks a worker holds beyond the one computing (0 = 1)")
 		tree         = flag.Bool("tree", false, "use Tree Scheduling (ignores -scheme)")
 		gantt        = flag.Bool("gantt", false, "print an ASCII Gantt chart of the simulated run")
 		traceCSV     = flag.String("trace-csv", "", "write the chunk-level execution trace to this CSV file")
@@ -125,7 +128,15 @@ func main() {
 			if *shards > 0 {
 				spec.Hierarchy = &loopsched.Hierarchy{Shards: *shards}
 			}
-			if *real {
+			if *rpcReal {
+				spec.Backend = loopsched.BackendRPC
+				spec.Workers = realWorkers(*p)
+				spec.Body = burnBody(w)
+				spec.Pipeline = true
+				spec.Transport = *transport
+				spec.CreditWindow = *window
+				spec.Trace = tr
+			} else if *real {
 				spec.Backend = loopsched.BackendLocal
 				spec.Workers = realWorkers(*p)
 				spec.Body = burnBody(w)

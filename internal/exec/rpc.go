@@ -7,12 +7,14 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"loopsched/internal/acp"
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
 	"loopsched/internal/telemetry"
+	"loopsched/internal/wire"
 )
 
 // The RPC runtime mirrors the paper's mpich implementation: slaves
@@ -24,12 +26,25 @@ import (
 // double-buffered mode (Worker.Pipeline): the slave requests chunk
 // k+1 while still computing chunk k, so the master round-trip and the
 // result transfer overlap with the kernel instead of serialising with
-// it. The master then tracks up to two outstanding assignments per
-// worker. See docs/PROTOCOL.md for the handshake.
-
-// maxOutstanding is the depth of the per-worker assignment ledger:
-// the chunk being computed plus one prefetched chunk.
-const maxOutstanding = 2
+// it. The per-worker assignment ledger holds up to window+1 chunks —
+// the one being computed plus the credit window of prefetched ones
+// (SetWindow; the default window of 1 is the classic double buffer).
+//
+// Two transports speak this protocol (see transport.go): the original
+// net/rpc + gob encoding, one chunk per round trip, and the binary
+// framing codec of internal/wire, which batches N completion records
+// and up to `credits` grants into single frames. Serve sniffs the
+// first byte of each connection, so one listener carries both.
+//
+// The master's hot path is de-contended: results deposit into a
+// lock-free ledger (one atomic flip per iteration index), per-worker
+// protocol state lives in per-worker slots with their own locks, and
+// for fixed-chunk schemes (sched.FixedChunker: SS, CSS) grants come
+// from an atomic iteration counter, so steady-state requests from
+// different workers never share a lock. Stateful stage-based schemes
+// (GSS, TSS, factoring, ...) and every recovery path (failures,
+// requeues, parking, cancellation) fall back to the original locked
+// scheduler under Master.mu. See docs/PROTOCOL.md for the handshake.
 
 // ChunkResult carries the output of one computed iteration back to
 // the master.
@@ -58,20 +73,34 @@ type ChunkArgs struct {
 	Results []ChunkResult
 	// Prefetch marks a double-buffered request: the worker is still
 	// computing its current chunk and wants the next one in advance.
-	// The master answers immediately — with a second assignment, or
-	// with an empty reply (Assign.Size == 0, Stop false) when nothing
-	// can be issued right now — and must not treat the worker's
-	// in-flight chunk as abandoned.
+	// The master answers immediately — with more assignments, or
+	// with an empty reply (no grant, Stop false) when nothing can be
+	// issued right now — and must not treat the worker's in-flight
+	// chunk as abandoned.
 	Prefetch bool
 }
 
-// ChunkReply is the master's answer. An empty reply (zero Assign, Stop
-// false) to a Prefetch request means "nothing to prefetch right now":
-// the worker should finish its current chunk and ask again without the
-// flag.
+// ChunkReply is the master's answer on the net/rpc transport. An
+// empty reply (zero Assign, Stop false) to a Prefetch request means
+// "nothing to prefetch right now": the worker should finish its
+// current chunk and ask again without the flag.
 type ChunkReply struct {
 	Assign sched.Assignment
 	Stop   bool
+}
+
+// slot is the per-worker protocol state. Each slot has its own lock,
+// so steady-state requests from different workers touch no shared
+// mutex; Master.mu is only ever acquired before a slot lock, never
+// after releasing one inside the same critical section.
+type slot struct {
+	mu          sync.Mutex
+	outstanding []sched.Assignment // chunks in flight (≤ ledger cap)
+	times       metrics.Times
+	lastSeen    time.Time
+	lastReply   time.Time
+	joined      bool
+	failed      bool // mirror of Master.failed, for the lock-free path
 }
 
 // Master is the RPC scheduling service. Create with NewMaster, expose
@@ -80,38 +109,49 @@ type Master struct {
 	scheme     sched.Scheme
 	iterations int
 	workers    int
+	window     int // credit window; per-worker ledger cap is window+1
 	disableRe  bool
 	serveWG    sync.WaitGroup
 	bus        *telemetry.Bus // nil unless SetTelemetry was called
 
-	mu          sync.Mutex
-	conns       []net.Conn // accepted by Serve, closed by Shutdown
-	gathered    int
-	seen        []bool
-	joined      []bool // workers that made first contact (telemetry)
-	ready       *sync.Cond
-	policy      sched.Policy
-	liveACP     []int
-	planACP     []int
-	base        int
-	stoppedSet  []bool
-	results     [][]byte
-	got         []bool
-	received    int
-	chunks      int
-	replans     int
-	outstanding map[int][]sched.Assignment // chunks in flight per worker (≤ maxOutstanding)
-	requeued    []sched.Assignment         // failed workers' chunks to re-issue
-	failed      map[int]bool
-	parked      []bool // workers idling inside a held NextChunk call
-	lastSeen    []time.Time
-	lastReply   []time.Time
-	perWorker   []metrics.Times
-	started     time.Time
-	finished    time.Time
-	done        chan struct{}
-	err         error
-	cancelErr   error
+	// Lock-free result ledger: got[i] flips exactly once (CAS); the
+	// winner stores results[i] and then bumps received, so the
+	// goroutine that observes received == iterations also observes
+	// every stored result.
+	got      []atomic.Bool
+	received atomic.Int64
+	results  [][]byte
+	chunks   atomic.Int64
+
+	// De-contended grant counter for fixed-chunk schemes. fastStep is
+	// the constant chunk size (0 disables the fast path); fastNext is
+	// the first unassigned iteration; fastOff forces every request
+	// through the locked scheduler once failures or requeues exist.
+	fastStep int
+	fastNext atomic.Int64
+	fastOff  atomic.Bool
+
+	slots []slot
+
+	mu         sync.Mutex
+	conns      []net.Conn // accepted by Serve, closed by Shutdown
+	gathered   int
+	seen       []bool
+	ready      *sync.Cond
+	policy     sched.Policy
+	liveACP    []int
+	planACP    []int
+	base       int
+	stoppedSet []bool
+	replans    int
+	requeued   []sched.Assignment // failed workers' chunks to re-issue
+	failed     map[int]bool
+	parked     []bool // workers idling inside a held NextChunk call
+	started    time.Time
+	finished   time.Time
+	done       chan struct{}
+	err        error
+	cancelErr  error
 }
 
 // NewMaster builds a master scheduling `iterations` loop iterations
@@ -124,35 +164,36 @@ func NewMaster(scheme sched.Scheme, iterations, workers int) (*Master, error) {
 		return nil, fmt.Errorf("exec: negative iteration count")
 	}
 	m := &Master{
-		scheme:      scheme,
-		iterations:  iterations,
-		workers:     workers,
-		seen:        make([]bool, workers),
-		joined:      make([]bool, workers),
-		liveACP:     make([]int, workers),
-		planACP:     make([]int, workers),
-		results:     make([][]byte, iterations),
-		got:         make([]bool, iterations),
-		outstanding: make(map[int][]sched.Assignment),
-		failed:      make(map[int]bool),
-		parked:      make([]bool, workers),
-		lastSeen:    make([]time.Time, workers),
-		lastReply:   make([]time.Time, workers),
-		perWorker:   make([]metrics.Times, workers),
-		stoppedSet:  make([]bool, workers),
-		done:        make(chan struct{}),
-		started:     time.Now(),
+		scheme:     scheme,
+		iterations: iterations,
+		workers:    workers,
+		window:     1,
+		seen:       make([]bool, workers),
+		liveACP:    make([]int, workers),
+		planACP:    make([]int, workers),
+		results:    make([][]byte, iterations),
+		got:        make([]atomic.Bool, iterations),
+		slots:      make([]slot, workers),
+		failed:     make(map[int]bool),
+		parked:     make([]bool, workers),
+		stoppedSet: make([]bool, workers),
+		done:       make(chan struct{}),
+		started:    time.Now(),
 	}
-	for i := range m.lastSeen {
-		m.lastSeen[i] = m.started
+	for i := range m.slots {
+		m.slots[i].lastSeen = m.started
 	}
 	m.ready = sync.NewCond(&m.mu)
+	cfg := sched.Config{Iterations: iterations, Workers: workers}
 	if !sched.Distributed(scheme) {
-		pol, err := scheme.NewPolicy(sched.Config{Iterations: iterations, Workers: workers})
+		pol, err := scheme.NewPolicy(cfg)
 		if err != nil {
 			return nil, err
 		}
 		m.policy = pol
+		if step, ok := sched.FixedChunk(scheme, cfg); ok && step > 0 {
+			m.fastStep = step
+		}
 	}
 	if iterations == 0 {
 		m.maybeFinish()
@@ -162,17 +203,36 @@ func NewMaster(scheme sched.Scheme, iterations, workers int) (*Master, error) {
 
 // SetTelemetry attaches an event bus: the master publishes protocol
 // events (requests, grants, prefetch hits/misses, worker joins,
-// timeouts, rejected resurrections, replans) to it. Call before Serve.
-// A nil bus is valid and disables publishing.
+// timeouts, rejected resurrections, replans) and wire-level frame
+// counters to it. Call before Serve. A nil bus is valid and disables
+// publishing.
 func (m *Master) SetTelemetry(bus *telemetry.Bus) {
 	m.mu.Lock()
 	m.bus = bus
 	m.mu.Unlock()
 }
 
-// Serve registers the master on a fresh RPC server and accepts
-// connections until the listener closes. It returns immediately;
-// close the listener after Wait to shut down.
+// SetWindow sets the credit window: how many chunks a worker may hold
+// beyond the one it is computing, i.e. the per-worker ledger caps at
+// window+1 assignments. The default of 1 reproduces the classic
+// double-buffered protocol. Binary-transport workers ask for up to
+// their own window's worth of grants per frame; the master clamps to
+// the ledger room regardless of what a request asks. Call before
+// Serve.
+func (m *Master) SetWindow(w int) {
+	if w >= 1 {
+		m.window = w
+	}
+}
+
+// ledgerCap is the per-worker in-flight chunk bound.
+func (m *Master) ledgerCap() int { return m.window + 1 }
+
+// Serve accepts connections until the listener closes, sniffing each
+// connection's first byte to route it: the binary wire preamble to
+// the framed chunk service, anything else to a net/rpc server
+// speaking the original gob protocol. It returns immediately; close
+// the listener after Wait to shut down.
 func (m *Master) Serve(l net.Listener) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Master", m); err != nil {
@@ -192,7 +252,7 @@ func (m *Master) Serve(l net.Listener) error {
 			m.serveWG.Add(1)
 			go func() {
 				defer m.serveWG.Done()
-				srv.ServeConn(conn)
+				ServeSniffed(srv, conn, m.bus, 0, m.nextBatch)
 			}()
 		}
 	}()
@@ -202,7 +262,7 @@ func (m *Master) Serve(l net.Listener) error {
 // Shutdown closes the listener and every connection accepted by Serve,
 // then joins the serving goroutines. Call it after Wait: slaves have
 // already been told to stop, so tearing down their connections only
-// unblocks any straggling RPC server loops.
+// unblocks any straggling server loops.
 func (m *Master) Shutdown(l net.Listener) {
 	if l != nil {
 		l.Close()
@@ -239,14 +299,35 @@ func (m *Master) plan() error {
 	return nil
 }
 
-// NextChunk is the RPC the slaves call: deposit previous results, get
-// the next interval (or, with Prefetch, the one after it).
-func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
+// NextChunk is the net/rpc entry point the gob slaves call: deposit
+// previous results, get the next interval (or, with Prefetch, the one
+// after it). It is the one-grant special case of nextBatch.
+func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) error {
+	var grants [1]sched.Assignment
+	rep := wire.Reply{Grants: grants[:0]}
+	if err := m.nextBatch(args, 1, &rep); err != nil {
+		return err
+	}
+	reply.Stop = rep.Stop
+	if len(rep.Grants) > 0 {
+		reply.Assign = rep.Grants[0]
+	}
+	return nil
+}
+
+// nextBatch is the transport-independent request handler: deposit the
+// piggy-backed results, account the worker's timing, then grant up to
+// `credits` chunks into rep (clamped to the ledger room). The first
+// grant carries the full protocol semantics — parking a drained
+// worker, Stop on completion, empty replies for unlucky prefetches —
+// while further grants are best-effort top-ups.
+func (m *Master) nextBatch(args ChunkArgs, credits int, rep *wire.Reply) (err error) {
 	if args.Worker < 0 || args.Worker >= m.workers {
 		return fmt.Errorf("exec: unknown worker %d", args.Worker)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	if credits < 1 {
+		credits = 1
+	}
 	now := time.Now()
 	reqAt := m.bus.Now() // request arrival on the telemetry clock
 	// Stamp the reply time only when a reply is actually produced: an
@@ -254,69 +335,189 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 	// would corrupt the next request's communication gap.
 	defer func() {
 		if err == nil {
-			m.lastReply[args.Worker] = time.Now()
+			s := &m.slots[args.Worker]
+			s.mu.Lock()
+			s.lastReply = time.Now()
+			s.mu.Unlock()
 		}
 	}()
 
 	// Deposit piggy-backed results first — they are valid data even
 	// when the sender has since been declared dead.
-	for _, r := range args.Results {
+	if err := m.deposit(args.Results); err != nil {
+		return err
+	}
+	if m.account(&args, now, reqAt) {
+		// Resurrected-worker race: a worker declared dead that calls
+		// again was merely slow. Its chunks were requeued, so handing
+		// it more work would compute iterations twice; send it home,
+		// and keep it out of both the stopped and failed completion
+		// counters (it is already in failed).
+		rep.Stop = true
+		return nil
+	}
+	if m.fastGrants(&args, credits, rep, reqAt) {
+		return nil
+	}
+	return m.lockedGrants(&args, credits, rep, reqAt)
+}
+
+// deposit files piggy-backed results into the lock-free ledger and
+// finishes the run when the last iteration lands.
+func (m *Master) deposit(results []ChunkResult) error {
+	for _, r := range results {
 		if r.Index < 0 || r.Index >= m.iterations {
 			return fmt.Errorf("exec: result index %d out of range", r.Index)
 		}
-		if !m.got[r.Index] {
-			m.got[r.Index] = true
-			m.received++
+		if m.got[r.Index].CompareAndSwap(false, true) {
+			m.results[r.Index] = r.Data
+			m.received.Add(1)
 		}
-		m.results[r.Index] = r.Data
 	}
-	m.retireDelivered(args.Worker, !args.Prefetch)
-	m.checkDone()
+	if m.iterations > 0 && int(m.received.Load()) >= m.iterations {
+		m.mu.Lock()
+		m.maybeFinish()
+		m.mu.Unlock()
+	}
+	return nil
+}
 
-	// Resurrected-worker race: a worker declared dead that calls again
-	// was merely slow. Its chunks were requeued, so handing it more
-	// work would compute iterations twice; send it home, and keep it
-	// out of both the stopped and failed completion counters (it is
-	// already in failed).
-	if m.failed[args.Worker] {
+// account retires delivered assignments from the worker's ledger,
+// requeues abandoned ones, publishes the join/request events and
+// books the reported timing. It reports true when the worker has been
+// declared dead and must be sent home.
+func (m *Master) account(args *ChunkArgs, now time.Time, reqAt float64) (rejected bool) {
+	s := &m.slots[args.Worker]
+	var requeue []sched.Assignment
+	s.mu.Lock()
+	kept := s.outstanding[:0]
+	for _, a := range s.outstanding {
+		if !m.delivered(a) {
+			kept = append(kept, a)
+		}
+	}
+	if !args.Prefetch && len(kept) > 0 {
+		// A non-prefetch request declares the worker has nothing left
+		// in flight: any still-undelivered chunk was abandoned (e.g.
+		// the worker process restarted) and is requeued rather than
+		// lost.
+		requeue = append(requeue, kept...)
+		kept = kept[:0]
+	}
+	s.outstanding = kept
+	rejected = s.failed
+	if !rejected {
+		if !s.joined {
+			s.joined = true
+			m.bus.Publish(telemetry.Event{
+				Kind: telemetry.WorkerJoined, Worker: args.Worker,
+				ACP: args.ACP, At: reqAt,
+			})
+		}
+		m.bus.Publish(telemetry.Event{
+			Kind: telemetry.ChunkRequested, Worker: args.Worker,
+			ACP: args.ACP, At: reqAt,
+		})
+		s.lastSeen = now
+		// Per-PE breakdown: the worker reports computation and stall
+		// time; the rest of the reply-to-request turnaround is
+		// communication (request/result transfer) from the master's
+		// point of view. The gap is charged even for near-zero-duration
+		// chunks — only the very first request (no previous reply) has
+		// no gap to measure.
+		if args.CompSeconds > 0 {
+			s.times.Comp += args.CompSeconds
+		}
+		if args.IdleSeconds > 0 {
+			s.times.Idle += args.IdleSeconds
+		}
+		if prev := s.lastReply; !prev.IsZero() {
+			if gap := now.Sub(prev).Seconds() - args.CompSeconds - args.IdleSeconds; gap > 0 {
+				s.times.Comm += gap
+			}
+		}
+	}
+	s.mu.Unlock()
+	if len(requeue) > 0 {
+		m.mu.Lock()
+		m.requeued = append(m.requeued, requeue...)
+		m.fastOff.Store(true) // requeued work must not be stranded
+		m.ready.Broadcast()   // a parked worker can pick these up
+		m.mu.Unlock()
+	}
+	if rejected {
 		m.bus.Publish(telemetry.Event{
 			Kind: telemetry.WorkerRejected, Worker: args.Worker, At: reqAt,
 		})
-		reply.Stop = true
-		return nil
 	}
-	if !m.joined[args.Worker] {
-		m.joined[args.Worker] = true
-		m.bus.Publish(telemetry.Event{
-			Kind: telemetry.WorkerJoined, Worker: args.Worker,
-			ACP: args.ACP, At: reqAt,
-		})
-	}
-	m.bus.Publish(telemetry.Event{
-		Kind: telemetry.ChunkRequested, Worker: args.Worker,
-		ACP: args.ACP, At: reqAt,
-	})
+	return rejected
+}
 
-	m.lastSeen[args.Worker] = now
-	// Per-PE breakdown: the worker reports computation and stall time;
-	// the rest of the reply-to-request turnaround is communication
-	// (request/result transfer) from the master's point of view. The
-	// gap is charged even for near-zero-duration chunks — only the
-	// very first request (no previous reply) has no gap to measure.
-	if args.CompSeconds > 0 {
-		m.perWorker[args.Worker].Comp += args.CompSeconds
+// fastGrants serves a request entirely without Master.mu: grants come
+// from the atomic iteration counter, the ledger update from the
+// worker's own slot lock. It reports false when the request needs the
+// locked scheduler (non-fixed scheme, failures pending, counter
+// drained on a parkable request, run finished).
+func (m *Master) fastGrants(args *ChunkArgs, credits int, rep *wire.Reply, reqAt float64) bool {
+	if m.fastStep == 0 || m.fastOff.Load() || m.doneClosed() {
+		return false
 	}
-	if args.IdleSeconds > 0 {
-		m.perWorker[args.Worker].Idle += args.IdleSeconds
+	s := &m.slots[args.Worker]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed {
+		return false // FailWorker won the race; locked path replies Stop
 	}
-	if prev := m.lastReply[args.Worker]; !prev.IsZero() {
-		if gap := now.Sub(prev).Seconds() - args.CompSeconds - args.IdleSeconds; gap > 0 {
-			m.perWorker[args.Worker].Comm += gap
+	for len(rep.Grants) < credits && len(s.outstanding) < m.ledgerCap() {
+		a, ok := m.fastTake()
+		if !ok {
+			if len(rep.Grants) > 0 {
+				return true // partial batch; the tail is someone else's
+			}
+			if args.Prefetch {
+				m.publishMiss(args.Worker, reqAt)
+				return true // empty: finish your chunk, ask again plainly
+			}
+			return false // drained sync request: park on the locked path
+		}
+		m.recordGrant(s, args, a, rep, reqAt)
+	}
+	if len(rep.Grants) == 0 {
+		// Ledger full — only reachable on a prefetch from a worker
+		// that has not delivered yet. Empty reply: ask again later.
+		m.publishMiss(args.Worker, reqAt)
+	}
+	return true
+}
+
+// fastTake claims the next fixed-size chunk from the atomic counter,
+// clipping the final chunk to the remaining iterations exactly as the
+// policy's counter would.
+func (m *Master) fastTake() (sched.Assignment, bool) {
+	total := int64(m.iterations)
+	for {
+		cur := m.fastNext.Load()
+		if cur >= total {
+			return sched.Assignment{}, false
+		}
+		size := int64(m.fastStep)
+		if rest := total - cur; size > rest {
+			size = rest
+		}
+		if m.fastNext.CompareAndSwap(cur, cur+size) {
+			return sched.Assignment{Start: int(cur), Size: int(size)}, true
 		}
 	}
+}
 
+// lockedGrants is the fallback scheduler: the distributed gather
+// barrier, mid-run replans, requeued chunks, parking and stop
+// handling all live here, under Master.mu as in the original
+// protocol.
+func (m *Master) lockedGrants(args *ChunkArgs, credits int, rep *wire.Reply, reqAt float64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.liveACP[args.Worker] = args.ACP
-
 	if m.policy == nil { // distributed: gather all first reports
 		if !m.seen[args.Worker] {
 			m.seen[args.Worker] = true
@@ -338,7 +539,7 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 			return m.err
 		}
 		if m.policy == nil { // cancelled mid-gather: assign sends Stop
-			return m.assign(args, reply, reqAt)
+			return m.assign(args, credits, rep, reqAt)
 		}
 	} else if sched.Distributed(m.scheme) && !m.disableRe &&
 		acp.MajorityChanged(m.planACP, m.liveACP) {
@@ -350,25 +551,27 @@ func (m *Master) NextChunk(args ChunkArgs, reply *ChunkReply) (err error) {
 			})
 		}
 	}
-
-	return m.assign(args, reply, reqAt)
+	return m.assign(args, credits, rep, reqAt)
 }
 
-// assign hands the worker its next interval: requeued chunks before
-// fresh policy assignments. When the policy is drained, a prefetch
-// request gets an immediate empty reply, while a plain request parks
-// inside the call until the run completes or a failure requeues work —
-// so a late FailWorker always finds a live worker to absorb the chunk
-// (the lost-iterations fix). Callers hold mu.
-func (m *Master) assign(args ChunkArgs, reply *ChunkReply, reqAt float64) error {
+// assign hands the worker its next interval(s): requeued chunks
+// before fresh policy assignments. When the policy is drained, a
+// prefetch request gets an immediate empty reply, while a plain
+// request parks inside the call until the run completes or a failure
+// requeues work — so a late FailWorker always finds a live worker to
+// absorb the chunk (the lost-iterations fix). Once a first grant is
+// in hand, further credits are filled best-effort without parking.
+// Callers hold mu.
+func (m *Master) assign(args *ChunkArgs, credits int, rep *wire.Reply, reqAt float64) error {
 	w := args.Worker
-	for {
+	s := &m.slots[w]
+	for len(rep.Grants) == 0 {
 		select {
 		case <-m.done:
 			if !m.stoppedSet[w] {
 				m.stoppedSet[w] = true
 			}
-			reply.Stop = true
+			rep.Stop = true
 			return nil
 		default:
 		}
@@ -376,32 +579,25 @@ func (m *Master) assign(args ChunkArgs, reply *ChunkReply, reqAt float64) error 
 			return m.err
 		}
 		if m.failed[w] { // failed while parked
-			reply.Stop = true
+			rep.Stop = true
 			return nil
 		}
-		if len(m.outstanding[w]) >= maxOutstanding {
-			// Ledger full — only reachable on a prefetch from a worker
-			// that has not delivered yet. Empty reply: ask again later.
-			m.bus.Publish(telemetry.Event{
-				Kind: telemetry.PrefetchMissed, Worker: w, At: m.bus.Now(),
-			})
+		if m.slotLedger(s) >= m.ledgerCap() {
+			m.publishMiss(w, m.bus.Now())
 			return nil
 		}
 		if a, ok := m.takeRequeued(); ok {
-			m.grant(w, a, reply, args.Prefetch, reqAt)
-			return nil
+			m.recordGrantLocked(s, args, a, rep, reqAt)
+			break
 		}
-		if a, ok := m.policy.Next(sched.Request{Worker: w, ACP: float64(args.ACP)}); ok {
-			m.base = a.End()
-			m.grant(w, a, reply, args.Prefetch, reqAt)
-			return nil
+		if a, ok := m.policyNext(w, float64(args.ACP)); ok {
+			m.recordGrantLocked(s, args, a, rep, reqAt)
+			break
 		}
 		if args.Prefetch {
 			// Nothing to prefetch right now; the worker still has its
 			// current chunk to finish and deliver.
-			m.bus.Publish(telemetry.Event{
-				Kind: telemetry.PrefetchMissed, Worker: w, At: m.bus.Now(),
-			})
+			m.publishMiss(w, m.bus.Now())
 			return nil
 		}
 		// The worker is idle with nothing in flight. Hold the call:
@@ -410,28 +606,79 @@ func (m *Master) assign(args ChunkArgs, reply *ChunkReply, reqAt float64) error 
 		m.parked[w] = true
 		m.ready.Wait()
 		m.parked[w] = false
-		m.lastSeen[w] = time.Now() // parked, not silent
+		s.mu.Lock()
+		s.lastSeen = time.Now() // parked, not silent
+		s.mu.Unlock()
 	}
+	for len(rep.Grants) < credits && !m.doneClosed() && !m.failed[w] &&
+		m.slotLedger(s) < m.ledgerCap() {
+		a, ok := m.takeRequeued()
+		if !ok {
+			a, ok = m.policyNext(w, float64(args.ACP))
+		}
+		if !ok {
+			break
+		}
+		m.recordGrantLocked(s, args, a, rep, reqAt)
+	}
+	return nil
 }
 
-// grant records an assignment in the outstanding ledger and fills the
+// policyNext is the single source of fresh grants for both paths:
+// the atomic counter for fixed-chunk schemes (so fast and locked
+// grants can never double-assign), the policy otherwise. Callers
+// hold mu.
+func (m *Master) policyNext(w int, acpv float64) (sched.Assignment, bool) {
+	if m.fastStep > 0 {
+		return m.fastTake()
+	}
+	a, ok := m.policy.Next(sched.Request{Worker: w, ACP: acpv})
+	if ok {
+		m.base = a.End()
+	}
+	return a, ok
+}
+
+// slotLedger reads the worker's in-flight count; callers hold mu.
+func (m *Master) slotLedger(s *slot) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.outstanding)
+}
+
+// recordGrant books one assignment into the worker's ledger and the
 // reply, publishing the grant (with its request-to-grant latency) to
-// the telemetry bus; callers hold mu.
-func (m *Master) grant(w int, a sched.Assignment, reply *ChunkReply, prefetch bool, reqAt float64) {
-	m.outstanding[w] = append(m.outstanding[w], a)
-	m.chunks++
-	reply.Assign = a
+// the telemetry bus. Callers hold s.mu.
+func (m *Master) recordGrant(s *slot, args *ChunkArgs, a sched.Assignment, rep *wire.Reply, reqAt float64) {
+	s.outstanding = append(s.outstanding, a)
+	m.chunks.Add(1)
+	rep.Grants = append(rep.Grants, a)
 	if m.bus != nil {
 		kind := telemetry.ChunkGranted
-		if prefetch {
+		if args.Prefetch {
 			kind = telemetry.ChunkPrefetched
 		}
 		now := m.bus.Now()
 		m.bus.Publish(telemetry.Event{
-			Kind: kind, Worker: w, Start: a.Start, Size: a.Size,
-			ACP: m.liveACP[w], At: now, Seconds: now - reqAt,
+			Kind: kind, Worker: args.Worker, Start: a.Start, Size: a.Size,
+			ACP: args.ACP, At: now, Seconds: now - reqAt,
 		})
 	}
+}
+
+// recordGrantLocked is recordGrant for callers holding mu (but not
+// the slot lock).
+func (m *Master) recordGrantLocked(s *slot, args *ChunkArgs, a sched.Assignment, rep *wire.Reply, reqAt float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m.recordGrant(s, args, a, rep, reqAt)
+}
+
+// publishMiss reports a prefetch that could not be served.
+func (m *Master) publishMiss(w int, at float64) {
+	m.bus.Publish(telemetry.Event{
+		Kind: telemetry.PrefetchMissed, Worker: w, At: at,
+	})
 }
 
 // takeRequeued pops the next requeued chunk that still has undelivered
@@ -448,43 +695,16 @@ func (m *Master) takeRequeued() (sched.Assignment, bool) {
 	return sched.Assignment{}, false
 }
 
-// delivered reports whether every iteration of the assignment has been
-// received; callers hold mu.
+// delivered reports whether every iteration of the assignment has
+// been received. It reads only the atomic flags, so it is safe on
+// both the locked and the lock-free path.
 func (m *Master) delivered(a sched.Assignment) bool {
 	for i := a.Start; i < a.End(); i++ {
-		if !m.got[i] {
+		if !m.got[i].Load() {
 			return false
 		}
 	}
 	return true
-}
-
-// retireDelivered drops outstanding assignments the worker has fully
-// delivered. A non-prefetch request additionally declares the worker
-// has nothing left in flight: any still-undelivered chunk was
-// abandoned (e.g. the worker process restarted) and is requeued rather
-// than lost. Callers hold mu.
-func (m *Master) retireDelivered(w int, clearAll bool) {
-	out := m.outstanding[w]
-	if len(out) == 0 {
-		return
-	}
-	kept := out[:0]
-	for _, a := range out {
-		if !m.delivered(a) {
-			kept = append(kept, a)
-		}
-	}
-	if clearAll && len(kept) > 0 {
-		m.requeued = append(m.requeued, kept...)
-		m.ready.Broadcast() // a parked worker can pick these up
-		kept = kept[:0]
-	}
-	if len(kept) == 0 {
-		delete(m.outstanding, w)
-	} else {
-		m.outstanding[w] = kept
-	}
 }
 
 // failedCount is the number of workers declared dead; callers hold mu.
@@ -493,13 +713,13 @@ func (m *Master) failedCount() int { return len(m.failed) }
 // checkDone finishes the run when every result is in, or when no
 // worker is left to produce the missing ones; callers hold mu.
 func (m *Master) checkDone() {
-	if m.received >= m.iterations || m.failedCount() >= m.workers {
+	if int(m.received.Load()) >= m.iterations || m.failedCount() >= m.workers {
 		m.maybeFinish()
 	}
 }
 
-// doneClosed reports whether the run has finished (or been cancelled);
-// callers hold mu.
+// doneClosed reports whether the run has finished (or been
+// cancelled).
 func (m *Master) doneClosed() bool {
 	select {
 	case <-m.done:
@@ -523,11 +743,11 @@ func (m *Master) maybeFinish() {
 	}
 }
 
-// FailWorker declares a worker dead: its in-flight chunks (up to two
-// in pipelined mode) are requeued for the surviving workers, and it no
-// longer counts toward run completion. Call it when a slave's
-// connection drops or a heartbeat times out; the loop still completes
-// as long as at least one worker survives.
+// FailWorker declares a worker dead: its in-flight chunks are
+// requeued for the surviving workers, and it no longer counts toward
+// run completion. Call it when a slave's connection drops or a
+// heartbeat times out; the loop still completes as long as at least
+// one worker survives.
 func (m *Master) FailWorker(worker int) error {
 	if worker < 0 || worker >= m.workers {
 		return fmt.Errorf("exec: unknown worker %d", worker)
@@ -537,12 +757,20 @@ func (m *Master) FailWorker(worker int) error {
 	if m.failed[worker] || m.stoppedSet[worker] {
 		return nil // already accounted for
 	}
+	// From here on every grant must see the failure and the requeued
+	// work; the fast path cannot, so retire it for the rest of the run.
+	m.fastOff.Store(true)
 	m.failed[worker] = true
 	m.bus.Publish(telemetry.Event{
 		Kind: telemetry.WorkerTimedOut, Worker: worker, At: m.bus.Now(),
 	})
-	if out := m.outstanding[worker]; len(out) > 0 {
-		delete(m.outstanding, worker)
+	s := &m.slots[worker]
+	s.mu.Lock()
+	s.failed = true
+	out := s.outstanding
+	s.outstanding = nil
+	s.mu.Unlock()
+	if len(out) > 0 {
 		m.requeued = append(m.requeued, out...)
 	}
 	// A worker that dies during the distributed gather must not stall
@@ -565,9 +793,10 @@ func (m *Master) LastContact(worker int) (time.Time, error) {
 	if worker < 0 || worker >= m.workers {
 		return time.Time{}, fmt.Errorf("exec: unknown worker %d", worker)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lastSeen[worker], nil
+	s := &m.slots[worker]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSeen, nil
 }
 
 // WatchTimeouts fails any worker silent for longer than `timeout`,
@@ -590,7 +819,14 @@ func (m *Master) WatchTimeouts(interval, timeout time.Duration, stop <-chan stru
 			m.mu.Lock()
 			var stale []int
 			for w := 0; w < m.workers; w++ {
-				if !m.failed[w] && !m.parked[w] && now.Sub(m.lastSeen[w]) > timeout {
+				if m.failed[w] || m.parked[w] {
+					continue
+				}
+				s := &m.slots[w]
+				s.mu.Lock()
+				silent := now.Sub(s.lastSeen) > timeout
+				s.mu.Unlock()
+				if silent {
 					stale = append(stale, w)
 				}
 			}
@@ -604,14 +840,17 @@ func (m *Master) WatchTimeouts(interval, timeout time.Duration, stop <-chan stru
 }
 
 // Outstanding returns the chunks currently in flight, keyed by worker.
-// Pipelined workers can hold up to two entries: the chunk being
-// computed and the prefetched one.
+// A worker can hold up to window+1 entries: the chunk being computed
+// and its credit window of prefetched ones.
 func (m *Master) Outstanding() map[int][]sched.Assignment {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[int][]sched.Assignment, len(m.outstanding))
-	for w, as := range m.outstanding {
-		out[w] = append([]sched.Assignment(nil), as...)
+	out := make(map[int][]sched.Assignment)
+	for w := range m.slots {
+		s := &m.slots[w]
+		s.mu.Lock()
+		if len(s.outstanding) > 0 {
+			out[w] = append([]sched.Assignment(nil), s.outstanding...)
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
@@ -648,6 +887,7 @@ func (m *Master) Cancel(cause error) {
 	if cause == nil {
 		cause = context.Canceled
 	}
+	m.fastOff.Store(true) // route every new request past the done check
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	select {
@@ -684,10 +924,16 @@ func (m *Master) Wait() ([][]byte, metrics.Report, error) {
 		Scheme:     m.scheme.Name(),
 		Workers:    m.workers,
 		Iterations: m.iterations,
-		Chunks:     m.chunks,
+		Chunks:     int(m.chunks.Load()),
 		Replans:    m.replans,
 		Tp:         m.finished.Sub(m.started).Seconds(),
-		PerWorker:  append([]metrics.Times(nil), m.perWorker...),
+		PerWorker:  make([]metrics.Times, m.workers),
+	}
+	for w := range m.slots {
+		s := &m.slots[w]
+		s.mu.Lock()
+		rep.PerWorker[w] = s.times
+		s.mu.Unlock()
 	}
 	// What is neither computing, communicating nor stalled is waiting.
 	for i := range rep.PerWorker {
@@ -696,8 +942,8 @@ func (m *Master) Wait() ([][]byte, metrics.Report, error) {
 		}
 	}
 	var err error
-	if m.received != m.iterations {
-		err = fmt.Errorf("exec: %d of %d results missing", m.iterations-m.received, m.iterations)
+	if got := int(m.received.Load()); got != m.iterations {
+		err = fmt.Errorf("exec: %d of %d results missing", m.iterations-got, m.iterations)
 	}
 	if m.cancelErr != nil {
 		err = m.cancelErr
@@ -730,6 +976,15 @@ type Worker struct {
 	// runs, hiding the master round-trip whenever it is shorter than
 	// the chunk's computation.
 	Pipeline bool
+	// Transport selects the wire format (empty uses DefaultTransport,
+	// i.e. the LOOPSCHED_TRANSPORT environment variable or the binary
+	// codec).
+	Transport Transport
+	// Window is the credit window on the binary transport: how many
+	// granted chunks the worker queues beyond the one it is computing
+	// (0 means 1). The gob transport ignores it — its protocol carries
+	// one grant per round trip.
+	Window int
 	// Telemetry, when non-nil, receives a ChunkCompleted event for
 	// every chunk this worker computes. TelemetryID and TelemetryShard
 	// label those events; TelemetryID must be the run-global worker id
@@ -763,6 +1018,13 @@ func (w Worker) scale() int {
 		return 1
 	}
 	return w.WorkScale
+}
+
+func (w Worker) window() int {
+	if w.Window < 1 {
+		return 1
+	}
+	return w.Window
 }
 
 // args builds one request from the worker's current state.
@@ -800,17 +1062,34 @@ func (w Worker) Run(addr string) error {
 }
 
 // RunContext is Run with cancellation: the dial honours ctx, and a
-// cancellation mid-run closes the RPC client, which unblocks any
-// in-flight NextChunk call; the method then returns ctx's error.
+// cancellation mid-run closes the connection, which unblocks any
+// in-flight call; the method then returns ctx's error.
 func (w Worker) RunContext(ctx context.Context, addr string) error {
 	if w.Kernel == nil {
 		return errors.New("exec: worker needs a kernel")
+	}
+	transport, ok := w.Transport.Normalize()
+	if !ok {
+		return fmt.Errorf("exec: unknown transport %q", w.Transport)
 	}
 	var dialer net.Dialer
 	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return err
 	}
+	if transport == TransportBinary {
+		err = w.runWire(ctx, conn)
+	} else {
+		err = w.runNetRPC(ctx, conn)
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// runNetRPC drives the original gob protocol over conn.
+func (w Worker) runNetRPC(ctx context.Context, conn net.Conn) error {
 	client := rpc.NewClient(conn)
 	defer client.Close()
 	watchDone := make(chan struct{})
@@ -823,14 +1102,9 @@ func (w Worker) RunContext(ctx context.Context, addr string) error {
 		}
 	}()
 	if w.Pipeline {
-		err = w.runPipelined(client)
-	} else {
-		err = w.runSerial(client)
+		return w.runPipelined(client)
 	}
-	if cerr := ctx.Err(); cerr != nil {
-		return cerr
-	}
-	return err
+	return w.runSerial(client)
 }
 
 // runSerial is the paper's §3.1 slave loop: request, compute, piggy-
@@ -852,6 +1126,19 @@ func (w Worker) runSerial(client *rpc.Client) error {
 		compSeconds = time.Since(start).Seconds()
 		w.publishCompleted(reply.Assign, req.ACP, compSeconds)
 	}
+}
+
+// replyPool recycles the asynchronous call replies of the pipelined
+// gob loop: rpc.Client.Go needs a reply value that outlives the call,
+// and allocating one per chunk made the reply path the loop's only
+// steady-state garbage.
+var replyPool = sync.Pool{New: func() any { return new(ChunkReply) }}
+
+// getReply takes a zeroed reply from the pool.
+func getReply() *ChunkReply {
+	r := replyPool.Get().(*ChunkReply)
+	*r = ChunkReply{}
+	return r
 }
 
 // runPipelined overlaps communication with computation: while the
@@ -894,7 +1181,8 @@ func (w Worker) runPipelined(client *rpc.Client) error {
 			// Launch the prefetch for the next chunk (carrying the
 			// previous chunk's results), then compute this one.
 			req := w.args(true, pending, comp, idle)
-			fetch := client.Go("Master.NextChunk", req, &ChunkReply{}, nil)
+			asyncReply := getReply()
+			fetch := client.Go("Master.NextChunk", req, asyncReply, nil)
 			start := time.Now()
 			results := w.compute(reply.Assign)
 			comp = time.Since(start).Seconds()
@@ -904,9 +1192,11 @@ func (w Worker) runPipelined(client *rpc.Client) error {
 			<-fetch.Done
 			idle = time.Since(waitStart).Seconds() // prefetch-miss stall
 			if fetch.Error != nil {
+				replyPool.Put(asyncReply)
 				return fetch.Error
 			}
-			reply = *fetch.Reply.(*ChunkReply)
+			reply = *asyncReply
+			replyPool.Put(asyncReply)
 			pending = results
 		}
 	}

@@ -1,0 +1,49 @@
+package exec
+
+import "os"
+
+// Transport selects the wire format a worker (or a submaster's root
+// client) speaks to the master. The master itself needs no selection:
+// Serve sniffs the first byte of every connection — binary clients
+// open with the wire preamble (0xA7), gob streams cannot — so one
+// listener serves both protocols at once.
+type Transport string
+
+const (
+	// TransportBinary is the length-prefixed binary framing codec of
+	// internal/wire: no reflection, pooled buffers, batched grants.
+	TransportBinary Transport = "binary"
+	// TransportNetRPC is the original net/rpc + gob protocol, kept as
+	// a fallback and as the cross-version escape hatch.
+	TransportNetRPC Transport = "netrpc"
+)
+
+// TransportEnv is the environment variable consulted by
+// DefaultTransport, letting a test matrix or deployment flip every
+// default-transport client without code changes.
+const TransportEnv = "LOOPSCHED_TRANSPORT"
+
+// DefaultTransport resolves the transport used when none is set
+// explicitly: the LOOPSCHED_TRANSPORT environment variable when it
+// names a known transport, otherwise the binary codec.
+func DefaultTransport() Transport {
+	switch Transport(os.Getenv(TransportEnv)) {
+	case TransportNetRPC:
+		return TransportNetRPC
+	case TransportBinary:
+		return TransportBinary
+	}
+	return TransportBinary
+}
+
+// Normalize maps the zero value to the environment default and
+// reports whether t names a known transport.
+func (t Transport) Normalize() (Transport, bool) {
+	switch t {
+	case "":
+		return DefaultTransport(), true
+	case TransportBinary, TransportNetRPC:
+		return t, true
+	}
+	return t, false
+}

@@ -1,0 +1,195 @@
+package exec
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
+)
+
+func TestTransportNormalize(t *testing.T) {
+	t.Setenv(TransportEnv, "")
+	if tr, ok := Transport("").Normalize(); !ok || tr != TransportBinary {
+		t.Errorf(`Normalize("") = %q, %v; want binary`, tr, ok)
+	}
+	t.Setenv(TransportEnv, "netrpc")
+	if tr, ok := Transport("").Normalize(); !ok || tr != TransportNetRPC {
+		t.Errorf(`Normalize("") with env netrpc = %q, %v`, tr, ok)
+	}
+	t.Setenv(TransportEnv, "carrier-pigeon")
+	if tr := DefaultTransport(); tr != TransportBinary {
+		t.Errorf("unknown env value resolved to %q, want binary", tr)
+	}
+	if _, ok := Transport("carrier-pigeon").Normalize(); ok {
+		t.Error("unknown transport normalized as valid")
+	}
+	if tr, ok := TransportNetRPC.Normalize(); !ok || tr != TransportNetRPC {
+		t.Errorf("Normalize(netrpc) = %q, %v", tr, ok)
+	}
+}
+
+// grantCollector records every granted chunk, in publish order.
+type grantCollector struct {
+	mu     sync.Mutex
+	grants []sched.Assignment
+}
+
+func (g *grantCollector) BeginRun(telemetry.RunMeta) {}
+func (g *grantCollector) Close() error               { return nil }
+func (g *grantCollector) OnEvent(e telemetry.Event) {
+	if e.Kind == telemetry.ChunkGranted || e.Kind == telemetry.ChunkPrefetched {
+		g.mu.Lock()
+		g.grants = append(g.grants, sched.Assignment{Start: e.Start, Size: e.Size})
+		g.mu.Unlock()
+	}
+}
+
+// grantSequence runs one serial worker to completion over the given
+// transport and returns the granted chunk sequence the master
+// published.
+func grantSequence(t *testing.T, transport Transport, s sched.Scheme, n int) []sched.Assignment {
+	t.Helper()
+	bus := telemetry.NewBus(0)
+	col := &grantCollector{}
+	bus.Subscribe(col)
+
+	m, addr, stop := startMaster(t, s, n, 1)
+	defer stop()
+	m.SetTelemetry(bus)
+
+	runWorkers(t, addr, []Worker{{ID: 0, Kernel: intKernel, Transport: transport}})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Fatalf("%s: iterations = %d, want %d", transport, rep.Iterations, n)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("%s: result %d corrupted", transport, i)
+		}
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return col.grants
+}
+
+// TestTransportsGrantIdenticalSequence is the codec-equivalence
+// property: with a deterministic scheme and a single serial worker,
+// the gob and binary protocols must produce the exact same chunk
+// sequence — same starts, same sizes, same order. Any framing or
+// batching bug that loses, reorders or resizes a grant shows up here.
+func TestTransportsGrantIdenticalSequence(t *testing.T) {
+	const n = 700
+	for _, scheme := range []sched.Scheme{sched.TSSScheme{}, sched.GSSScheme{}} {
+		gob := grantSequence(t, TransportNetRPC, scheme, n)
+		bin := grantSequence(t, TransportBinary, scheme, n)
+		if len(gob) == 0 {
+			t.Fatalf("%s: no grants observed over netrpc", scheme.Name())
+		}
+		if len(gob) != len(bin) {
+			t.Fatalf("%s: netrpc granted %d chunks, binary %d", scheme.Name(), len(gob), len(bin))
+		}
+		for i := range gob {
+			if gob[i] != bin[i] {
+				t.Fatalf("%s: grant %d differs: netrpc %+v, binary %+v",
+					scheme.Name(), i, gob[i], bin[i])
+			}
+		}
+		// The sequence must also tile [0, n) exactly.
+		covered := 0
+		next := 0
+		for _, g := range gob {
+			if g.Start != next {
+				t.Fatalf("%s: grant starts at %d, expected %d", scheme.Name(), g.Start, next)
+			}
+			next = g.Start + g.Size
+			covered += g.Size
+		}
+		if covered != n {
+			t.Fatalf("%s: grants cover %d iterations, want %d", scheme.Name(), covered, n)
+		}
+	}
+}
+
+// TestRPCWireCreditWindow runs the batched-grant protocol in anger: a
+// wide credit window, pipelined heterogeneous workers, and a fixed-chunk
+// scheme that exercises the master's lock-free fast path. Every result
+// must arrive exactly once.
+func TestRPCWireCreditWindow(t *testing.T) {
+	const n = 900
+	for _, window := range []int{2, 8} {
+		m, addr, stop := startMaster(t, sched.CSSScheme{K: 5}, n, 3)
+		m.SetWindow(window)
+
+		runWorkers(t, addr, []Worker{
+			{ID: 0, Kernel: intKernel, Transport: TransportBinary, Window: window, Pipeline: true},
+			{ID: 1, Kernel: intKernel, Transport: TransportBinary, Window: window, Pipeline: true, WorkScale: 2},
+			{ID: 2, Kernel: intKernel, Transport: TransportBinary, Window: window},
+		})
+		results, rep, err := m.Wait()
+		stop()
+		if err != nil {
+			t.Fatalf("window %d: %v", window, err)
+		}
+		if rep.Iterations != n {
+			t.Fatalf("window %d: iterations = %d", window, rep.Iterations)
+		}
+		for i, r := range results {
+			if !bytes.Equal(r, intKernel(i)) {
+				t.Fatalf("window %d: result %d corrupted", window, i)
+			}
+		}
+	}
+}
+
+// TestMixedTransportsOneListener: the master's sniffer serves a gob
+// worker and a binary worker over the same listener in the same run.
+func TestMixedTransportsOneListener(t *testing.T) {
+	const n = 600
+	m, addr, stop := startMaster(t, sched.FSSScheme{}, n, 2)
+	defer stop()
+
+	runWorkers(t, addr, []Worker{
+		{ID: 0, Kernel: intKernel, Transport: TransportNetRPC, Pipeline: true},
+		{ID: 1, Kernel: intKernel, Transport: TransportBinary, Window: 2, Pipeline: true},
+	})
+	results, rep, err := m.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != n {
+		t.Fatalf("iterations = %d", rep.Iterations)
+	}
+	for i, r := range results {
+		if !bytes.Equal(r, intKernel(i)) {
+			t.Fatalf("result %d corrupted", i)
+		}
+	}
+}
+
+// TestReplyPoolRecycles guards the pipelined gob loop's reply-path
+// fix: taking and returning the pooled reply must not allocate once
+// the pool is warm, and the reply always comes back zeroed.
+func TestReplyPoolRecycles(t *testing.T) {
+	r := getReply()
+	r.Assign = sched.Assignment{Start: 7, Size: 3}
+	r.Stop = true
+	replyPool.Put(r)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		r := getReply()
+		if r.Assign.Size != 0 || r.Assign.Start != 0 || r.Stop {
+			panic("pooled reply not zeroed")
+		}
+		r.Assign = sched.Assignment{Start: 1, Size: 1}
+		replyPool.Put(r)
+	})
+	if allocs >= 1 {
+		t.Fatalf("pooled reply cycle allocates %.1f times per op, want 0", allocs)
+	}
+}

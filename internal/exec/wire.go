@@ -1,0 +1,289 @@
+package exec
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"net/rpc"
+	"time"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/telemetry"
+	"loopsched/internal/wire"
+)
+
+// This file is the binary-transport half of the chunk protocol: the
+// sniffing connection router shared by the flat master and the
+// hierarchical submasters, the server-side frame loop, and the worker
+// loops that speak internal/wire instead of net/rpc.
+
+// BatchFunc answers one batched chunk request: deposit args.Results,
+// then append up to `credits` grants (or a stop/park verdict) into
+// rep. exec.Master.nextBatch and the hierarchical submaster both
+// implement it.
+type BatchFunc func(args ChunkArgs, credits int, rep *wire.Reply) error
+
+// sniffedConn replays the bytes a protocol sniffer buffered ahead of
+// the gob stream.
+type sniffedConn struct {
+	net.Conn
+	r *bufio.Reader
+}
+
+func (c sniffedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
+
+// ServeSniffed serves one accepted connection, routing by its first
+// byte: the binary wire preamble (wire.Magic, which no gob stream can
+// open with) goes to the framed batch service, everything else to the
+// net/rpc server. It returns when the dialogue ends and closes the
+// connection. bus (nil allowed) receives wire frame counters; shard
+// labels them.
+func ServeSniffed(srv *rpc.Server, conn net.Conn, bus *telemetry.Bus, shard int, batch BatchFunc) {
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if first[0] != wire.Magic {
+		srv.ServeConn(sniffedConn{Conn: conn, r: br})
+		return
+	}
+	if err := wire.ConsumePreamble(br); err != nil {
+		conn.Close()
+		return
+	}
+	defer conn.Close()
+	serveWire(wire.NewServer(conn, br), bus, shard, batch)
+}
+
+// serveWire runs the framed request/reply loop for one worker
+// connection until the stream closes, a frame fails to parse, or a
+// stop reply to a synchronous request completes the dialogue.
+func serveWire(c *wire.Conn, bus *telemetry.Bus, shard int, batch BatchFunc) {
+	c.SetTelemetry(bus, -1, shard)
+	var (
+		req     wire.Request
+		rep     wire.Reply
+		results []ChunkResult
+		labeled bool
+	)
+	for {
+		if err := c.ReadRequest(&req); err != nil {
+			return // closed, cancelled or corrupt: drop the dialogue
+		}
+		if !labeled {
+			c.SetTelemetry(bus, req.Worker, shard)
+			labeled = true
+		}
+		results = results[:0]
+		for _, r := range req.Results {
+			// Record data aliases the connection's read buffer; the
+			// master keeps results for the whole run, so copy here.
+			results = append(results, ChunkResult{
+				Index: r.Index,
+				Data:  append([]byte(nil), r.Data...),
+			})
+		}
+		args := ChunkArgs{
+			Worker:      req.Worker,
+			ACP:         req.ACP,
+			CompSeconds: req.CompSeconds,
+			IdleSeconds: req.IdleSeconds,
+			Results:     results,
+			Prefetch:    req.Prefetch,
+		}
+		stop := false
+		rep.Reset()
+		if err := batch(args, req.Credits, &rep); err != nil {
+			// Mirror net/rpc: the error rides back to the caller, the
+			// connection stays up for the next request.
+			rep.Reset()
+			rep.Err = err.Error()
+		} else {
+			stop = rep.Stop && !req.Prefetch
+		}
+		if err := c.WriteReply(&rep); err != nil {
+			return
+		}
+		if stop {
+			// A stop on a synchronous request is final: the worker had
+			// nothing pending, so the dialogue is complete.
+			return
+		}
+	}
+}
+
+// runWire drives the binary protocol over conn until stopped.
+func (w Worker) runWire(ctx context.Context, conn net.Conn) error {
+	c, err := wire.NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	defer c.Close()
+	c.SetTelemetry(w.Telemetry, w.TelemetryID, w.TelemetryShard)
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.Close()
+		case <-watchDone:
+		}
+	}()
+	if w.Pipeline {
+		return w.runWirePipelined(c)
+	}
+	return w.runWireSerial(c)
+}
+
+// toRecords converts kernel results into wire records, reusing dst's
+// capacity so the steady-state loop allocates nothing.
+func toRecords(dst []wire.Record, results []ChunkResult) []wire.Record {
+	dst = dst[:0]
+	for _, r := range results {
+		dst = append(dst, wire.Record{Index: r.Index, Data: r.Data})
+	}
+	return dst
+}
+
+// wireRequest fills req from the worker's current state and returns
+// the ACP it reported.
+func (w Worker) wireRequest(req *wire.Request, prefetch bool, credits int, records []wire.Record, comp, idle float64) int {
+	load := 0
+	if w.LoadProbe != nil {
+		load = w.LoadProbe()
+	}
+	acpv := w.ACPModel.ACP(w.power(), 1+load)
+	*req = wire.Request{
+		Worker:      w.ID,
+		ACP:         acpv,
+		CompSeconds: comp,
+		IdleSeconds: idle,
+		Prefetch:    prefetch,
+		Credits:     credits,
+		Results:     records,
+	}
+	return acpv
+}
+
+// runWireSerial is the paper's slave loop on the binary transport:
+// one synchronous round trip fetches up to a window of grants, the
+// worker computes them all, and the results ride on the next request.
+func (w Worker) runWireSerial(c *wire.Conn) error {
+	var (
+		req     wire.Request
+		rep     wire.Reply
+		results []ChunkResult
+		records []wire.Record
+		comp    float64
+	)
+	for {
+		records = toRecords(records, results)
+		acpv := w.wireRequest(&req, false, w.window(), records, comp, 0)
+		if err := c.Call(&req, &rep); err != nil {
+			return err
+		}
+		if rep.Stop {
+			return nil
+		}
+		results = results[:0]
+		comp = 0
+		for _, a := range rep.Grants {
+			start := time.Now()
+			rs := w.compute(a)
+			chunkComp := time.Since(start).Seconds()
+			comp += chunkComp
+			w.publishCompleted(a, acpv, chunkComp)
+			results = append(results, rs...)
+		}
+	}
+}
+
+// runWirePipelined is the credit-window loop: the worker keeps up to
+// `window` granted chunks queued beyond the one it is computing, and
+// whenever the queue drops below the refill mark it ships every
+// pending result and asks for the missing credits in one frame that
+// is written before the kernel runs and collected after — so both the
+// upload and the grant latency hide behind computation, and with a
+// window of W one round trip pays for roughly W/2 chunks.
+func (w Worker) runWirePipelined(c *wire.Conn) error {
+	var (
+		req        wire.Request
+		rep        wire.Reply
+		queue      []sched.Assignment
+		pending    []ChunkResult
+		records    []wire.Record
+		comp, idle float64
+		stopSeen   bool
+		lastACP    int
+	)
+	window := w.window()
+	ledger := window + 1
+	refillAt := (window + 1) / 2
+	if refillAt < 1 {
+		refillAt = 1
+	}
+	absorb := func() {
+		if rep.Stop {
+			stopSeen = true
+		}
+		queue = append(queue, rep.Grants...)
+	}
+	for {
+		if len(queue) == 0 {
+			if stopSeen && len(pending) == 0 {
+				return nil
+			}
+			// Synchronous (re)fill: ships everything pending and may
+			// park at the master until work or the end of the run.
+			records = toRecords(records, pending)
+			lastACP = w.wireRequest(&req, false, ledger, records, comp, idle)
+			if err := c.Call(&req, &rep); err != nil {
+				return err
+			}
+			pending, comp, idle = pending[:0], 0, 0
+			absorb()
+			if rep.Stop {
+				return nil // a sync request ships everything, so this is final
+			}
+			continue
+		}
+		a := queue[0]
+		queue = queue[1:]
+		inflight := false
+		if !stopSeen && len(queue) < refillAt {
+			// Refill the credit window (shipping pending results) while
+			// the kernel runs; the reply is collected after the chunk.
+			credits := ledger - len(queue) - 1
+			if credits < 1 {
+				credits = 1
+			}
+			records = toRecords(records, pending)
+			lastACP = w.wireRequest(&req, true, credits, records, comp, idle)
+			if err := c.WriteRequest(&req); err != nil {
+				return err
+			}
+			pending, comp, idle = pending[:0], 0, 0
+			inflight = true
+		}
+		start := time.Now()
+		results := w.compute(a)
+		chunkComp := time.Since(start).Seconds()
+		comp += chunkComp
+		w.publishCompleted(a, lastACP, chunkComp)
+		if inflight {
+			waitStart := time.Now()
+			if err := c.ReadReply(&rep); err != nil {
+				return err
+			}
+			idle += time.Since(waitStart).Seconds() // prefetch-miss stall
+			if rep.Err != "" {
+				return wire.ServerError(rep.Err)
+			}
+			absorb()
+		}
+		pending = append(pending, results...)
+	}
+}

@@ -11,7 +11,60 @@ import (
 	"loopsched/internal/exec"
 	"loopsched/internal/sched"
 	"loopsched/internal/telemetry"
+	"loopsched/internal/wire"
 )
+
+// rootCaller abstracts the submaster's upward link so the root fetch
+// can ride either transport. Calls are serialised by the `fetching`
+// flag — at most one fetch is in flight — so implementations need no
+// internal locking.
+type rootCaller interface {
+	Call(args exec.ChunkArgs, reply *exec.ChunkReply) error
+	Close() error
+}
+
+// netrpcRoot speaks the original gob protocol to the root.
+type netrpcRoot struct{ c *rpc.Client }
+
+func (r netrpcRoot) Call(args exec.ChunkArgs, reply *exec.ChunkReply) error {
+	return r.c.Call("Master.NextChunk", args, reply)
+}
+
+func (r netrpcRoot) Close() error { return r.c.Close() }
+
+// wireRoot speaks the binary framing codec to the root, one
+// super-chunk per round trip (the shard-level pipeline, not the
+// credit window, hides the root latency here).
+type wireRoot struct {
+	c   *wire.Conn
+	req wire.Request
+	rep wire.Reply
+}
+
+func (r *wireRoot) Call(args exec.ChunkArgs, reply *exec.ChunkReply) error {
+	r.req = wire.Request{
+		Worker:      args.Worker,
+		ACP:         args.ACP,
+		CompSeconds: args.CompSeconds,
+		IdleSeconds: args.IdleSeconds,
+		Prefetch:    args.Prefetch,
+		Credits:     1,
+		Results:     r.req.Results[:0],
+	}
+	for _, res := range args.Results {
+		r.req.Results = append(r.req.Results, wire.Record{Index: res.Index, Data: res.Data})
+	}
+	if err := r.c.Call(&r.req, &r.rep); err != nil {
+		return err
+	}
+	reply.Stop = r.rep.Stop
+	if len(r.rep.Grants) > 0 {
+		reply.Assign = r.rep.Grants[0]
+	}
+	return nil
+}
+
+func (r *wireRoot) Close() error { return r.c.Close() }
 
 // Submaster is the middle tier of the RPC hierarchy. To its workers it
 // is indistinguishable from a flat master: it registers the same
@@ -33,7 +86,7 @@ type Submaster struct {
 	workers int
 	scheme  sched.Scheme
 	dist    bool
-	root    *rpc.Client
+	root    rootCaller
 	bg      sync.WaitGroup // in-flight prefetch goroutines
 	serveWG sync.WaitGroup // accept loop + per-connection servers
 
@@ -66,21 +119,50 @@ type Submaster struct {
 }
 
 // NewSubmaster connects shard `shard` to the root master at rootAddr,
-// serving `workers` local slaves under the scheme.
+// serving `workers` local slaves under the scheme. The root link uses
+// exec.DefaultTransport (the LOOPSCHED_TRANSPORT environment variable
+// or the binary codec); use NewSubmasterTransport to pick explicitly.
 func NewSubmaster(shard int, scheme sched.Scheme, workers int, rootAddr string) (*Submaster, error) {
+	return NewSubmasterTransport(shard, scheme, workers, rootAddr, "")
+}
+
+// NewSubmasterTransport is NewSubmaster with an explicit root-link
+// transport (empty means exec.DefaultTransport). The worker-facing
+// listener always speaks both: Serve routes each connection by
+// sniffing its first byte, exactly like the flat master.
+func NewSubmasterTransport(shard int, scheme sched.Scheme, workers int, rootAddr string, transport exec.Transport) (*Submaster, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("hier: submaster needs at least one worker")
 	}
-	client, err := rpc.Dial("tcp", rootAddr)
-	if err != nil {
-		return nil, err
+	transport, ok := transport.Normalize()
+	if !ok {
+		return nil, fmt.Errorf("hier: unknown transport %q", transport)
+	}
+	var root rootCaller
+	if transport == exec.TransportNetRPC {
+		client, err := rpc.Dial("tcp", rootAddr)
+		if err != nil {
+			return nil, err
+		}
+		root = netrpcRoot{client}
+	} else {
+		conn, err := net.Dial("tcp", rootAddr)
+		if err != nil {
+			return nil, err
+		}
+		wc, err := wire.NewClient(conn)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+		root = &wireRoot{c: wc}
 	}
 	s := &Submaster{
 		shard:   shard,
 		workers: workers,
 		scheme:  scheme,
 		dist:    sched.Distributed(scheme),
-		root:    client,
+		root:    root,
 		liveACP: make([]int, workers),
 		seen:    make([]bool, workers),
 		done:    make(chan struct{}),
@@ -111,7 +193,9 @@ func (s *Submaster) telemetryID(local int) int {
 }
 
 // Serve registers the submaster under the flat master's service name
-// and accepts worker connections until the listener closes.
+// and accepts worker connections until the listener closes. Like the
+// flat master it sniffs each connection's first byte, so gob and
+// binary workers coexist on one listener.
 func (s *Submaster) Serve(l net.Listener) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Master", s); err != nil {
@@ -127,14 +211,48 @@ func (s *Submaster) Serve(l net.Listener) error {
 			}
 			s.mu.Lock()
 			s.conns = append(s.conns, conn)
+			bus := s.bus
 			s.mu.Unlock()
 			s.serveWG.Add(1)
 			go func() {
 				defer s.serveWG.Done()
-				srv.ServeConn(conn)
+				exec.ServeSniffed(srv, conn, bus, s.shard, s.nextBatch)
 			}()
 		}
 	}()
+	return nil
+}
+
+// nextBatch adapts the submaster to the batched wire service: the
+// first grant carries NextChunk's full semantics (parking a drained
+// worker, stop on completion), and the remaining credits are filled
+// best-effort from the already planned local stage — top-ups use the
+// prefetch form, which never blocks and keeps the root pipeline
+// primed, so a batched worker cannot deadlock the shard.
+func (s *Submaster) nextBatch(args exec.ChunkArgs, credits int, rep *wire.Reply) error {
+	var first exec.ChunkReply
+	if err := s.NextChunk(args, &first); err != nil {
+		return err
+	}
+	if first.Stop {
+		rep.Stop = true
+		return nil
+	}
+	if first.Assign.Size == 0 {
+		return nil // empty prefetch answer: ask again plainly
+	}
+	rep.Grants = append(rep.Grants, first.Assign)
+	topup := exec.ChunkArgs{Worker: args.Worker, ACP: args.ACP, Prefetch: true}
+	for len(rep.Grants) < credits {
+		var r exec.ChunkReply
+		if err := s.NextChunk(topup, &r); err != nil {
+			return err
+		}
+		if r.Assign.Size == 0 {
+			break
+		}
+		rep.Grants = append(rep.Grants, r.Assign)
+	}
 	return nil
 }
 
@@ -377,7 +495,7 @@ func (s *Submaster) launchPrefetchLocked() {
 	go func() {
 		defer s.bg.Done()
 		var reply exec.ChunkReply
-		err := s.root.Call("Master.NextChunk", args, &reply)
+		err := s.root.Call(args, &reply)
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.fetching = false
@@ -401,7 +519,7 @@ func (s *Submaster) blockingFetchLocked() error {
 	args := s.takeFetchArgs(false)
 	s.mu.Unlock()
 	var reply exec.ChunkReply
-	err := s.root.Call("Master.NextChunk", args, &reply)
+	err := s.root.Call(args, &reply)
 	s.mu.Lock()
 	s.fetching = false
 	if err != nil {

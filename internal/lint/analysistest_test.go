@@ -30,7 +30,8 @@ func stdExports(t *testing.T) map[string]string {
 	t.Helper()
 	exportsOnce.Do(func() {
 		exports, exportsErr = lint.ExportMap(".",
-			"context", "sync", "net", "net/rpc", "time", "fmt", "errors", "math")
+			"context", "sync", "net", "net/rpc", "time", "fmt", "errors", "math",
+			"loopsched/internal/wire")
 	})
 	if exportsErr != nil {
 		t.Fatalf("building std export data: %v", exportsErr)

@@ -6,8 +6,10 @@ import (
 )
 
 // CtxLoop flags for-loops that block — receiving from a channel,
-// waiting on a sync.Cond, or issuing a net/rpc round-trip — without
-// observing any cancellation or termination signal on some path.
+// waiting on a sync.Cond, issuing a net/rpc round-trip, or reading
+// from a wire.Conn (the binary framing codec blocks the same way) —
+// without observing any cancellation or termination signal on some
+// path.
 //
 // This is the invariant behind the hand-threaded shutdown plumbing in
 // internal/{exec,hier,mp,sim}: every blocking service loop must be
@@ -71,8 +73,19 @@ func blockingKind(pass *Pass, loop *ast.ForStmt) string {
 						kind = "cond.Wait"
 					}
 				case "Call":
-					if tv, ok := pass.TypesInfo.Types[recv]; ok && isNamedType(tv.Type, "net/rpc", "Client") {
-						kind = "rpc round-trip"
+					if tv, ok := pass.TypesInfo.Types[recv]; ok {
+						if isNamedType(tv.Type, "net/rpc", "Client") {
+							kind = "rpc round-trip"
+						} else if isNamedType(tv.Type, "loopsched/internal/wire", "Conn") {
+							kind = "wire round-trip"
+						}
+					}
+				case "ReadRequest", "ReadReply":
+					// The framed codec's reads block exactly like an rpc
+					// round-trip: only a closed connection or a Stop reply
+					// ends them.
+					if tv, ok := pass.TypesInfo.Types[recv]; ok && isNamedType(tv.Type, "loopsched/internal/wire", "Conn") {
+						kind = "wire read"
 					}
 				}
 			}

@@ -6,6 +6,8 @@ import (
 	"context"
 	"net/rpc"
 	"sync"
+
+	"loopsched/internal/wire"
 )
 
 // Flagged: receives forever with no way to observe shutdown.
@@ -34,6 +36,31 @@ func callForever(client *rpc.Client, acc *int) error {
 			return err
 		}
 		*acc += reply
+	}
+}
+
+// Flagged: a framed-codec request loop with no termination evidence —
+// only a transport error ends it, exactly the rpc.Client case.
+func wireCallForever(c *wire.Conn, acc *int) error {
+	var req wire.Request
+	var rep wire.Reply
+	for { // want `blocking loop \(wire round-trip\) never observes ctx\.Done`
+		if err := c.Call(&req, &rep); err != nil {
+			return err
+		}
+		*acc += len(rep.Grants)
+	}
+}
+
+// Flagged: a server-side read loop that never checks for the Stop
+// handshake.
+func wireReadForever(c *wire.Conn, acc *int) error {
+	var req wire.Request
+	for { // want `blocking loop \(wire read\) never observes ctx\.Done`
+		if err := c.ReadRequest(&req); err != nil {
+			return err
+		}
+		*acc += len(req.Results)
 	}
 }
 
@@ -74,6 +101,21 @@ func callWithStop(client *rpc.Client, acc *int) error {
 			return nil
 		}
 		*acc += reply.Size
+	}
+}
+
+// Clean: the wire protocol's Stop reply terminates the loop.
+func wireCallWithStop(c *wire.Conn, acc *int) error {
+	var req wire.Request
+	var rep wire.Reply
+	for {
+		if err := c.Call(&req, &rep); err != nil {
+			return err
+		}
+		if rep.Stop {
+			return nil
+		}
+		*acc += len(rep.Grants)
 	}
 }
 

@@ -42,6 +42,12 @@ func (c *cssPolicy) Next(req Request) (Assignment, bool) {
 	return c.take(c.k)
 }
 
+// FixedChunk implements FixedChunker: every CSS grant is exactly K
+// iterations (modulo the final clip), independent of request order.
+func (s CSSScheme) FixedChunk(cfg Config) (int, bool) {
+	return s.chunk(), true
+}
+
 // SelfScheduling is the pure SS scheme (CSS with K = 1).
 var SelfScheduling = CSSScheme{K: 1}
 

@@ -135,6 +135,33 @@ func Distributed(s Scheme) bool {
 	return false
 }
 
+// FixedChunker is implemented by schemes whose policies hand every
+// requester the same fixed chunk size regardless of request order or
+// worker identity (SS, CSS). For those, "next chunk" reduces to a
+// fetch-and-add on a shared iteration counter, so a master may grant
+// without serialising requests through the policy lock. Stage-based
+// schemes (GSS, TSS, factoring, ...) cannot implement this: their
+// chunk size depends on how much has already been assigned.
+type FixedChunker interface {
+	Scheme
+	// FixedChunk returns the constant chunk size the scheme would use
+	// under cfg, and true; or 0 and false when the configuration makes
+	// the size non-constant.
+	FixedChunk(cfg Config) (int, bool)
+}
+
+// FixedChunk reports the constant chunk size of s under cfg, when s
+// grants one. The final chunk is still clipped to the remaining
+// iterations, exactly as the policy's counter would (equation (1));
+// clipping does not disqualify a scheme.
+func FixedChunk(s Scheme, cfg Config) (int, bool) {
+	f, ok := s.(FixedChunker)
+	if !ok || cfg.NoClip {
+		return 0, false
+	}
+	return f.FixedChunk(cfg)
+}
+
 // counter is the shared bookkeeping every policy embeds: the next
 // iteration index and clipping per equation (1) of the paper.
 type counter struct {

@@ -32,6 +32,15 @@ type workerStats struct {
 	ACP        int     // last reported available computing power, percent
 }
 
+// wireStats accumulates one direction of binary-protocol frame
+// traffic (sent or received).
+type wireStats struct {
+	Frames   uint64  // frames on the wire
+	Bytes    uint64  // bytes on the wire, length prefix included
+	Items    uint64  // batch items carried (results or grants)
+	CodecSec float64 // encode (sent) / decode (received) seconds
+}
+
 // Aggregator is a bus Subscriber that maintains the counters behind
 // the /metrics and /debug/vars endpoints. All methods are safe for
 // concurrent use: OnEvent runs on the bus drainer while WriteProm runs
@@ -44,7 +53,8 @@ type Aggregator struct {
 	runs     uint64
 	kinds    [kindCount]uint64
 	workers  map[workerKey]*workerStats
-	latCount [9]uint64 // len(latencyBuckets)+1, last is +Inf
+	wire     [2]wireStats // [0] sent, [1] received
+	latCount [9]uint64    // len(latencyBuckets)+1, last is +Inf
 	latSum   float64
 	latN     uint64
 }
@@ -90,6 +100,16 @@ func (a *Aggregator) OnEvent(e Event) {
 		w.CompSec += e.Seconds
 	case WorkerJoined, ChunkRequested:
 		a.worker(e)
+	case WireFrameSent, WireFrameReceived:
+		dir := 0
+		if e.Kind == WireFrameReceived {
+			dir = 1
+		}
+		ws := &a.wire[dir]
+		ws.Frames++
+		ws.Bytes += uint64(e.Size)
+		ws.Items += uint64(e.Start)
+		ws.CodecSec += e.Seconds
 	}
 }
 
@@ -133,6 +153,8 @@ type Snapshot struct {
 	Stages         uint64
 	Dropped        uint64
 	Workers        map[string]workerStats
+	WireSent       wireStats
+	WireReceived   wireStats
 	LatencySum     float64
 	LatencyCount   uint64
 }
@@ -154,6 +176,8 @@ func (a *Aggregator) Snapshot() Snapshot {
 		PrefetchHits:   a.kinds[ChunkPrefetched],
 		PrefetchMisses: a.kinds[PrefetchMissed],
 		ChunksGranted:  a.kinds[ChunkGranted] + a.kinds[ChunkPrefetched],
+		WireSent:       a.wire[0],
+		WireReceived:   a.wire[1],
 		LatencySum:     a.latSum,
 		LatencyCount:   a.latN,
 	}
@@ -184,6 +208,7 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	meta := a.meta
 	runs := a.runs
 	kinds := a.kinds
+	wire := a.wire
 	lat := a.latCount
 	latSum, latN := a.latSum, a.latN
 	type workerRow struct {
@@ -280,6 +305,28 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	pf("loopsched_scheduling_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	pf("loopsched_scheduling_latency_seconds_sum %g\n", latSum)
 	pf("loopsched_scheduling_latency_seconds_count %d\n", latN)
+
+	dirs := [2]string{"sent", "received"}
+	pf("# HELP loopsched_wire_frames_total Binary-protocol frames by direction.\n")
+	pf("# TYPE loopsched_wire_frames_total counter\n")
+	for i, d := range dirs {
+		pf("loopsched_wire_frames_total{dir=%q} %d\n", d, wire[i].Frames)
+	}
+	pf("# HELP loopsched_wire_bytes_total Binary-protocol bytes on the wire by direction.\n")
+	pf("# TYPE loopsched_wire_bytes_total counter\n")
+	for i, d := range dirs {
+		pf("loopsched_wire_bytes_total{dir=%q} %d\n", d, wire[i].Bytes)
+	}
+	pf("# HELP loopsched_wire_batch_items_total Batch items (completion records / grants) carried in frames.\n")
+	pf("# TYPE loopsched_wire_batch_items_total counter\n")
+	for i, d := range dirs {
+		pf("loopsched_wire_batch_items_total{dir=%q} %d\n", d, wire[i].Items)
+	}
+	pf("# HELP loopsched_wire_codec_seconds_total Frame encode (sent) and decode (received) seconds.\n")
+	pf("# TYPE loopsched_wire_codec_seconds_total counter\n")
+	for i, d := range dirs {
+		pf("loopsched_wire_codec_seconds_total{dir=%q} %g\n", d, wire[i].CodecSec)
+	}
 
 	pf("# HELP loopsched_shard_steals_total Completed shard steals at the hier root.\n")
 	pf("# TYPE loopsched_shard_steals_total counter\n")

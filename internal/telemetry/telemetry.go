@@ -87,6 +87,18 @@ const (
 	// next super-chunk.
 	StageAdvanced
 
+	// WireFrameSent marks one binary-protocol frame written to a
+	// connection. Size is the frame's bytes on the wire (header
+	// included), Start the batch item count it carried (completion
+	// records for requests, grants for replies), Seconds the encode
+	// time. Worker/Shard label the connection's owner.
+	WireFrameSent
+
+	// WireFrameReceived marks one binary-protocol frame decoded from
+	// a connection, with the same field semantics as WireFrameSent
+	// (Seconds is the decode time).
+	WireFrameReceived
+
 	kindCount // number of kinds; keep last
 )
 
@@ -107,6 +119,8 @@ var kindNames = [kindCount]string{
 	ShardStealStarted: "shard_steal_started",
 	ShardStealDone:    "shard_steal_done",
 	StageAdvanced:     "stage_advanced",
+	WireFrameSent:     "wire_frame_sent",
+	WireFrameReceived: "wire_frame_received",
 }
 
 // String returns the stable snake_case name of the kind.

@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"loopsched/internal/telemetry"
+)
+
+// Conn frames Requests and Replies over a byte stream. A Conn is the
+// unit of the protocol's concurrency model: the chunk dialogue is
+// strictly request/reply per connection (each worker holds its own),
+// so reads and writes each need a single owner and no internal
+// locking. Decoded payloads alias the Conn's read buffer and are valid
+// until the next Read* call.
+type Conn struct {
+	rwc io.ReadWriteCloser
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	rbuf []byte                      // frame-body scratch, grown incrementally
+	hdr  [binary.MaxVarintLen64]byte // length-prefix scratch (kept off the stack so it cannot escape per frame)
+
+	bus    *telemetry.Bus // nil disables wire counters
+	worker int
+	shard  int
+}
+
+// NewClient wraps a client-side connection: it writes the protocol
+// preamble so a sniffing server can route the stream, and returns the
+// framed Conn.
+func NewClient(rwc io.ReadWriteCloser) (*Conn, error) {
+	c := newConn(rwc, nil)
+	if _, err := c.bw.Write(preamble[:]); err != nil {
+		return nil, fmt.Errorf("wire: writing preamble: %w", err)
+	}
+	return c, nil
+}
+
+// NewServer wraps a server-side connection whose 4-byte preamble has
+// already been consumed by the listener's protocol sniffer. br, if
+// non-nil, is the buffered reader the sniffer used (it may hold
+// already-buffered frame bytes).
+func NewServer(rwc io.ReadWriteCloser, br *bufio.Reader) *Conn {
+	return newConn(rwc, br)
+}
+
+func newConn(rwc io.ReadWriteCloser, br *bufio.Reader) *Conn {
+	if br == nil {
+		br = bufio.NewReader(rwc)
+	}
+	return &Conn{rwc: rwc, br: br, bw: bufio.NewWriter(rwc)}
+}
+
+// ConsumePreamble reads and validates a client preamble whose Magic
+// byte has already been peeked (not consumed) on br.
+func ConsumePreamble(br *bufio.Reader) error {
+	var p [4]byte
+	if _, err := io.ReadFull(br, p[:]); err != nil {
+		return fmt.Errorf("wire: reading preamble: %w", err)
+	}
+	if p[0] != Magic || p[1] != 'L' || p[2] != 'S' {
+		return fmt.Errorf("%w: bad preamble % x", ErrCorrupt, p)
+	}
+	if p[3] != Version {
+		return fmt.Errorf("%w: peer speaks v%d, this side v%d", ErrVersion, p[3], Version)
+	}
+	return nil
+}
+
+// SetTelemetry attaches an event bus: every frame written or read
+// publishes a WireFrameSent / WireFrameReceived event carrying the
+// frame size, batch item count and encode/decode time. worker and
+// shard label the events. A nil bus (the default) is free.
+func (c *Conn) SetTelemetry(bus *telemetry.Bus, worker, shard int) {
+	c.bus = bus
+	c.worker = worker
+	c.shard = shard
+}
+
+// Close closes the underlying stream, failing any blocked Read.
+func (c *Conn) Close() error { return c.rwc.Close() }
+
+// writeFrame appends the body's length prefix and the body to the
+// stream and flushes. items is the batch size for telemetry.
+func (c *Conn) writeFrame(body []byte, items int, encodeSec float64) error {
+	n := binary.PutUvarint(c.hdr[:], uint64(len(body)))
+	if _, err := c.bw.Write(c.hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(body); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if c.bus != nil {
+		c.bus.Publish(telemetry.Event{
+			Kind: telemetry.WireFrameSent, Worker: c.worker, Shard: c.shard,
+			Start: items, Size: n + len(body),
+			At: c.bus.Now(), Seconds: encodeSec,
+		})
+	}
+	return nil
+}
+
+// WriteRequest encodes and sends one request frame.
+func (c *Conn) WriteRequest(r *Request) error {
+	var t0 time.Time
+	if c.bus != nil {
+		t0 = time.Now()
+	}
+	bp := bufPool.Get().(*[]byte)
+	body, err := appendRequest((*bp)[:0], r)
+	if err != nil {
+		bufPool.Put(bp)
+		return err
+	}
+	*bp = body
+	var enc float64
+	if c.bus != nil {
+		enc = time.Since(t0).Seconds()
+	}
+	err = c.writeFrame(body, len(r.Results), enc)
+	bufPool.Put(bp)
+	return err
+}
+
+// WriteReply encodes and sends one reply frame.
+func (c *Conn) WriteReply(r *Reply) error {
+	var t0 time.Time
+	if c.bus != nil {
+		t0 = time.Now()
+	}
+	bp := bufPool.Get().(*[]byte)
+	body, err := appendReply((*bp)[:0], r)
+	if err != nil {
+		bufPool.Put(bp)
+		return err
+	}
+	*bp = body
+	var enc float64
+	if c.bus != nil {
+		enc = time.Since(t0).Seconds()
+	}
+	err = c.writeFrame(body, len(r.Grants), enc)
+	bufPool.Put(bp)
+	return err
+}
+
+// readBody reads an n-byte frame body into the Conn's scratch buffer.
+// The buffer grows incrementally as bytes actually arrive, so a lying
+// length header on a truncated stream cannot force a large
+// allocation.
+func (c *Conn) readBody(n int) ([]byte, error) {
+	if n <= cap(c.rbuf) {
+		buf := c.rbuf[:n]
+		if _, err := io.ReadFull(c.br, buf); err != nil {
+			return nil, noEOF(err)
+		}
+		return buf, nil
+	}
+	buf := c.rbuf[:cap(c.rbuf)]
+	filled := 0
+	for filled < n {
+		if filled == len(buf) {
+			step := len(buf)
+			if step < 4<<10 {
+				step = 4 << 10
+			}
+			if step > 1<<20 {
+				step = 1 << 20
+			}
+			if rest := n - len(buf); step > rest {
+				step = rest
+			}
+			buf = append(buf, make([]byte, step)...)
+		}
+		m, err := c.br.Read(buf[filled:])
+		filled += m
+		if err != nil {
+			return nil, noEOF(err)
+		}
+	}
+	c.rbuf = buf
+	return buf[:n], nil
+}
+
+// noEOF converts a mid-frame EOF into ErrUnexpectedEOF, so only a
+// clean close between frames reads as io.EOF.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// readFrame reads one length-prefixed frame body. io.EOF is returned
+// untouched only for a connection closed between frames.
+func (c *Conn) readFrame() ([]byte, error) {
+	size, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return nil, err
+	}
+	if size > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, size)
+	}
+	if size == 0 {
+		return nil, fmt.Errorf("%w: empty frame", ErrCorrupt)
+	}
+	return c.readBody(int(size))
+}
+
+// publishReceived reports one decoded frame to the telemetry bus.
+func (c *Conn) publishReceived(items, size int, decodeSec float64) {
+	if c.bus == nil {
+		return
+	}
+	c.bus.Publish(telemetry.Event{
+		Kind: telemetry.WireFrameReceived, Worker: c.worker, Shard: c.shard,
+		Start: items, Size: size,
+		At: c.bus.Now(), Seconds: decodeSec,
+	})
+}
+
+// ReadRequest blocks for the next request frame and decodes it into
+// r, reusing r's slices. Record data is valid until the next Read* on
+// this Conn.
+func (c *Conn) ReadRequest(r *Request) error {
+	body, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	var t0 time.Time
+	if c.bus != nil {
+		t0 = time.Now()
+	}
+	if err := decodeRequest(body, r); err != nil {
+		return err
+	}
+	var dec float64
+	if c.bus != nil {
+		dec = time.Since(t0).Seconds()
+	}
+	c.publishReceived(len(r.Results), len(body), dec)
+	return nil
+}
+
+// ReadReply blocks for the next reply frame and decodes it into r,
+// reusing r's slices.
+func (c *Conn) ReadReply(r *Reply) error {
+	body, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	var t0 time.Time
+	if c.bus != nil {
+		t0 = time.Now()
+	}
+	if err := decodeReply(body, r); err != nil {
+		return err
+	}
+	var dec float64
+	if c.bus != nil {
+		dec = time.Since(t0).Seconds()
+	}
+	c.publishReceived(len(r.Grants), len(body), dec)
+	return nil
+}
+
+// Call performs one synchronous round trip: write the request, block
+// for the reply. A protocol-level failure reported by the server
+// surfaces as a ServerError.
+func (c *Conn) Call(req *Request, rep *Reply) error {
+	if err := c.WriteRequest(req); err != nil {
+		return err
+	}
+	if err := c.ReadReply(rep); err != nil {
+		return err
+	}
+	if rep.Err != "" {
+		return ServerError(rep.Err)
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation allocates on paths that are
+// allocation-free in production builds.
+const raceEnabled = true

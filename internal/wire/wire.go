@@ -1,0 +1,367 @@
+// Package wire implements the binary wire protocol of the chunk
+// runtimes: a length-prefixed, varint-headed framing codec for the
+// master–slave self-scheduling dialogue that replaces net/rpc's
+// reflective gob encoding on the hot path.
+//
+// Design constraints, in order:
+//
+//  1. No reflection and no per-frame allocations on the steady-state
+//     path. Frames encode into pooled buffers (sync.Pool) and decode
+//     into caller-owned structs whose slices are reused call over
+//     call; decoded []byte payloads alias the connection's read
+//     buffer and are valid until the next Read on the same Conn.
+//  2. The decoder must never panic and never over-allocate on
+//     corrupt, truncated or oversized input: every count is validated
+//     against the bytes actually present before memory is reserved,
+//     and the frame-body buffer grows incrementally as payload bytes
+//     arrive, so a lying length header cannot reserve gigabytes.
+//  3. One frame carries a batch. A request ships N completion
+//     records and asks for up to Credits grants; a reply grants up to
+//     that many chunks. This generalises the RPC runtime's two-slot
+//     prefetch to a configurable credit window.
+//
+// Frame layout (see docs/PROTOCOL.md for the normative description):
+//
+//	uvarint bodyLen | body
+//
+//	request body: 0x01 | uvarint worker | uvarint acp |
+//	              fixed64 compSeconds | fixed64 idleSeconds |
+//	              flags (bit0 prefetch) | uvarint credits |
+//	              uvarint nResults | nResults × record
+//	record:       uvarint index | uvarint dataLen | dataLen bytes
+//
+//	reply body:   0x02 | flags (bit0 stop, bit1 error) |
+//	              [uvarint errLen | errLen bytes] |
+//	              uvarint nGrants | nGrants × (uvarint start | uvarint size)
+//
+// A connection opens with a 4-byte preamble (Magic 'L' 'S' Version)
+// written by the client, which lets a server share one listener
+// between this protocol and net/rpc by sniffing the first byte: gob's
+// self-describing streams never start with Magic.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"loopsched/internal/sched"
+)
+
+const (
+	// Magic is the first byte of the connection preamble. It is
+	// deliberately outside the range a gob stream can start with (gob
+	// messages open with a small positive byte count), so a listener
+	// can sniff one byte to tell the two protocols apart.
+	Magic = 0xA7
+
+	// Version is the protocol revision carried in the preamble's
+	// fourth byte. Decoders reject preambles from a later major
+	// revision instead of misparsing them.
+	Version = 1
+
+	// MaxFrame bounds a frame body. Matches the mp transport's 1 GiB
+	// sanity limit; anything larger is a corrupt or hostile header.
+	MaxFrame = 1 << 30
+
+	frameRequest = 0x01
+	frameReply   = 0x02
+
+	flagPrefetch = 1 << 0
+	flagStop     = 1 << 0
+	flagError    = 1 << 1
+)
+
+// preamble is the client hello: Magic, "LS", Version.
+var preamble = [4]byte{Magic, 'L', 'S', Version}
+
+// Exported decode errors. Decode failures that carry positional
+// detail wrap one of these, so callers can errors.Is them.
+var (
+	// ErrTooLarge marks a frame whose claimed body exceeds MaxFrame.
+	ErrTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrCorrupt marks a structurally invalid frame body.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrVersion marks a preamble from an incompatible revision.
+	ErrVersion = errors.New("wire: incompatible protocol version")
+)
+
+// ServerError is a protocol-level failure reported by the remote
+// master inside a reply frame (the binary analogue of
+// rpc.ServerError).
+type ServerError string
+
+func (e ServerError) Error() string { return string(e) }
+
+// Record is one piggy-backed iteration result.
+type Record struct {
+	Index int
+	Data  []byte
+}
+
+// Request is a slave's work request: the previous batch's completion
+// records ride along, and Credits asks for up to that many grants in
+// the reply.
+type Request struct {
+	Worker      int
+	ACP         int
+	CompSeconds float64
+	IdleSeconds float64
+	Prefetch    bool
+	Credits     int
+	Results     []Record
+}
+
+// reset clears the request for reuse, keeping slice capacity.
+func (r *Request) reset() {
+	r.Results = r.Results[:0]
+	*r = Request{Results: r.Results}
+}
+
+// Reply is the master's answer: up to Credits grants, a stop flag, or
+// a protocol error.
+type Reply struct {
+	Stop   bool
+	Err    string
+	Grants []sched.Assignment
+}
+
+// Reset clears the reply for reuse, keeping slice capacity.
+func (r *Reply) Reset() {
+	r.Grants = r.Grants[:0]
+	*r = Reply{Grants: r.Grants}
+}
+
+// bufPool recycles frame encode buffers across connections.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// appendRequest encodes the request body (type byte included) onto b.
+func appendRequest(b []byte, r *Request) ([]byte, error) {
+	if r.Worker < 0 || r.ACP < 0 || r.Credits < 0 {
+		return b, fmt.Errorf("%w: negative request field", ErrCorrupt)
+	}
+	b = append(b, frameRequest)
+	b = binary.AppendUvarint(b, uint64(r.Worker))
+	b = binary.AppendUvarint(b, uint64(r.ACP))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.CompSeconds))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.IdleSeconds))
+	var flags byte
+	if r.Prefetch {
+		flags |= flagPrefetch
+	}
+	b = append(b, flags)
+	b = binary.AppendUvarint(b, uint64(r.Credits))
+	b = binary.AppendUvarint(b, uint64(len(r.Results)))
+	for _, rec := range r.Results {
+		if rec.Index < 0 {
+			return b, fmt.Errorf("%w: negative result index", ErrCorrupt)
+		}
+		b = binary.AppendUvarint(b, uint64(rec.Index))
+		b = binary.AppendUvarint(b, uint64(len(rec.Data)))
+		b = append(b, rec.Data...)
+	}
+	return b, nil
+}
+
+// appendReply encodes the reply body (type byte included) onto b.
+func appendReply(b []byte, r *Reply) ([]byte, error) {
+	b = append(b, frameReply)
+	var flags byte
+	if r.Stop {
+		flags |= flagStop
+	}
+	if r.Err != "" {
+		flags |= flagError
+	}
+	b = append(b, flags)
+	if r.Err != "" {
+		b = binary.AppendUvarint(b, uint64(len(r.Err)))
+		b = append(b, r.Err...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Grants)))
+	for _, g := range r.Grants {
+		if g.Start < 0 || g.Size < 0 {
+			return b, fmt.Errorf("%w: negative grant field", ErrCorrupt)
+		}
+		b = binary.AppendUvarint(b, uint64(g.Start))
+		b = binary.AppendUvarint(b, uint64(g.Size))
+	}
+	return b, nil
+}
+
+// decoder walks one frame body. All methods validate against the
+// bytes that are actually present before touching memory.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) remaining() int { return len(d.b) - d.off }
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint at offset %d", ErrCorrupt, d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+// smallInt decodes a uvarint that must fit a non-negative int and be
+// sane for a count/index (≤ MaxFrame).
+func (d *decoder) smallInt(what string) (int, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > MaxFrame {
+		return 0, fmt.Errorf("%w: %s %d out of range", ErrCorrupt, what, v)
+	}
+	return int(v), nil
+}
+
+func (d *decoder) float64() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated float at offset %d", ErrCorrupt, d.off)
+	}
+	bits := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+func (d *decoder) byte(what string) (byte, error) {
+	if d.remaining() < 1 {
+		return 0, fmt.Errorf("%w: missing %s", ErrCorrupt, what)
+	}
+	c := d.b[d.off]
+	d.off++
+	return c, nil
+}
+
+// bytes returns n payload bytes aliasing the frame buffer.
+func (d *decoder) bytes(n int, what string) ([]byte, error) {
+	if n > d.remaining() {
+		return nil, fmt.Errorf("%w: %s claims %d bytes, %d left", ErrCorrupt, what, n, d.remaining())
+	}
+	p := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return p, nil
+}
+
+// decodeRequest parses a request body into r, reusing r.Results.
+// Record data aliases body.
+func decodeRequest(body []byte, r *Request) error {
+	d := decoder{b: body}
+	typ, err := d.byte("frame type")
+	if err != nil {
+		return err
+	}
+	if typ != frameRequest {
+		return fmt.Errorf("%w: want request frame, got type 0x%02x", ErrCorrupt, typ)
+	}
+	r.reset()
+	if r.Worker, err = d.smallInt("worker"); err != nil {
+		return err
+	}
+	if r.ACP, err = d.smallInt("acp"); err != nil {
+		return err
+	}
+	if r.CompSeconds, err = d.float64(); err != nil {
+		return err
+	}
+	if r.IdleSeconds, err = d.float64(); err != nil {
+		return err
+	}
+	flags, err := d.byte("flags")
+	if err != nil {
+		return err
+	}
+	r.Prefetch = flags&flagPrefetch != 0
+	if r.Credits, err = d.smallInt("credits"); err != nil {
+		return err
+	}
+	n, err := d.smallInt("result count")
+	if err != nil {
+		return err
+	}
+	// Each record takes at least two bytes; a count beyond that is a
+	// lie — reject before reserving anything.
+	if n > d.remaining()/2 {
+		return fmt.Errorf("%w: %d results cannot fit in %d bytes", ErrCorrupt, n, d.remaining())
+	}
+	for i := 0; i < n; i++ {
+		var rec Record
+		if rec.Index, err = d.smallInt("result index"); err != nil {
+			return err
+		}
+		size, err := d.smallInt("result size")
+		if err != nil {
+			return err
+		}
+		if rec.Data, err = d.bytes(size, "result data"); err != nil {
+			return err
+		}
+		r.Results = append(r.Results, rec)
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	return nil
+}
+
+// decodeReply parses a reply body into r, reusing r.Grants.
+func decodeReply(body []byte, r *Reply) error {
+	d := decoder{b: body}
+	typ, err := d.byte("frame type")
+	if err != nil {
+		return err
+	}
+	if typ != frameReply {
+		return fmt.Errorf("%w: want reply frame, got type 0x%02x", ErrCorrupt, typ)
+	}
+	r.Reset()
+	flags, err := d.byte("flags")
+	if err != nil {
+		return err
+	}
+	r.Stop = flags&flagStop != 0
+	if flags&flagError != 0 {
+		size, err := d.smallInt("error size")
+		if err != nil {
+			return err
+		}
+		msg, err := d.bytes(size, "error text")
+		if err != nil {
+			return err
+		}
+		r.Err = string(msg)
+	}
+	n, err := d.smallInt("grant count")
+	if err != nil {
+		return err
+	}
+	if n > d.remaining()/2 {
+		return fmt.Errorf("%w: %d grants cannot fit in %d bytes", ErrCorrupt, n, d.remaining())
+	}
+	for i := 0; i < n; i++ {
+		var g sched.Assignment
+		if g.Start, err = d.smallInt("grant start"); err != nil {
+			return err
+		}
+		if g.Size, err = d.smallInt("grant size"); err != nil {
+			return err
+		}
+		r.Grants = append(r.Grants, g)
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	return nil
+}

@@ -1,0 +1,474 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+
+	"loopsched/internal/sched"
+)
+
+// pipeEnd is one direction of an in-memory duplex pipe: reads drain
+// one buffer, writes fill the other. The tests drive the protocol's
+// strict request/reply alternation single-threaded, so plain buffers
+// suffice — data is always written before the peer reads it.
+type pipeEnd struct {
+	r *bytes.Buffer
+	w *bytes.Buffer
+}
+
+func (p pipeEnd) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p pipeEnd) Write(b []byte) (int, error) { return p.w.Write(b) }
+func (p pipeEnd) Close() error                { return nil }
+
+// connPair builds a client and server Conn joined back to back. The
+// client's preamble is consumed the way the listener sniffer would.
+func connPair(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	var c2s, s2c bytes.Buffer
+	client, err := NewClient(pipeEnd{r: &s2c, w: &c2s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The preamble sits in the client's write buffer until the first
+	// frame flushes it; force it out so the server can consume it.
+	if err := client.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(pipeEnd{r: &c2s, w: &s2c}, nil)
+	if err := ConsumePreamble(server.br); err != nil {
+		t.Fatal(err)
+	}
+	return client, server
+}
+
+func sampleRequests() []Request {
+	return []Request{
+		{},
+		{Worker: 3, ACP: 17, CompSeconds: 1.25, IdleSeconds: 0.5, Credits: 4},
+		{Worker: 0, Prefetch: true, Credits: 1, Results: []Record{{Index: 0, Data: nil}}},
+		{
+			Worker: 250, ACP: 1 << 20, CompSeconds: -3.5, IdleSeconds: 1e300,
+			Prefetch: true, Credits: 8,
+			Results: []Record{
+				{Index: 7, Data: []byte{1, 2, 3}},
+				{Index: 1 << 28, Data: bytes.Repeat([]byte{0xAB}, 10000)},
+				{Index: 9, Data: []byte{}},
+			},
+		},
+	}
+}
+
+func sampleReplies() []Reply {
+	return []Reply{
+		{},
+		{Stop: true},
+		{Err: "no such worker 9"},
+		{Stop: true, Err: "cancelled"},
+		{Grants: []sched.Assignment{{Start: 0, Size: 1}}},
+		{Grants: []sched.Assignment{{Start: 100, Size: 50}, {Start: 150, Size: 25}, {Start: 1 << 29, Size: 1 << 29}}},
+	}
+}
+
+// reqEqual compares decoded against sent, treating nil and empty
+// slices as equal (the decoder reuses caller slices) and floats
+// bit-for-bit (NaN payloads must survive the trip).
+func reqEqual(a, b *Request) bool {
+	if a.Worker != b.Worker || a.ACP != b.ACP ||
+		math.Float64bits(a.CompSeconds) != math.Float64bits(b.CompSeconds) ||
+		math.Float64bits(a.IdleSeconds) != math.Float64bits(b.IdleSeconds) ||
+		a.Prefetch != b.Prefetch || a.Credits != b.Credits ||
+		len(a.Results) != len(b.Results) {
+		return false
+	}
+	for i := range a.Results {
+		if a.Results[i].Index != b.Results[i].Index ||
+			!bytes.Equal(a.Results[i].Data, b.Results[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+func repEqual(a, b *Reply) bool {
+	if a.Stop != b.Stop || a.Err != b.Err || len(a.Grants) != len(b.Grants) {
+		return false
+	}
+	for i := range a.Grants {
+		if a.Grants[i] != b.Grants[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	var got Request
+	for i, want := range sampleRequests() {
+		body, err := appendRequest(nil, &want)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if err := decodeRequest(body, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reqEqual(&want, &got) {
+			t.Errorf("case %d: round trip mismatch:\nsent %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	var got Reply
+	for i, want := range sampleReplies() {
+		body, err := appendReply(nil, &want)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if err := decodeReply(body, &got); err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !repEqual(&want, &got) {
+			t.Errorf("case %d: round trip mismatch:\nsent %+v\ngot  %+v", i, want, got)
+		}
+	}
+}
+
+func TestEncodeRejectsNegativeFields(t *testing.T) {
+	for i, r := range []Request{
+		{Worker: -1},
+		{ACP: -1},
+		{Credits: -1},
+		{Results: []Record{{Index: -1}}},
+	} {
+		if _, err := appendRequest(nil, &r); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("request case %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	for i, r := range []Reply{
+		{Grants: []sched.Assignment{{Start: -1, Size: 1}}},
+		{Grants: []sched.Assignment{{Start: 0, Size: -1}}},
+	} {
+		if _, err := appendReply(nil, &r); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("reply case %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+// TestDecodeErrors feeds structurally broken bodies to both decoders.
+// Every case must draw an error from both (a request body is never a
+// valid reply and vice versa — the type byte differs), and none may
+// panic.
+func TestDecodeErrors(t *testing.T) {
+	validReq, err := appendRequest(nil, &sampleRequests()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	validRep, err := appendReply(nil, &sampleReplies()[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"unknown type byte", []byte{0x7F}},
+		{"truncated varint", []byte{frameRequest, 0x80}},
+		{"request truncated floats", []byte{frameRequest, 0x01, 0x02, 0x00}},
+		{"request truncated mid-frame", validReq[:len(validReq)/2]},
+		{"request trailing bytes", append(append([]byte{}, validReq...), 0x00)},
+		{"lying result count", append(append([]byte{}, validReq[:22]...), 0x00, 0x01, 0xFF, 0xFF, 0x03)},
+		{"reply missing flags", []byte{frameReply}},
+		{"reply error flag without text", []byte{frameReply, flagError}},
+		{"reply error text truncated", []byte{frameReply, flagError, 0x10, 'x'}},
+		{"lying grant count", []byte{frameReply, 0x00, 0xFF, 0xFF, 0x03, 0x01}},
+		{"reply trailing bytes", append(append([]byte{}, validRep...), 0x00)},
+		{"count over MaxFrame", append([]byte{frameReply, 0x00}, binary.AppendUvarint(nil, MaxFrame+1)...)},
+	}
+	for _, c := range cases {
+		var req Request
+		if err := decodeRequest(c.body, &req); err == nil {
+			t.Errorf("decodeRequest(%s): no error", c.name)
+		}
+		var rep Reply
+		if err := decodeReply(c.body, &rep); err == nil {
+			t.Errorf("decodeReply(%s): no error", c.name)
+		}
+	}
+}
+
+func TestConsumePreamble(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"valid", preamble[:], nil},
+		{"bad magic", []byte{0x01, 'L', 'S', Version}, ErrCorrupt},
+		{"bad tag", []byte{Magic, 'X', 'S', Version}, ErrCorrupt},
+		{"future version", []byte{Magic, 'L', 'S', Version + 1}, ErrVersion},
+		{"truncated", preamble[:2], io.ErrUnexpectedEOF},
+	}
+	for _, c := range cases {
+		err := ConsumePreamble(newConn(pipeEnd{r: bytes.NewBuffer(c.raw)}, nil).br)
+		if c.want == nil && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// TestConnRoundTrip exercises the full framed dialogue over the
+// in-memory pipe, both directions.
+func TestConnRoundTrip(t *testing.T) {
+	client, server := connPair(t)
+
+	req := sampleRequests()[3]
+	if err := client.WriteRequest(&req); err != nil {
+		t.Fatal(err)
+	}
+	var got Request
+	if err := server.ReadRequest(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reqEqual(&req, &got) {
+		t.Fatalf("request mismatch:\nsent %+v\ngot  %+v", req, got)
+	}
+
+	rep := sampleReplies()[5]
+	if err := server.WriteReply(&rep); err != nil {
+		t.Fatal(err)
+	}
+	var gotRep Reply
+	if err := client.ReadReply(&gotRep); err != nil {
+		t.Fatal(err)
+	}
+	if !repEqual(&rep, &gotRep) {
+		t.Fatalf("reply mismatch:\nsent %+v\ngot  %+v", rep, gotRep)
+	}
+}
+
+// TestCallServerError runs a real synchronous Call over net.Pipe: a
+// reply carrying Err must surface as a ServerError, mirroring
+// rpc.ServerError.
+func TestCallServerError(t *testing.T) {
+	cliEnd, srvEnd := net.Pipe()
+	defer cliEnd.Close()
+	defer srvEnd.Close()
+
+	go func() {
+		server := NewServer(srvEnd, nil)
+		if err := ConsumePreamble(server.br); err != nil {
+			return
+		}
+		var req Request
+		if server.ReadRequest(&req) != nil {
+			return
+		}
+		server.WriteReply(&Reply{Err: "no such worker 9"})
+	}()
+
+	client, err := NewClient(cliEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req Request
+	var rep Reply
+	err = client.Call(&req, &rep)
+	var sErr ServerError
+	if !errors.As(err, &sErr) {
+		t.Fatalf("Call err = %v (%T), want ServerError", err, err)
+	}
+	if sErr.Error() != "no such worker 9" {
+		t.Fatalf("ServerError = %q", sErr)
+	}
+}
+
+// TestFrameLimits: a header claiming more than MaxFrame is rejected
+// before any body bytes are read, and a zero-length frame is corrupt.
+func TestFrameLimits(t *testing.T) {
+	var raw bytes.Buffer
+	raw.Write(binary.AppendUvarint(nil, MaxFrame+1))
+	c := newConn(pipeEnd{r: &raw}, nil)
+	if _, err := c.readFrame(); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized header: err = %v, want ErrTooLarge", err)
+	}
+
+	raw.Reset()
+	raw.WriteByte(0)
+	c = newConn(pipeEnd{r: &raw}, nil)
+	if _, err := c.readFrame(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("empty frame: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestLyingLengthDoesNotOverAllocate: a truncated stream whose header
+// claims a huge body must fail with the scratch buffer grown only as
+// far as bytes actually arrived — a lying header cannot reserve
+// megabytes.
+func TestLyingLengthDoesNotOverAllocate(t *testing.T) {
+	var raw bytes.Buffer
+	raw.Write(binary.AppendUvarint(nil, 512<<20)) // claims 512 MiB
+	raw.Write([]byte{frameRequest, 1, 2, 3})      // …delivers 4 bytes
+	c := newConn(pipeEnd{r: &raw}, nil)
+	_, err := c.readFrame()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if cap(c.rbuf) > 64<<10 {
+		t.Fatalf("scratch buffer grew to %d bytes on a truncated stream", cap(c.rbuf))
+	}
+}
+
+// TestCleanEOFBetweenFrames: a connection closed between frames reads
+// as plain io.EOF (the serve loops treat that as orderly shutdown),
+// while one closed mid-frame does not.
+func TestCleanEOFBetweenFrames(t *testing.T) {
+	c := newConn(pipeEnd{r: &bytes.Buffer{}}, nil)
+	if _, err := c.readFrame(); err != io.EOF {
+		t.Fatalf("between frames: err = %v, want io.EOF", err)
+	}
+
+	var raw bytes.Buffer
+	raw.Write(binary.AppendUvarint(nil, 10))
+	raw.Write([]byte{frameRequest, 1})
+	c = newConn(pipeEnd{r: &raw}, nil)
+	if _, err := c.readFrame(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("mid-frame: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+// TestCodecZeroAlloc pins the steady-state property the package exists
+// for: encoding and decoding a realistic batch into reused buffers
+// performs zero allocations per round trip.
+func TestCodecZeroAlloc(t *testing.T) {
+	payload := bytes.Repeat([]byte{0x5A}, 2048)
+	req := Request{
+		Worker: 3, ACP: 17, CompSeconds: 0.012, IdleSeconds: 0.001,
+		Prefetch: true, Credits: 8,
+		Results: []Record{{Index: 41, Data: payload}, {Index: 42, Data: payload}},
+	}
+	rep := Reply{Grants: []sched.Assignment{{Start: 100, Size: 25}, {Start: 125, Size: 25}}}
+
+	buf := make([]byte, 0, 8192)
+	decReq := Request{Results: make([]Record, 0, 4)}
+	decRep := Reply{Grants: make([]sched.Assignment, 0, 4)}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		b, err := appendRequest(buf[:0], &req)
+		if err != nil {
+			panic(err)
+		}
+		if err := decodeRequest(b, &decReq); err != nil {
+			panic(err)
+		}
+		b, err = appendReply(buf[:0], &rep)
+		if err != nil {
+			panic(err)
+		}
+		if err := decodeReply(b, &decRep); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("codec round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestConnZeroAllocSteadyState extends the guard through the framing
+// layer: after warm-up, a full WriteRequest/ReadRequest +
+// WriteReply/ReadReply cycle over a Conn allocates nothing. The bound
+// is < 1 rather than == 0 only to tolerate a GC emptying the encode
+// buffer pool mid-measurement.
+func TestConnZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the framing path")
+	}
+	client, server := connPair(t)
+	payload := bytes.Repeat([]byte{0x5A}, 1024)
+	req := Request{
+		Worker: 1, Credits: 4,
+		Results: []Record{{Index: 7, Data: payload}},
+	}
+	rep := Reply{Grants: []sched.Assignment{{Start: 10, Size: 5}}}
+	decReq := Request{Results: make([]Record, 0, 4)}
+	decRep := Reply{Grants: make([]sched.Assignment, 0, 4)}
+
+	cycle := func() {
+		if err := client.WriteRequest(&req); err != nil {
+			panic(err)
+		}
+		if err := server.ReadRequest(&decReq); err != nil {
+			panic(err)
+		}
+		if err := server.WriteReply(&rep); err != nil {
+			panic(err)
+		}
+		if err := client.ReadReply(&decRep); err != nil {
+			panic(err)
+		}
+	}
+	cycle() // warm the scratch buffers and pools
+	if allocs := testing.AllocsPerRun(1000, cycle); allocs >= 1 {
+		t.Fatalf("framed round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// FuzzWireDecode drives both decoders with arbitrary bodies. The
+// contract under fuzz: errors are fine, panics are not, and any body
+// that decodes successfully must round-trip through the encoder to an
+// equivalent value (canonical form).
+func FuzzWireDecode(f *testing.F) {
+	for _, r := range sampleRequests() {
+		if body, err := appendRequest(nil, &r); err == nil {
+			f.Add(body)
+		}
+	}
+	for _, r := range sampleReplies() {
+		if body, err := appendReply(nil, &r); err == nil {
+			f.Add(body)
+		}
+	}
+	f.Add([]byte{frameRequest, 0x80})
+	f.Add([]byte{frameReply, flagError, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req Request
+		if err := decodeRequest(body, &req); err == nil {
+			re, err := appendRequest(nil, &req)
+			if err != nil {
+				t.Fatalf("decoded request does not re-encode: %v (%+v)", err, req)
+			}
+			var req2 Request
+			if err := decodeRequest(re, &req2); err != nil {
+				t.Fatalf("re-encoded request does not decode: %v", err)
+			}
+			if !reqEqual(&req, &req2) {
+				t.Fatalf("request not canonical:\nfirst  %+v\nsecond %+v", req, req2)
+			}
+		}
+		var rep Reply
+		if err := decodeReply(body, &rep); err == nil {
+			re, err := appendReply(nil, &rep)
+			if err != nil {
+				t.Fatalf("decoded reply does not re-encode: %v (%+v)", err, rep)
+			}
+			var rep2 Reply
+			if err := decodeReply(re, &rep2); err != nil {
+				t.Fatalf("re-encoded reply does not decode: %v", err)
+			}
+			if !repEqual(&rep, &rep2) {
+				t.Fatalf("reply not canonical:\nfirst  %+v\nsecond %+v", rep, rep2)
+			}
+		}
+	})
+}

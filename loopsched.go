@@ -394,6 +394,10 @@ type (
 	ChunkArgs   = exec.ChunkArgs
 	ChunkReply  = exec.ChunkReply
 	ChunkResult = exec.ChunkResult
+	// RPCTransport selects a worker's wire format: "binary" (the
+	// framing codec of internal/wire) or "netrpc" (net/rpc + gob).
+	// Masters serve both at once by sniffing each connection.
+	RPCTransport = exec.Transport
 )
 
 // NewMaster builds an RPC master scheduling `iterations` across

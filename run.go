@@ -91,6 +91,18 @@ type RunSpec struct {
 	ACP ACPModel
 	// Pipeline enables the double-buffered RPC worker protocol.
 	Pipeline bool
+	// Transport selects the RPC wire format: "binary" (the framing
+	// codec of internal/wire, the default) or "netrpc" (net/rpc +
+	// gob). Empty consults the LOOPSCHED_TRANSPORT environment
+	// variable and falls back to binary. The master side needs no
+	// configuration — it serves both on one listener.
+	Transport string
+	// CreditWindow is the batched-grant depth on the binary
+	// transport: how many chunks a worker may hold beyond the one it
+	// is computing (0 means 1, the classic double buffer). Larger
+	// windows amortise master round trips over several chunks at the
+	// cost of coarser tail balancing.
+	CreditWindow int
 	// DisableReplan turns off the majority re-plan (ablation). The
 	// hierarchical rpc root always runs with re-planning disabled.
 	DisableReplan bool
@@ -318,6 +330,9 @@ func (rpcExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 	if len(spec.Workers) == 0 {
 		return Report{}, fmt.Errorf("loopsched: rpc backend needs Workers")
 	}
+	if _, ok := exec.Transport(spec.Transport).Normalize(); !ok {
+		return Report{}, fmt.Errorf("loopsched: unknown transport %q", spec.Transport)
+	}
 	kernel, err := spec.kernel()
 	if err != nil {
 		return Report{}, err
@@ -339,6 +354,8 @@ func rpcWorker(spec RunSpec, kernel Kernel, powers []float64, i int) exec.Worker
 		ACPModel:     spec.ACP,
 		WorkScale:    ws.WorkScale,
 		Pipeline:     spec.Pipeline,
+		Transport:    exec.Transport(spec.Transport),
+		Window:       spec.CreditWindow,
 		Telemetry:    spec.Telemetry.Bus(),
 		TelemetryID:  i,
 	}
@@ -352,6 +369,7 @@ func runRPCFlat(ctx context.Context, spec RunSpec, kernel Kernel) (Report, error
 		return Report{}, err
 	}
 	master.SetTelemetry(spec.Telemetry.Bus())
+	master.SetWindow(spec.CreditWindow)
 	if spec.DisableReplan {
 		master.DisableReplan()
 	}
@@ -435,7 +453,8 @@ func runRPCHierarchy(ctx context.Context, spec RunSpec, kernel Kernel) (Report, 
 	workerCtx, workerCancel := context.WithCancel(context.Background())
 	defer workerCancel()
 	for si := range members {
-		sub, err := hier.NewSubmaster(si, spec.Scheme, len(members[si]), rootL.Addr().String())
+		sub, err := hier.NewSubmasterTransport(si, spec.Scheme, len(members[si]),
+			rootL.Addr().String(), exec.Transport(spec.Transport))
 		if err != nil {
 			root.Cancel(err)
 			break
