@@ -60,7 +60,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/exec/ ./internal/mp/ ./internal/hier/ ./internal/telemetry/ .
+	$(GO) test -race ./internal/exec/ ./internal/steal/ ./internal/mp/ ./internal/hier/ ./internal/telemetry/ .
 
 fuzz:
 	$(GO) test -fuzz FuzzSchemeCoverage -fuzztime 30s ./internal/sched/
@@ -71,14 +71,18 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# bench-json runs the wire-protocol benchmark matrix (gob vs binary ×
-# credit window, docs/PROTOCOL.md) and writes both the raw
-# benchstat-compatible text (bench_wire.txt) and the parsed JSON
-# artifact (BENCH_wire.json) that CI archives.
+# bench-json runs the protocol benchmark matrices and writes both the
+# raw benchstat-compatible text and the parsed JSON artifacts that CI
+# archives: the wire protocol (gob vs binary × credit window,
+# docs/PROTOCOL.md → BENCH_wire.json) and the local engines (channel
+# master vs work-stealing deques × worker count, docs/LOCAL.md →
+# BENCH_local.json).
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench BenchmarkRPCPipeline -benchmem -count=1 . | tee bench_wire.txt
-	./bin/benchjson -o BENCH_wire.json < bench_wire.txt
+	./bin/benchjson -only BenchmarkRPCPipeline -o BENCH_wire.json < bench_wire.txt
+	$(GO) test -run '^$$' -bench BenchmarkLocalEngine -benchmem -count=1 . | tee bench_local.txt
+	./bin/benchjson -only BenchmarkLocalEngine -o BENCH_local.json < bench_local.txt
 
 experiments:
 	$(GO) run ./cmd/experiments

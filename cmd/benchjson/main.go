@@ -8,7 +8,8 @@
 // ns/op, B/op, allocs/op and any custom metrics (`chunks/s`, `Tp_s`,
 // …). Non-benchmark lines (the artefact tables the bench suite prints)
 // pass through untouched on stderr when -echo is set, and are
-// otherwise dropped.
+// otherwise dropped. -only keeps just the benchmarks whose name starts
+// with a prefix, so one bench run can feed several artifacts.
 package main
 
 import (
@@ -48,6 +49,7 @@ type Output struct {
 func main() {
 	out := flag.String("o", "", "write JSON here (default stdout)")
 	echo := flag.Bool("echo", false, "echo non-benchmark lines to stderr")
+	only := flag.String("only", "", "keep only benchmarks whose name starts with this prefix")
 	flag.Parse()
 
 	var res Output
@@ -60,6 +62,9 @@ func main() {
 			if *echo {
 				fmt.Fprintln(os.Stderr, line)
 			}
+			continue
+		}
+		if !keep(e.Name, *only) {
 			continue
 		}
 		res.Entries = append(res.Entries, e)
@@ -88,6 +93,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// keep reports whether a benchmark name passes the -only prefix
+// filter; an empty filter keeps everything. This lets one `go test
+// -bench` run feed several artifacts (BENCH_wire.json, BENCH_local.json)
+// without re-running the suite.
+func keep(name, only string) bool {
+	return only == "" || strings.HasPrefix(name, only)
 }
 
 // parseLine parses one `go test -bench` result line:

@@ -17,6 +17,20 @@ func TestParseLine(t *testing.T) {
 		t.Fatalf("custom metric: %+v", e.Metrics)
 	}
 
+	for _, c := range []struct {
+		name, only string
+		want       bool
+	}{
+		{"BenchmarkLocalEngine/steal-p32-8", "", true},
+		{"BenchmarkLocalEngine/steal-p32-8", "BenchmarkLocalEngine", true},
+		{"BenchmarkLocalEngine/steal-p32-8", "BenchmarkRPCPipeline", false},
+		{"BenchmarkRPCPipeline/binary-w8-8", "BenchmarkRPCPipeline", true},
+	} {
+		if got := keep(c.name, c.only); got != c.want {
+			t.Errorf("keep(%q, %q) = %v, want %v", c.name, c.only, got, c.want)
+		}
+	}
+
 	for _, bad := range []string{
 		"",
 		"goos: linux",

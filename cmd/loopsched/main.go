@@ -33,9 +33,10 @@ func main() {
 		maxIter      = flag.Int("maxiter", 160, "mandelbrot escape-time bound")
 		sf           = flag.Int("sf", 4, "sampling reorder frequency (1 = no reorder)")
 		real         = flag.Bool("real", false, "execute with real goroutine workers instead of the simulator")
+		localEngine  = flag.String("local-engine", "", "local runtime with -real: channel (default) or steal")
 		rpcReal      = flag.Bool("rpc", false, "execute with real RPC slaves self-hosted on loopback (overrides -real)")
 		transport    = flag.String("transport", "", "rpc wire format: binary or netrpc (default: $LOOPSCHED_TRANSPORT, else binary)")
-		window       = flag.Int("window", 0, "rpc credit window: chunks a worker holds beyond the one computing (0 = 1)")
+		window       = flag.Int("window", 0, "credit window: chunks a worker holds beyond the one computing (rpc), or the steal-engine refill batch (0 = default)")
 		tree         = flag.Bool("tree", false, "use Tree Scheduling (ignores -scheme)")
 		gantt        = flag.Bool("gantt", false, "print an ASCII Gantt chart of the simulated run")
 		traceCSV     = flag.String("trace-csv", "", "write the chunk-level execution trace to this CSV file")
@@ -140,6 +141,8 @@ func main() {
 				spec.Backend = loopsched.BackendLocal
 				spec.Workers = realWorkers(*p)
 				spec.Body = burnBody(w)
+				spec.LocalEngine = *localEngine
+				spec.CreditWindow = *window
 				spec.Trace = tr
 			} else {
 				spec.Backend = loopsched.BackendSim

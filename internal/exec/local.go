@@ -33,10 +33,20 @@ type WorkerSpec struct {
 }
 
 // AddLoad adjusts the emulated external load (may go negative deltas;
-// the floor is zero).
+// the floor is zero). The clamp is a CompareAndSwap loop so concurrent
+// adjusters compose: a plain Add-then-Store(0) could overwrite another
+// goroutine's delta that landed between the add and the store, or
+// resurrect a stale negative floor.
 func (w *WorkerSpec) AddLoad(delta int) {
-	if v := w.load.Add(int64(delta)); v < 0 {
-		w.load.Store(0)
+	for {
+		cur := w.load.Load()
+		next := cur + int64(delta)
+		if next < 0 {
+			next = 0
+		}
+		if w.load.CompareAndSwap(cur, next) {
+			return
+		}
 	}
 }
 
@@ -68,7 +78,23 @@ type Local struct {
 	// Telemetry, when non-nil, receives live protocol events
 	// (requests, grants, completions, replans). Independent of Trace.
 	Telemetry *telemetry.Bus
+	// Engine selects the in-process runtime: EngineChannel (the
+	// default, also chosen by "") drives one master goroutine over an
+	// unbuffered channel exactly as the paper's protocol reads;
+	// EngineSteal runs per-worker Chase–Lev deques with batched policy
+	// refills (see internal/steal and docs/LOCAL.md).
+	Engine string
+	// Window caps how many chunks one steal-engine refill pulls from
+	// the policy in a single trip under the refill lock (<=0 means
+	// DefaultStealWindow). Ignored by the channel engine.
+	Window int
 }
+
+// Local engine names for Local.Engine.
+const (
+	EngineChannel = "channel"
+	EngineSteal   = "steal"
+)
 
 type localRequest struct {
 	worker    int
@@ -100,6 +126,13 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 	p := len(l.Workers)
 	if p == 0 {
 		return metrics.Report{}, fmt.Errorf("exec: no workers")
+	}
+	switch l.Engine {
+	case "", EngineChannel:
+	case EngineSteal:
+		return l.runSteal(ctx, w, body)
+	default:
+		return metrics.Report{}, fmt.Errorf("exec: unknown local engine %q (want %q or %q)", l.Engine, EngineChannel, EngineSteal)
 	}
 	dist := sched.Distributed(l.Scheme)
 
@@ -161,8 +194,12 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 					}
 				}
 				fbWork = workload.RangeCost(w, r.assign.Start, r.assign.End())
+				// One reading serves the feedback loop, the Comp metric
+				// and the trace span: separate time.Since calls drift
+				// apart by the work between them, so Feedback would see
+				// an elapsed time that never equals the reported Comp.
 				fbElapsed = time.Since(compStart).Seconds()
-				times[id].Comp += time.Since(compStart).Seconds()
+				times[id].Comp += fbElapsed
 				atomic.AddInt64(&iters[id], int64(r.assign.Size))
 				l.Telemetry.Publish(telemetry.Event{
 					Kind: telemetry.ChunkCompleted, Worker: id,
@@ -170,12 +207,13 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 					At: l.Telemetry.Now(), Seconds: fbElapsed,
 				})
 				if l.Trace != nil {
+					begin := compStart.Sub(start).Seconds()
 					l.Trace.Add(trace.Event{
 						Worker: id,
 						Start:  r.assign.Start,
 						Size:   r.assign.Size,
-						Begin:  compStart.Sub(start).Seconds(),
-						End:    time.Since(start).Seconds(),
+						Begin:  begin,
+						End:    begin + fbElapsed,
 						ACP:    a,
 					})
 				}

@@ -180,12 +180,16 @@ func (l *LocalRun) Run(ctx context.Context, w workload.Workload, body func(i int
 					At: l.Telemetry.Now(), Seconds: fbElapsed,
 				})
 				if l.Trace != nil {
+					// Reuse the fbElapsed reading: a fresh time.Since
+					// would close the span later than the chunk actually
+					// finished (by however long the publish above took).
+					begin := compStart.Sub(start).Seconds()
 					l.Trace.Add(trace.Event{
 						Worker: id,
 						Start:  r.assign.Start,
 						Size:   r.assign.Size,
-						Begin:  compStart.Sub(start).Seconds(),
-						End:    time.Since(start).Seconds(),
+						Begin:  begin,
+						End:    begin + fbElapsed,
 						ACP:    a,
 					})
 				}

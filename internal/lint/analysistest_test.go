@@ -31,7 +31,7 @@ func stdExports(t *testing.T) map[string]string {
 	exportsOnce.Do(func() {
 		exports, exportsErr = lint.ExportMap(".",
 			"context", "sync", "net", "net/rpc", "time", "fmt", "errors", "math",
-			"loopsched/internal/wire")
+			"loopsched/internal/wire", "loopsched/internal/steal")
 	})
 	if exportsErr != nil {
 		t.Fatalf("building std export data: %v", exportsErr)

@@ -2,7 +2,7 @@ package lint
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxLoop, ChunkMath, LockSafe, RegSync, GoJoin}
+	return []*Analyzer{CtxLoop, ChunkMath, LockSafe, RegSync, GoJoin, TimeSample}
 }
 
 // ByName resolves a comma-separable analyzer name; nil when unknown.

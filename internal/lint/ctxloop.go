@@ -80,6 +80,19 @@ func blockingKind(pass *Pass, loop *ast.ForStmt) string {
 							kind = "wire round-trip"
 						}
 					}
+				case "Steal", "Pop":
+					// The deque never blocks, but an unconditional
+					// acquisition spin built on it is a service loop all
+					// the same: a worker that polls Pop/Steal without a
+					// termination check spins forever once the run is
+					// cancelled. Loops with a condition (victim scans,
+					// bounded retries) terminate by construction.
+					if loop.Cond != nil {
+						break
+					}
+					if tv, ok := pass.TypesInfo.Types[recv]; ok && isNamedType(tv.Type, "loopsched/internal/steal", "Deque") {
+						kind = "work-stealing acquisition loop"
+					}
 				case "ReadRequest", "ReadReply":
 					// The framed codec's reads block exactly like an rpc
 					// round-trip: only a closed connection or a Stop reply

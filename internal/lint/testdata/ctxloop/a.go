@@ -7,6 +7,7 @@ import (
 	"net/rpc"
 	"sync"
 
+	"loopsched/internal/steal"
 	"loopsched/internal/wire"
 )
 
@@ -138,6 +139,51 @@ func pureCompute(xs []int) int {
 		total += x
 	}
 	return total
+}
+
+// Flagged: a work-stealing acquisition spin with no termination check
+// polls forever once the run is cancelled.
+func popForever(d *steal.Deque, out *int) {
+	for { // want `blocking loop \(work-stealing acquisition loop\) never observes ctx\.Done`
+		if a, ok := d.Pop(); ok {
+			*out += a.Size
+		}
+	}
+}
+
+// Flagged: scanning victims is the same spin.
+func stealForever(victims []*steal.Deque, out *int) {
+	for { // want `blocking loop \(work-stealing acquisition loop\) never observes ctx\.Done`
+		for _, d := range victims {
+			if a, ok := d.Steal(); ok {
+				*out += a.Size
+			}
+		}
+	}
+}
+
+// Clean: a conditioned victim scan is bounded by construction, not a
+// spin.
+func boundedScan(victims []*steal.Deque, out *int) bool {
+	for i := 0; i < len(victims); i++ {
+		if a, ok := victims[i].Steal(); ok {
+			*out += a.Size
+			return true
+		}
+	}
+	return false
+}
+
+// Clean: the acquisition loop checks ctx on every pass.
+func popWithCtx(ctx context.Context, d *steal.Deque, out *int) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if a, ok := d.Pop(); ok {
+			*out += a.Size
+		}
+	}
 }
 
 // Suppressed: the justification rides on the directive.

@@ -1,0 +1,92 @@
+// Fixture for the timesample analyzer: repeated time.Since on one
+// sample point yields readings that drift apart by the work between
+// them — take one reading and reuse it.
+package timesample
+
+import "time"
+
+func work(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += float64(i)
+	}
+	return total
+}
+
+// Flagged: the elapsed fed downstream and the metric use different
+// readings of the same sample point.
+func drift(n int) (fed, comp float64) {
+	start := time.Now()
+	work(n)
+	fed = time.Since(start).Seconds()
+	comp = time.Since(start).Seconds() // want `repeated time\.Since\(start\)`
+	return
+}
+
+// Flagged: a sample point received as a parameter, read twice.
+func paramDrift(start time.Time) (a, b float64) {
+	a = time.Since(start).Seconds()
+	b = time.Since(start).Seconds() // want `repeated time\.Since\(start\)`
+	return
+}
+
+// Flagged: three readings report twice (every call after the first).
+func tripleDrift(n int) (a, b, c float64) {
+	start := time.Now()
+	work(n)
+	a = time.Since(start).Seconds()
+	b = time.Since(start).Seconds() // want `repeated time\.Since\(start\)`
+	c = time.Since(start).Seconds() // want `repeated time\.Since\(start\)`
+	return
+}
+
+// Clean: one reading, reused.
+func single(n int) (fed, comp float64) {
+	start := time.Now()
+	work(n)
+	elapsed := time.Since(start).Seconds()
+	return elapsed, elapsed
+}
+
+// Clean: the sample point is re-armed between readings, so the two
+// durations measure different intervals on purpose.
+func rearmed(n int) (a, b float64) {
+	start := time.Now()
+	work(n)
+	a = time.Since(start).Seconds()
+	start = time.Now()
+	work(n)
+	b = time.Since(start).Seconds()
+	return
+}
+
+// Clean: one reading per scope — the closure measures independently of
+// the enclosing function.
+func perScope(start time.Time) func() float64 {
+	_ = time.Since(start).Seconds()
+	return func() float64 {
+		return time.Since(start).Seconds()
+	}
+}
+
+// Clean: a fresh sample point per loop pass (single call site, single
+// arming statement executed repeatedly).
+func perIteration(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		chunkStart := time.Now()
+		work(i)
+		total += time.Since(chunkStart).Seconds()
+	}
+	return total
+}
+
+// Suppressed: deliberate re-reads carry their justification.
+func suppressed(n int) (a, b float64) {
+	start := time.Now()
+	work(n)
+	a = time.Since(start).Seconds()
+	//lint:loopsched-ignore timesample fixture: progressive timestamps wanted here
+	b = time.Since(start).Seconds()
+	return
+}

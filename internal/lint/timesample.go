@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TimeSample guards the feedback/metrics coherence the schemes' ACP
+// learning depends on: calling time.Since twice on the same sample
+// point yields two different durations — they drift apart by whatever
+// ran between the calls — so the elapsed time fed to
+// FeedbackPolicy.Feedback silently disagrees with the Comp metric or
+// the trace span computed from the second reading. The fix is always
+// the same: take one reading into a variable and reuse it.
+//
+// The analyzer flags two or more time.Since(x) calls on the same
+// variable x within one function body (closures are separate scopes),
+// unless x is re-armed — assigned more than once in that scope —
+// between measurements.
+var TimeSample = &Analyzer{
+	Name: "timesample",
+	Doc: "repeated time.Since(x) on one sample point drifts: the readings differ " +
+		"by the work between them; take one reading and reuse it",
+	Run: runTimeSample,
+}
+
+func runTimeSample(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkTimeSampleScope(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkTimeSampleScope(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTimeSampleScope analyzes one function body, treating nested
+// function literals as foreign scopes (they get their own pass from
+// runTimeSample's walk).
+func checkTimeSampleScope(pass *Pass, body *ast.BlockStmt) {
+	sinceCalls := map[types.Object][]ast.Node{}
+	assigns := map[types.Object]int{}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, analyzed on its own
+		case *ast.CallExpr:
+			if obj := timeSinceArg(pass.TypesInfo, x); obj != nil {
+				sinceCalls[obj] = append(sinceCalls[obj], x)
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := identObject(pass.TypesInfo, id); obj != nil {
+					assigns[obj]++
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range x.Names {
+				if obj := identObject(pass.TypesInfo, id); obj != nil {
+					assigns[obj]++
+				}
+			}
+		}
+		return true
+	})
+
+	for obj, calls := range sinceCalls {
+		// One assignment is the sample point being armed; more means
+		// the variable is re-armed between readings.
+		if len(calls) < 2 || assigns[obj] > 1 {
+			continue
+		}
+		for _, call := range calls[1:] {
+			pass.Report(call.Pos(),
+				"repeated time.Since(%s) on one sample point: the readings drift apart "+
+					"by the work between them; take one reading and reuse it", obj.Name())
+		}
+	}
+}
+
+// timeSinceArg returns the variable object x when call is
+// time.Since(x) with a plain identifier argument, else nil.
+func timeSinceArg(info *types.Info, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.FullName() != "time.Since" {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := identObject(info, id)
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	return obj
+}
+
+// identObject resolves an identifier to its object via Uses or Defs.
+func identObject(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}

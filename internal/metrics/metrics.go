@@ -62,8 +62,10 @@ type Report struct {
 	// Shards, when non-empty, is the per-shard breakdown of a
 	// hierarchical (two-level) run: one entry per submaster.
 	Shards []ShardStats
-	// Steals counts root-level rebalances in a hierarchical run: tail
-	// ranges moved from one shard's partition to another.
+	// Steals counts work moved between peers: root-level rebalances in
+	// a hierarchical run (tail ranges moved from one shard's partition
+	// to another), or chunks stolen between workers under the local
+	// work-stealing engine.
 	Steals int
 }
 

@@ -1,0 +1,14 @@
+package steal
+
+import (
+	"os"
+	"testing"
+
+	"loopsched/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine spawned by the stress
+// tests (owners, thieves) survives them.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

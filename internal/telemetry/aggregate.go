@@ -148,6 +148,8 @@ type Snapshot struct {
 	PrefetchMisses uint64
 	PrefetchRatio  float64
 	Steals         uint64
+	LocalSteals    uint64
+	LocalRefills   uint64
 	Timeouts       uint64
 	Rejected       uint64
 	Stages         uint64
@@ -164,14 +166,16 @@ func (a *Aggregator) Snapshot() Snapshot {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	s := Snapshot{
-		Meta:     a.meta,
-		Runs:     a.runs,
-		Events:   make(map[string]uint64, int(kindCount)),
-		Steals:   a.kinds[ShardStealDone],
-		Timeouts: a.kinds[WorkerTimedOut],
-		Rejected: a.kinds[WorkerRejected],
-		Stages:   a.kinds[StageAdvanced],
-		Workers:  make(map[string]workerStats, len(a.workers)),
+		Meta:         a.meta,
+		Runs:         a.runs,
+		Events:       make(map[string]uint64, int(kindCount)),
+		Steals:       a.kinds[ShardStealDone],
+		LocalSteals:  a.kinds[ChunkStolen],
+		LocalRefills: a.kinds[DequeRefilled],
+		Timeouts:     a.kinds[WorkerTimedOut],
+		Rejected:     a.kinds[WorkerRejected],
+		Stages:       a.kinds[StageAdvanced],
+		Workers:      make(map[string]workerStats, len(a.workers)),
 
 		PrefetchHits:   a.kinds[ChunkPrefetched],
 		PrefetchMisses: a.kinds[PrefetchMissed],
@@ -331,6 +335,12 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	pf("# HELP loopsched_shard_steals_total Completed shard steals at the hier root.\n")
 	pf("# TYPE loopsched_shard_steals_total counter\n")
 	pf("loopsched_shard_steals_total %d\n", kinds[ShardStealDone])
+	pf("# HELP loopsched_local_steals_total Chunks stolen between workers by the local work-stealing engine.\n")
+	pf("# TYPE loopsched_local_steals_total counter\n")
+	pf("loopsched_local_steals_total %d\n", kinds[ChunkStolen])
+	pf("# HELP loopsched_local_refills_total Deque refill trips to the scheme policy by the local work-stealing engine.\n")
+	pf("# TYPE loopsched_local_refills_total counter\n")
+	pf("loopsched_local_refills_total %d\n", kinds[DequeRefilled])
 	pf("# HELP loopsched_worker_timeouts_total Workers declared failed by the timeout watchdog.\n")
 	pf("# TYPE loopsched_worker_timeouts_total counter\n")
 	pf("loopsched_worker_timeouts_total %d\n", kinds[WorkerTimedOut])

@@ -99,6 +99,17 @@ const (
 	// (Seconds is the decode time).
 	WireFrameReceived
 
+	// ChunkStolen marks a chunk moved between workers inside the
+	// work-stealing local engine: Worker is the thief, Shard (reused;
+	// these runs are flat) the victim worker's id, Start/Size the
+	// chunk.
+	ChunkStolen
+
+	// DequeRefilled marks one trip to the scheme policy by the
+	// work-stealing local engine: Worker refilled its deque with Size
+	// chunks starting at iteration Start.
+	DequeRefilled
+
 	kindCount // number of kinds; keep last
 )
 
@@ -121,6 +132,8 @@ var kindNames = [kindCount]string{
 	StageAdvanced:     "stage_advanced",
 	WireFrameSent:     "wire_frame_sent",
 	WireFrameReceived: "wire_frame_received",
+	ChunkStolen:       "chunk_stolen",
+	DequeRefilled:     "deque_refilled",
 }
 
 // String returns the stable snake_case name of the kind.

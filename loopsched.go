@@ -379,7 +379,8 @@ func NewTelemetry(o TelemetryOptions) (*Telemetry, error) { return telemetry.New
 
 type (
 	// LocalExecutor runs a loop with goroutine workers and a channel
-	// master. Its Run method is a legacy adapter; prefer
+	// master (or, with Engine: EngineSteal, per-worker work-stealing
+	// deques). Its Run method is a legacy adapter; prefer
 	// Run(ctx, RunSpec{Backend: BackendLocal, …}).
 	LocalExecutor = exec.Local
 	// WorkerSpec emulates one heterogeneous worker in-process.
@@ -398,6 +399,16 @@ type (
 	// framing codec of internal/wire) or "netrpc" (net/rpc + gob).
 	// Masters serve both at once by sniffing each connection.
 	RPCTransport = exec.Transport
+)
+
+// Local engine names for RunSpec.LocalEngine / LocalExecutor.Engine.
+const (
+	// EngineChannel drives one master goroutine over an unbuffered
+	// channel — the paper's request/grant protocol verbatim.
+	EngineChannel = exec.EngineChannel
+	// EngineSteal runs a bounded Chase–Lev deque per worker with
+	// batched policy refills; see docs/LOCAL.md.
+	EngineSteal = exec.EngineSteal
 )
 
 // NewMaster builds an RPC master scheduling `iterations` across

@@ -103,6 +103,15 @@ type RunSpec struct {
 	// windows amortise master round trips over several chunks at the
 	// cost of coarser tail balancing.
 	CreditWindow int
+	// LocalEngine selects the in-process runtime on BackendLocal:
+	// "channel" (the default, also chosen by "") drives one master
+	// goroutine over an unbuffered channel exactly as the paper's
+	// protocol reads; "steal" runs per-worker work-stealing deques
+	// with batched policy refills (internal/steal, docs/LOCAL.md).
+	// CreditWindow sets the steal engine's refill batch size. Flat
+	// runs only — the hierarchical local runtime has its own
+	// submaster structure.
+	LocalEngine string
 	// DisableReplan turns off the majority re-plan (ablation). The
 	// hierarchical rpc root always runs with re-planning disabled.
 	DisableReplan bool
@@ -298,6 +307,9 @@ func (localExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 		return Report{}, err
 	}
 	if spec.Hierarchy != nil {
+		if spec.LocalEngine != "" && spec.LocalEngine != EngineChannel {
+			return Report{}, fmt.Errorf("loopsched: LocalEngine %q is flat-only; hierarchical local runs use the submaster runtime", spec.LocalEngine)
+		}
 		run := &hier.LocalRun{
 			Scheme:    spec.Scheme,
 			Workers:   spec.Workers,
@@ -315,6 +327,8 @@ func (localExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 		DisableReplan: spec.DisableReplan,
 		Trace:         spec.Trace,
 		Telemetry:     spec.Telemetry.Bus(),
+		Engine:        spec.LocalEngine,
+		Window:        spec.CreditWindow,
 	}
 	return l.RunContext(ctx, spec.Workload, body)
 }
