@@ -60,7 +60,7 @@ test:
 	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/exec/ ./internal/steal/ ./internal/mp/ ./internal/hier/ ./internal/telemetry/ .
+	$(GO) test -race ./internal/exec/ ./internal/steal/ ./internal/mp/ ./internal/hier/ ./internal/telemetry/ ./internal/service/ .
 
 fuzz:
 	$(GO) test -fuzz FuzzSchemeCoverage -fuzztime 30s ./internal/sched/
@@ -74,15 +74,19 @@ bench:
 # bench-json runs the protocol benchmark matrices and writes both the
 # raw benchstat-compatible text and the parsed JSON artifacts that CI
 # archives: the wire protocol (gob vs binary × credit window,
-# docs/PROTOCOL.md → BENCH_wire.json) and the local engines (channel
+# docs/PROTOCOL.md → BENCH_wire.json), the local engines (channel
 # master vs work-stealing deques × worker count, docs/LOCAL.md →
-# BENCH_local.json).
+# BENCH_local.json), and the multi-tenant scheduler daemon (job
+# streams × fleet/tenant mix, docs/SERVICE.md → BENCH_service.json
+# with jobs/s and chunks/s).
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench BenchmarkRPCPipeline -benchmem -count=1 . | tee bench_wire.txt
 	./bin/benchjson -only BenchmarkRPCPipeline -o BENCH_wire.json < bench_wire.txt
 	$(GO) test -run '^$$' -bench BenchmarkLocalEngine -benchmem -count=1 . | tee bench_local.txt
 	./bin/benchjson -only BenchmarkLocalEngine -o BENCH_local.json < bench_local.txt
+	$(GO) test -run '^$$' -bench BenchmarkScheduler -benchmem -count=1 . | tee bench_service.txt
+	./bin/benchjson -only BenchmarkScheduler -o BENCH_service.json < bench_service.txt
 
 experiments:
 	$(GO) run ./cmd/experiments

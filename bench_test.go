@@ -11,6 +11,7 @@
 package loopsched_test
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -676,5 +677,69 @@ func BenchmarkLocalExecutor(b *testing.B) {
 		if _, err := ex.Run(w, func(it int) { sink += int64(it) }); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScheduler measures the multi-tenant scheduler daemon as a
+// job-stream pipeline: one long-lived fleet, batches of concurrent
+// jobs from several tenants, trivial bodies so admission, arbitration
+// and refill dominate. Headline metrics are jobs/s and chunks/s
+// (published to BENCH_service.json by make bench-json).
+func BenchmarkScheduler(b *testing.B) {
+	const (
+		batch = 32      // concurrent jobs per iteration
+		n     = 1 << 12 // iterations per job
+		k     = 8       // CSS chunk size: n/k chunks per job
+	)
+	ctx := context.Background()
+	for _, cfg := range []struct {
+		name       string
+		p, tenants int
+	}{
+		{"p8-t1", 8, 1},
+		{"p8-t4", 8, 4},
+		{"p32-t8", 32, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			workers := make([]*loopsched.WorkerSpec, cfg.p)
+			for i := range workers {
+				workers[i] = &loopsched.WorkerSpec{WorkScale: 1}
+			}
+			s, err := loopsched.NewScheduler(loopsched.SchedulerOptions{
+				Workers:      workers,
+				CreditWindow: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var chunks int64
+			for i := 0; i < b.N; i++ {
+				jobs := make([]*loopsched.Job, batch)
+				for j := range jobs {
+					jobs[j], err = s.Submit(ctx, loopsched.JobSpec{
+						Scheme:   loopsched.NewCSS(k),
+						Workload: loopsched.Uniform{N: n},
+						Body:     func(int) {},
+						Tenant:   fmt.Sprintf("tenant-%d", j%cfg.tenants),
+						Weight:   float64(1 + j%3),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				for _, j := range jobs {
+					if _, err := j.Wait(ctx); err != nil {
+						b.Fatal(err)
+					}
+					chunks += int64(j.ChunksGranted())
+				}
+			}
+			elapsed := b.Elapsed().Seconds()
+			b.ReportMetric(float64(batch)*float64(b.N)/elapsed, "jobs/s")
+			b.ReportMetric(float64(chunks)/elapsed, "chunks/s")
+		})
 	}
 }

@@ -1,12 +1,16 @@
 // Command loopsched runs one self-scheduling scheme on one workload,
 // either on the simulated heterogeneous cluster or with real goroutine
-// workers, and prints the paper-style report.
+// workers, and prints the paper-style report. With -serve it instead
+// runs the multi-tenant scheduler daemon over a JSON job script: one
+// shared fleet serving a stream of jobs under admission quotas and
+// weighted-fair arbitration (see docs/SERVICE.md).
 //
 // Examples:
 //
 //	loopsched -scheme DTSS -workload mandelbrot -p 8 -nondedicated
 //	loopsched -scheme TSS -workload uniform -I 10000 -p 4
 //	loopsched -scheme TFSS -workload mandelbrot -real -p 4
+//	loopsched -serve configs/jobstream.json
 //	loopsched -list
 package main
 
@@ -46,6 +50,7 @@ func main() {
 		shards       = flag.Int("shards", 0, "run the two-level hierarchy with this many submaster shards (0 = flat)")
 		debugAddr    = flag.String("debug-addr", "", "serve live run telemetry on this address for the duration of the run (Prometheus /metrics, expvar /debug/vars, net/http/pprof /debug/pprof/)")
 		perfetto     = flag.String("perfetto", "", "write a Perfetto-loadable Chrome trace-event JSON of the run to this file")
+		serveScript  = flag.String("serve", "", "run the multi-tenant scheduler daemon over this JSON job script (shared fleet, admission quotas, weighted fairness) and print per-job and per-tenant summaries")
 		list         = flag.Bool("list", false, "list available schemes and exit")
 		describe     = flag.String("describe", "", "describe schemes ('all', a category, or a name) and exit")
 	)
@@ -65,14 +70,10 @@ func main() {
 		return
 	}
 
-	w, err := buildWorkload(*workloadName, *iterations, *width, *height, *maxIter, *sf)
-	if err != nil {
-		fail(err)
-	}
-
 	// A telemetry session observes the run live: the debug endpoint
 	// stays up while the loop executes, and the Perfetto document is
 	// finished when the session closes below.
+	var err error
 	var tele *loopsched.Telemetry
 	var perfettoFile *os.File
 	if *debugAddr != "" || *perfetto != "" {
@@ -91,6 +92,21 @@ func main() {
 		if addr := tele.DebugAddr(); addr != "" {
 			fmt.Printf("telemetry: http://%s/metrics (expvar /debug/vars, pprof /debug/pprof/)\n", addr)
 		}
+	}
+
+	// The daemon mode: a stream of jobs on one shared fleet instead of
+	// a single run.
+	if *serveScript != "" {
+		if err := serve(*serveScript, tele, *width, *height, *maxIter, *sf); err != nil {
+			fail(err)
+		}
+		closeTelemetry(tele, perfettoFile, *perfetto)
+		return
+	}
+
+	w, err := buildWorkload(*workloadName, *iterations, *width, *height, *maxIter, *sf)
+	if err != nil {
+		fail(err)
 	}
 
 	cluster := loopsched.PaperCluster(*p, *nondedicated)
@@ -188,16 +204,23 @@ func main() {
 		}
 		fmt.Println("wrote", *traceCSV)
 	}
-	if tele != nil {
-		if err := tele.Close(); err != nil {
+	closeTelemetry(tele, perfettoFile, *perfetto)
+}
+
+// closeTelemetry finishes the telemetry session, completing the
+// Perfetto document if one was requested.
+func closeTelemetry(tele *loopsched.Telemetry, perfettoFile *os.File, perfettoPath string) {
+	if tele == nil {
+		return
+	}
+	if err := tele.Close(); err != nil {
+		fail(err)
+	}
+	if perfettoFile != nil {
+		if err := perfettoFile.Close(); err != nil {
 			fail(err)
 		}
-		if perfettoFile != nil {
-			if err := perfettoFile.Close(); err != nil {
-				fail(err)
-			}
-			fmt.Println("wrote", *perfetto, "(open at https://ui.perfetto.dev)")
-		}
+		fmt.Println("wrote", perfettoPath, "(open at https://ui.perfetto.dev)")
 	}
 }
 

@@ -7,6 +7,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"image"
@@ -61,9 +62,14 @@ func main() {
 			specs[i] = &loopsched.WorkerSpec{}
 		}
 		columns := make([][]byte, p.Width)
-		ex := &loopsched.LocalExecutor{Scheme: s, Workers: specs}
-		rep, err := ex.Run(loopsched.Uniform{N: p.Width}, func(c int) {
-			columns[c] = loopsched.MandelbrotShadedColumn(p, c)
+		rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+			Backend:  loopsched.BackendLocal,
+			Scheme:   s,
+			Workload: loopsched.Uniform{N: p.Width},
+			Workers:  specs,
+			Body: func(c int) {
+				columns[c] = loopsched.MandelbrotShadedColumn(p, c)
+			},
 		})
 		if err != nil {
 			fail(err)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"loopsched"
+	"loopsched/internal/exec"
 )
 
 func main() {
@@ -37,7 +38,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	master, err := loopsched.NewMaster(scheme, *width, *workers)
+	// Real multi-machine deployments are the one place the manual
+	// master wiring is still the right tool (the public NewMaster
+	// wrapper is deprecated in favour of Run/NewScheduler, which
+	// self-host their fleets in-process).
+	master, err := exec.NewMaster(scheme, *width, *workers)
 	if err != nil {
 		fail(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -59,7 +60,11 @@ func main() {
 		}
 		params := loopsched.SimParams{BaseRate: total / 20, BytesPerIter: 64}
 		for _, s := range schemes {
-			rep, err := loopsched.Simulate(cluster, s, w, params)
+			rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+				Backend: loopsched.BackendSim,
+				Scheme:  s, Workload: w,
+				Cluster: cluster, Sim: params,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -9,14 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"image"
 	"image/png"
 	"log"
-	"net"
 	"os"
-	"sync"
 
 	"loopsched"
 )
@@ -40,58 +39,35 @@ func main() {
 	}
 
 	// The kernel computes one column and serialises it as bytes — the
-	// payload that rides back to the master on the next request.
+	// payload that rides back to the master on the next request. The
+	// run self-hosts master and workers in one process, so the kernel
+	// also parks each column locally for the final assembly.
+	columns := make([][]byte, *width)
 	kernel := func(col int) []byte {
 		rows, _ := loopsched.MandelbrotColumn(params, col)
 		buf := make([]byte, len(rows))
 		for r, n := range rows {
 			buf[r] = shade(n, *maxIter)
 		}
+		columns[col] = buf
 		return buf
 	}
 
-	// Master on an ephemeral TCP port.
+	// Four slaves over real loopback TCP: two fast, two emulated 3×
+	// slower. Run self-hosts the master on an ephemeral port and wires
+	// one RPC connection per worker.
 	const workers = 4
-	master, err := loopsched.NewMaster(scheme, *width, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer l.Close()
-	if err := master.Serve(l); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("master listening on %s, scheme %s, %d workers\n",
-		l.Addr(), scheme.Name(), workers)
-
-	// Four slaves: two fast, two emulated 3× slower. Each opens its
-	// own real TCP connection.
-	var wg sync.WaitGroup
-	for id := 0; id < workers; id++ {
-		spec := loopsched.Worker{
-			ID:           id,
-			Kernel:       kernel,
-			VirtualPower: 3,
-			ACPModel:     loopsched.ACPModel{Scale: 10},
-		}
-		if id >= 2 {
-			spec.VirtualPower = 1
-			spec.WorkScale = 3
-		}
-		wg.Add(1)
-		go func(w loopsched.Worker) {
-			defer wg.Done()
-			if err := w.Run(l.Addr().String()); err != nil {
-				log.Printf("worker %d: %v", w.ID, err)
-			}
-		}(spec)
-	}
-
-	columns, rep, err := master.Wait()
-	wg.Wait()
+	fmt.Printf("rendering under %s with %d net/rpc workers\n", scheme.Name(), workers)
+	rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Backend:  loopsched.BackendRPC,
+		Scheme:   scheme,
+		Workload: loopsched.Uniform{N: *width},
+		Workers: []*loopsched.WorkerSpec{
+			{WorkScale: 1}, {WorkScale: 1}, {WorkScale: 3}, {WorkScale: 3},
+		},
+		Kernel: kernel,
+		ACP:    loopsched.ACPModel{Scale: 10},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

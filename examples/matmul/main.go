@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -52,14 +53,16 @@ func main() {
 		}
 	}
 
-	ex := &loopsched.LocalExecutor{
-		Scheme: scheme,
+	start := time.Now()
+	rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Backend:  loopsched.BackendLocal,
+		Scheme:   scheme,
+		Workload: loopsched.Uniform{N: *n},
 		Workers: []*loopsched.WorkerSpec{
 			{WorkScale: 1}, {WorkScale: 1}, {WorkScale: 1}, {WorkScale: 1},
 		},
-	}
-	start := time.Now()
-	rep, err := ex.Run(loopsched.Uniform{N: *n}, row)
+		Body: row,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

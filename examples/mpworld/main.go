@@ -10,6 +10,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"log"
@@ -68,7 +69,7 @@ func main() {
 			}
 		}(r)
 	}
-	inproc, rep, err := loopsched.RunMPMaster(world[0], scheme, iterations, loopsched.MPMasterOptions{})
+	inproc, rep, err := loopsched.RunMPMasterContext(context.Background(), world[0], scheme, iterations, loopsched.MPMasterOptions{})
 	wg.Wait()
 	if err != nil {
 		log.Fatal(err)
@@ -101,7 +102,7 @@ func main() {
 			}
 		}(r)
 	}
-	overTCP, rep2, err := loopsched.RunMPMaster(master, scheme, iterations, loopsched.MPMasterOptions{})
+	overTCP, rep2, err := loopsched.RunMPMasterContext(context.Background(), master, scheme, iterations, loopsched.MPMasterOptions{})
 	wg.Wait()
 	if err != nil {
 		log.Fatal(err)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -44,7 +45,11 @@ func main() {
 		loopsched.NewDTSS(), // adapts
 		loopsched.NewDFISS(0),
 	} {
-		rep, err := loopsched.Simulate(spiked, s, w, params)
+		rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+			Backend: loopsched.BackendSim,
+			Scheme:  s, Workload: w,
+			Cluster: spiked, Sim: params,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -33,14 +34,14 @@ func main() {
 	// emulated 3× slower. The scheme decides who gets how much.
 	const n = 100_000
 	var sum atomic.Int64
-	ex := &loopsched.LocalExecutor{
-		Scheme: loopsched.NewTFSS(),
+	rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Backend:  loopsched.BackendLocal,
+		Scheme:   loopsched.NewTFSS(),
+		Workload: loopsched.Uniform{N: n},
 		Workers: []*loopsched.WorkerSpec{
 			{WorkScale: 1}, {WorkScale: 1}, {WorkScale: 1}, {WorkScale: 3},
 		},
-	}
-	rep, err := ex.Run(loopsched.Uniform{N: n}, func(i int) {
-		sum.Add(int64(i % 7))
+		Body: func(i int) { sum.Add(int64(i % 7)) },
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +58,11 @@ func main() {
 	params := loopsched.SimParams{BaseRate: 2.4e5, BytesPerIter: 800}
 
 	for _, s := range []loopsched.Scheme{loopsched.NewTSS(), loopsched.NewDTSS()} {
-		r, err := loopsched.Simulate(cluster, s, w, params)
+		r, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+			Backend: loopsched.BackendSim,
+			Scheme:  s, Workload: w,
+			Cluster: cluster, Sim: params,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

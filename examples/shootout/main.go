@@ -10,12 +10,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"sort"
-	"sync"
 	"text/tabwriter"
 
 	"loopsched"
@@ -84,44 +83,31 @@ func main() {
 	fmt.Println(" schemes' signature: SS pays one RPC per column, TSS/TFSS ~20 total)")
 }
 
-// race runs one scheme over a fresh TCP master and returns its results
-// and report.
+// race runs one scheme over a fresh self-hosted TCP master — Run wires
+// the loopback listener and the worker connections — and returns its
+// results and report. The workers live in this process, so the kernel
+// parks each column locally on its way onto the wire.
 func race(scheme loopsched.Scheme, kernel loopsched.Kernel) ([][]byte, loopsched.Report) {
-	master, err := loopsched.NewMaster(scheme, width, workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer l.Close()
-	if err := master.Serve(l); err != nil {
-		log.Fatal(err)
-	}
-
-	var wg sync.WaitGroup
-	for id := 0; id < workers; id++ {
-		w := loopsched.Worker{
-			ID:           id,
-			Kernel:       kernel,
-			VirtualPower: 3,
-			ACPModel:     loopsched.ACPModel{Scale: 10},
-		}
+	results := make([][]byte, width)
+	specs := make([]*loopsched.WorkerSpec, workers)
+	for id := range specs {
+		specs[id] = &loopsched.WorkerSpec{WorkScale: 1}
 		if id >= workers/2 {
-			w.VirtualPower = 1
-			w.WorkScale = 3
+			specs[id].WorkScale = 3
 		}
-		wg.Add(1)
-		go func(w loopsched.Worker) {
-			defer wg.Done()
-			if err := w.Run(l.Addr().String()); err != nil {
-				log.Printf("worker %d: %v", w.ID, err)
-			}
-		}(w)
 	}
-	results, rep, err := master.Wait()
-	wg.Wait()
+	rep, err := loopsched.Run(context.Background(), loopsched.RunSpec{
+		Backend:  loopsched.BackendRPC,
+		Scheme:   scheme,
+		Workload: loopsched.Uniform{N: width},
+		Workers:  specs,
+		Kernel: func(col int) []byte {
+			buf := kernel(col)
+			results[col] = buf
+			return buf
+		},
+		ACP: loopsched.ACPModel{Scale: 10},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"loopsched/internal/acp"
+	"loopsched/internal/sched"
+	"loopsched/internal/steal"
+	"loopsched/internal/telemetry"
+	"loopsched/internal/workload"
+)
+
+// JobConfig configures one fleet-schedulable job for NewJobState.
+type JobConfig struct {
+	// Scheme is the self-scheduling scheme the job's chunks come from.
+	Scheme sched.Scheme
+	// Workload is the job's loop.
+	Workload workload.Workload
+	// Workers is the fleet size p: the job gets one deque per worker.
+	Workers int
+	// Window is the refill batch size (DefaultStealWindow when <= 0).
+	Window int
+	// InitACP seeds the per-worker ACP figures distributed schemes
+	// plan with (the paper's step 1(a) gather). nil means every
+	// worker reports ACP 1 until its first refill.
+	InitACP []int
+	// DisableReplan turns off the majority re-plan.
+	DisableReplan bool
+	// Telemetry receives the job's chunk events; nil is inert.
+	Telemetry *telemetry.Bus
+	// Job and Tenant tag every event the job publishes, so a shared
+	// bus can attribute chunks per job and per tenant. Zero means
+	// untagged (single-run execution).
+	Job, Tenant int
+}
+
+// JobCounts is a point-in-time snapshot of a job's chunk accounting.
+type JobCounts struct {
+	Chunks    int   // chunks granted by the policy
+	Replans   int   // majority re-plans taken
+	Granted   int64 // iterations granted
+	Completed int64 // iterations executed
+	Steals    int64 // chunks moved between workers
+}
+
+// JobState is the fleet-shareable core of the work-stealing engine:
+// one job's per-worker deques plus everything a master would keep
+// private — the scheme policy, live/plan ACP, grant accounting —
+// guarded by one amortised refill mutex. A single JobState backs a
+// whole stealRun; a scheduler keeps many JobStates alive at once on
+// one worker fleet, each worker holding one deque per job.
+//
+// Termination is masterless: drained flips when the policy runs dry
+// (it can never un-dry — a re-plan covers only the remaining
+// iterations, which is zero by then), after which granted is frozen;
+// the job is finished once drained && completed == granted, i.e.
+// every granted iteration has been executed by somebody.
+type JobState struct {
+	scheme        sched.Scheme
+	w             workload.Workload
+	dist          bool
+	p             int
+	disableReplan bool
+	bus           *telemetry.Bus
+	job, tenant   int
+
+	deques   []*steal.Deque
+	counters []steal.Counters
+	scratch  [][]sched.Assignment // per-worker refill buffers
+
+	granted   atomic.Int64
+	completed atomic.Int64
+	drained   atomic.Bool
+	aborted   atomic.Bool
+
+	mu      sync.Mutex // guards everything below
+	policy  sched.Policy
+	liveACP []int
+	planACP []int
+	base    int
+	chunks  int
+	replans int
+}
+
+// NewJobState plans the job's first policy and allocates its deques.
+func NewJobState(cfg JobConfig) (*JobState, error) {
+	p := cfg.Workers
+	window := cfg.Window
+	if window <= 0 {
+		window = DefaultStealWindow
+	}
+	s := &JobState{
+		scheme:        cfg.Scheme,
+		w:             cfg.Workload,
+		dist:          sched.Distributed(cfg.Scheme),
+		p:             p,
+		disableReplan: cfg.DisableReplan,
+		bus:           cfg.Telemetry,
+		job:           cfg.Job,
+		tenant:        cfg.Tenant,
+		deques:        make([]*steal.Deque, p),
+		counters:      make([]steal.Counters, p),
+		scratch:       make([][]sched.Assignment, p),
+		liveACP:       make([]int, p),
+		planACP:       make([]int, p),
+	}
+	for i := 0; i < p; i++ {
+		s.deques[i] = steal.NewDeque(window)
+		s.scratch[i] = make([]sched.Assignment, 0, window)
+	}
+	if s.dist {
+		for i := 0; i < p; i++ {
+			a := 1
+			if i < len(cfg.InitACP) {
+				a = cfg.InitACP[i]
+			}
+			s.liveACP[i] = a
+		}
+	}
+	var err error
+	s.policy, err = s.plan()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Workload returns the job's loop (for feedback cost lookups).
+func (s *JobState) Workload() workload.Workload { return s.w }
+
+// plan builds a policy over the remaining iterations, offset past what
+// has already been granted. Caller holds s.mu (or is pre-spawn).
+func (s *JobState) plan() (sched.Policy, error) {
+	cfg := sched.Config{Iterations: s.w.Len() - s.base, Workers: s.p}
+	if s.dist {
+		powers := make([]float64, s.p)
+		for i, a := range s.liveACP {
+			if a < 1 {
+				a = 1
+			}
+			powers[i] = float64(a)
+		}
+		cfg.Powers = powers
+	}
+	pol, err := s.scheme.NewPolicy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	copy(s.planACP, s.liveACP)
+	return sched.Offset(pol, s.base), nil
+}
+
+// event returns an Event pre-tagged with the job's identity.
+func (s *JobState) event(kind telemetry.Kind, worker int) telemetry.Event {
+	return telemetry.Event{
+		Kind: kind, Worker: worker,
+		Job: s.job, Tenant: s.tenant,
+	}
+}
+
+// Pop takes the newest chunk from the worker's own deque for this job.
+func (s *JobState) Pop(worker int) (sched.Assignment, bool) {
+	a, ok := s.deques[worker].Pop()
+	if ok {
+		s.counters[worker].Pops++
+	}
+	return a, ok
+}
+
+// Steal scans the other workers' deques starting just past the thief,
+// taking the first (oldest) chunk it finds.
+func (s *JobState) Steal(thief int) (sched.Assignment, bool) {
+	c := &s.counters[thief]
+	for off := 1; off < s.p; off++ {
+		victim := (thief + off) % s.p
+		if a, ok := s.deques[victim].Steal(); ok {
+			c.Steals++
+			e := s.event(telemetry.ChunkStolen, thief)
+			e.Shard = victim
+			e.Start, e.Size = a.Start, a.Size
+			e.At = s.bus.Now()
+			s.bus.Publish(e)
+			return a, true
+		}
+	}
+	c.FailedSteals++
+	return sched.Assignment{}, false
+}
+
+// Refill is the steal engine's stand-in for one master round-trip: it
+// reports the worker's current ACP, applies any pending feedback,
+// re-plans on majority ACP change, and pulls up to a window of chunks
+// from the policy. The first chunk is returned for immediate
+// execution; the rest land in the worker's (empty — refill only runs
+// after its own pop failed, and thieves never add) deque for this job.
+// The int result is the number of iterations granted by this refill,
+// which a fair-share arbiter charges against the job's credit budget.
+func (s *JobState) Refill(worker, acpNow int, fbWork, fbElapsed float64) (sched.Assignment, int, bool) {
+	if s.aborted.Load() {
+		return sched.Assignment{}, 0, false
+	}
+	c := &s.counters[worker]
+	reqAt := s.bus.Now()
+	req := s.event(telemetry.ChunkRequested, worker)
+	req.ACP = acpNow
+	req.At = reqAt
+	s.bus.Publish(req)
+	batch := s.scratch[worker][:0]
+	window := cap(s.scratch[worker])
+	iters := 0
+
+	s.mu.Lock()
+	if s.aborted.Load() {
+		// Re-checked under the refill mutex: Abort followed by a
+		// mutex-acquiring Counts snapshot therefore observes every
+		// grant that will ever happen, so a cancelled job's report
+		// reconciles exactly with its telemetry.
+		s.mu.Unlock()
+		return sched.Assignment{}, 0, false
+	}
+	s.liveACP[worker] = acpNow
+	if fb, ok := s.policy.(sched.FeedbackPolicy); ok && fbElapsed > 0 {
+		fb.Feedback(worker, fbWork, fbElapsed)
+	}
+	if s.dist && !s.disableReplan && acp.MajorityChanged(s.planACP, s.liveACP) {
+		if p2, err2 := s.plan(); err2 == nil {
+			s.policy = p2
+			s.replans++
+			e := s.event(telemetry.StageAdvanced, worker)
+			e.At = s.bus.Now()
+			s.bus.Publish(e)
+		}
+	}
+	for len(batch) < window {
+		a, ok := s.policy.Next(sched.Request{Worker: worker, ACP: float64(acpNow)})
+		if !ok {
+			s.drained.Store(true)
+			break
+		}
+		s.base = a.End()
+		s.chunks++
+		s.granted.Add(int64(a.Size))
+		iters += a.Size
+		now := s.bus.Now()
+		e := s.event(telemetry.ChunkGranted, worker)
+		e.Start, e.Size, e.ACP = a.Start, a.Size, acpNow
+		e.At, e.Seconds = now, now-reqAt
+		s.bus.Publish(e)
+		batch = append(batch, a)
+	}
+	s.mu.Unlock()
+
+	if len(batch) == 0 {
+		return sched.Assignment{}, 0, false
+	}
+	for _, a := range batch[1:] {
+		s.deques[worker].Push(a) // cannot fail: deque empty, cap >= window
+	}
+	c.Refills++
+	c.RefillChunks += int64(len(batch))
+	e := s.event(telemetry.DequeRefilled, worker)
+	e.Start, e.Size, e.ACP = batch[0].Start, len(batch), acpNow
+	e.At = s.bus.Now()
+	s.bus.Publish(e)
+	return batch[0], iters, true
+}
+
+// Feedback applies one completed chunk's measured cost to the policy,
+// for schedulers whose workers interleave many jobs and cannot carry
+// feedback to the next refill of the same job.
+func (s *JobState) Feedback(worker int, work, elapsed float64) {
+	if elapsed <= 0 {
+		return
+	}
+	s.mu.Lock()
+	if fb, ok := s.policy.(sched.FeedbackPolicy); ok {
+		fb.Feedback(worker, work, elapsed)
+	}
+	s.mu.Unlock()
+}
+
+// Complete records the execution of one chunk, publishes its
+// completion event, and reports whether this completion finished the
+// job (drained with every granted iteration executed). A false return
+// does not mean the job is unfinished — the final grant's drained flag
+// may land after the last completion — so schedulers must also check
+// Finished after a refill comes back empty.
+func (s *JobState) Complete(worker int, a sched.Assignment, acpNow int, seconds float64) bool {
+	done := s.completed.Add(int64(a.Size))
+	e := s.event(telemetry.ChunkCompleted, worker)
+	e.Start, e.Size, e.ACP = a.Start, a.Size, acpNow
+	e.At, e.Seconds = s.bus.Now(), seconds
+	s.bus.Publish(e)
+	return s.drained.Load() && done >= s.granted.Load()
+}
+
+// Abort stops the job: no further refills will grant work. Chunks
+// already granted but still queued in deques become stale — the owner
+// discards them — so only the chunk each worker is currently executing
+// runs to completion (preemption never splits a granted chunk).
+func (s *JobState) Abort() {
+	s.aborted.Store(true)
+	s.drained.Store(true)
+}
+
+// Drained reports whether the policy has run dry (or the job was
+// aborted): no refill will ever grant more work.
+func (s *JobState) Drained() bool { return s.drained.Load() }
+
+// Finished reports whether the job is complete: the policy is dry and
+// every granted iteration has been executed.
+func (s *JobState) Finished() bool {
+	return s.drained.Load() && s.completed.Load() >= s.granted.Load()
+}
+
+// Granted returns the iterations granted so far.
+func (s *JobState) Granted() int64 { return s.granted.Load() }
+
+// Completed returns the iterations executed so far.
+func (s *JobState) Completed() int64 { return s.completed.Load() }
+
+// Counts snapshots the job's chunk accounting.
+func (s *JobState) Counts() JobCounts {
+	s.mu.Lock()
+	chunks, replans := s.chunks, s.replans
+	s.mu.Unlock()
+	c := JobCounts{
+		Chunks:    chunks,
+		Replans:   replans,
+		Granted:   s.granted.Load(),
+		Completed: s.completed.Load(),
+	}
+	for i := range s.counters {
+		c.Steals += s.counters[i].Steals
+	}
+	return c
+}
+
+// WorkerCounters returns worker i's deque counters for this job.
+func (s *JobState) WorkerCounters(i int) steal.Counters { return s.counters[i] }

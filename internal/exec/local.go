@@ -114,6 +114,11 @@ type localReply struct {
 // workload, scheduling with the configured scheme, and reports
 // measured times. body must be safe for concurrent invocation on
 // distinct iterations.
+//
+// Deprecated: Run is the legacy context-free adapter; use the public
+// loopsched.Run(ctx, RunSpec{Backend: BackendLocal, …}), which
+// validates the spec, wires telemetry and honours cancellation (or
+// RunContext when driving a Local directly).
 func (l *Local) Run(w workload.Workload, body func(i int)) (metrics.Report, error) {
 	return l.RunContext(context.Background(), w, body)
 }

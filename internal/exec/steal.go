@@ -5,13 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"loopsched/internal/acp"
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
-	"loopsched/internal/steal"
 	"loopsched/internal/telemetry"
 	"loopsched/internal/trace"
 	"loopsched/internal/workload"
@@ -32,43 +29,22 @@ func (l *Local) stealWindow() int {
 	return DefaultStealWindow
 }
 
-// stealRun is the shared state of one work-stealing execution: the
-// per-worker deques and counters, plus everything the channel master
-// kept private, now guarded by the refill mutex so the scheme policy
-// (not concurrency-safe by contract) and the replan/feedback path stay
-// single-threaded even though grants happen on whichever worker ran
-// dry first.
+// stealRun drives one single-job work-stealing execution over a
+// JobState — the fleet-shareable core holding the per-worker deques,
+// the policy under its amortised refill mutex, and the masterless
+// granted/completed/drained termination accounting. stealRun adds only
+// what a one-shot run needs on top: the worker goroutines themselves,
+// their ACP probes, and per-worker timing for the report.
 type stealRun struct {
 	l    *Local
 	w    workload.Workload
 	body func(i int)
-	dist bool
 	p    int
 
 	virtual func(i int) float64
 	start   time.Time
 
-	deques   []*steal.Deque
-	counters []steal.Counters
-	scratch  [][]sched.Assignment // per-worker refill buffers
-
-	// granted/completed/drained implement termination without a
-	// master: drained flips when the policy runs dry (it can never
-	// un-dry — a re-plan covers only the remaining iterations, which
-	// is zero by then), after which granted is frozen; workers exit
-	// once drained && completed == granted, i.e. every granted
-	// iteration has been executed by somebody.
-	granted   atomic.Int64
-	completed atomic.Int64
-	drained   atomic.Bool
-
-	mu      sync.Mutex // guards everything below
-	policy  sched.Policy
-	liveACP []int
-	planACP []int
-	base    int
-	chunks  int
-	replans int
+	js *JobState
 }
 
 // runSteal executes the loop with per-worker Chase–Lev deques instead
@@ -78,7 +54,6 @@ type stealRun struct {
 // so the serialised section runs once per window, not once per chunk.
 func (l *Local) runSteal(ctx context.Context, w workload.Workload, body func(i int)) (metrics.Report, error) {
 	p := len(l.Workers)
-	dist := sched.Distributed(l.Scheme)
 	var rep metrics.Report
 	rep.Scheme = l.Scheme.Name()
 	rep.Workload = w.Name()
@@ -90,34 +65,34 @@ func (l *Local) runSteal(ctx context.Context, w workload.Workload, body func(i i
 			maxScale = ws.scale()
 		}
 	}
-	window := l.stealWindow()
 	s := &stealRun{
-		l: l, w: w, body: body, dist: dist, p: p,
+		l: l, w: w, body: body, p: p,
 		virtual: func(i int) float64 {
 			return float64(maxScale) / float64(l.Workers[i].scale())
 		},
-		deques:   make([]*steal.Deque, p),
-		counters: make([]steal.Counters, p),
-		scratch:  make([][]sched.Assignment, p),
-		liveACP:  make([]int, p),
-		planACP:  make([]int, p),
-	}
-	for i := 0; i < p; i++ {
-		s.deques[i] = steal.NewDeque(window)
-		s.scratch[i] = make([]sched.Assignment, 0, window)
 	}
 
 	// The paper's master gathers every worker's first ACP report
 	// before planning (step 1(a)). With no master goroutine we take
 	// the reports synchronously here — equivalent, since no work has
 	// been granted yet.
-	if dist {
+	var initACP []int
+	if sched.Distributed(l.Scheme) {
+		initACP = make([]int, p)
 		for i := 0; i < p; i++ {
-			s.liveACP[i] = l.ACP.ACP(s.virtual(i), 1+l.Workers[i].Load())
+			initACP[i] = l.ACP.ACP(s.virtual(i), 1+l.Workers[i].Load())
 		}
 	}
 	var err error
-	s.policy, err = s.plan()
+	s.js, err = NewJobState(JobConfig{
+		Scheme:        l.Scheme,
+		Workload:      w,
+		Workers:       p,
+		Window:        l.stealWindow(),
+		InitACP:       initACP,
+		DisableReplan: l.DisableReplan,
+		Telemetry:     l.Telemetry,
+	})
 	if err != nil {
 		return rep, err
 	}
@@ -140,13 +115,14 @@ func (l *Local) runSteal(ctx context.Context, w workload.Workload, body func(i i
 	}
 	wg.Wait()
 
+	counts := s.js.Counts()
 	rep.Tp = time.Since(s.start).Seconds()
-	rep.Chunks = s.chunks
-	rep.Replans = s.replans
+	rep.Chunks = counts.Chunks
+	rep.Replans = counts.Replans
+	rep.Steals = int(counts.Steals)
 	for i := 0; i < p; i++ {
 		rep.PerWorker = append(rep.PerWorker, times[i])
 		rep.Iterations += int(iters[i])
-		rep.Steals += int(s.counters[i].Steals)
 	}
 	if ctx.Err() != nil {
 		return rep, ctx.Err()
@@ -157,123 +133,12 @@ func (l *Local) runSteal(ctx context.Context, w workload.Workload, body func(i i
 	return rep, nil
 }
 
-// plan builds a policy over the remaining iterations, offset past what
-// has already been granted. Caller holds s.mu (or is pre-spawn).
-func (s *stealRun) plan() (sched.Policy, error) {
-	cfg := sched.Config{Iterations: s.w.Len() - s.base, Workers: s.p}
-	if s.dist {
-		powers := make([]float64, s.p)
-		for i, a := range s.liveACP {
-			if a < 1 {
-				a = 1
-			}
-			powers[i] = float64(a)
-		}
-		cfg.Powers = powers
-	}
-	pol, err := s.l.Scheme.NewPolicy(cfg)
-	if err != nil {
-		return nil, err
-	}
-	copy(s.planACP, s.liveACP)
-	return sched.Offset(pol, s.base), nil
-}
-
-// refill is the steal engine's stand-in for one master round-trip: it
-// reports the worker's current ACP, applies any pending feedback,
-// re-plans on majority ACP change, and pulls up to a window of chunks
-// from the policy. The first chunk is returned for immediate
-// execution; the rest land in the worker's (empty — refill only runs
-// after its own pop failed, and thieves never add) deque.
-func (s *stealRun) refill(id, acpNow int, fbWork, fbElapsed float64) (sched.Assignment, bool) {
-	l, bus := s.l, s.l.Telemetry
-	c := &s.counters[id]
-	reqAt := bus.Now()
-	bus.Publish(telemetry.Event{
-		Kind: telemetry.ChunkRequested, Worker: id,
-		ACP: acpNow, At: reqAt,
-	})
-	batch := s.scratch[id][:0]
-	window := cap(s.scratch[id])
-
-	s.mu.Lock()
-	s.liveACP[id] = acpNow
-	if fb, ok := s.policy.(sched.FeedbackPolicy); ok && fbElapsed > 0 {
-		fb.Feedback(id, fbWork, fbElapsed)
-	}
-	if s.dist && !l.DisableReplan && acp.MajorityChanged(s.planACP, s.liveACP) {
-		if p2, err2 := s.plan(); err2 == nil {
-			s.policy = p2
-			s.replans++
-			bus.Publish(telemetry.Event{
-				Kind: telemetry.StageAdvanced, Worker: id,
-				At: bus.Now(),
-			})
-		}
-	}
-	for len(batch) < window {
-		a, ok := s.policy.Next(sched.Request{Worker: id, ACP: float64(acpNow)})
-		if !ok {
-			s.drained.Store(true)
-			break
-		}
-		s.base = a.End()
-		s.chunks++
-		s.granted.Add(int64(a.Size))
-		now := bus.Now()
-		bus.Publish(telemetry.Event{
-			Kind: telemetry.ChunkGranted, Worker: id,
-			Start: a.Start, Size: a.Size, ACP: acpNow,
-			At: now, Seconds: now - reqAt,
-		})
-		batch = append(batch, a)
-	}
-	s.mu.Unlock()
-
-	if len(batch) == 0 {
-		return sched.Assignment{}, false
-	}
-	for _, a := range batch[1:] {
-		s.deques[id].Push(a) // cannot fail: deque empty, cap >= window
-	}
-	c.Refills++
-	c.RefillChunks += int64(len(batch))
-	bus.Publish(telemetry.Event{
-		Kind: telemetry.DequeRefilled, Worker: id,
-		Start: batch[0].Start, Size: len(batch),
-		ACP: acpNow, At: bus.Now(),
-	})
-	return batch[0], true
-}
-
-// stealFrom scans the other workers' deques starting just past the
-// thief, taking the first (oldest) chunk it finds.
-func (s *stealRun) stealFrom(id int) (sched.Assignment, bool) {
-	c := &s.counters[id]
-	for off := 1; off < s.p; off++ {
-		victim := (id + off) % s.p
-		if a, ok := s.deques[victim].Steal(); ok {
-			c.Steals++
-			s.l.Telemetry.Publish(telemetry.Event{
-				Kind: telemetry.ChunkStolen, Worker: id, Shard: victim,
-				Start: a.Start, Size: a.Size,
-				At: s.l.Telemetry.Now(),
-			})
-			return a, true
-		}
-	}
-	c.FailedSteals++
-	return sched.Assignment{}, false
-}
-
 // worker is one goroutine's acquire–execute loop: own pop, then steal,
 // then refill, spinning (with Gosched) only in the terminal window
 // where the policy is dry but granted chunks still sit in deques.
 func (s *stealRun) worker(ctx context.Context, id int, times *metrics.Times, iters *int64) {
-	l, bus := s.l, s.l.Telemetry
+	l, bus, js := s.l, s.l.Telemetry, s.js
 	spec := l.Workers[id]
-	own := s.deques[id]
-	c := &s.counters[id]
 	bus.Publish(telemetry.Event{
 		Kind: telemetry.WorkerJoined, Worker: id,
 		At: bus.Now(),
@@ -285,20 +150,17 @@ func (s *stealRun) worker(ctx context.Context, id int, times *metrics.Times, ite
 			return
 		}
 		waitStart := time.Now()
-		a, ok := own.Pop()
-		if ok {
-			c.Pops++
-		}
+		a, ok := js.Pop(id)
 		if !ok {
-			a, ok = s.stealFrom(id)
+			a, ok = js.Steal(id)
 		}
 		if !ok {
 			acpNow = l.ACP.ACP(s.virtual(id), 1+spec.Load())
-			a, ok = s.refill(id, acpNow, fbWork, fbElapsed)
+			a, _, ok = js.Refill(id, acpNow, fbWork, fbElapsed)
 			fbWork, fbElapsed = 0, 0
 		}
 		if !ok {
-			if s.drained.Load() && s.completed.Load() >= s.granted.Load() {
+			if js.Finished() {
 				return
 			}
 			// Granted work is still in flight in other deques (or the
@@ -318,12 +180,7 @@ func (s *stealRun) worker(ctx context.Context, id int, times *metrics.Times, ite
 		fbElapsed = time.Since(compStart).Seconds() // single reading: feedback == Comp == trace span
 		times.Comp += fbElapsed
 		*iters += int64(a.Size)
-		s.completed.Add(int64(a.Size))
-		bus.Publish(telemetry.Event{
-			Kind: telemetry.ChunkCompleted, Worker: id,
-			Start: a.Start, Size: a.Size, ACP: acpNow,
-			At: bus.Now(), Seconds: fbElapsed,
-		})
+		js.Complete(id, a, acpNow, fbElapsed)
 		if l.Trace != nil {
 			begin := compStart.Sub(s.start).Seconds()
 			l.Trace.Add(trace.Event{

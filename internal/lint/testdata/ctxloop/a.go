@@ -186,6 +186,61 @@ func popWithCtx(ctx context.Context, d *steal.Deque, out *int) {
 	}
 }
 
+// The scheduler daemon's service loops: an admission loop multiplexing
+// a stream of job submissions, and a drain barrier awaiting settlement.
+// Both run for the scheduler's lifetime, so both must observe shutdown.
+
+type submitReq struct {
+	tenant string
+	weight int
+}
+
+// Flagged: the admission loop multiplexes submissions and completions
+// but has no shutdown case; Close hangs waiting for it to exit.
+func admitForever(submit chan submitReq, settled chan string, active map[string]int) {
+	for { // want `blocking loop \(channel receive\) never observes ctx\.Done`
+		select {
+		case r := <-submit:
+			active[r.tenant] += r.weight
+		case t := <-settled:
+			active[t]--
+		}
+	}
+}
+
+// Clean: the admission loop's select carries a stop case.
+func admitWithStop(stop chan struct{}, submit chan submitReq, active map[string]int) {
+	for {
+		select {
+		case r := <-submit:
+			active[r.tenant] += r.weight
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Flagged: the drain barrier counts outstanding jobs down but cannot
+// see a cancelled run; Drain hangs if a worker dies without settling.
+func drainForever(settled chan string, outstanding *int) {
+	for *outstanding > 0 { // want `blocking loop \(channel receive\) never observes ctx\.Done`
+		<-settled
+		*outstanding--
+	}
+}
+
+// Clean: the drain barrier races settlement against cancellation.
+func drainWithCtx(ctx context.Context, settled chan string, outstanding *int) {
+	for *outstanding > 0 {
+		select {
+		case <-settled:
+			*outstanding--
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
 // Suppressed: the justification rides on the directive.
 func suppressedRecv(ch chan int, out *int) {
 	//lint:loopsched-ignore ctxloop fixture: lifetime bounded by the sender closing ch

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"sync/atomic"
 )
 
 // Flagged: fire-and-forget literal with no join evidence.
@@ -96,6 +97,44 @@ func (l *looper) spawn() {
 // Flagged: a foreign callee's body cannot be checked from here.
 func serveConn(srv *rpc.Server, conn net.Conn) {
 	go srv.ServeConn(conn) // want `goroutine body is outside this package`
+}
+
+// The scheduler daemon's long-lived goroutines: the admission loop and
+// the drainer outlive any one job, so Close can only prove the fleet
+// exited if each carries join evidence.
+type fleet struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// Clean: the drainer signals the WaitGroup and is bounded by the quit
+// channel, so Close's wg.Wait observes its exit.
+func (f *fleet) startDrainer(settled chan int, outstanding *int) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			select {
+			case <-settled:
+				*outstanding--
+			case <-f.quit:
+				return
+			}
+		}
+	}()
+}
+
+// admitSpin polls shared counters with no channel or WaitGroup in
+// sight: nothing ever learns whether the admission loop exited.
+func admitSpin(pending, active *int32) {
+	for atomic.LoadInt32(pending) > 0 {
+		atomic.AddInt32(active, 1)
+		atomic.AddInt32(pending, -1)
+	}
+}
+
+func (f *fleet) startAdmission(pending, active *int32) {
+	go admitSpin(pending, active) // want `goroutine callee has no visible join or bound`
 }
 
 // Flagged then suppressed: the justification rides on the directive.

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"loopsched/internal/exec"
+)
+
+// pickRefill is the credit arbiter: it chooses the job the next refill
+// goes to. Arbitration is strict priority first — no job receives
+// credit while a refillable job of a higher priority class exists —
+// and weighted deficit-round-robin within a class: every round each
+// runnable job's deficit grows by weight·quantum iterations, a refill
+// is charged at the iterations it actually granted, and the job with
+// the largest positive deficit spends next. Because a grant may
+// overdraw (the policy decides chunk sizes, the arbiter doesn't split
+// them), debt carries across rounds and long-run granted-iteration
+// totals converge to the weight ratio. Preemption is implicit and
+// exact: admitting a higher-priority job merely redirects future
+// refills — chunks already granted stay where they are and run to
+// completion, so no iteration is ever lost or re-executed.
+func (s *Scheduler) pickRefill() (*Job, *exec.JobState) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked(now)
+	i := 0
+	for i < len(s.active) {
+		pri := s.active[i].spec.Priority
+		var class []*Job
+		end := i
+		for end < len(s.active) && s.active[end].spec.Priority == pri {
+			j := s.active[end]
+			if att := j.att.Load(); att != nil && !att.js.Drained() {
+				class = append(class, j)
+			}
+			end++
+		}
+		if len(class) > 0 {
+			for {
+				var best *Job
+				for _, j := range class {
+					if j.deficit > 0 && (best == nil || j.deficit > best.deficit) {
+						best = j
+					}
+				}
+				if best != nil {
+					return best, best.att.Load().js
+				}
+				// New round: replenish the whole class; debt carries.
+				for _, j := range class {
+					j.deficit += j.weight() * float64(s.quantum)
+				}
+			}
+		}
+		i = end
+	}
+	return nil, nil
+}
+
+// charge debits a refill's granted iterations against the job's
+// credit budget.
+func (s *Scheduler) charge(j *Job, iters int) {
+	s.mu.Lock()
+	j.deficit -= float64(iters)
+	s.mu.Unlock()
+}
+
+// expireLocked fails running jobs whose deadline has passed; the
+// refill they were denied is the preemption point, so only
+// not-yet-granted chunks are withheld. Callers hold s.mu.
+func (s *Scheduler) expireLocked(now time.Time) {
+	var expired []*Job
+	for _, j := range s.active {
+		if dl := j.spec.Deadline; !dl.IsZero() && now.After(dl) {
+			expired = append(expired, j)
+		}
+	}
+	for _, j := range expired {
+		s.finishLocked(j, StateFailed,
+			fmt.Errorf("service: job %d missed its deadline: %w", j.id, context.DeadlineExceeded))
+	}
+}

@@ -1,0 +1,16 @@
+package service
+
+import (
+	"os"
+	"testing"
+
+	"loopsched/internal/leakcheck"
+)
+
+// TestMain fails the binary if any goroutine started by the scheduler
+// — fleet workers, the admission loop, bus drainers — survives the
+// tests. Complements the static gojoin analyzer: the joins it proves
+// exist must also fire.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -41,6 +41,23 @@ type wireStats struct {
 	CodecSec float64 // encode (sent) / decode (received) seconds
 }
 
+// TenantStats accumulates one scheduler tenant's share of the fleet.
+// Chunks/Iterations are attributed from grant events carrying a
+// non-zero Tenant tag, so they reconcile exactly with the per-job
+// reports the scheduler returns.
+type TenantStats struct {
+	Name         string  // from JobMeta; "tenant-<id>" until announced
+	Jobs         uint64  // jobs announced via BeginJob
+	Finished     uint64  // jobs that completed every iteration
+	Failed       uint64  // jobs that failed terminally
+	Cancelled    uint64  // jobs cancelled
+	Requeues     uint64  // failed attempts sent back for retry
+	Chunks       uint64  // chunks granted to the tenant's jobs
+	Iterations   uint64  // iterations granted to the tenant's jobs
+	CompSec      float64 // computation seconds across the tenant's chunks
+	QueueWaitSec float64 // admission-queue seconds across the tenant's jobs
+}
+
 // Aggregator is a bus Subscriber that maintains the counters behind
 // the /metrics and /debug/vars endpoints. All methods are safe for
 // concurrent use: OnEvent runs on the bus drainer while WriteProm runs
@@ -48,15 +65,19 @@ type wireStats struct {
 type Aggregator struct {
 	droppedFn func() uint64 // reads the bus's dropped counter at render time
 
-	mu       sync.Mutex
-	meta     RunMeta
-	runs     uint64
-	kinds    [kindCount]uint64
-	workers  map[workerKey]*workerStats
-	wire     [2]wireStats // [0] sent, [1] received
-	latCount [9]uint64    // len(latencyBuckets)+1, last is +Inf
-	latSum   float64
-	latN     uint64
+	mu         sync.Mutex
+	meta       RunMeta
+	runs       uint64
+	kinds      [kindCount]uint64
+	workers    map[workerKey]*workerStats
+	tenants    map[int]*TenantStats
+	queueDepth int // last JobQueueDepth gauge sample
+	jobWaitSum float64
+	jobWaitN   uint64
+	wire       [2]wireStats // [0] sent, [1] received
+	latCount   [9]uint64    // len(latencyBuckets)+1, last is +Inf
+	latSum     float64
+	latN       uint64
 }
 
 // NewAggregator creates an empty aggregator. dropped, if non-nil, is
@@ -65,6 +86,7 @@ func NewAggregator(dropped func() uint64) *Aggregator {
 	return &Aggregator{
 		droppedFn: dropped,
 		workers:   make(map[workerKey]*workerStats),
+		tenants:   make(map[int]*TenantStats),
 	}
 }
 
@@ -74,6 +96,18 @@ func (a *Aggregator) BeginRun(m RunMeta) {
 	defer a.mu.Unlock()
 	a.meta = m
 	a.runs++
+}
+
+// BeginJob implements JobObserver: it records the tenant's name and
+// counts the job against its tenant.
+func (a *Aggregator) BeginJob(m JobMeta) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tenant(m.Tenant)
+	if m.TenantName != "" {
+		t.Name = m.TenantName
+	}
+	t.Jobs++
 }
 
 // Close implements Subscriber. The aggregator keeps its totals after
@@ -94,12 +128,44 @@ func (a *Aggregator) OnEvent(e Event) {
 		w.Iterations += uint64(e.Size)
 		w.WaitSec += e.Seconds
 		a.observeLatency(e.Seconds)
+		if e.Tenant != 0 {
+			t := a.tenant(e.Tenant)
+			t.Chunks++
+			t.Iterations += uint64(e.Size)
+		}
 	case ChunkCompleted:
 		w := a.worker(e)
 		w.Completed++
 		w.CompSec += e.Seconds
+		if e.Tenant != 0 {
+			a.tenant(e.Tenant).CompSec += e.Seconds
+		}
 	case WorkerJoined, ChunkRequested:
 		a.worker(e)
+	case JobAdmitted:
+		a.jobWaitSum += e.Seconds
+		a.jobWaitN++
+		if e.Tenant != 0 {
+			a.tenant(e.Tenant).QueueWaitSec += e.Seconds
+		}
+	case JobFinished:
+		if e.Tenant != 0 {
+			a.tenant(e.Tenant).Finished++
+		}
+	case JobFailed:
+		if e.Tenant != 0 {
+			a.tenant(e.Tenant).Failed++
+		}
+	case JobCancelled:
+		if e.Tenant != 0 {
+			a.tenant(e.Tenant).Cancelled++
+		}
+	case JobRequeued:
+		if e.Tenant != 0 {
+			a.tenant(e.Tenant).Requeues++
+		}
+	case JobQueueDepth:
+		a.queueDepth = e.Size
 	case WireFrameSent, WireFrameReceived:
 		dir := 0
 		if e.Kind == WireFrameReceived {
@@ -126,6 +192,17 @@ func (a *Aggregator) worker(e Event) *workerStats {
 		w.ACP = e.ACP
 	}
 	return w
+}
+
+// tenant returns (creating if needed) the stats for a tenant id.
+// Callers hold a.mu.
+func (a *Aggregator) tenant(id int) *TenantStats {
+	t := a.tenants[id]
+	if t == nil {
+		t = &TenantStats{Name: fmt.Sprintf("tenant-%d", id)}
+		a.tenants[id] = t
+	}
+	return t
 }
 
 // observeLatency records one scheduling latency. Callers hold a.mu.
@@ -155,6 +232,16 @@ type Snapshot struct {
 	Stages         uint64
 	Dropped        uint64
 	Workers        map[string]workerStats
+	Tenants        map[string]TenantStats
+	QueueDepth     int
+	JobWaitSec     float64
+	JobWaitCount   uint64
+	JobsSubmitted  uint64
+	JobsAdmitted   uint64
+	JobsFinished   uint64
+	JobsFailed     uint64
+	JobsRequeued   uint64
+	JobsCancelled  uint64
 	WireSent       wireStats
 	WireReceived   wireStats
 	LatencySum     float64
@@ -176,6 +263,17 @@ func (a *Aggregator) Snapshot() Snapshot {
 		Rejected:     a.kinds[WorkerRejected],
 		Stages:       a.kinds[StageAdvanced],
 		Workers:      make(map[string]workerStats, len(a.workers)),
+		Tenants:      make(map[string]TenantStats, len(a.tenants)),
+
+		QueueDepth:    a.queueDepth,
+		JobWaitSec:    a.jobWaitSum,
+		JobWaitCount:  a.jobWaitN,
+		JobsSubmitted: a.kinds[JobSubmitted],
+		JobsAdmitted:  a.kinds[JobAdmitted],
+		JobsFinished:  a.kinds[JobFinished],
+		JobsFailed:    a.kinds[JobFailed],
+		JobsRequeued:  a.kinds[JobRequeued],
+		JobsCancelled: a.kinds[JobCancelled],
 
 		PrefetchHits:   a.kinds[ChunkPrefetched],
 		PrefetchMisses: a.kinds[PrefetchMissed],
@@ -193,6 +291,9 @@ func (a *Aggregator) Snapshot() Snapshot {
 	for k, w := range a.workers {
 		s.Workers[fmt.Sprintf("%d/%d", k.Shard, k.Worker)] = *w
 		s.Iterations += w.Iterations
+	}
+	for _, t := range a.tenants {
+		s.Tenants[t.Name] = *t
 	}
 	if att := s.PrefetchHits + s.PrefetchMisses; att > 0 {
 		s.PrefetchRatio = float64(s.PrefetchHits) / float64(att)
@@ -223,7 +324,14 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	for k, ws := range a.workers {
 		rows = append(rows, workerRow{k, *ws})
 	}
+	tenants := make([]TenantStats, 0, len(a.tenants))
+	for _, t := range a.tenants {
+		tenants = append(tenants, *t)
+	}
+	queueDepth := a.queueDepth
+	jobWaitSum, jobWaitN := a.jobWaitSum, a.jobWaitN
 	a.mu.Unlock()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Name < tenants[j].Name })
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].key.Shard != rows[j].key.Shard {
 			return rows[i].key.Shard < rows[j].key.Shard
@@ -330,6 +438,34 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	pf("# TYPE loopsched_wire_codec_seconds_total counter\n")
 	for i, d := range dirs {
 		pf("loopsched_wire_codec_seconds_total{dir=%q} %g\n", d, wire[i].CodecSec)
+	}
+
+	pf("# HELP loopsched_job_queue_depth Jobs waiting for admission (queued + fail-queue) at the scheduler.\n")
+	pf("# TYPE loopsched_job_queue_depth gauge\n")
+	pf("loopsched_job_queue_depth %d\n", queueDepth)
+	pf("# HELP loopsched_job_wait_seconds Admission-queue wait from submit to start, per admitted job.\n")
+	pf("# TYPE loopsched_job_wait_seconds summary\n")
+	pf("loopsched_job_wait_seconds_sum %g\n", jobWaitSum)
+	pf("loopsched_job_wait_seconds_count %d\n", jobWaitN)
+	pf("# HELP loopsched_tenant_jobs_total Jobs submitted per scheduler tenant.\n")
+	pf("# TYPE loopsched_tenant_jobs_total counter\n")
+	for _, t := range tenants {
+		pf("loopsched_tenant_jobs_total{tenant=%q} %d\n", t.Name, t.Jobs)
+	}
+	pf("# HELP loopsched_tenant_chunks_total Chunks granted per scheduler tenant.\n")
+	pf("# TYPE loopsched_tenant_chunks_total counter\n")
+	for _, t := range tenants {
+		pf("loopsched_tenant_chunks_total{tenant=%q} %d\n", t.Name, t.Chunks)
+	}
+	pf("# HELP loopsched_tenant_iterations_total Loop iterations granted per scheduler tenant.\n")
+	pf("# TYPE loopsched_tenant_iterations_total counter\n")
+	for _, t := range tenants {
+		pf("loopsched_tenant_iterations_total{tenant=%q} %d\n", t.Name, t.Iterations)
+	}
+	pf("# HELP loopsched_tenant_comp_seconds_total Computation seconds per scheduler tenant.\n")
+	pf("# TYPE loopsched_tenant_comp_seconds_total counter\n")
+	for _, t := range tenants {
+		pf("loopsched_tenant_comp_seconds_total{tenant=%q} %g\n", t.Name, t.CompSec)
 	}
 
 	pf("# HELP loopsched_shard_steals_total Completed shard steals at the hier root.\n")

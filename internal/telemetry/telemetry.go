@@ -110,6 +110,38 @@ const (
 	// chunks starting at iteration Start.
 	DequeRefilled
 
+	// JobSubmitted marks a job entering a scheduler's admission queue.
+	// Job/Tenant identify it; Size is the job's iteration count. The
+	// job's strings (tenant name, scheme, workload) travel once in
+	// JobMeta via Bus.BeginJob.
+	JobSubmitted
+
+	// JobAdmitted marks a queued job starting on the shared fleet.
+	// Seconds is the admission-queue wait (submit to start), Size the
+	// job's iteration count.
+	JobAdmitted
+
+	// JobFinished marks a job completing every granted iteration.
+	// Seconds is the job's runtime, Size its executed iterations.
+	JobFinished
+
+	// JobFailed marks a job failing terminally (retry budget spent,
+	// deadline exceeded, or an unschedulable spec).
+	JobFailed
+
+	// JobRequeued marks a failed attempt pushed back onto the
+	// scheduler's fail-queue for a later retry. Size is the attempt
+	// number just finished.
+	JobRequeued
+
+	// JobCancelled marks a job cancelled by its owner or by the
+	// scheduler closing.
+	JobCancelled
+
+	// JobQueueDepth is a gauge sample of the scheduler's admission
+	// queue: Size is the number of jobs waiting (queued + fail-queue).
+	JobQueueDepth
+
 	kindCount // number of kinds; keep last
 )
 
@@ -134,6 +166,13 @@ var kindNames = [kindCount]string{
 	WireFrameReceived: "wire_frame_received",
 	ChunkStolen:       "chunk_stolen",
 	DequeRefilled:     "deque_refilled",
+	JobSubmitted:      "job_submitted",
+	JobAdmitted:       "job_admitted",
+	JobFinished:       "job_finished",
+	JobFailed:         "job_failed",
+	JobRequeued:       "job_requeued",
+	JobCancelled:      "job_cancelled",
+	JobQueueDepth:     "job_queue_depth",
 }
 
 // String returns the stable snake_case name of the kind.
@@ -152,6 +191,8 @@ type Event struct {
 	Kind   Kind
 	Worker int // worker id (global across shards); thief shard for steals
 	Shard  int // shard index; 0 for flat runs, victim shard for ShardStealDone
+	Job    int // scheduler job id; 0 for single-run executions
+	Tenant int // scheduler tenant id; 0 for single-run executions
 	Start  int // first iteration of the chunk / stolen range
 	Size   int // iterations in the chunk / stolen range
 	ACP    int // available computing power the requester reported, percent
@@ -176,6 +217,31 @@ type RunMeta struct {
 	Backend    string
 	Workers    int
 	Iterations int
+}
+
+// JobMeta describes one scheduler job, carrying the per-job strings
+// that Event deliberately omits. It is delivered to subscribers that
+// implement JobObserver via Bus.BeginJob, before any of the job's
+// events.
+type JobMeta struct {
+	Job        int
+	Tenant     int
+	TenantName string
+	Scheme     string
+	Workload   string
+	Iterations int
+	Priority   int
+	Weight     float64
+}
+
+// JobObserver is optionally implemented by subscribers that want
+// per-job announcements from a scheduler. It is a separate interface
+// (rather than a fourth Subscriber method) so existing subscribers
+// keep compiling; Bus.BeginJob type-asserts at delivery time.
+type JobObserver interface {
+	// BeginJob announces a job submission. Like BeginRun it is called
+	// from the publisher's goroutine, never concurrently with OnEvent.
+	BeginJob(m JobMeta)
 }
 
 // Subscriber consumes events from the bus. All three methods are
@@ -339,6 +405,28 @@ func (b *Bus) BeginRun(m RunMeta) {
 	}
 	for _, s := range subs {
 		s.BeginRun(m)
+	}
+}
+
+// BeginJob flushes the queue and then synchronously announces a
+// scheduler job to every subscriber implementing JobObserver, so the
+// meta is observed before any of the job's events. Nil-safe.
+func (b *Bus) BeginJob(m JobMeta) {
+	if b == nil {
+		return
+	}
+	b.Flush()
+	b.mu.Lock()
+	subs := b.subs
+	closed := b.closed
+	b.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, s := range subs {
+		if jo, ok := s.(JobObserver); ok {
+			jo.BeginJob(m)
+		}
 	}
 }
 

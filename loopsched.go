@@ -291,9 +291,10 @@ const (
 // Simulate runs the workload on the cluster under the scheme in the
 // discrete-event simulator and returns the paper-style report.
 //
-// Simulate is a legacy adapter kept for compatibility; prefer
+// Deprecated: Simulate is a legacy adapter kept for compatibility; use
 // Run(ctx, RunSpec{Backend: BackendSim, …}), which adds cancellation
-// and the hierarchical runtime behind the same spec.
+// and the hierarchical runtime behind the same spec, or NewScheduler
+// for a stream of jobs. See the deprecation policy in README.md.
 func Simulate(c Cluster, s Scheme, w Workload, p SimParams) (Report, error) {
 	return sim.Run(c, s, w, p)
 }
@@ -414,10 +415,13 @@ const (
 // NewMaster builds an RPC master scheduling `iterations` across
 // `workers` slaves under the scheme.
 //
-// NewMaster + Serve + Wait is the manual wiring for multi-process
-// deployments; when everything runs in one process, prefer
+// Deprecated: NewMaster + Serve + Wait is the manual wiring for
+// multi-process deployments (cmd/master still uses it for real
+// clusters); when everything runs in one process, use
 // Run(ctx, RunSpec{Backend: BackendRPC, …}), which self-hosts the
-// master and workers on loopback and supports cancellation.
+// master and workers on loopback and supports cancellation, or
+// NewScheduler for a stream of jobs. See the deprecation policy in
+// README.md.
 func NewMaster(scheme Scheme, iterations, workers int) (*Master, error) {
 	return exec.NewMaster(scheme, iterations, workers)
 }
@@ -456,9 +460,10 @@ func DialTCP(addr string, rank, size int) (Comm, error) { return mp.DialTCP(addr
 
 // RunMPMaster runs the paper's master program (§3.1) on rank 0.
 //
-// RunMPMaster is a legacy adapter kept for custom Comm wiring; prefer
-// Run(ctx, RunSpec{Backend: BackendMP, …}) for in-process worlds, or
-// RunMPMasterContext when you need cancellation over your own Comm.
+// Deprecated: RunMPMaster is a legacy adapter kept for custom Comm
+// wiring; use Run(ctx, RunSpec{Backend: BackendMP, …}) for in-process
+// worlds, or RunMPMasterContext when you need cancellation over your
+// own Comm. See the deprecation policy in README.md.
 func RunMPMaster(c Comm, scheme Scheme, iterations int, opts MPMasterOptions) ([][]byte, Report, error) {
 	return mp.RunMaster(c, scheme, iterations, opts)
 }

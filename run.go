@@ -158,6 +158,13 @@ func NewExecutor(b Backend) (Executor, error) {
 // report. Cancelling ctx stops the run promptly on every backend:
 // masters stop handing out chunks, workers drain, and Run returns
 // ctx's error (iterations already started still complete).
+//
+// Run is the single-job form of the scheduler service: it shares one
+// spec-validation path (RunSpec.validate) and one telemetry path
+// (beginTelemetry → the event bus) with Scheduler.Submit, and its
+// local steal engine runs over the same fleet-shareable per-job state
+// (internal/exec.JobState) the multi-tenant Scheduler multiplexes. Use
+// NewScheduler when a stream of jobs should share one worker fleet.
 func Run(ctx context.Context, spec RunSpec) (Report, error) {
 	ex, err := NewExecutor(spec.Backend)
 	if err != nil {
@@ -213,7 +220,12 @@ func beginTelemetry(spec *RunSpec) func() {
 	}
 }
 
-// validate checks the backend-independent requirements.
+// validate checks the whole spec: the backend-independent requirements
+// plus every per-backend structural check (worker lists, transports,
+// hierarchy support). It is the single validation path — Run, the
+// individual executors, and Scheduler.Submit all reject bad specs
+// through this function, so an error message never depends on which
+// entry point saw the spec first.
 func (s RunSpec) validate() error {
 	if s.Scheme == nil {
 		return fmt.Errorf("loopsched: RunSpec.Scheme is required")
@@ -225,6 +237,34 @@ func (s RunSpec) validate() error {
 		if err := s.Hierarchy.Validate(); err != nil {
 			return err
 		}
+	}
+	switch s.Backend {
+	case "", BackendSim:
+		// The simulator takes its machines from Cluster; an empty
+		// cluster is a valid (trivial) simulation.
+	case BackendLocal:
+		if len(s.Workers) == 0 {
+			return fmt.Errorf("loopsched: local backend needs Workers")
+		}
+		if s.Hierarchy != nil && s.LocalEngine != "" && s.LocalEngine != EngineChannel {
+			return fmt.Errorf("loopsched: LocalEngine %q is flat-only; hierarchical local runs use the submaster runtime", s.LocalEngine)
+		}
+	case BackendRPC:
+		if len(s.Workers) == 0 {
+			return fmt.Errorf("loopsched: rpc backend needs Workers")
+		}
+		if _, ok := exec.Transport(s.Transport).Normalize(); !ok {
+			return fmt.Errorf("loopsched: unknown transport %q", s.Transport)
+		}
+	case BackendMP:
+		if s.Hierarchy != nil {
+			return fmt.Errorf("loopsched: the mp backend is flat-only; use sim, local or rpc for hierarchies")
+		}
+		if len(s.Workers) == 0 {
+			return fmt.Errorf("loopsched: mp backend needs Workers")
+		}
+	default:
+		return fmt.Errorf("loopsched: unknown backend %q", s.Backend)
 	}
 	return nil
 }
@@ -279,6 +319,7 @@ func virtualPowers(workers []*WorkerSpec) []float64 {
 type simExecutor struct{}
 
 func (simExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
+	spec.Backend = BackendSim
 	if err := spec.validate(); err != nil {
 		return Report{}, err
 	}
@@ -296,20 +337,15 @@ func (simExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 type localExecutor struct{}
 
 func (localExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
+	spec.Backend = BackendLocal
 	if err := spec.validate(); err != nil {
 		return Report{}, err
-	}
-	if len(spec.Workers) == 0 {
-		return Report{}, fmt.Errorf("loopsched: local backend needs Workers")
 	}
 	body, err := spec.body()
 	if err != nil {
 		return Report{}, err
 	}
 	if spec.Hierarchy != nil {
-		if spec.LocalEngine != "" && spec.LocalEngine != EngineChannel {
-			return Report{}, fmt.Errorf("loopsched: LocalEngine %q is flat-only; hierarchical local runs use the submaster runtime", spec.LocalEngine)
-		}
 		run := &hier.LocalRun{
 			Scheme:    spec.Scheme,
 			Workers:   spec.Workers,
@@ -338,14 +374,9 @@ func (localExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 type rpcExecutor struct{}
 
 func (rpcExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
+	spec.Backend = BackendRPC
 	if err := spec.validate(); err != nil {
 		return Report{}, err
-	}
-	if len(spec.Workers) == 0 {
-		return Report{}, fmt.Errorf("loopsched: rpc backend needs Workers")
-	}
-	if _, ok := exec.Transport(spec.Transport).Normalize(); !ok {
-		return Report{}, fmt.Errorf("loopsched: unknown transport %q", spec.Transport)
 	}
 	kernel, err := spec.kernel()
 	if err != nil {
@@ -547,14 +578,9 @@ func runRPCHierarchy(ctx context.Context, spec RunSpec, kernel Kernel) (Report, 
 type mpExecutor struct{}
 
 func (mpExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
+	spec.Backend = BackendMP
 	if err := spec.validate(); err != nil {
 		return Report{}, err
-	}
-	if spec.Hierarchy != nil {
-		return Report{}, fmt.Errorf("loopsched: the mp backend is flat-only; use sim, local or rpc for hierarchies")
-	}
-	if len(spec.Workers) == 0 {
-		return Report{}, fmt.Errorf("loopsched: mp backend needs Workers")
 	}
 	kernel, err := spec.kernel()
 	if err != nil {

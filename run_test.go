@@ -265,3 +265,97 @@ func TestRunSpecValidation(t *testing.T) {
 		t.Fatal("local backend ran without a body or kernel")
 	}
 }
+
+// TestRunSpecValidationPerBackend pins every backend's structural
+// error paths to RunSpec.validate: the same message comes back whether
+// the spec is rejected by Run or by the backend's executor directly,
+// so no entry point can drift its own checks.
+func TestRunSpecValidationPerBackend(t *testing.T) {
+	scheme, err := loopsched.LookupScheme("TSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := loopsched.Uniform{N: 10, C: 1}
+	noop := func(i int) {}
+	cases := []struct {
+		name    string
+		spec    loopsched.RunSpec
+		wantErr string
+	}{
+		{
+			name:    "local without workers",
+			spec:    loopsched.RunSpec{Scheme: scheme, Workload: w, Backend: loopsched.BackendLocal, Body: noop},
+			wantErr: "loopsched: local backend needs Workers",
+		},
+		{
+			name: "local hierarchical steal engine",
+			spec: loopsched.RunSpec{
+				Scheme: scheme, Workload: w, Backend: loopsched.BackendLocal,
+				Workers: runWorkers(), Body: noop,
+				LocalEngine: loopsched.EngineSteal, Hierarchy: &loopsched.Hierarchy{},
+			},
+			wantErr: `loopsched: LocalEngine "steal" is flat-only; hierarchical local runs use the submaster runtime`,
+		},
+		{
+			name:    "rpc without workers",
+			spec:    loopsched.RunSpec{Scheme: scheme, Workload: w, Backend: loopsched.BackendRPC, Body: noop},
+			wantErr: "loopsched: rpc backend needs Workers",
+		},
+		{
+			name: "rpc unknown transport",
+			spec: loopsched.RunSpec{
+				Scheme: scheme, Workload: w, Backend: loopsched.BackendRPC,
+				Workers: runWorkers(), Body: noop, Transport: "carrier-pigeon",
+			},
+			wantErr: `loopsched: unknown transport "carrier-pigeon"`,
+		},
+		{
+			name:    "mp without workers",
+			spec:    loopsched.RunSpec{Scheme: scheme, Workload: w, Backend: loopsched.BackendMP, Body: noop},
+			wantErr: "loopsched: mp backend needs Workers",
+		},
+		{
+			name: "mp hierarchical",
+			spec: loopsched.RunSpec{
+				Scheme: scheme, Workload: w, Backend: loopsched.BackendMP,
+				Body: noop, Hierarchy: &loopsched.Hierarchy{},
+			},
+			wantErr: "loopsched: the mp backend is flat-only; use sim, local or rpc for hierarchies",
+		},
+		{
+			name:    "unknown backend",
+			spec:    loopsched.RunSpec{Scheme: scheme, Workload: w, Backend: "quantum", Body: noop},
+			wantErr: `loopsched: unknown backend "quantum"`,
+		},
+		{
+			name:    "missing scheme",
+			spec:    loopsched.RunSpec{Workload: w, Backend: loopsched.BackendLocal, Workers: runWorkers(), Body: noop},
+			wantErr: "loopsched: RunSpec.Scheme is required",
+		},
+		{
+			name:    "missing workload",
+			spec:    loopsched.RunSpec{Scheme: scheme, Backend: loopsched.BackendLocal, Workers: runWorkers(), Body: noop},
+			wantErr: "loopsched: RunSpec.Workload is required",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := loopsched.Run(context.Background(), tc.spec)
+			if err == nil || err.Error() != tc.wantErr {
+				t.Fatalf("Run error = %v, want %q", err, tc.wantErr)
+			}
+			ex, exErr := loopsched.NewExecutor(tc.spec.Backend)
+			if exErr != nil {
+				// The unknown-backend case: NewExecutor and validate must
+				// agree on the message.
+				if exErr.Error() != tc.wantErr {
+					t.Fatalf("NewExecutor error = %v, want %q", exErr, tc.wantErr)
+				}
+				return
+			}
+			if _, err := ex.Run(context.Background(), tc.spec); err == nil || err.Error() != tc.wantErr {
+				t.Fatalf("executor error = %v, want %q", err, tc.wantErr)
+			}
+		})
+	}
+}
