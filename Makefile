@@ -15,7 +15,7 @@ XTOOLS_VERSION      ?= v0.24.0
 LINT_TOOL := bin/loopschedlint
 
 .PHONY: all build vet test race fuzz bench bench-json experiments baseline check-baseline clean \
-	lint lint-tool lint-json fmt-check staticcheck govulncheck
+	lint lint-tool lint-json lint-diff escape-check fmt-check staticcheck govulncheck
 
 all: build vet lint test
 
@@ -43,6 +43,20 @@ lint-json:
 	$(GO) build -o $(LINT_TOOL) ./cmd/loopschedlint
 	./$(LINT_TOOL) -json ./... > lint-report.json || true
 	@cat lint-report.json
+
+# lint-diff is the CI gate: it fails only on findings not recorded in
+# the checked-in baseline (lint-baseline.json, kept empty — fix or
+# suppress findings rather than baselining them), and writes both the
+# JSON and SARIF artifacts CI uploads either way.
+lint-diff:
+	$(GO) build -o $(LINT_TOOL) ./cmd/loopschedlint
+	./$(LINT_TOOL) -json -sarif lint-report.sarif -baseline lint-baseline.json ./... > lint-report.json
+
+# escape-check cross-checks the hotalloc analyzer against the
+# compiler's own escape analysis (-gcflags=-m) on every
+# //lint:loopsched-hotpath function; see cmd/escapecheck.
+escape-check:
+	$(GO) run ./cmd/escapecheck
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

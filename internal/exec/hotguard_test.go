@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"sort"
+	"testing"
+
+	"loopsched/internal/hotpath"
+	"loopsched/internal/sched"
+	"loopsched/internal/workload"
+)
+
+// hotGuards is this package's alloc-guard table: one entry per
+// //lint:loopsched-hotpath function, checked against the annotations
+// by TestHotPathGuardTable. The single guard drives the steal engine's
+// whole per-chunk cycle — pop, steal, refill, complete — because those
+// operations only occur interleaved.
+var hotGuards = map[string]func(t *testing.T){
+	"(*JobState).Pop":      jobStateCycleGuard,
+	"(*JobState).Steal":    jobStateCycleGuard,
+	"(*JobState).Complete": jobStateCycleGuard,
+}
+
+// TestHotPathGuardTable pins hotGuards to the annotation set.
+func TestHotPathGuardTable(t *testing.T) {
+	names := make([]string, 0, len(hotGuards))
+	for name := range hotGuards {
+		names = append(names, name)
+	}
+	missing, stale, err := hotpath.TableErrors(".", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range missing {
+		t.Errorf("annotated hot function %s has no alloc guard; add a hotGuards entry", name)
+	}
+	for _, name := range stale {
+		t.Errorf("hotGuards entry %s matches no annotated function; remove it or annotate", name)
+	}
+}
+
+// TestHotPathAllocGuards runs every guard in the table.
+func TestHotPathAllocGuards(t *testing.T) {
+	names := make([]string, 0, len(hotGuards))
+	for name := range hotGuards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Run(name, hotGuards[name])
+	}
+}
+
+// jobStateCycleGuard pins the per-chunk cycle with telemetry disabled
+// (a nil bus, the steady-state default for headless runs) at zero
+// allocations: pop from the own deque, steal from a sibling, refill
+// from the policy, complete — the same interleaving the engine's
+// worker loop performs per chunk.
+func jobStateCycleGuard(t *testing.T) {
+	js, err := NewJobState(JobConfig{
+		Scheme:   sched.CSSScheme{K: 4},
+		Workload: workload.Uniform{N: 1 << 30},
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		a, ok := js.Pop(0)
+		if !ok {
+			a, ok = js.Steal(0)
+		}
+		if !ok {
+			// Refill the sibling, so the next rounds exercise Steal too.
+			if _, _, ok = js.Refill(1, 1, 0, 0); !ok {
+				panic("policy drained mid-guard")
+			}
+			a, _, _ = js.Refill(0, 1, 0, 0)
+		}
+		js.Complete(0, a, 1, 0)
+	}); avg > 0 {
+		t.Errorf("pop/steal/refill/complete cycle allocates %.1f objects per op, want 0", avg)
+	}
+}

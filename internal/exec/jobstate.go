@@ -66,7 +66,7 @@ type JobState struct {
 	job, tenant   int
 
 	deques   []*steal.Deque
-	counters []steal.Counters
+	counters []steal.AtomicCounters
 	scratch  [][]sched.Assignment // per-worker refill buffers
 
 	granted   atomic.Int64
@@ -100,7 +100,7 @@ func NewJobState(cfg JobConfig) (*JobState, error) {
 		job:           cfg.Job,
 		tenant:        cfg.Tenant,
 		deques:        make([]*steal.Deque, p),
-		counters:      make([]steal.Counters, p),
+		counters:      make([]steal.AtomicCounters, p),
 		scratch:       make([][]sched.Assignment, p),
 		liveACP:       make([]int, p),
 		planACP:       make([]int, p),
@@ -152,6 +152,8 @@ func (s *JobState) plan() (sched.Policy, error) {
 }
 
 // event returns an Event pre-tagged with the job's identity.
+//
+//lint:loopsched-hotpath
 func (s *JobState) event(kind telemetry.Kind, worker int) telemetry.Event {
 	return telemetry.Event{
 		Kind: kind, Worker: worker,
@@ -160,22 +162,26 @@ func (s *JobState) event(kind telemetry.Kind, worker int) telemetry.Event {
 }
 
 // Pop takes the newest chunk from the worker's own deque for this job.
+//
+//lint:loopsched-hotpath
 func (s *JobState) Pop(worker int) (sched.Assignment, bool) {
 	a, ok := s.deques[worker].Pop()
 	if ok {
-		s.counters[worker].Pops++
+		s.counters[worker].Pops.Add(1)
 	}
 	return a, ok
 }
 
 // Steal scans the other workers' deques starting just past the thief,
 // taking the first (oldest) chunk it finds.
+//
+//lint:loopsched-hotpath
 func (s *JobState) Steal(thief int) (sched.Assignment, bool) {
 	c := &s.counters[thief]
 	for off := 1; off < s.p; off++ {
 		victim := (thief + off) % s.p
 		if a, ok := s.deques[victim].Steal(); ok {
-			c.Steals++
+			c.Steals.Add(1)
 			e := s.event(telemetry.ChunkStolen, thief)
 			e.Shard = victim
 			e.Start, e.Size = a.Start, a.Size
@@ -184,7 +190,7 @@ func (s *JobState) Steal(thief int) (sched.Assignment, bool) {
 			return a, true
 		}
 	}
-	c.FailedSteals++
+	c.FailedSteals.Add(1)
 	return sched.Assignment{}, false
 }
 
@@ -257,8 +263,8 @@ func (s *JobState) Refill(worker, acpNow int, fbWork, fbElapsed float64) (sched.
 	for _, a := range batch[1:] {
 		s.deques[worker].Push(a) // cannot fail: deque empty, cap >= window
 	}
-	c.Refills++
-	c.RefillChunks += int64(len(batch))
+	c.Refills.Add(1)
+	c.RefillChunks.Add(int64(len(batch)))
 	e := s.event(telemetry.DequeRefilled, worker)
 	e.Start, e.Size, e.ACP = batch[0].Start, len(batch), acpNow
 	e.At = s.bus.Now()
@@ -286,6 +292,8 @@ func (s *JobState) Feedback(worker int, work, elapsed float64) {
 // does not mean the job is unfinished — the final grant's drained flag
 // may land after the last completion — so schedulers must also check
 // Finished after a refill comes back empty.
+//
+//lint:loopsched-hotpath
 func (s *JobState) Complete(worker int, a sched.Assignment, acpNow int, seconds float64) bool {
 	done := s.completed.Add(int64(a.Size))
 	e := s.event(telemetry.ChunkCompleted, worker)
@@ -332,10 +340,12 @@ func (s *JobState) Counts() JobCounts {
 		Completed: s.completed.Load(),
 	}
 	for i := range s.counters {
-		c.Steals += s.counters[i].Steals
+		c.Steals += s.counters[i].Steals.Load()
 	}
 	return c
 }
 
-// WorkerCounters returns worker i's deque counters for this job.
-func (s *JobState) WorkerCounters(i int) steal.Counters { return s.counters[i] }
+// WorkerCounters snapshots worker i's deque counters for this job.
+// Safe to call while the job is running: the live tally is atomic, so
+// a scheduler polling a job mid-flight reads torn-free counts.
+func (s *JobState) WorkerCounters(i int) steal.Counters { return s.counters[i].Snapshot() }

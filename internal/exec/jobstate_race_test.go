@@ -1,0 +1,98 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"loopsched/internal/sched"
+	"loopsched/internal/workload"
+)
+
+// TestJobStateLiveCounterReads is the regression test for the plain
+// steal.Counters fields the scheduler used to read mid-run: a monitor
+// polls Counts and WorkerCounters continuously while workers pop,
+// steal, refill and complete. With the old plain-int64 tally this is a
+// data race the -race runner reports; with AtomicCounters it must be
+// silent, and the post-join snapshot must reconcile with the job's
+// grant accounting.
+func TestJobStateLiveCounterReads(t *testing.T) {
+	const n, p = 20000, 4
+	js, err := NewJobState(JobConfig{
+		Scheme:   sched.GSSScheme{},
+		Workload: workload.Uniform{N: n},
+		Workers:  p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var monitor sync.WaitGroup
+	monitor.Add(1)
+	go func() {
+		defer monitor.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = js.Counts()
+			for i := 0; i < p; i++ {
+				_ = js.WorkerCounters(i)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for !js.Finished() {
+				a, ok := js.Pop(w)
+				if !ok {
+					a, ok = js.Steal(w)
+				}
+				if !ok {
+					a, _, ok = js.Refill(w, 1, 0, 0)
+				}
+				if !ok {
+					// Nothing visible right now; chunks may still sit in
+					// other deques until their owners or thieves drain them.
+					runtime.Gosched()
+					continue
+				}
+				js.Complete(w, a, 1, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	monitor.Wait()
+
+	counts := js.Counts()
+	if counts.Granted != n || counts.Completed != n {
+		t.Fatalf("granted %d, completed %d, want %d each", counts.Granted, counts.Completed, n)
+	}
+	var pops, steals, refills, refillChunks int64
+	for i := 0; i < p; i++ {
+		c := js.WorkerCounters(i)
+		pops += c.Pops
+		steals += c.Steals
+		refills += c.Refills
+		refillChunks += c.RefillChunks
+	}
+	if steals != counts.Steals {
+		t.Errorf("per-worker steal sum %d, Counts says %d", steals, counts.Steals)
+	}
+	if got := int(refillChunks); got != counts.Chunks {
+		t.Errorf("refill chunk sum %d, policy granted %d chunks", got, counts.Chunks)
+	}
+	// Every chunk is executed exactly once: as a refill's immediate
+	// first chunk, as an owner pop, or as a steal.
+	if got := int(pops + steals + refills); got != counts.Chunks {
+		t.Errorf("pops %d + steals %d + immediate %d != chunks %d", pops, steals, refills, counts.Chunks)
+	}
+}

@@ -1,0 +1,38 @@
+package hotpath
+
+import "sort"
+
+// TableErrors compares a package's alloc-guard table against its
+// hot-path annotations: every exported annotated function must have a
+// guard entry (keyed by display name, e.g. "(*Deque).Push"), and every
+// entry must correspond to an annotated function — unexported ones may
+// be guarded voluntarily but only exported ones are demanded. The
+// returned slices are sorted; both empty means the table is exactly
+// the annotation set. This is how annotating a function automatically
+// demands an AllocsPerRun guard for it — the per-package
+// TestHotPathGuardTable fails until the table entry exists.
+func TableErrors(dir string, guarded []string) (missing, stale []string, err error) {
+	funcs, err := Annotated(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	annotated := map[string]bool{} // name -> exported
+	for _, fn := range funcs {
+		annotated[fn.Name] = fn.Exported
+	}
+	have := map[string]bool{}
+	for _, name := range guarded {
+		have[name] = true
+		if _, ok := annotated[name]; !ok {
+			stale = append(stale, name)
+		}
+	}
+	for name, exported := range annotated {
+		if exported && !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	return missing, stale, nil
+}

@@ -1,0 +1,183 @@
+// Package hotpath locates the functions the repo has declared to be on
+// the chunk hot path via the //lint:loopsched-hotpath directive. Three
+// consumers share this one scanner so they can never drift apart:
+//
+//   - the hotalloc analyzer (internal/lint) statically rejects
+//     heap-escaping constructs in annotated functions and everything
+//     they call within their package;
+//   - cmd/escapecheck cross-checks the analyzer's verdicts against the
+//     compiler's own escape analysis (go build -gcflags=-m);
+//   - the per-package alloc-guard test tables (internal/steal,
+//     internal/wire, …) are generated from the annotations, so
+//     annotating an exported function automatically demands an
+//     AllocsPerRun guard for it.
+//
+// The directive goes on its own line inside the function's doc
+// comment (or on the line immediately above an undocumented one):
+//
+//	// Push appends an assignment at the owner's end.
+//	//lint:loopsched-hotpath
+//	func (d *Deque) Push(a sched.Assignment) bool {
+//
+// Like all //lint: directives it is invisible to go doc.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Directive marks a function as hot-path: it must not allocate on any
+// steady-state execution. The comment form is //lint:loopsched-hotpath
+// (no space after the slashes, per Go directive convention).
+const Directive = "lint:loopsched-hotpath"
+
+// Func describes one annotated function.
+type Func struct {
+	// Name is the display form: "Push" for plain functions,
+	// "(*Deque).Push" for pointer-receiver methods, "(Kind).String"
+	// for value-receiver methods.
+	Name string
+	// Recv is the bare receiver type name ("" for plain functions).
+	Recv string
+	// Ident is the function identifier alone ("Push").
+	Ident string
+	// Exported reports whether the function identifier is exported.
+	Exported bool
+	// File is the path as given to the parser; Line and EndLine span
+	// the declaration (doc comment excluded).
+	File    string
+	Line    int
+	EndLine int
+}
+
+// hasDirective reports whether any line of the comment group is the
+// hot-path directive.
+func hasDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == Directive || strings.HasPrefix(text, Directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveLines collects the line numbers of every hot-path directive
+// comment in the file, for matching bare directives that sit directly
+// above an undocumented declaration.
+func directiveLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == Directive || strings.HasPrefix(text, Directive+" ") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// AnnotatedDecls returns the FuncDecls in the parsed files that carry
+// the hot-path directive (in their doc comment, or on the line
+// directly above). The files must have been parsed with
+// parser.ParseComments.
+func AnnotatedDecls(fset *token.FileSet, files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		lines := directiveLines(fset, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if hasDirective(fn.Doc) || lines[fset.Position(fn.Pos()).Line-1] {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}
+
+// DeclName renders a FuncDecl's display name: "Push", "(*Deque).Push"
+// or "(Kind).String".
+func DeclName(fn *ast.FuncDecl) string {
+	recv := recvTypeName(fn)
+	if recv == "" {
+		return fn.Name.Name
+	}
+	if recvIsPointer(fn) {
+		return fmt.Sprintf("(*%s).%s", recv, fn.Name.Name)
+	}
+	return fmt.Sprintf("(%s).%s", recv, fn.Name.Name)
+}
+
+// recvTypeName returns the bare receiver type name, "" for functions.
+func recvTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	// Generic receivers (IndexExpr) do not occur in this module.
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func recvIsPointer(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return false
+	}
+	_, ok := fn.Recv.List[0].Type.(*ast.StarExpr)
+	return ok
+}
+
+// Annotated parses every non-test .go file in dir (one package
+// directory, not recursive) and returns its annotated functions,
+// sorted by name.
+func Annotated(dir string) ([]Func, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("hotpath: %w", err)
+	}
+	fset := token.NewFileSet()
+	var out []Func
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("hotpath: %w", err)
+		}
+		for _, fn := range AnnotatedDecls(fset, []*ast.File{f}) {
+			out = append(out, Func{
+				Name:     DeclName(fn),
+				Recv:     recvTypeName(fn),
+				Ident:    fn.Name.Name,
+				Exported: ast.IsExported(fn.Name.Name),
+				File:     path,
+				Line:     fset.Position(fn.Pos()).Line,
+				EndLine:  fset.Position(fn.End()).Line,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,11 @@
+package lint_test
+
+import (
+	"testing"
+
+	"loopsched/internal/lint"
+)
+
+func TestHotAlloc(t *testing.T) {
+	runFixture(t, lint.HotAlloc, "hotalloc")
+}

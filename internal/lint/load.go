@@ -14,6 +14,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // The loader type-checks packages from source without any dependency
@@ -62,10 +64,43 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	return pkgs, nil
 }
 
+// The load cache. Every consumer of one lint invocation — the
+// per-package analyzers, the module analyzers, the SARIF/JSON/baseline
+// emitters and the fixture harness — wants the same `go list -export`
+// walk and type-check, which dominates lint wall time (seconds for the
+// full module). Memoizing by (dir, patterns) makes every call after
+// the first free. The cache assumes sources do not change during one
+// process's lifetime, which holds for every driver (a lint run is
+// read-only); callers that need a fresh view start a fresh process.
+var loadCache = struct {
+	sync.Mutex
+	exports map[string]map[string]string
+	pkgs    map[string][]*Package
+}{
+	exports: map[string]map[string]string{},
+	pkgs:    map[string][]*Package{},
+}
+
+// cacheKey canonicalises (dir, patterns) into one map key.
+func cacheKey(dir string, patterns []string) string {
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	return dir + "\x00" + strings.Join(patterns, "\x00")
+}
+
 // ExportMap compiles the patterns (and their dependencies) and returns
 // importPath → export-data file. Used directly by the fixture harness,
 // which type-checks testdata packages against the standard library.
+// Results are memoized per (dir, patterns); see loadCache.
 func ExportMap(dir string, patterns ...string) (map[string]string, error) {
+	key := cacheKey(dir, patterns)
+	loadCache.Lock()
+	cached, ok := loadCache.exports[key]
+	loadCache.Unlock()
+	if ok {
+		return cached, nil
+	}
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -76,6 +111,9 @@ func ExportMap(dir string, patterns ...string) (map[string]string, error) {
 			exports[p.ImportPath] = p.Export
 		}
 	}
+	loadCache.Lock()
+	loadCache.exports[key] = exports
+	loadCache.Unlock()
 	return exports, nil
 }
 
@@ -104,8 +142,17 @@ func newTypesInfo() *types.Info {
 // Load type-checks the packages matching the patterns, resolved
 // relative to dir (typically the module root). Only non-standard
 // packages named by the patterns are returned; their dependencies are
-// consumed as export data.
+// consumed as export data. Results are memoized per (dir, patterns),
+// so the per-package pass and the module-wide pass of one lint run
+// share a single `go list` walk and type-check (see loadCache).
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	key := cacheKey(dir, patterns)
+	loadCache.Lock()
+	cached, ok := loadCache.pkgs[key]
+	loadCache.Unlock()
+	if ok {
+		return cached, nil
+	}
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
@@ -141,6 +188,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		out = append(out, pkg)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	loadCache.Lock()
+	loadCache.pkgs[key] = out
+	loadCache.Unlock()
 	return out, nil
 }
 

@@ -1,0 +1,494 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder lifts locksafe's per-function mutex reasoning to a
+// module-wide lock-acquisition-order graph. Nodes are lock classes
+// (named mutex fields like exec.JobState.mu, or package-level mutex
+// variables); an edge A → B is recorded whenever B is acquired while A
+// is held — directly, or through a call chain (the service arbiter
+// finishing an attempt calls exec.JobState.Counts, which locks
+// JobState.mu while Scheduler.mu is held; the steal refill publishes
+// telemetry while JobState.mu is held). A cycle in this graph is a
+// potential deadlock that no single-package analyzer can see, because
+// each half of the inversion lives in a different package.
+//
+// Classes and functions are keyed by *string* (package path + type +
+// field), never by go/types object identity: the module pass
+// type-checks each package from source but sees its dependencies
+// through export data, so the same function appears as two distinct
+// types.Func objects depending on which side of the import you stand.
+//
+// The per-function walk is deliberately lenient — branches share one
+// held-set, deferred unlocks keep the lock held to the end of the
+// function (which is what defer means), and locks held through
+// function literals are not tracked across the goroutine boundary.
+// Lenient simulation can miss orderings; it does not invent them, so
+// every reported cycle has a concrete witness chain.
+var LockOrder = &ModuleAnalyzer{
+	Name: "lockorder",
+	Doc: "the module-wide lock acquisition graph must stay acyclic; a cycle between lock " +
+		"classes (held-while-acquiring, directly or through calls) is a potential deadlock",
+	Run: runLockOrder,
+}
+
+// lockEdge is one witness for "To acquired while From held".
+type lockEdge struct {
+	From, To string
+	Pos      token.Position
+	Via      string // callee name when the acquisition is indirect
+}
+
+type lockOrderPass struct {
+	pass *ModulePass
+	// acquires: funcKey → lock classes the function (transitively)
+	// acquires. Built by fixpoint over callees.
+	acquires map[string]map[string]bool
+	callees  map[string]map[string]bool
+	// edges: From → To → first witness.
+	edges map[string]map[string]*lockEdge
+}
+
+func runLockOrder(pass *ModulePass) error {
+	lo := &lockOrderPass{
+		pass:     pass,
+		acquires: map[string]map[string]bool{},
+		callees:  map[string]map[string]bool{},
+		edges:    map[string]map[string]*lockEdge{},
+	}
+
+	// Phase 1: per-function summaries — direct acquisitions (even
+	// transient ones: a caller holding L that calls f still establishes
+	// L → M if f locks M at any point) and module-internal callees.
+	type declSite struct {
+		pkg *Package
+		fn  *ast.FuncDecl
+		key string
+	}
+	var decls []declSite
+	for _, pkg := range pass.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				tf, ok := pkg.TypesInfo.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := lockFuncKey(tf)
+				decls = append(decls, declSite{pkg, fn, key})
+				lo.summarize(pkg, fn, key)
+			}
+		}
+	}
+
+	// Phase 2: transitive closure of acquires over callees.
+	for changed := true; changed; {
+		changed = false
+		for fk, cs := range lo.callees {
+			for callee := range cs {
+				for class := range lo.acquires[callee] {
+					if lo.acquires[fk] == nil {
+						lo.acquires[fk] = map[string]bool{}
+					}
+					if !lo.acquires[fk][class] {
+						lo.acquires[fk][class] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 3: simulate each function with an ordered held-set,
+	// recording held × acquired edges (direct and via calls).
+	for _, d := range decls {
+		lo.simulate(d.pkg, d.fn.Body, d.key)
+	}
+
+	lo.reportCycles()
+	return nil
+}
+
+// summarize records fn's direct lock classes and module callees.
+// Function literals are excluded: their bodies typically run on other
+// goroutines, whose acquisitions are not ordered by this call.
+func (lo *lockOrderPass) summarize(pkg *Package, fn *ast.FuncDecl, key string) {
+	if lo.acquires[key] == nil {
+		lo.acquires[key] = map[string]bool{}
+	}
+	if lo.callees[key] == nil {
+		lo.callees[key] = map[string]bool{}
+	}
+	walkOutsideFuncLits(fn.Body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if class, op := lockOp(pkg.TypesInfo, call); class != "" {
+			if op == "Lock" || op == "RLock" {
+				lo.acquires[key][class] = true
+			}
+			return
+		}
+		if callee := lockCalleeKey(pkg.TypesInfo, call); callee != "" && callee != key {
+			lo.callees[key][callee] = true
+		}
+	})
+}
+
+// simulate walks one function body in source order with a held-set;
+// nested function literals are simulated with a fresh held-set.
+func (lo *lockOrderPass) simulate(pkg *Package, body *ast.BlockStmt, selfKey string) {
+	var held []string
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				saved := held
+				held = nil
+				walk(x.Body)
+				held = saved
+				return false
+			case *ast.DeferStmt:
+				// defer mu.Unlock() releases at function end; for a
+				// linear walk that means "held for the rest", which is
+				// the default — so skip the call entirely.
+				if class, op := lockOp(pkg.TypesInfo, x.Call); class != "" && (op == "Unlock" || op == "RUnlock") {
+					return false
+				}
+				return true
+			case *ast.CallExpr:
+				if class, op := lockOp(pkg.TypesInfo, x); class != "" {
+					switch op {
+					case "Lock", "RLock":
+						for _, h := range held {
+							lo.addEdge(h, class, pkg.Fset.Position(x.Pos()), "")
+						}
+						held = append(held, class)
+					case "Unlock", "RUnlock":
+						for i := len(held) - 1; i >= 0; i-- {
+							if held[i] == class {
+								held = append(held[:i], held[i+1:]...)
+								break
+							}
+						}
+					}
+					return true
+				}
+				if len(held) == 0 {
+					return true
+				}
+				callee := lockCalleeKey(pkg.TypesInfo, x)
+				if callee == "" || callee == selfKey {
+					return true
+				}
+				for _, h := range held {
+					for class := range lo.acquires[callee] {
+						lo.addEdge(h, class, pkg.Fset.Position(x.Pos()), callee)
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+func (lo *lockOrderPass) addEdge(from, to string, pos token.Position, via string) {
+	if from == to {
+		return // recursive re-acquisition is locksafe's business, not an ordering
+	}
+	if lo.edges[from] == nil {
+		lo.edges[from] = map[string]*lockEdge{}
+	}
+	if _, ok := lo.edges[from][to]; !ok {
+		lo.edges[from][to] = &lockEdge{From: from, To: to, Pos: pos, Via: via}
+	}
+}
+
+// reportCycles finds strongly connected components of the edge graph
+// and reports each cycle once, anchored at the witness edge leaving
+// the lexicographically smallest class in the component.
+func (lo *lockOrderPass) reportCycles() {
+	var nodes []string
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range lo.edges {
+		addNode(from)
+		for to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's SCC, iterative over the sorted node list for
+	// deterministic component discovery.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var sccs [][]string
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var tos []string
+		for to := range lo.edges[v] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, w := range tos {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strong(n)
+		}
+	}
+
+	for _, comp := range sccs {
+		sort.Strings(comp)
+		inComp := map[string]bool{}
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		start := comp[0]
+		path := lo.cyclePath(start, inComp)
+		if len(path) == 0 {
+			continue
+		}
+		var cycle string
+		var witnesses string
+		for i, e := range path {
+			if i == 0 {
+				cycle = e.From
+			}
+			cycle += " -> " + e.To
+			if i > 0 {
+				witnesses += "; "
+			}
+			witnesses += fmt.Sprintf("%s acquired at %s:%d while %s is held", e.To, e.Pos.Filename, e.Pos.Line, e.From)
+			if e.Via != "" {
+				witnesses += " (via call to " + e.Via + ")"
+			}
+		}
+		lo.pass.ReportAt(path[0].Pos, "lock order cycle: %s: %s", cycle, witnesses)
+	}
+}
+
+// cyclePath finds a cycle start → … → start within the component by
+// BFS, returning the witness edges along it.
+func (lo *lockOrderPass) cyclePath(start string, inComp map[string]bool) []*lockEdge {
+	type step struct {
+		node string
+		via  []*lockEdge
+	}
+	queue := []step{{node: start}}
+	visited := map[string]bool{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		var tos []string
+		for to := range lo.edges[cur.node] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			if !inComp[to] {
+				continue
+			}
+			e := lo.edges[cur.node][to]
+			path := append(append([]*lockEdge{}, cur.via...), e)
+			if to == start {
+				return path
+			}
+			if !visited[to] {
+				visited[to] = true
+				queue = append(queue, step{node: to, via: path})
+			}
+		}
+	}
+	return nil
+}
+
+// lockOp recognises calls to the sync locking methods and resolves the
+// receiver to a lock class. Returns ("", "") for anything else.
+func lockOp(info *types.Info, call *ast.CallExpr) (class, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	return lockClassOf(info, sel.X), fn.Name()
+}
+
+// lockClassOf renders the mutex-bearing expression as a stable string
+// class: "pkgpath.Type.field" for fields, "pkgpath.var" for
+// package-level variables, "pkgpath.Type" for embedded locks. Returns
+// "" when the expression cannot be classified (e.g. a local *Mutex
+// whose provenance is unknown).
+func lockClassOf(info *types.Info, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return lockClassOf(info, x.X)
+	case *ast.StarExpr:
+		return lockClassOf(info, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lockClassOf(info, x.X)
+		}
+		return ""
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			// Package-qualified handled by SelectorExpr case; a plain
+			// non-var ident has no class.
+			return ""
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		// Receiver or local of a named type with an embedded lock.
+		return namedClass(v.Type())
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			recv := namedClass(sel.Recv())
+			if recv == "" {
+				recv = lockClassOf(info, x.X)
+			} else if isStdSyncClass(sel.Recv()) {
+				// A field of a std sync type (cond.L): prefix with the
+				// module-side owner so distinct conds get distinct classes.
+				if inner := lockClassOf(info, x.X); inner != "" {
+					recv = inner
+				}
+			}
+			if recv == "" {
+				return ""
+			}
+			return recv + "." + x.Sel.Name
+		}
+		// pkg.Var reference.
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+		return ""
+	default:
+		return ""
+	}
+}
+
+// namedClass renders a (possibly pointer-to) named type as
+// "pkgpath.Name", or "" for unnamed/universe types.
+func namedClass(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+func isStdSyncClass(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync"
+}
+
+// lockCalleeKey resolves a call to a module function's string key, or
+// "" for calls that cannot be resolved (builtins, interface methods,
+// std library).
+func lockCalleeKey(info *types.Info, call *ast.CallExpr) string {
+	var obj types.Object
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	return lockFuncKey(fn)
+}
+
+// lockFuncKey keys a function by string — "pkgpath.Type.Name" for
+// methods, "pkgpath.Name" for functions — so the source-checked and
+// export-data views of the same function collide as intended.
+func lockFuncKey(fn *types.Func) string {
+	key := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			key = n.Obj().Name() + "." + key
+		}
+	}
+	if fn.Pkg() != nil {
+		key = fn.Pkg().Path() + "." + key
+	}
+	return key
+}

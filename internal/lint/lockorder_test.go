@@ -1,0 +1,11 @@
+package lint_test
+
+import (
+	"testing"
+
+	"loopsched/internal/lint"
+)
+
+func TestLockOrder(t *testing.T) {
+	runModuleFixture(t, lint.LockOrder, "lockorder")
+}

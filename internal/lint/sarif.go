@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 encoding of the suite's findings, the interchange format
+// GitHub code scanning ingests. Only the subset of the (large) SARIF
+// schema that code-scanning consumes is emitted: one run, the driver's
+// rule table (every analyzer, so rule metadata is stable whether or
+// not it fired), and one result per finding with a single physical
+// location. The output is deterministic for a given finding list —
+// cmd/loopschedlint's golden-file test depends on that.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifRules renders the full analyzer suite (per-package and module)
+// as the driver's rule table, sorted by id.
+func sarifRules() []sarifRule {
+	var rules []sarifRule
+	for _, a := range All() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	for _, a := range AllModule() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	return rules
+}
+
+// sarifURI renders a finding's file path as a SARIF artifact URI:
+// slash-separated and, when possible, relative to the working
+// directory (code scanning matches URIs against repo-relative paths).
+func sarifURI(file string) string {
+	if filepath.IsAbs(file) {
+		if wd, err := os.Getwd(); err == nil {
+			if rel, err := filepath.Rel(wd, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+				file = rel
+			}
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// SARIF encodes the findings as an indented SARIF 2.1.0 document.
+func SARIF(findings []Finding) ([]byte, error) {
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Package + ": " + f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: sarifURI(f.File)},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "loopschedlint", InformationURI: "https://example.invalid/loopsched/docs/LINTING.md", Rules: sarifRules()}},
+			Results: results,
+		}},
+	}
+	out, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

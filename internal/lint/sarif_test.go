@@ -1,0 +1,77 @@
+package lint_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"loopsched/internal/lint"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the SARIF golden file")
+
+// TestSARIFGolden pins the exact SARIF 2.1.0 document the tool emits
+// for a fixed finding list: code-scanning ingestion and the CI
+// artifact diff both depend on the encoding staying byte-stable.
+func TestSARIFGolden(t *testing.T) {
+	findings := []lint.Finding{
+		{
+			Package: "loopsched/internal/wire",
+			Diagnostic: lint.Diagnostic{
+				Analyzer: "wirebounds",
+				File:     "internal/wire/conn.go",
+				Line:     42,
+				Col:      7,
+				Message:  "wire-decoded count n reaches make without a bound check against the frame cap",
+			},
+		},
+		{
+			Package: "loopsched/internal/exec",
+			Diagnostic: lint.Diagnostic{
+				Analyzer: "lockorder",
+				File:     "internal/exec/jobstate.go",
+				Line:     260,
+				Col:      2,
+				Message:  "lock order cycle: a.mu -> b.mu -> a.mu: b.mu acquired at x.go:1 while a.mu is held",
+			},
+		},
+	}
+	got, err := lint.SARIF(findings)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "sarif", "golden.sarif")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test -run SARIFGolden -update` to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("SARIF output diverged from golden file %s\n--- got ---\n%s", golden, got)
+	}
+}
+
+// TestSARIFEmpty: an empty finding list still yields a valid document
+// with the full rule table and an empty results array (CI uploads this
+// on clean runs).
+func TestSARIFEmpty(t *testing.T) {
+	doc, err := lint.SARIF(nil)
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	for _, needle := range []string{`"results": []`, `"atomicdiscipline"`, `"hotalloc"`, `"wirebounds"`, `"lockorder"`, `"ctxloop"`} {
+		if !bytes.Contains(doc, []byte(needle)) {
+			t.Errorf("empty-findings SARIF missing %s", needle)
+		}
+	}
+}

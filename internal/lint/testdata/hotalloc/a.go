@@ -1,0 +1,103 @@
+// Package hotalloc fixtures: //lint:loopsched-hotpath functions (and
+// their same-package callees) must not use heap-allocating constructs.
+package hotalloc
+
+import (
+	"fmt"
+
+	"loopsched/internal/telemetry"
+)
+
+// Encode appends into the caller's buffer: parameter-rooted append is
+// the codec idiom and stays clean.
+//
+//lint:loopsched-hotpath
+func Encode(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// Gather allocates its own slice and grows it: both flagged.
+//
+//lint:loopsched-hotpath
+func Gather(vs []int) []int {
+	out := []int{} // want `slice literal allocates`
+	for _, v := range vs {
+		out = append(out, v) // want `append to a locally-allocated slice`
+	}
+	return out
+}
+
+//lint:loopsched-hotpath
+func Resize(n int) []byte {
+	return make([]byte, n) // want `make allocates`
+}
+
+// Decode shows the cold-error-path exemption: building the error that
+// ends the hot path is allowed, chatter on the hot path is not.
+//
+//lint:loopsched-hotpath
+func Decode(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("hotalloc fixture: empty frame") // ok: cold error path
+	}
+	fmt.Printf("decoding %d bytes\n", len(b)) // want `fmt.Printf allocates`
+	return uint64(b[0]), nil
+}
+
+// Publish is clean itself but calls helper, which is checked as part
+// of the hot closure.
+//
+//lint:loopsched-hotpath
+func Publish(b []byte) int {
+	return helper(b)
+}
+
+func helper(b []byte) int {
+	m := map[int]int{} // want `hot path helper \(reached from hot path Publish\): map literal allocates`
+	m[1] = len(b)
+	return m[1]
+}
+
+//lint:loopsched-hotpath
+func Box(v int) any {
+	return any(v) // want `conversion to interface type allocates`
+}
+
+type node struct{ v int }
+
+//lint:loopsched-hotpath
+func NewNode(v int) *node {
+	return &node{v: v} // want `&composite literal escapes`
+}
+
+//lint:loopsched-hotpath
+func Spawn(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement spawns a goroutine` `capturing closure`
+}
+
+// Grow carries a documented suppression for a deliberate warmup
+// allocation.
+//
+//lint:loopsched-hotpath
+func Grow(b []byte, n int) []byte {
+	//lint:loopsched-ignore hotalloc one-time warmup growth, amortised across calls
+	extra := make([]byte, n)
+	return append(b, extra...)
+}
+
+// hotPublish is the adversarial telemetry case: the nil-safe Publish
+// path takes a flat Event value — struct literals stay on the stack,
+// so a correctly written instrumentation site is clean.
+//
+//lint:loopsched-hotpath
+func hotPublish(b *telemetry.Bus, worker, size int) {
+	b.Publish(telemetry.Event{
+		Worker: worker,
+		Size:   size,
+		At:     b.Now(),
+	})
+}

@@ -1,0 +1,101 @@
+// Package wirebounds fixtures: every length/count decoded from a wire
+// frame must pass a bound check against the frame cap before reaching
+// make, slice arithmetic, or an allocating loop.
+package wirebounds
+
+const maxFrame = 1 << 20
+
+// readU32 assembles a count from raw frame bytes: its result carries
+// wire taint, and because it returns unguarded it taints its callers.
+func readU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func decodeBad(b []byte) []byte {
+	n := int(readU32(b))
+	return make([]byte, n) // want `wire-decoded count n reaches make`
+}
+
+func decodeGood(b []byte) ([]byte, bool) {
+	n := int(readU32(b))
+	if n > maxFrame {
+		return nil, false
+	}
+	return make([]byte, n), true // ok: guarded above
+}
+
+func sliceBad(b []byte) []byte {
+	n := int(readU32(b))
+	return b[4 : 4+n] // want `wire-decoded count n reaches slice arithmetic`
+}
+
+func sliceGood(b []byte) []byte {
+	n := int(readU32(b))
+	if 4+n > len(b) {
+		return nil
+	}
+	return b[4 : 4+n] // ok: guarded against the buffer length
+}
+
+func loopBad(b []byte) []int {
+	n := int(readU32(b))
+	var out []int
+	for i := 0; i < n; i++ { // want `wire-decoded count n bounds an allocating loop`
+		out = append(out, i)
+	}
+	return out
+}
+
+func loopGood(b []byte) []int {
+	n := int(readU32(b))
+	if n > maxFrame {
+		n = maxFrame
+	}
+	var out []int
+	for i := 0; i < n; i++ { // ok: n was checked against the cap
+		out = append(out, i)
+	}
+	return out
+}
+
+// alloc allocates from its parameter without checking it, so the
+// obligation moves to its callers.
+func alloc(n int) []byte {
+	return make([]byte, n)
+}
+
+func callBad(b []byte) []byte {
+	return alloc(int(readU32(b))) // want `wire-decoded count readU32 result is passed to alloc`
+}
+
+func callGood(b []byte) []byte {
+	n := int(readU32(b))
+	if n > maxFrame {
+		n = maxFrame
+	}
+	return alloc(n) // ok: guarded before the call
+}
+
+// readChecked guards before returning — the decoder.smallInt pattern —
+// so it is NOT a taint source and its callers owe no further checks.
+func readChecked(b []byte) (int, bool) {
+	n := int(readU32(b))
+	if n > maxFrame {
+		return 0, false
+	}
+	return n, true
+}
+
+func useChecked(b []byte) []byte {
+	n, ok := readChecked(b)
+	if !ok {
+		return nil
+	}
+	return make([]byte, n) // ok: readChecked guarded internally
+}
+
+func suppressedSink(b []byte) []byte {
+	n := int(readU32(b))
+	//lint:loopsched-ignore wirebounds frame comes from the trusted in-process framer, capped at source
+	return make([]byte, n)
+}

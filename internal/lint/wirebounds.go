@@ -1,0 +1,595 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireBounds enforces the decoder-bounds invariant of the wire
+// protocol: every length or count read out of a wire frame must flow
+// through a comparison against a cap before it reaches an allocation
+// site — make, slice-header arithmetic, or a loop that appends. A
+// missing check turns one hostile 5-byte frame ("count = 2^60") into
+// an OOM on the master, which is exactly the class of bug the
+// MaxFrame / remaining()-ratio guards in internal/wire exist to stop.
+//
+// The analysis is a per-function taint walk with a same-package
+// fixpoint:
+//
+//   - sources: loads from byte slices (b[i] where b is []byte or
+//     [N]byte) and calls to same-package functions that return such
+//     taint unguarded (so decoder.uvarint, built from d.buf byte
+//     loads, taints its callers);
+//   - propagation: through arithmetic, conversions, and assignment —
+//     integer-typed values only;
+//   - guards: an if-condition ordering comparison (<, <=, >, >=)
+//     mentioning a tainted value clears its taint — the code has
+//     looked at the value against *something*, which is the invariant
+//     this analyzer can check syntactically. For-loop conditions do
+//     NOT guard: `for i := 0; i < n; i++ { append… }` is the bug, not
+//     the check. A function that guards before returning (the
+//     decoder.smallInt pattern) is therefore not a taint source;
+//   - sinks: make sizes, slice-expression indices, allocating loops
+//     bounded by taint, and calls passing taint to a same-package
+//     function whose parameter reaches a sink unguarded.
+var WireBounds = &Analyzer{
+	Name: "wirebounds",
+	Doc: "a length/count decoded from a wire frame must pass a bound check against the frame cap " +
+		"before reaching make, slice arithmetic, or an allocating loop",
+	Run: runWireBounds,
+}
+
+func runWireBounds(pass *Pass) error {
+	w := &wireBoundsPass{
+		pass:          pass,
+		info:          pass.TypesInfo,
+		taintReturner: map[types.Object]bool{},
+		sinkParams:    map[types.Object]map[int]bool{},
+	}
+	var fns []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				fns = append(fns, fn)
+			}
+		}
+	}
+	// Fixpoint: discovering one taint-returner or sink-param can expose
+	// another one level up the call chain. Chains in practice are short
+	// (byte → uvarint → smallInt); the iteration cap is a safety net.
+	for round := 0; round < 8; round++ {
+		changed := false
+		for _, fn := range fns {
+			obj := w.info.Defs[fn.Name]
+			if obj == nil {
+				continue
+			}
+			r := w.analyze(fn, wbNormal, false)
+			if r.taintReturner && !w.taintReturner[obj] {
+				w.taintReturner[obj] = true
+				changed = true
+			}
+			p := w.analyze(fn, wbParamProbe, false)
+			for idx := range p.hitParams {
+				if w.sinkParams[obj] == nil {
+					w.sinkParams[obj] = map[int]bool{}
+				}
+				if !w.sinkParams[obj][idx] {
+					w.sinkParams[obj][idx] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, fn := range fns {
+		w.analyze(fn, wbNormal, true)
+	}
+	return nil
+}
+
+type wireBoundsPass struct {
+	pass *Pass
+	info *types.Info
+	// taintReturner: functions whose result carries unguarded wire
+	// taint; calling one is a taint source.
+	taintReturner map[types.Object]bool
+	// sinkParams: function → parameter indices that reach an
+	// allocation sink without an intervening guard.
+	sinkParams map[types.Object]map[int]bool
+}
+
+type wbMode int
+
+const (
+	// wbNormal taints byte-slice loads and taint-returner calls.
+	wbNormal wbMode = iota
+	// wbParamProbe taints ONLY the function's own parameters, to
+	// discover which of them reach a sink unguarded.
+	wbParamProbe
+)
+
+// wbTaint is one value's taint: hot means unguarded; prov records
+// which parameter indices the taint derives from (empty in wbNormal —
+// provenance is "the wire itself").
+type wbTaint struct {
+	prov map[int]bool
+}
+
+type wbResult struct {
+	taintReturner bool
+	hitParams     map[int]bool
+}
+
+// wbWalk is the per-function state machine.
+type wbWalk struct {
+	w    *wireBoundsPass
+	mode wbMode
+	emit bool
+	hot  map[types.Object]*wbTaint
+	res  wbResult
+}
+
+func (w *wireBoundsPass) analyze(fn *ast.FuncDecl, mode wbMode, emit bool) wbResult {
+	walk := &wbWalk{
+		w:    w,
+		mode: mode,
+		emit: emit,
+		hot:  map[types.Object]*wbTaint{},
+		res:  wbResult{hitParams: map[int]bool{}},
+	}
+	if mode == wbParamProbe && fn.Type.Params != nil {
+		idx := 0
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := w.info.Defs[name]; obj != nil && isIntegerObj(obj) {
+					walk.hot[obj] = &wbTaint{prov: map[int]bool{idx: true}}
+				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+	}
+	walk.stmts(fn.Body.List)
+	return walk.res
+}
+
+// stmts processes a statement list in source order, threading the
+// taint/guard state through. Function literals are opaque: their
+// bodies run on their own schedule and get their own (empty) state
+// when this walker is not what the invariant reasons about.
+func (v *wbWalk) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		v.stmt(s)
+	}
+}
+
+func (v *wbWalk) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		v.assign(x)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if len(vs.Values) == len(vs.Names) {
+						rhs = vs.Values[i]
+					} else if len(vs.Values) == 1 {
+						rhs = vs.Values[0]
+					}
+					v.setFromRHS(name, rhs, len(vs.Values) == 1 && len(vs.Names) > 1)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			v.stmt(x.Init)
+		}
+		v.checkExpr(x.Cond)
+		v.applyGuards(x.Cond)
+		v.stmts(x.Body.List)
+		if x.Else != nil {
+			v.stmt(x.Else)
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			v.stmt(x.Init)
+		}
+		if x.Cond != nil {
+			// For-loop conditions never guard; a tainted bound on an
+			// allocating loop is itself a sink.
+			if name, t := v.exprTaint(x.Cond); t != nil && bodyAllocates(x.Body) {
+				v.sink(x.Cond.Pos(), t,
+					"wire-decoded count %s bounds an allocating loop without a bound check against the frame cap", name)
+			}
+		}
+		if x.Post != nil {
+			v.stmt(x.Post)
+		}
+		v.stmts(x.Body.List)
+	case *ast.RangeStmt:
+		if name, t := v.exprTaint(x.X); t != nil && bodyAllocates(x.Body) {
+			v.sink(x.X.Pos(), t,
+				"wire-decoded count %s bounds an allocating loop without a bound check against the frame cap", name)
+		}
+		v.stmts(x.Body.List)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			v.checkExpr(r)
+			if v.mode == wbNormal {
+				if _, t := v.exprTaint(r); t != nil {
+					v.res.taintReturner = true
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		v.stmts(x.List)
+	case *ast.ExprStmt:
+		v.checkExpr(x.X)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			v.stmt(x.Init)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				v.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				v.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				v.stmts(cc.Body)
+			}
+		}
+	case *ast.GoStmt:
+		v.checkExpr(x.Call)
+	case *ast.DeferStmt:
+		v.checkExpr(x.Call)
+	case *ast.SendStmt:
+		v.checkExpr(x.Value)
+	case *ast.IncDecStmt:
+		// n++ keeps n's taint state as-is.
+	case *ast.LabeledStmt:
+		v.stmt(x.Stmt)
+	}
+}
+
+// assign transfers taint from RHS expressions to LHS objects; a
+// non-tainted RHS clears the target (reassignment sanitises).
+func (v *wbWalk) assign(a *ast.AssignStmt) {
+	for _, r := range a.Rhs {
+		v.checkExpr(r)
+	}
+	tuple := len(a.Rhs) == 1 && len(a.Lhs) > 1
+	for i, lhs := range a.Lhs {
+		var rhs ast.Expr
+		if tuple {
+			rhs = a.Rhs[0]
+		} else if i < len(a.Rhs) {
+			rhs = a.Rhs[i]
+		}
+		if a.Tok == token.ASSIGN || a.Tok == token.DEFINE {
+			v.setFromRHS(lhs, rhs, tuple)
+			continue
+		}
+		// Compound (+=, |=, <<=, …): merge RHS taint into the target.
+		if rhs == nil {
+			continue
+		}
+		if _, t := v.exprTaint(rhs); t != nil {
+			if obj := wbLValueObj(v.w.info, lhs); obj != nil && isIntegerObj(obj) {
+				v.merge(obj, t)
+			}
+		}
+	}
+}
+
+func (v *wbWalk) setFromRHS(lhs ast.Node, rhs ast.Expr, tuple bool) {
+	obj := wbLValueObj(v.w.info, lhs)
+	if obj == nil {
+		return
+	}
+	if rhs == nil {
+		delete(v.hot, obj)
+		return
+	}
+	_, t := v.exprTaint(rhs)
+	if t != nil && isIntegerObj(obj) {
+		v.hot[obj] = &wbTaint{prov: t.prov}
+		return
+	}
+	if !tuple || !isIntegerObj(obj) {
+		delete(v.hot, obj)
+	} else if t != nil {
+		v.hot[obj] = &wbTaint{prov: t.prov}
+	} else {
+		delete(v.hot, obj)
+	}
+}
+
+func (v *wbWalk) merge(obj types.Object, t *wbTaint) {
+	cur, ok := v.hot[obj]
+	if !ok {
+		v.hot[obj] = &wbTaint{prov: t.prov}
+		return
+	}
+	for p := range t.prov {
+		if cur.prov == nil {
+			cur.prov = map[int]bool{}
+		}
+		cur.prov[p] = true
+	}
+}
+
+// applyGuards clears taint for every object mentioned in an ordering
+// comparison of an if-condition.
+func (v *wbWalk) applyGuards(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{b.X, b.Y} {
+			for _, obj := range wbMentionedObjs(v.w.info, side) {
+				delete(v.hot, obj)
+			}
+		}
+		return true
+	})
+}
+
+// checkExpr scans an expression subtree for sinks: make sizes, slice
+// indices, and calls into sink-param functions.
+func (v *wbWalk) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SliceExpr:
+			for _, idx := range []ast.Expr{x.Low, x.High, x.Max} {
+				if idx == nil {
+					continue
+				}
+				if name, t := v.exprTaint(idx); t != nil {
+					v.sink(idx.Pos(), t,
+						"wire-decoded count %s reaches slice arithmetic without a bound check against the frame cap", name)
+				}
+			}
+		case *ast.CallExpr:
+			v.checkCall(x)
+		}
+		return true
+	})
+}
+
+func (v *wbWalk) checkCall(call *ast.CallExpr) {
+	var obj types.Object
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		obj = v.w.info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = v.w.info.Uses[f.Sel]
+	}
+	if b, ok := obj.(*types.Builtin); ok {
+		if b.Name() == "make" {
+			for _, arg := range call.Args[1:] {
+				if name, t := v.exprTaint(arg); t != nil {
+					v.sink(arg.Pos(), t,
+						"wire-decoded count %s reaches make without a bound check against the frame cap", name)
+				}
+			}
+		}
+		return
+	}
+	if obj == nil {
+		return
+	}
+	sinks := v.w.sinkParams[obj]
+	if len(sinks) == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		if !sinks[i] {
+			continue
+		}
+		if name, t := v.exprTaint(arg); t != nil {
+			v.sink(arg.Pos(), t,
+				"wire-decoded count %s is passed to %s, which allocates from this parameter without a bound check", name, obj.Name())
+		}
+	}
+}
+
+// sink reports (or, in param-probe mode, records) one sink hit.
+func (v *wbWalk) sink(pos token.Pos, t *wbTaint, format string, args ...any) {
+	if v.mode == wbParamProbe {
+		for p := range t.prov {
+			v.res.hitParams[p] = true
+		}
+		return
+	}
+	if v.emit {
+		v.w.pass.Report(pos, format, args...)
+	}
+}
+
+// exprTaint reports whether the expression carries taint, returning a
+// human-readable name for the tainted value.
+func (v *wbWalk) exprTaint(e ast.Expr) (string, *wbTaint) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return v.exprTaint(x.X)
+	case *ast.UnaryExpr:
+		return v.exprTaint(x.X)
+	case *ast.BinaryExpr:
+		if name, t := v.exprTaint(x.X); t != nil {
+			return name, t
+		}
+		return v.exprTaint(x.Y)
+	case *ast.Ident:
+		obj := v.w.info.Uses[x]
+		if obj == nil {
+			obj = v.w.info.Defs[x]
+		}
+		if t, ok := v.hot[obj]; ok {
+			return x.Name, t
+		}
+		return "", nil
+	case *ast.SelectorExpr:
+		var obj types.Object
+		if sel, ok := v.w.info.Selections[x]; ok {
+			obj = sel.Obj()
+		} else {
+			obj = v.w.info.Uses[x.Sel]
+		}
+		if t, ok := v.hot[obj]; ok {
+			return x.Sel.Name, t
+		}
+		return "", nil
+	case *ast.IndexExpr:
+		if v.mode == wbNormal && isByteSeq(v.w.info, x.X) {
+			return "value", &wbTaint{}
+		}
+		return "", nil
+	case *ast.CallExpr:
+		// Conversion int(v): taint passes through.
+		if tv, ok := v.w.info.Types[x.Fun]; ok && tv.IsType() {
+			if len(x.Args) == 1 {
+				return v.exprTaint(x.Args[0])
+			}
+			return "", nil
+		}
+		if v.mode != wbNormal {
+			return "", nil
+		}
+		var obj types.Object
+		switch f := x.Fun.(type) {
+		case *ast.Ident:
+			obj = v.w.info.Uses[f]
+		case *ast.SelectorExpr:
+			obj = v.w.info.Uses[f.Sel]
+		}
+		if obj != nil && v.w.taintReturner[obj] {
+			name := obj.Name() + " result"
+			return name, &wbTaint{}
+		}
+		return "", nil
+	default:
+		return "", nil
+	}
+}
+
+// wbLValueObj resolves an assignment target to its object (local,
+// field via selector, or indexed base ignored).
+func wbLValueObj(info *types.Info, lhs ast.Node) types.Object {
+	switch x := lhs.(type) {
+	case *ast.Ident:
+		if o := info.Defs[x]; o != nil {
+			return o
+		}
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	case *ast.ParenExpr:
+		return wbLValueObj(info, x.X)
+	}
+	return nil
+}
+
+// wbMentionedObjs lists the variable/field objects an expression
+// mentions (for guard application).
+func wbMentionedObjs(info *types.Info, e ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				out = append(out, o)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[x]; ok {
+				out = append(out, sel.Obj())
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isIntegerObj(obj types.Object) bool {
+	if obj == nil || obj.Type() == nil {
+		return false
+	}
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsUntyped) != 0
+}
+
+// isByteSeq reports whether the expression is a []byte / [N]byte / string.
+func isByteSeq(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	var elem types.Type
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		elem = t.Elem()
+	case *types.Array:
+		elem = t.Elem()
+	case *types.Basic:
+		return t.Info()&types.IsString != 0
+	case *types.Pointer:
+		if arr, ok := t.Elem().Underlying().(*types.Array); ok {
+			elem = arr.Elem()
+		}
+	}
+	if elem == nil {
+		return false
+	}
+	b, ok := elem.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+func bodyAllocates(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "make" || id.Name == "append") {
+			found = true
+		}
+		return true
+	})
+	return found
+}

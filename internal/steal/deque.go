@@ -71,10 +71,14 @@ func NewDeque(capacity int) *Deque {
 }
 
 // Cap returns the ring capacity.
+//
+//lint:loopsched-hotpath
 func (d *Deque) Cap() int { return len(d.slots) }
 
 // Len returns a point-in-time size estimate (exact when only the owner
 // is active).
+//
+//lint:loopsched-hotpath
 func (d *Deque) Len() int {
 	n := d.bottom.Load() - d.top.Load()
 	if n < 0 {
@@ -86,6 +90,8 @@ func (d *Deque) Len() int {
 // Push appends an assignment at the owner's end. It reports false when
 // the ring is full; the owner then executes the chunk directly instead
 // of queueing it. Owner-only.
+//
+//lint:loopsched-hotpath
 func (d *Deque) Push(a sched.Assignment) bool {
 	b := d.bottom.Load()
 	t := d.top.Load()
@@ -102,6 +108,8 @@ func (d *Deque) Push(a sched.Assignment) bool {
 // Pop removes the most recently pushed assignment (LIFO). It reports
 // false when the deque is empty or a thief won the race for the last
 // element. Owner-only.
+//
+//lint:loopsched-hotpath
 func (d *Deque) Pop() (sched.Assignment, bool) {
 	b := d.bottom.Load() - 1
 	d.bottom.Store(b)
@@ -127,6 +135,8 @@ func (d *Deque) Pop() (sched.Assignment, bool) {
 // Steal removes the oldest assignment (FIFO). It reports false when
 // the deque is empty. Safe for any goroutine, concurrently with the
 // owner and other thieves.
+//
+//lint:loopsched-hotpath
 func (d *Deque) Steal() (sched.Assignment, bool) {
 	for {
 		t := d.top.Load()
@@ -147,10 +157,9 @@ func (d *Deque) Steal() (sched.Assignment, bool) {
 	}
 }
 
-// Counters is one worker's event tally, padded so adjacent workers'
-// counters never share a cache line. All fields are owner-written;
-// cross-thread reads happen only after the run's goroutines are
-// joined, so plain fields suffice.
+// Counters is one worker's event tally as a plain value snapshot.
+// The live tally is an AtomicCounters; this type is what Snapshot
+// materialises for reporting once no concurrent writer matters.
 type Counters struct {
 	// Pops counts chunks the owner took from its own deque.
 	Pops int64
@@ -162,5 +171,35 @@ type Counters struct {
 	Refills int64
 	// RefillChunks counts chunks those refills returned.
 	RefillChunks int64
+}
+
+// AtomicCounters is the live form of Counters: each field is written
+// by its owning worker and may be read at any moment by an observer
+// (a scheduler snapshotting a running job's accounting), so every
+// access is atomic — the atomic.Int64 method types make a plain mixed
+// access unrepresentable, which is the discipline the
+// atomicdiscipline analyzer enforces for function-style sites. The
+// struct is padded so adjacent workers' counters never share a cache
+// line.
+type AtomicCounters struct {
+	Pops         atomic.Int64
+	Steals       atomic.Int64
+	FailedSteals atomic.Int64
+	Refills      atomic.Int64
+	RefillChunks atomic.Int64
 	_            [cacheLine - 5*8]byte
+}
+
+// Snapshot reads the tally atomically field by field. The result is
+// not a consistent cross-field cut — fields advance independently —
+// but each field is a valid count at some moment during the call,
+// which is what live reporting needs.
+func (c *AtomicCounters) Snapshot() Counters {
+	return Counters{
+		Pops:         c.Pops.Load(),
+		Steals:       c.Steals.Load(),
+		FailedSteals: c.FailedSteals.Load(),
+		Refills:      c.Refills.Load(),
+		RefillChunks: c.RefillChunks.Load(),
+	}
 }

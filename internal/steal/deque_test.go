@@ -139,27 +139,5 @@ func TestDequeStress(t *testing.T) {
 	}
 }
 
-// TestDequeOwnerAllocs pins the owner fast path — push then pop — at
-// zero steady-state allocations.
-func TestDequeOwnerAllocs(t *testing.T) {
-	d := NewDeque(64)
-	a := sched.Assignment{Start: 1, Size: 2}
-	if n := testing.AllocsPerRun(1000, func() {
-		d.Push(a)
-		d.Pop()
-	}); n != 0 {
-		t.Fatalf("owner push+pop allocates %.1f/op, want 0", n)
-	}
-}
-
-// TestDequeStealAllocs pins the thief path at zero allocations too.
-func TestDequeStealAllocs(t *testing.T) {
-	d := NewDeque(64)
-	a := sched.Assignment{Start: 1, Size: 2}
-	if n := testing.AllocsPerRun(1000, func() {
-		d.Push(a)
-		d.Steal()
-	}); n != 0 {
-		t.Fatalf("push+steal allocates %.1f/op, want 0", n)
-	}
-}
+// The push/pop and steal alloc guards live in hotguard_test.go,
+// generated from the //lint:loopsched-hotpath annotations.

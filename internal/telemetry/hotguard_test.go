@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"sort"
+	"testing"
+
+	"loopsched/internal/hotpath"
+)
+
+// hotGuards is this package's alloc-guard table: one entry per
+// //lint:loopsched-hotpath function, checked against the annotations
+// by TestHotPathGuardTable.
+var hotGuards = map[string]func(t *testing.T){
+	"(*Bus).Publish": publishGuard,
+	"(*Bus).Now":     nowGuard,
+}
+
+// TestHotPathGuardTable pins hotGuards to the annotation set.
+func TestHotPathGuardTable(t *testing.T) {
+	names := make([]string, 0, len(hotGuards))
+	for name := range hotGuards {
+		names = append(names, name)
+	}
+	missing, stale, err := hotpath.TableErrors(".", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range missing {
+		t.Errorf("annotated hot function %s has no alloc guard; add a hotGuards entry", name)
+	}
+	for _, name := range stale {
+		t.Errorf("hotGuards entry %s matches no annotated function; remove it or annotate", name)
+	}
+}
+
+// TestHotPathAllocGuards runs every guard in the table.
+func TestHotPathAllocGuards(t *testing.T) {
+	names := make([]string, 0, len(hotGuards))
+	for name := range hotGuards {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.Run(name, hotGuards[name])
+	}
+}
+
+// publishGuard guards the chunk hot path: publishing to a live bus —
+// and to a nil bus, the telemetry-disabled default — must not touch
+// the heap.
+func publishGuard(t *testing.T) {
+	b := NewBus(1 << 16) // roomy: the drainer (alloc-free) keeps up
+	defer b.Close()
+	e := Event{Kind: ChunkGranted, Worker: 3, Start: 100, Size: 8, ACP: 75, Seconds: 1e-4}
+	if avg := testing.AllocsPerRun(1000, func() { b.Publish(e) }); avg > 0 {
+		t.Errorf("Publish allocates %.1f objects per call, want 0", avg)
+	}
+	var nilBus *Bus
+	if avg := testing.AllocsPerRun(1000, func() { nilBus.Publish(e) }); avg > 0 {
+		t.Errorf("nil-bus Publish allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+// nowGuard: the clock read is on every event path, live or nil bus.
+func nowGuard(t *testing.T) {
+	b := NewBus(64)
+	defer b.Close()
+	var nilBus *Bus
+	if avg := testing.AllocsPerRun(1000, func() {
+		if b.Now() < 0 || nilBus.Now() != 0 {
+			panic("clock went backwards")
+		}
+	}); avg > 0 {
+		t.Errorf("Now allocates %.1f objects per call, want 0", avg)
+	}
+}

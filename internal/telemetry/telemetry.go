@@ -301,6 +301,8 @@ func NewBus(size int) *Bus {
 // the At timestamp real backends stamp events with. Nil-safe: a nil
 // bus reports 0, and the corresponding Publish discards the event, so
 // the pair stays coherent.
+//
+//lint:loopsched-hotpath
 func (b *Bus) Now() float64 {
 	if b == nil {
 		return 0
@@ -311,6 +313,8 @@ func (b *Bus) Now() float64 {
 // Publish enqueues an event. It never blocks and never allocates: if
 // the ring is full the event is dropped and counted in Dropped. Safe
 // for concurrent use; nil-safe no-op.
+//
+//lint:loopsched-hotpath
 func (b *Bus) Publish(e Event) {
 	if b == nil {
 		return

@@ -187,21 +187,8 @@ func TestNilBusIsInert(t *testing.T) {
 	}
 }
 
-// TestPublishDoesNotAllocate guards the chunk hot path: publishing to
-// a live bus — and to a nil bus, the telemetry-disabled default — must
-// not touch the heap.
-func TestPublishDoesNotAllocate(t *testing.T) {
-	b := NewBus(1 << 16) // roomy: the drainer (alloc-free) keeps up
-	defer b.Close()
-	e := Event{Kind: ChunkGranted, Worker: 3, Start: 100, Size: 8, ACP: 75, Seconds: 1e-4}
-	if avg := testing.AllocsPerRun(1000, func() { b.Publish(e) }); avg > 0 {
-		t.Errorf("Publish allocates %.1f objects per call, want 0", avg)
-	}
-	var nilBus *Bus
-	if avg := testing.AllocsPerRun(1000, func() { nilBus.Publish(e) }); avg > 0 {
-		t.Errorf("nil-bus Publish allocates %.1f objects per call, want 0", avg)
-	}
-}
+// The Publish and Now alloc guards live in hotguard_test.go,
+// generated from the //lint:loopsched-hotpath annotations.
 
 func TestKindString(t *testing.T) {
 	for k := KindUnknown; k < kindCount; k++ {

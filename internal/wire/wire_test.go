@@ -346,81 +346,8 @@ func TestCleanEOFBetweenFrames(t *testing.T) {
 	}
 }
 
-// TestCodecZeroAlloc pins the steady-state property the package exists
-// for: encoding and decoding a realistic batch into reused buffers
-// performs zero allocations per round trip.
-func TestCodecZeroAlloc(t *testing.T) {
-	payload := bytes.Repeat([]byte{0x5A}, 2048)
-	req := Request{
-		Worker: 3, ACP: 17, CompSeconds: 0.012, IdleSeconds: 0.001,
-		Prefetch: true, Credits: 8,
-		Results: []Record{{Index: 41, Data: payload}, {Index: 42, Data: payload}},
-	}
-	rep := Reply{Grants: []sched.Assignment{{Start: 100, Size: 25}, {Start: 125, Size: 25}}}
-
-	buf := make([]byte, 0, 8192)
-	decReq := Request{Results: make([]Record, 0, 4)}
-	decRep := Reply{Grants: make([]sched.Assignment, 0, 4)}
-
-	allocs := testing.AllocsPerRun(1000, func() {
-		b, err := appendRequest(buf[:0], &req)
-		if err != nil {
-			panic(err)
-		}
-		if err := decodeRequest(b, &decReq); err != nil {
-			panic(err)
-		}
-		b, err = appendReply(buf[:0], &rep)
-		if err != nil {
-			panic(err)
-		}
-		if err := decodeReply(b, &decRep); err != nil {
-			panic(err)
-		}
-	})
-	if allocs != 0 {
-		t.Fatalf("codec round trip allocates %.1f times per op, want 0", allocs)
-	}
-}
-
-// TestConnZeroAllocSteadyState extends the guard through the framing
-// layer: after warm-up, a full WriteRequest/ReadRequest +
-// WriteReply/ReadReply cycle over a Conn allocates nothing. The bound
-// is < 1 rather than == 0 only to tolerate a GC emptying the encode
-// buffer pool mid-measurement.
-func TestConnZeroAllocSteadyState(t *testing.T) {
-	if raceEnabled {
-		t.Skip("race-detector instrumentation allocates on the framing path")
-	}
-	client, server := connPair(t)
-	payload := bytes.Repeat([]byte{0x5A}, 1024)
-	req := Request{
-		Worker: 1, Credits: 4,
-		Results: []Record{{Index: 7, Data: payload}},
-	}
-	rep := Reply{Grants: []sched.Assignment{{Start: 10, Size: 5}}}
-	decReq := Request{Results: make([]Record, 0, 4)}
-	decRep := Reply{Grants: make([]sched.Assignment, 0, 4)}
-
-	cycle := func() {
-		if err := client.WriteRequest(&req); err != nil {
-			panic(err)
-		}
-		if err := server.ReadRequest(&decReq); err != nil {
-			panic(err)
-		}
-		if err := server.WriteReply(&rep); err != nil {
-			panic(err)
-		}
-		if err := client.ReadReply(&decRep); err != nil {
-			panic(err)
-		}
-	}
-	cycle() // warm the scratch buffers and pools
-	if allocs := testing.AllocsPerRun(1000, cycle); allocs >= 1 {
-		t.Fatalf("framed round trip allocates %.1f times per op, want 0", allocs)
-	}
-}
+// The codec and framing alloc guards live in hotguard_test.go,
+// generated from the //lint:loopsched-hotpath annotations.
 
 // FuzzWireDecode drives both decoders with arbitrary bodies. The
 // contract under fuzz: errors are fine, panics are not, and any body
