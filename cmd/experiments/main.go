@@ -258,9 +258,14 @@ func produce(name string, cfg experiments.Config, plot bool) (string, []extraFil
 			return "", nil, err
 		}
 		// The Perfetto document is deterministic (virtual-time events
-		// from the simulator); CI uploads it as a browsable artefact.
+		// from the simulator); CI uploads it as a browsable artefact,
+		// with the flight-recorder dump and histogram snapshot beside it.
 		return experiments.FormatTelemetry(res),
-			[]extraFile{{name: "telemetry.perfetto.json", data: res.Perfetto}}, nil
+			[]extraFile{
+				{name: "telemetry.perfetto.json", data: res.Perfetto},
+				{name: "telemetry.flight.json", data: res.Flight},
+				{name: "telemetry.hist.json", data: res.Histograms},
+			}, nil
 	default:
 		return "", nil, fmt.Errorf("unknown artefact %q", name)
 	}

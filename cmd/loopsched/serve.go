@@ -192,15 +192,16 @@ func serve(path string, tele *loopsched.Telemetry, width, height, maxIter, sf in
 	if tele != nil {
 		tele.Flush()
 		snap := tele.Aggregator().Snapshot()
-		fmt.Fprintln(tw, "tenant\tjobs\tok\tfailed\titers\tchunks\trequeues\tmean-wait(ms)")
+		fmt.Fprintln(tw, "tenant\tjobs\tok\tfailed\titers\tchunks\trequeues\tmean-wait(ms)\tchunk-p50/p95/p99(ms)\tbusy-cv")
 		for _, tn := range tenants {
 			ts, ag := sums[tn], snap.Tenants[tn]
 			wait := 0.0
 			if ag.Jobs > 0 {
 				wait = 1000 * ag.QueueWaitSec / float64(ag.Jobs)
 			}
-			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\n",
-				tn, ts.jobs, ts.ok, ts.failed, ts.iters, ts.chunks, ag.Requeues, wait)
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%.2f\t%.2f/%.2f/%.2f\t%.3f\n",
+				tn, ts.jobs, ts.ok, ts.failed, ts.iters, ts.chunks, ag.Requeues, wait,
+				1000*ag.CompP50, 1000*ag.CompP95, 1000*ag.CompP99, ag.BusyCV)
 		}
 	} else {
 		fmt.Fprintln(tw, "tenant\tjobs\tok\tfailed\titers\tchunks")

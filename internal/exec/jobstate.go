@@ -8,6 +8,7 @@ import (
 	"loopsched/internal/sched"
 	"loopsched/internal/steal"
 	"loopsched/internal/telemetry"
+	"loopsched/internal/telemetry/hist"
 	"loopsched/internal/workload"
 )
 
@@ -68,6 +69,9 @@ type JobState struct {
 	deques   []*steal.Deque
 	counters []steal.AtomicCounters
 	scratch  [][]sched.Assignment // per-worker refill buffers
+	compHist *hist.Sharded        // per-chunk compute latency
+
+	waitHist hist.Hist // request-to-grant latency; recorded under mu
 
 	granted   atomic.Int64
 	completed atomic.Int64
@@ -102,6 +106,7 @@ func NewJobState(cfg JobConfig) (*JobState, error) {
 		deques:        make([]*steal.Deque, p),
 		counters:      make([]steal.AtomicCounters, p),
 		scratch:       make([][]sched.Assignment, p),
+		compHist:      hist.NewSharded(p),
 		liveACP:       make([]int, p),
 		planACP:       make([]int, p),
 	}
@@ -249,8 +254,10 @@ func (s *JobState) Refill(worker, acpNow int, fbWork, fbElapsed float64) (sched.
 		s.granted.Add(int64(a.Size))
 		iters += a.Size
 		now := s.bus.Now()
+		s.waitHist.Record(now - reqAt)
 		e := s.event(telemetry.ChunkGranted, worker)
 		e.Start, e.Size, e.ACP = a.Start, a.Size, acpNow
+		e.Span = telemetry.SpanID(s.job, a.Start)
 		e.At, e.Seconds = now, now-reqAt
 		s.bus.Publish(e)
 		batch = append(batch, a)
@@ -296,11 +303,19 @@ func (s *JobState) Feedback(worker int, work, elapsed float64) {
 //lint:loopsched-hotpath
 func (s *JobState) Complete(worker int, a sched.Assignment, acpNow int, seconds float64) bool {
 	done := s.completed.Add(int64(a.Size))
+	s.compHist.Record(worker, seconds)
 	e := s.event(telemetry.ChunkCompleted, worker)
 	e.Start, e.Size, e.ACP = a.Start, a.Size, acpNow
+	e.Span = telemetry.SpanID(s.job, a.Start)
 	e.At, e.Seconds = s.bus.Now(), seconds
 	s.bus.Publish(e)
 	return s.drained.Load() && done >= s.granted.Load()
+}
+
+// Latency snapshots the job's request-to-grant and per-chunk compute
+// latency histograms.
+func (s *JobState) Latency() (wait, comp hist.Snapshot) {
+	return s.waitHist.Snapshot(), s.compHist.Snapshot()
 }
 
 // Abort stops the job: no further refills will grant work. Chunks

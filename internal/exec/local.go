@@ -16,6 +16,7 @@ import (
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
 	"loopsched/internal/telemetry"
+	"loopsched/internal/telemetry/hist"
 	"loopsched/internal/trace"
 	"loopsched/internal/workload"
 )
@@ -155,6 +156,8 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 	var wg sync.WaitGroup
 	times := make([]metrics.Times, p)
 	iters := make([]int64, p)
+	waitHist := hist.NewSharded(p)
+	compHist := hist.NewSharded(p)
 
 	start := time.Now()
 	if l.Trace != nil {
@@ -188,10 +191,12 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 					return
 				}
 				r := <-reply // an accepted request is always answered
-				times[id].Wait += time.Since(waitStart).Seconds()
+				wait := time.Since(waitStart).Seconds()
+				times[id].Wait += wait
 				if !r.ok {
 					return
 				}
+				waitHist.Record(id, wait)
 				compStart := time.Now()
 				for it := r.assign.Start; it < r.assign.End(); it++ {
 					for rep := 0; rep < spec.scale(); rep++ {
@@ -205,11 +210,13 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 				// an elapsed time that never equals the reported Comp.
 				fbElapsed = time.Since(compStart).Seconds()
 				times[id].Comp += fbElapsed
+				compHist.Record(id, fbElapsed)
 				atomic.AddInt64(&iters[id], int64(r.assign.Size))
 				l.Telemetry.Publish(telemetry.Event{
 					Kind: telemetry.ChunkCompleted, Worker: id,
 					Start: r.assign.Start, Size: r.assign.Size, ACP: a,
-					At: l.Telemetry.Now(), Seconds: fbElapsed,
+					Span: telemetry.SpanID(0, r.assign.Start),
+					At:   l.Telemetry.Now(), Seconds: fbElapsed,
 				})
 				if l.Trace != nil {
 					begin := compStart.Sub(start).Seconds()
@@ -230,6 +237,8 @@ func (l *Local) RunContext(ctx context.Context, w workload.Workload, body func(i
 	wg.Wait()
 	close(requests) // lets a failed master's drain goroutine exit
 	rep.Tp = time.Since(start).Seconds()
+	rep.GrantLatency = waitHist.Snapshot().Summarize()
+	rep.CompLatency = compHist.Snapshot().Summarize()
 	rep.Scheme = l.Scheme.Name()
 	rep.Workload = w.Name()
 	rep.Workers = p
@@ -339,7 +348,8 @@ func (l *Local) master(ctx context.Context, w workload.Workload, p int, dist boo
 		l.Telemetry.Publish(telemetry.Event{
 			Kind: telemetry.ChunkGranted, Worker: req.worker,
 			Start: a.Start, Size: a.Size, ACP: req.acp,
-			At: now, Seconds: now - req.at,
+			Span: telemetry.SpanID(0, a.Start),
+			At:   now, Seconds: now - req.at,
 		})
 		req.reply <- localReply{assign: a, ok: true}
 	}

@@ -14,6 +14,7 @@ import (
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
 	"loopsched/internal/telemetry"
+	"loopsched/internal/telemetry/hist"
 	"loopsched/internal/wire"
 )
 
@@ -51,6 +52,11 @@ import (
 type ChunkResult struct {
 	Index int
 	Data  []byte
+	// Span echoes the trace span id of the chunk that produced this
+	// result (zero means untraced); see telemetry.SpanID. The binary
+	// transport carries it in the request's span block so a chunk's
+	// flow stays connected across processes.
+	Span uint64
 }
 
 // ChunkArgs is a slave's work request.
@@ -131,6 +137,12 @@ type Master struct {
 	fastNext atomic.Int64
 	fastOff  atomic.Bool
 
+	// Latency histograms for the report: request-to-grant on the
+	// master's clock (recorded only when a bus supplies that clock)
+	// and worker-reported per-chunk compute time.
+	waitHist *hist.Sharded
+	compHist *hist.Sharded
+
 	slots []slot
 
 	mu         sync.Mutex
@@ -174,6 +186,8 @@ func NewMaster(scheme sched.Scheme, iterations, workers int) (*Master, error) {
 		results:    make([][]byte, iterations),
 		got:        make([]atomic.Bool, iterations),
 		slots:      make([]slot, workers),
+		waitHist:   hist.NewSharded(workers),
+		compHist:   hist.NewSharded(workers),
 		failed:     make(map[int]bool),
 		parked:     make([]bool, workers),
 		stoppedSet: make([]bool, workers),
@@ -427,6 +441,7 @@ func (m *Master) account(args *ChunkArgs, now time.Time, reqAt float64) (rejecte
 		// no gap to measure.
 		if args.CompSeconds > 0 {
 			s.times.Comp += args.CompSeconds
+			m.compHist.Record(args.Worker, args.CompSeconds)
 		}
 		if args.IdleSeconds > 0 {
 			s.times.Idle += args.IdleSeconds
@@ -647,21 +662,26 @@ func (m *Master) slotLedger(s *slot) int {
 }
 
 // recordGrant books one assignment into the worker's ledger and the
-// reply, publishing the grant (with its request-to-grant latency) to
-// the telemetry bus. Callers hold s.mu.
+// reply, publishing the span-tagged grant (with its request-to-grant
+// latency) to the telemetry bus. The span rides back in the reply's
+// span block only when telemetry is attached, so a bus-less master's
+// frames stay byte-identical to protocol v1. Callers hold s.mu.
 func (m *Master) recordGrant(s *slot, args *ChunkArgs, a sched.Assignment, rep *wire.Reply, reqAt float64) {
 	s.outstanding = append(s.outstanding, a)
 	m.chunks.Add(1)
 	rep.Grants = append(rep.Grants, a)
 	if m.bus != nil {
+		span := telemetry.SpanID(0, a.Start)
+		rep.Spans = append(rep.Spans, span)
 		kind := telemetry.ChunkGranted
 		if args.Prefetch {
 			kind = telemetry.ChunkPrefetched
 		}
 		now := m.bus.Now()
+		m.waitHist.Record(args.Worker, now-reqAt)
 		m.bus.Publish(telemetry.Event{
 			Kind: kind, Worker: args.Worker, Start: a.Start, Size: a.Size,
-			ACP: args.ACP, At: now, Seconds: now - reqAt,
+			ACP: args.ACP, Span: span, At: now, Seconds: now - reqAt,
 		})
 	}
 }
@@ -929,6 +949,8 @@ func (m *Master) Wait() ([][]byte, metrics.Report, error) {
 		Tp:         m.finished.Sub(m.started).Seconds(),
 		PerWorker:  make([]metrics.Times, m.workers),
 	}
+	rep.GrantLatency = m.waitHist.Snapshot().Summarize()
+	rep.CompLatency = m.compHist.Snapshot().Summarize()
 	for w := range m.slots {
 		s := &m.slots[w]
 		s.mu.Lock()
@@ -996,12 +1018,14 @@ type Worker struct {
 
 // publishCompleted reports one computed chunk to the telemetry bus
 // (no-op when none is attached). reportedACP is the ACP carried on the
-// request that fetched the chunk.
-func (w Worker) publishCompleted(a sched.Assignment, reportedACP int, comp float64) {
+// request that fetched the chunk; span is the chunk's trace span id —
+// the one the master stamped on the grant, or the deterministic local
+// id when the master sent none.
+func (w Worker) publishCompleted(a sched.Assignment, span uint64, reportedACP int, comp float64) {
 	w.Telemetry.Publish(telemetry.Event{
 		Kind:   telemetry.ChunkCompleted,
 		Worker: w.TelemetryID, Shard: w.TelemetryShard,
-		Start: a.Start, Size: a.Size, ACP: reportedACP,
+		Start: a.Start, Size: a.Size, ACP: reportedACP, Span: span,
 		At: w.Telemetry.Now(), Seconds: comp,
 	})
 }
@@ -1124,7 +1148,7 @@ func (w Worker) runSerial(client *rpc.Client) error {
 		start := time.Now()
 		results = w.compute(reply.Assign)
 		compSeconds = time.Since(start).Seconds()
-		w.publishCompleted(reply.Assign, req.ACP, compSeconds)
+		w.publishCompleted(reply.Assign, telemetry.SpanID(0, reply.Assign.Start), req.ACP, compSeconds)
 	}
 }
 
@@ -1186,7 +1210,7 @@ func (w Worker) runPipelined(client *rpc.Client) error {
 			start := time.Now()
 			results := w.compute(reply.Assign)
 			comp = time.Since(start).Seconds()
-			w.publishCompleted(reply.Assign, req.ACP, comp)
+			w.publishCompleted(reply.Assign, telemetry.SpanID(0, reply.Assign.Start), req.ACP, comp)
 
 			waitStart := time.Now()
 			<-fetch.Done

@@ -117,6 +117,9 @@ func (l *Local) runSteal(ctx context.Context, w workload.Workload, body func(i i
 
 	counts := s.js.Counts()
 	rep.Tp = time.Since(s.start).Seconds()
+	wait, comp := s.js.Latency()
+	rep.GrantLatency = wait.Summarize()
+	rep.CompLatency = comp.Summarize()
 	rep.Chunks = counts.Chunks
 	rep.Replans = counts.Replans
 	rep.Steals = int(counts.Steals)

@@ -2,11 +2,14 @@ package exec
 
 import (
 	"bytes"
+	"net"
+	"net/rpc"
 	"sync"
 	"testing"
 
 	"loopsched/internal/sched"
 	"loopsched/internal/telemetry"
+	"loopsched/internal/wire"
 )
 
 func TestTransportNormalize(t *testing.T) {
@@ -112,6 +115,130 @@ func TestTransportsGrantIdenticalSequence(t *testing.T) {
 		}
 		if covered != n {
 			t.Fatalf("%s: grants cover %d iterations, want %d", scheme.Name(), covered, n)
+		}
+	}
+}
+
+// spanRecorder wraps a master's transport-independent batch handler
+// and records, in grant order, every assignment and every span id the
+// handler put on the wire-level reply — before the transport adapter
+// (gob fallback) has a chance to drop fields it cannot carry.
+type spanRecorder struct {
+	mu     sync.Mutex
+	m      *Master
+	grants []sched.Assignment
+	spans  []uint64
+}
+
+func (r *spanRecorder) batch(args ChunkArgs, credits int, rep *wire.Reply) error {
+	err := r.m.nextBatch(args, credits, rep)
+	r.mu.Lock()
+	r.grants = append(r.grants, rep.Grants...)
+	r.spans = append(r.spans, rep.Spans...)
+	r.mu.Unlock()
+	return err
+}
+
+// NextChunk mirrors Master.NextChunk: the one-grant gob adapter over
+// the recorded batch handler.
+func (r *spanRecorder) NextChunk(args ChunkArgs, reply *ChunkReply) error {
+	var grants [1]sched.Assignment
+	rep := wire.Reply{Grants: grants[:0]}
+	if err := r.batch(args, 1, &rep); err != nil {
+		return err
+	}
+	reply.Stop = rep.Stop
+	if len(rep.Grants) > 0 {
+		reply.Assign = rep.Grants[0]
+	}
+	return nil
+}
+
+// startRecordedMaster serves a master on a sniffed listener exactly as
+// Master.Serve does, but routes both transports through a spanRecorder.
+func startRecordedMaster(t *testing.T, n int, withBus bool) (*spanRecorder, *Master, string, func()) {
+	t.Helper()
+	m, err := NewMaster(sched.TSSScheme{}, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bus *telemetry.Bus
+	if withBus {
+		bus = telemetry.NewBus(0)
+		m.SetTelemetry(bus)
+	}
+	rec := &spanRecorder{m: m}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Master", rec); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go ServeSniffed(srv, conn, m.bus, 0, rec.batch)
+		}
+	}()
+	stop := func() {
+		l.Close()
+		if bus != nil {
+			bus.Close()
+		}
+	}
+	return rec, m, l.Addr().String(), stop
+}
+
+// TestSpanTaggingPreservesGrantSequence is the span-equivalence
+// property from the tracing PR: turning telemetry (and with it span
+// tagging) on must not change the granted chunk sequence on either
+// transport, spans must be entirely absent when telemetry is off
+// (the wire package separately proves span-free frames are
+// byte-identical to v1), and the gob fallback — whose reply struct
+// cannot carry spans at all — must still interoperate on the same
+// sniffed listener.
+func TestSpanTaggingPreservesGrantSequence(t *testing.T) {
+	const n = 500
+	for _, transport := range []Transport{TransportBinary, TransportNetRPC} {
+		var seqs [2][]sched.Assignment
+		var spans [2][]uint64
+		for i, withBus := range []bool{false, true} {
+			rec, m, addr, stop := startRecordedMaster(t, n, withBus)
+			runWorkers(t, addr, []Worker{{ID: 0, Kernel: intKernel, Transport: transport}})
+			_, rep, err := m.Wait()
+			stop()
+			if err != nil {
+				t.Fatalf("%s bus=%v: %v", transport, withBus, err)
+			}
+			if rep.Iterations != n {
+				t.Fatalf("%s bus=%v: iterations = %d, want %d", transport, withBus, rep.Iterations, n)
+			}
+			seqs[i], spans[i] = rec.grants, rec.spans
+		}
+		if len(seqs[0]) == 0 || len(seqs[0]) != len(seqs[1]) {
+			t.Fatalf("%s: granted %d chunks without bus, %d with", transport, len(seqs[0]), len(seqs[1]))
+		}
+		for i := range seqs[0] {
+			if seqs[0][i] != seqs[1][i] {
+				t.Fatalf("%s: grant %d differs with telemetry: off %+v, on %+v",
+					transport, i, seqs[0][i], seqs[1][i])
+			}
+		}
+		if len(spans[0]) != 0 {
+			t.Fatalf("%s: %d spans attached with telemetry off, want 0", transport, len(spans[0]))
+		}
+		if len(spans[1]) != len(seqs[1]) {
+			t.Fatalf("%s: %d spans for %d grants with telemetry on", transport, len(spans[1]), len(seqs[1]))
+		}
+		for i, g := range seqs[1] {
+			if want := telemetry.SpanID(0, g.Start); spans[1][i] != want || spans[1][i] == 0 {
+				t.Fatalf("%s: span %d = %#x, want %#x (grant %+v)", transport, i, spans[1][i], want, g)
+			}
 		}
 	}
 }

@@ -77,13 +77,17 @@ func serveWire(c *wire.Conn, bus *telemetry.Bus, shard int, batch BatchFunc) {
 			labeled = true
 		}
 		results = results[:0]
-		for _, r := range req.Results {
+		for i, r := range req.Results {
 			// Record data aliases the connection's read buffer; the
 			// master keeps results for the whole run, so copy here.
-			results = append(results, ChunkResult{
+			cr := ChunkResult{
 				Index: r.Index,
 				Data:  append([]byte(nil), r.Data...),
-			})
+			}
+			if i < len(req.Spans) {
+				cr.Span = req.Spans[i]
+			}
+			results = append(results, cr)
 		}
 		args := ChunkArgs{
 			Worker:      req.Worker,
@@ -148,9 +152,33 @@ func toRecords(dst []wire.Record, results []ChunkResult) []wire.Record {
 	return dst
 }
 
+// echoSpans rebuilds the per-record span echo for a request, reusing
+// dst's capacity. The codec requires the span block to be empty or
+// match the record count, so callers attach it only once the master
+// has shown it is span-tagging grants.
+func echoSpans(dst []uint64, results []ChunkResult) []uint64 {
+	dst = dst[:0]
+	for _, r := range results {
+		dst = append(dst, r.Span)
+	}
+	return dst
+}
+
+// grantSpan is the trace span of grant i in the reply: the id the
+// master stamped when it is span-tagging, else the deterministic local
+// id — so an in-process bus still pairs grants with completions when
+// the transport carries no spans (e.g. a bus-less master).
+func grantSpan(rep *wire.Reply, i int, a sched.Assignment) uint64 {
+	if i < len(rep.Spans) {
+		return rep.Spans[i]
+	}
+	return telemetry.SpanID(0, a.Start)
+}
+
 // wireRequest fills req from the worker's current state and returns
-// the ACP it reported.
-func (w Worker) wireRequest(req *wire.Request, prefetch bool, credits int, records []wire.Record, comp, idle float64) int {
+// the ACP it reported. spans, when non-nil, is the per-record span
+// echo.
+func (w Worker) wireRequest(req *wire.Request, prefetch bool, credits int, records []wire.Record, spans []uint64, comp, idle float64) int {
 	load := 0
 	if w.LoadProbe != nil {
 		load = w.LoadProbe()
@@ -164,6 +192,7 @@ func (w Worker) wireRequest(req *wire.Request, prefetch bool, credits int, recor
 		Prefetch:    prefetch,
 		Credits:     credits,
 		Results:     records,
+		Spans:       spans,
 	}
 	return acpv
 }
@@ -177,25 +206,37 @@ func (w Worker) runWireSerial(c *wire.Conn) error {
 		rep     wire.Reply
 		results []ChunkResult
 		records []wire.Record
+		spans   []uint64
 		comp    float64
+		echo    bool
 	)
 	for {
 		records = toRecords(records, results)
-		acpv := w.wireRequest(&req, false, w.window(), records, comp, 0)
+		var reqSpans []uint64
+		if echo {
+			spans = echoSpans(spans, results)
+			reqSpans = spans
+		}
+		acpv := w.wireRequest(&req, false, w.window(), records, reqSpans, comp, 0)
 		if err := c.Call(&req, &rep); err != nil {
 			return err
 		}
 		if rep.Stop {
 			return nil
 		}
+		echo = echo || len(rep.Spans) > 0
 		results = results[:0]
 		comp = 0
-		for _, a := range rep.Grants {
+		for i, a := range rep.Grants {
+			span := grantSpan(&rep, i, a)
 			start := time.Now()
 			rs := w.compute(a)
 			chunkComp := time.Since(start).Seconds()
 			comp += chunkComp
-			w.publishCompleted(a, acpv, chunkComp)
+			w.publishCompleted(a, span, acpv, chunkComp)
+			for j := range rs {
+				rs[j].Span = span
+			}
 			results = append(results, rs...)
 		}
 	}
@@ -213,10 +254,13 @@ func (w Worker) runWirePipelined(c *wire.Conn) error {
 		req        wire.Request
 		rep        wire.Reply
 		queue      []sched.Assignment
+		spanQueue  []uint64 // parallel to queue: one span per grant
 		pending    []ChunkResult
 		records    []wire.Record
+		spans      []uint64
 		comp, idle float64
 		stopSeen   bool
+		echo       bool
 		lastACP    int
 	)
 	window := w.window()
@@ -229,7 +273,19 @@ func (w Worker) runWirePipelined(c *wire.Conn) error {
 		if rep.Stop {
 			stopSeen = true
 		}
-		queue = append(queue, rep.Grants...)
+		echo = echo || len(rep.Spans) > 0
+		for i, g := range rep.Grants {
+			queue = append(queue, g)
+			spanQueue = append(spanQueue, grantSpan(&rep, i, g))
+		}
+	}
+	ship := func() []uint64 {
+		records = toRecords(records, pending)
+		if !echo {
+			return nil
+		}
+		spans = echoSpans(spans, pending)
+		return spans
 	}
 	for {
 		if len(queue) == 0 {
@@ -238,8 +294,8 @@ func (w Worker) runWirePipelined(c *wire.Conn) error {
 			}
 			// Synchronous (re)fill: ships everything pending and may
 			// park at the master until work or the end of the run.
-			records = toRecords(records, pending)
-			lastACP = w.wireRequest(&req, false, ledger, records, comp, idle)
+			reqSpans := ship()
+			lastACP = w.wireRequest(&req, false, ledger, records, reqSpans, comp, idle)
 			if err := c.Call(&req, &rep); err != nil {
 				return err
 			}
@@ -250,8 +306,8 @@ func (w Worker) runWirePipelined(c *wire.Conn) error {
 			}
 			continue
 		}
-		a := queue[0]
-		queue = queue[1:]
+		a, span := queue[0], spanQueue[0]
+		queue, spanQueue = queue[1:], spanQueue[1:]
 		inflight := false
 		if !stopSeen && len(queue) < refillAt {
 			// Refill the credit window (shipping pending results) while
@@ -260,8 +316,8 @@ func (w Worker) runWirePipelined(c *wire.Conn) error {
 			if credits < 1 {
 				credits = 1
 			}
-			records = toRecords(records, pending)
-			lastACP = w.wireRequest(&req, true, credits, records, comp, idle)
+			reqSpans := ship()
+			lastACP = w.wireRequest(&req, true, credits, records, reqSpans, comp, idle)
 			if err := c.WriteRequest(&req); err != nil {
 				return err
 			}
@@ -272,7 +328,10 @@ func (w Worker) runWirePipelined(c *wire.Conn) error {
 		results := w.compute(a)
 		chunkComp := time.Since(start).Seconds()
 		comp += chunkComp
-		w.publishCompleted(a, lastACP, chunkComp)
+		w.publishCompleted(a, span, lastACP, chunkComp)
+		for j := range results {
+			results[j].Span = span
+		}
 		if inflight {
 			waitStart := time.Now()
 			if err := c.ReadReply(&rep); err != nil {

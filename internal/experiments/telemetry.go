@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"loopsched/internal/hier"
 	"loopsched/internal/sched"
 	"loopsched/internal/telemetry"
+	"loopsched/internal/telemetry/hist"
 )
 
 // The telemetry artefact demonstrates the observability pipeline on a
@@ -32,6 +34,27 @@ type TelemetryResult struct {
 	Shards   int
 	Snapshot telemetry.Snapshot
 	Perfetto []byte
+	// Flight is the imbalance flight recorder's JSON dump (the same
+	// document /debug/flightrecorder serves on a live run).
+	Flight []byte
+	// Histograms is the per-backend latency histogram snapshot,
+	// flattened to count/sum/p50/p95/p99 summaries per dimension.
+	Histograms []byte
+}
+
+// histSummaries flattens the aggregator's per-backend latency
+// histograms into percentile summaries for the JSON artefact.
+func histSummaries(hists map[string]telemetry.LatencyHists) map[string]map[string]hist.Summary {
+	out := make(map[string]map[string]hist.Summary, len(hists))
+	for backend, h := range hists {
+		out[backend] = map[string]hist.Summary{
+			"queue_wait":        h.QueueWait.Summarize(),
+			"comp":              h.Comp.Summarize(),
+			"comm":              h.Comm.Summarize(),
+			"grant_to_complete": h.GrantToComplete.Summarize(),
+		}
+	}
+	return out
 }
 
 // Telemetry runs the instrumented hierarchical simulation and returns
@@ -64,16 +87,28 @@ func Telemetry(cfg Config) (TelemetryResult, error) {
 	}
 	tele.Flush()
 	snap := tele.Aggregator().Snapshot()
+	var flight bytes.Buffer
+	if err := tele.Flight().WriteJSON(&flight); err != nil {
+		_ = tele.Close()
+		return TelemetryResult{}, err
+	}
+	hists, err := json.MarshalIndent(histSummaries(snap.Hists), "", "  ")
+	if err != nil {
+		_ = tele.Close()
+		return TelemetryResult{}, err
+	}
 	if err := tele.Close(); err != nil {
 		return TelemetryResult{}, err
 	}
 	return TelemetryResult{
-		Scheme:   scheme.Name(),
-		Workload: w.Name(),
-		Workers:  workers,
-		Shards:   hcfg.Shards,
-		Snapshot: snap,
-		Perfetto: buf.Bytes(),
+		Scheme:     scheme.Name(),
+		Workload:   w.Name(),
+		Workers:    workers,
+		Shards:     hcfg.Shards,
+		Snapshot:   snap,
+		Perfetto:   buf.Bytes(),
+		Flight:     flight.Bytes(),
+		Histograms: hists,
 	}, nil
 }
 
@@ -96,7 +131,23 @@ func FormatTelemetry(r TelemetryResult) string {
 	}
 	sort.Strings(kinds)
 	fmt.Fprintf(tw, "events\t%s\n", strings.Join(kinds, " "))
+	fmt.Fprintf(tw, "stragglers\t%d\n", r.Snapshot.Stragglers)
+	backends := make([]string, 0, len(r.Snapshot.Hists))
+	for b := range r.Snapshot.Hists {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	for _, b := range backends {
+		s := r.Snapshot.Hists[b].Comp.Summarize()
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "chunk comp p50/p95/p99 (%s)\t%.2f/%.2f/%.2f ms\n",
+			b, s.P50*1e3, s.P95*1e3, s.P99*1e3)
+	}
 	fmt.Fprintf(tw, "perfetto bytes\t%d\n", len(r.Perfetto))
+	fmt.Fprintf(tw, "flight bytes\t%d\n", len(r.Flight))
+	fmt.Fprintf(tw, "histogram bytes\t%d\n", len(r.Histograms))
 	tw.Flush()
 	return sb.String()
 }

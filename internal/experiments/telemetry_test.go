@@ -3,6 +3,9 @@ package experiments
 import (
 	"encoding/json"
 	"testing"
+
+	"loopsched/internal/telemetry"
+	"loopsched/internal/telemetry/hist"
 )
 
 // TestTelemetryArtifact checks the CI-published Perfetto document: it
@@ -62,5 +65,25 @@ func TestTelemetryArtifact(t *testing.T) {
 	// completion for every chunk it grants.
 	if completes != int(res.Snapshot.ChunksGranted) {
 		t.Errorf("%d complete slices, %d chunks granted", completes, res.Snapshot.ChunksGranted)
+	}
+
+	// The flight-recorder dump decodes back into a snapshot with one
+	// row per simulated worker.
+	var flight telemetry.FlightSnapshot
+	if err := json.Unmarshal(res.Flight, &flight); err != nil {
+		t.Fatalf("flight dump is not a FlightSnapshot: %v\n%s", err, res.Flight)
+	}
+	if len(flight.Workers) != res.Snapshot.Meta.Workers {
+		t.Errorf("flight dump has %d workers, run had %d", len(flight.Workers), res.Snapshot.Meta.Workers)
+	}
+
+	// The histogram snapshot reconciles with the chunk count: the sim
+	// backend's queue-wait histogram observed every granted chunk.
+	var hists map[string]map[string]hist.Summary
+	if err := json.Unmarshal(res.Histograms, &hists); err != nil {
+		t.Fatalf("histogram dump is not valid: %v\n%s", err, res.Histograms)
+	}
+	if got := hists["sim"]["queue_wait"].Count; got != res.Snapshot.ChunksGranted {
+		t.Errorf("histogram dump counted %d chunks, run granted %d", got, res.Snapshot.ChunksGranted)
 	}
 }

@@ -253,6 +253,17 @@ func (s *Submaster) nextBatch(args exec.ChunkArgs, credits int, rep *wire.Reply)
 		}
 		rep.Grants = append(rep.Grants, r.Assign)
 	}
+	// Span-tag the batch when telemetry is attached, mirroring the ids
+	// NextChunk stamped on the grant events, so the worker's completion
+	// closes the same flow. A bus-less shard sends v1-identical frames.
+	s.mu.Lock()
+	tagged := s.bus != nil
+	s.mu.Unlock()
+	if tagged {
+		for _, g := range rep.Grants {
+			rep.Spans = append(rep.Spans, telemetry.SpanID(0, g.Start))
+		}
+	}
 	return nil
 }
 
@@ -370,7 +381,8 @@ func (s *Submaster) NextChunk(args exec.ChunkArgs, reply *exec.ChunkReply) error
 					s.bus.Publish(telemetry.Event{
 						Kind: kind, Worker: s.telemetryID(args.Worker),
 						Shard: s.shard, Start: a.Start, Size: a.Size,
-						ACP: args.ACP, At: now, Seconds: now - reqAt,
+						ACP: args.ACP, Span: telemetry.SpanID(0, a.Start),
+						At: now, Seconds: now - reqAt,
 					})
 				}
 				return nil

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"loopsched/internal/telemetry/hist"
 )
 
 // Times is one slave's wall-clock decomposition, in seconds:
@@ -67,6 +69,12 @@ type Report struct {
 	// to another), or chunks stolen between workers under the local
 	// work-stealing engine.
 	Steals int
+	// GrantLatency summarizes the per-chunk request-to-grant wait at
+	// the scheduler (p50/p95/p99); CompLatency summarizes each chunk's
+	// measured computation time. A backend that does not measure a
+	// dimension leaves its Count zero.
+	GrantLatency hist.Summary
+	CompLatency  hist.Summary
 }
 
 // ShardStats is one submaster's slice of a hierarchical run.
@@ -252,6 +260,26 @@ func FormatTable(title string, reports []Report) string {
 		fmt.Fprintf(tw, "\t%.2f", r.CompImbalance())
 	}
 	fmt.Fprintln(tw)
+	// Per-chunk compute latency percentiles, when the backend measured
+	// them (milliseconds, p50/p95/p99).
+	any := false
+	for _, r := range reports {
+		if r.CompLatency.Count > 0 {
+			any = true
+		}
+	}
+	if any {
+		fmt.Fprint(tw, "Lat")
+		for _, r := range reports {
+			if r.CompLatency.Count == 0 {
+				fmt.Fprint(tw, "\t-")
+				continue
+			}
+			fmt.Fprintf(tw, "\t%.1f/%.1f/%.1fms",
+				r.CompLatency.P50*1e3, r.CompLatency.P95*1e3, r.CompLatency.P99*1e3)
+		}
+		fmt.Fprintln(tw)
+	}
 	tw.Flush()
 	return sb.String()
 }

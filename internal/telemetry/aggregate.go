@@ -4,10 +4,13 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"loopsched/internal/telemetry/hist"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the scheduling
@@ -56,7 +59,52 @@ type TenantStats struct {
 	Iterations   uint64  // iterations granted to the tenant's jobs
 	CompSec      float64 // computation seconds across the tenant's chunks
 	QueueWaitSec float64 // admission-queue seconds across the tenant's jobs
+
+	// Chunk-compute latency percentiles and the per-worker busy-time
+	// imbalance CV, derived from the tenant's latency histogram at
+	// snapshot time (zero until the tenant completes a chunk).
+	CompP50 float64
+	CompP95 float64
+	CompP99 float64
+	BusyCV  float64
 }
+
+// LatencyHists is the per-backend set of chunk-latency distributions
+// the aggregator maintains: scheduling queue-wait (request to grant),
+// computation, grant-to-complete, and the inferred communication slack
+// (grant-to-complete minus computation, clamped at zero).
+type LatencyHists struct {
+	QueueWait       hist.Snapshot
+	Comp            hist.Snapshot
+	Comm            hist.Snapshot
+	GrantToComplete hist.Snapshot
+}
+
+// backendHists is the live (recording) form of LatencyHists.
+type backendHists struct {
+	queueWait hist.Hist
+	comp      hist.Hist
+	comm      hist.Hist
+	g2c       hist.Hist
+}
+
+func (b *backendHists) snapshot() LatencyHists {
+	return LatencyHists{
+		QueueWait:       b.queueWait.Snapshot(),
+		Comp:            b.comp.Snapshot(),
+		Comm:            b.comm.Snapshot(),
+		GrantToComplete: b.g2c.Snapshot(),
+	}
+}
+
+// pendKey identifies an in-flight chunk for grant-to-complete pairing:
+// a job's chunks partition its iteration space, so (job, start) is
+// unique among outstanding chunks.
+type pendKey struct{ Job, Start int }
+
+// maxPending bounds the grant-to-complete pairing map so a run that
+// loses completions (worker failures) cannot grow it without bound.
+const maxPending = 1 << 16
 
 // Aggregator is a bus Subscriber that maintains the counters behind
 // the /metrics and /debug/vars endpoints. All methods are safe for
@@ -78,15 +126,24 @@ type Aggregator struct {
 	latCount   [9]uint64    // len(latencyBuckets)+1, last is +Inf
 	latSum     float64
 	latN       uint64
+
+	hists      map[string]*backendHists // per-backend latency hists, keyed by RunMeta.Backend
+	pending    map[pendKey]float64      // grant instant per in-flight chunk (g2c pairing)
+	tenantComp map[int]*hist.Hist       // per-tenant chunk-compute latency
+	tenantBusy map[int]map[int]float64  // tenant -> worker -> busy seconds
 }
 
 // NewAggregator creates an empty aggregator. dropped, if non-nil, is
 // read at render time to report the bus's dropped-event counter.
 func NewAggregator(dropped func() uint64) *Aggregator {
 	return &Aggregator{
-		droppedFn: dropped,
-		workers:   make(map[workerKey]*workerStats),
-		tenants:   make(map[int]*TenantStats),
+		droppedFn:  dropped,
+		workers:    make(map[workerKey]*workerStats),
+		tenants:    make(map[int]*TenantStats),
+		hists:      make(map[string]*backendHists),
+		pending:    make(map[pendKey]float64),
+		tenantComp: make(map[int]*hist.Hist),
+		tenantBusy: make(map[int]map[int]float64),
 	}
 }
 
@@ -128,6 +185,11 @@ func (a *Aggregator) OnEvent(e Event) {
 		w.Iterations += uint64(e.Size)
 		w.WaitSec += e.Seconds
 		a.observeLatency(e.Seconds)
+		h := a.hist()
+		h.queueWait.Record(e.Seconds)
+		if len(a.pending) < maxPending {
+			a.pending[pendKey{e.Job, e.Start}] = e.At
+		}
 		if e.Tenant != 0 {
 			t := a.tenant(e.Tenant)
 			t.Chunks++
@@ -137,8 +199,36 @@ func (a *Aggregator) OnEvent(e Event) {
 		w := a.worker(e)
 		w.Completed++
 		w.CompSec += e.Seconds
+		h := a.hist()
+		h.comp.Record(e.Seconds)
+		k := pendKey{e.Job, e.Start}
+		if grantAt, ok := a.pending[k]; ok {
+			delete(a.pending, k)
+			g2c := e.At - grantAt
+			if g2c < 0 {
+				g2c = 0
+			}
+			h.g2c.Record(g2c)
+			comm := g2c - e.Seconds
+			if comm < 0 {
+				comm = 0
+			}
+			h.comm.Record(comm)
+		}
 		if e.Tenant != 0 {
 			a.tenant(e.Tenant).CompSec += e.Seconds
+			tc := a.tenantComp[e.Tenant]
+			if tc == nil {
+				tc = &hist.Hist{}
+				a.tenantComp[e.Tenant] = tc
+			}
+			tc.Record(e.Seconds)
+			busy := a.tenantBusy[e.Tenant]
+			if busy == nil {
+				busy = make(map[int]float64)
+				a.tenantBusy[e.Tenant] = busy
+			}
+			busy[e.Worker] += e.Seconds
 		}
 	case WorkerJoined, ChunkRequested:
 		a.worker(e)
@@ -194,6 +284,43 @@ func (a *Aggregator) worker(e Event) *workerStats {
 	return w
 }
 
+// hist returns (creating if needed) the latency hists for the current
+// run's backend. Callers hold a.mu.
+func (a *Aggregator) hist() *backendHists {
+	key := a.meta.Backend
+	if key == "" {
+		key = "unknown"
+	}
+	h := a.hists[key]
+	if h == nil {
+		h = &backendHists{}
+		a.hists[key] = h
+	}
+	return h
+}
+
+// busyCV computes the coefficient of variation of a tenant's
+// per-worker busy seconds. Callers hold a.mu.
+func busyCV(busy map[int]float64) float64 {
+	if len(busy) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, b := range busy {
+		sum += b
+	}
+	mean := sum / float64(len(busy))
+	if mean <= 0 {
+		return 0
+	}
+	var ss float64
+	for _, b := range busy {
+		d := b - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(busy))) / mean
+}
+
 // tenant returns (creating if needed) the stats for a tenant id.
 // Callers hold a.mu.
 func (a *Aggregator) tenant(id int) *TenantStats {
@@ -246,6 +373,8 @@ type Snapshot struct {
 	WireReceived   wireStats
 	LatencySum     float64
 	LatencyCount   uint64
+	Stragglers     uint64
+	Hists          map[string]LatencyHists
 }
 
 // Snapshot returns a copy of the current totals.
@@ -282,6 +411,11 @@ func (a *Aggregator) Snapshot() Snapshot {
 		WireReceived:   a.wire[1],
 		LatencySum:     a.latSum,
 		LatencyCount:   a.latN,
+		Stragglers:     a.kinds[StragglerDetected],
+		Hists:          make(map[string]LatencyHists, len(a.hists)),
+	}
+	for backend, h := range a.hists {
+		s.Hists[backend] = h.snapshot()
 	}
 	for k := KindUnknown + 1; k < kindCount; k++ {
 		if a.kinds[k] > 0 {
@@ -292,8 +426,14 @@ func (a *Aggregator) Snapshot() Snapshot {
 		s.Workers[fmt.Sprintf("%d/%d", k.Shard, k.Worker)] = *w
 		s.Iterations += w.Iterations
 	}
-	for _, t := range a.tenants {
-		s.Tenants[t.Name] = *t
+	for id, t := range a.tenants {
+		row := *t
+		if tc := a.tenantComp[id]; tc != nil {
+			sum := tc.Snapshot().Summarize()
+			row.CompP50, row.CompP95, row.CompP99 = sum.P50, sum.P95, sum.P99
+		}
+		row.BusyCV = busyCV(a.tenantBusy[id])
+		s.Tenants[t.Name] = row
 	}
 	if att := s.PrefetchHits + s.PrefetchMisses; att > 0 {
 		s.PrefetchRatio = float64(s.PrefetchHits) / float64(att)
@@ -325,9 +465,20 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 		rows = append(rows, workerRow{k, *ws})
 	}
 	tenants := make([]TenantStats, 0, len(a.tenants))
-	for _, t := range a.tenants {
-		tenants = append(tenants, *t)
+	for id, t := range a.tenants {
+		row := *t
+		if tc := a.tenantComp[id]; tc != nil {
+			sum := tc.Snapshot().Summarize()
+			row.CompP50, row.CompP95, row.CompP99 = sum.P50, sum.P95, sum.P99
+		}
+		row.BusyCV = busyCV(a.tenantBusy[id])
+		tenants = append(tenants, row)
 	}
+	hists := make(map[string]LatencyHists, len(a.hists))
+	for backend, h := range a.hists {
+		hists[backend] = h.snapshot()
+	}
+	stragglers := a.kinds[StragglerDetected]
 	queueDepth := a.queueDepth
 	jobWaitSum, jobWaitN := a.jobWaitSum, a.jobWaitN
 	a.mu.Unlock()
@@ -418,6 +569,40 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	pf("loopsched_scheduling_latency_seconds_sum %g\n", latSum)
 	pf("loopsched_scheduling_latency_seconds_count %d\n", latN)
 
+	backends := make([]string, 0, len(hists))
+	for b := range hists {
+		backends = append(backends, b)
+	}
+	sort.Strings(backends)
+	promHist := func(name, help string, pick func(LatencyHists) hist.Snapshot) {
+		pf("# HELP %s %s\n", name, help)
+		pf("# TYPE %s histogram\n", name)
+		for _, b := range backends {
+			s := pick(hists[b])
+			cum := uint64(0)
+			for i := 0; i < hist.NumBuckets-1; i++ {
+				cum += s.Counts[i]
+				pf("%s_bucket{backend=%q,le=\"%g\"} %d\n", name, b, hist.UpperBound(i), cum)
+			}
+			cum += s.Counts[hist.NumBuckets-1]
+			pf("%s_bucket{backend=%q,le=\"+Inf\"} %d\n", name, b, cum)
+			pf("%s_sum{backend=%q} %g\n", name, b, s.SumSeconds)
+			pf("%s_count{backend=%q} %d\n", name, b, s.Count)
+		}
+	}
+	promHist("loopsched_chunk_queue_wait_seconds",
+		"Request-to-grant scheduling latency per chunk, by backend.",
+		func(h LatencyHists) hist.Snapshot { return h.QueueWait })
+	promHist("loopsched_chunk_comp_seconds",
+		"Chunk computation latency, by backend.",
+		func(h LatencyHists) hist.Snapshot { return h.Comp })
+	promHist("loopsched_chunk_comm_seconds",
+		"Inferred per-chunk communication slack (grant-to-complete minus compute), by backend.",
+		func(h LatencyHists) hist.Snapshot { return h.Comm })
+	promHist("loopsched_chunk_grant_to_complete_seconds",
+		"Grant-to-complete latency per chunk, by backend.",
+		func(h LatencyHists) hist.Snapshot { return h.GrantToComplete })
+
 	dirs := [2]string{"sent", "received"}
 	pf("# HELP loopsched_wire_frames_total Binary-protocol frames by direction.\n")
 	pf("# TYPE loopsched_wire_frames_total counter\n")
@@ -467,6 +652,18 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	for _, t := range tenants {
 		pf("loopsched_tenant_comp_seconds_total{tenant=%q} %g\n", t.Name, t.CompSec)
 	}
+	pf("# HELP loopsched_tenant_chunk_latency_seconds Chunk-compute latency percentiles per scheduler tenant.\n")
+	pf("# TYPE loopsched_tenant_chunk_latency_seconds summary\n")
+	for _, t := range tenants {
+		pf("loopsched_tenant_chunk_latency_seconds{tenant=%q,quantile=\"0.5\"} %g\n", t.Name, t.CompP50)
+		pf("loopsched_tenant_chunk_latency_seconds{tenant=%q,quantile=\"0.95\"} %g\n", t.Name, t.CompP95)
+		pf("loopsched_tenant_chunk_latency_seconds{tenant=%q,quantile=\"0.99\"} %g\n", t.Name, t.CompP99)
+	}
+	pf("# HELP loopsched_tenant_busy_cv Coefficient of variation of per-worker busy time per tenant.\n")
+	pf("# TYPE loopsched_tenant_busy_cv gauge\n")
+	for _, t := range tenants {
+		pf("loopsched_tenant_busy_cv{tenant=%q} %g\n", t.Name, t.BusyCV)
+	}
 
 	pf("# HELP loopsched_shard_steals_total Completed shard steals at the hier root.\n")
 	pf("# TYPE loopsched_shard_steals_total counter\n")
@@ -486,6 +683,9 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	pf("# HELP loopsched_stage_advances_total Replans and hier super-chunk boundaries.\n")
 	pf("# TYPE loopsched_stage_advances_total counter\n")
 	pf("loopsched_stage_advances_total %d\n", kinds[StageAdvanced])
+	pf("# HELP loopsched_stragglers_total Straggler detections (worker EWMA latency over k times the fleet median).\n")
+	pf("# TYPE loopsched_stragglers_total counter\n")
+	pf("loopsched_stragglers_total %d\n", stragglers)
 
 	dropped := uint64(0)
 	if a.droppedFn != nil {

@@ -26,14 +26,21 @@ type debugServer struct {
 }
 
 // newDebugServer listens on addr (":0" picks a free port) and serves
-// until Close.
-func newDebugServer(addr string, agg *Aggregator) (*debugServer, error) {
+// until Close. flight, if non-nil, is dumped as JSON at
+// /debug/flightrecorder.
+func newDebugServer(addr string, agg *Aggregator, flight *FlightRecorder) (*debugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", agg)
+	if flight != nil {
+		mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = flight.WriteJSON(w)
+		})
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// feed pushes a run straight into a recorder, bypassing the bus, the
+// way the drainer goroutine would.
+func feedFlight(f *FlightRecorder, events ...Event) {
+	for _, e := range events {
+		f.OnEvent(e)
+	}
+}
+
+func TestFlightRecorderLoadBalanceMetrics(t *testing.T) {
+	f := NewFlightRecorder(nil, 0)
+	f.BeginRun(RunMeta{Scheme: "tss", Workload: "flat", Backend: "local", Workers: 2})
+	feedFlight(f,
+		Event{Kind: RunStarted, At: 0},
+		Event{Kind: ChunkCompleted, Worker: 0, Seconds: 1.0, At: 1.0},
+		Event{Kind: ChunkCompleted, Worker: 1, Seconds: 1.0, At: 1.0},
+		Event{Kind: ChunkCompleted, Worker: 0, Seconds: 2.0, At: 3.0},
+		Event{Kind: ChunkCompleted, Worker: 1, Seconds: 1.0, At: 2.0},
+	)
+	snap := f.Snapshot()
+	if snap.Scheme != "tss" || snap.Backend != "local" {
+		t.Errorf("snapshot meta = %q/%q, want tss/local", snap.Scheme, snap.Backend)
+	}
+	if len(snap.Workers) != 2 {
+		t.Fatalf("got %d worker rows, want 2", len(snap.Workers))
+	}
+	// Busy: worker 0 = 3s, worker 1 = 2s. Mean 2.5, max 3.
+	if snap.MaxBusy != 3.0 || snap.MeanBusy != 2.5 {
+		t.Errorf("max/mean busy = %g/%g, want 3/2.5", snap.MaxBusy, snap.MeanBusy)
+	}
+	// CV = sqrt(((3-2.5)^2 + (2-2.5)^2)/2) / 2.5 = 0.5/2.5 = 0.2.
+	if math.Abs(snap.CV-0.2) > 1e-12 {
+		t.Errorf("busy CV = %g, want 0.2", snap.CV)
+	}
+	// T_end = 3 (worker 0's last finish); worker 1 idled 3-2 = 1s of
+	// the 2 workers' 3s span each: 1 / (2*3).
+	if want := 1.0 / 6.0; math.Abs(snap.TailIdleFrac-want) > 1e-12 {
+		t.Errorf("tail idle frac = %g, want %g", snap.TailIdleFrac, want)
+	}
+	if len(snap.Samples) != 4 {
+		t.Errorf("ring kept %d samples, want 4", len(snap.Samples))
+	}
+}
+
+func TestFlightRecorderRingWrapsOldestFirst(t *testing.T) {
+	f := NewFlightRecorder(nil, 3)
+	f.BeginRun(RunMeta{Workers: 1})
+	for i := 1; i <= 5; i++ {
+		feedFlight(f, Event{Kind: ChunkCompleted, Worker: 0, Seconds: 0.1, At: float64(i)})
+	}
+	snap := f.Snapshot()
+	if len(snap.Samples) != 3 {
+		t.Fatalf("ring kept %d samples, want 3", len(snap.Samples))
+	}
+	for i, want := range []float64{3, 4, 5} {
+		if snap.Samples[i].At != want {
+			t.Errorf("sample %d at %g, want %g (oldest first)", i, snap.Samples[i].At, want)
+		}
+	}
+	if w := snap.Workers[0]; w.Chunks != 5 {
+		t.Errorf("worker chunks = %d, want 5 (ring eviction must not lose counts)", w.Chunks)
+	}
+}
+
+func TestFlightRecorderStragglerDetection(t *testing.T) {
+	bus := NewBus(0)
+	defer bus.Close()
+	col := &collector{}
+	bus.Subscribe(col)
+	f := NewFlightRecorder(bus, 0)
+	f.BeginRun(RunMeta{Workers: 3})
+
+	// Two fast workers anchor the fleet median; worker 2's first chunk
+	// seeds its EWMA at 100x the median and must fire exactly once —
+	// the detector is edge-triggered, so a second slow chunk stays
+	// silent while the flag is up.
+	feedFlight(f,
+		Event{Kind: ChunkCompleted, Worker: 0, Seconds: 0.001, At: 0.1},
+		Event{Kind: ChunkCompleted, Worker: 1, Seconds: 0.001, At: 0.1},
+		Event{Kind: ChunkCompleted, Worker: 2, Seconds: 0.1, At: 0.2},
+		Event{Kind: ChunkCompleted, Worker: 2, Seconds: 0.1, At: 0.3},
+	)
+	bus.Flush()
+	if got := f.Stragglers(); got != 1 {
+		t.Errorf("stragglers = %d, want 1 (edge-triggered)", got)
+	}
+	var fired []Event
+	for _, e := range col.events {
+		if e.Kind == StragglerDetected {
+			fired = append(fired, e)
+		}
+	}
+	if len(fired) != 1 || fired[0].Worker != 2 {
+		t.Fatalf("straggler events = %+v, want one for worker 2", fired)
+	}
+	if fired[0].Seconds <= StragglerK*0.001 {
+		t.Errorf("straggler event carries EWMA %g, expected well above threshold", fired[0].Seconds)
+	}
+
+	snap := f.Snapshot()
+	if snap.Stragglers != 1 || !snap.Workers[2].Straggler {
+		t.Errorf("snapshot stragglers=%d worker2.straggler=%v, want 1/true",
+			snap.Stragglers, snap.Workers[2].Straggler)
+	}
+}
+
+func TestFlightRecorderWriteJSONRoundTrips(t *testing.T) {
+	f := NewFlightRecorder(nil, 0)
+	f.BeginRun(RunMeta{Scheme: "gss", Backend: "rpc", Workers: 2})
+	feedFlight(f,
+		Event{Kind: RunStarted, At: 0},
+		Event{Kind: ChunkCompleted, Worker: 0, Seconds: 0.5, At: 1},
+		Event{Kind: ChunkCompleted, Worker: 1, Seconds: 0.25, At: 1},
+	)
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap FlightSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("dump is not a FlightSnapshot: %v\n%s", err, buf.String())
+	}
+	if snap.Scheme != "gss" || len(snap.Workers) != 2 || len(snap.Samples) != 2 {
+		t.Errorf("decoded dump = %+v, want gss run with 2 workers / 2 samples", snap)
+	}
+}
+
+func TestFlightRecorderLastRunSurvivesReset(t *testing.T) {
+	f := NewFlightRecorder(nil, 0)
+	f.BeginRun(RunMeta{Scheme: "tss", Workers: 1})
+	feedFlight(f,
+		Event{Kind: RunStarted, At: 0},
+		Event{Kind: ChunkCompleted, Worker: 0, Seconds: 0.5, At: 1},
+		Event{Kind: RunFinished, At: 1},
+	)
+	f.BeginRun(RunMeta{Scheme: "gss", Workers: 1}) // next run resets live state
+	if live := f.Snapshot(); len(live.Workers) != 0 {
+		t.Errorf("live snapshot has %d workers after reset, want 0", len(live.Workers))
+	}
+	last := f.LastRun()
+	if last == nil || last.Scheme != "tss" || len(last.Workers) != 1 {
+		t.Fatalf("LastRun = %+v, want the finished tss run", last)
+	}
+}
+
+func TestFlightRecorderDebugEndpoint(t *testing.T) {
+	tl, err := New(Options{DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer tl.Close()
+	bus := tl.Bus()
+	bus.BeginRun(RunMeta{Scheme: "tss", Workload: "flat", Backend: "local", Workers: 2})
+	bus.Publish(Event{Kind: RunStarted, At: 0})
+	bus.Publish(Event{Kind: ChunkCompleted, Worker: 0, Seconds: 0.5, At: 1})
+	bus.Publish(Event{Kind: ChunkCompleted, Worker: 1, Seconds: 0.25, At: 1})
+	bus.Flush()
+
+	body := get(t, "http://"+tl.DebugAddr()+"/debug/flightrecorder")
+	var snap FlightSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/debug/flightrecorder is not a FlightSnapshot: %v\n%s", err, body)
+	}
+	if snap.Scheme != "tss" || len(snap.Workers) != 2 || snap.MaxBusy != 0.5 {
+		t.Errorf("endpoint snapshot = %+v, want live tss run with 2 workers", snap)
+	}
+}

@@ -13,6 +13,7 @@ import (
 var hotGuards = map[string]func(t *testing.T){
 	"(*Bus).Publish": publishGuard,
 	"(*Bus).Now":     nowGuard,
+	"SpanID":         spanIDGuard,
 }
 
 // TestHotPathGuardTable pins hotGuards to the annotation set.
@@ -58,6 +59,17 @@ func publishGuard(t *testing.T) {
 	var nilBus *Bus
 	if avg := testing.AllocsPerRun(1000, func() { nilBus.Publish(e) }); avg > 0 {
 		t.Errorf("nil-bus Publish allocates %.1f objects per call, want 0", avg)
+	}
+}
+
+// spanIDGuard: every grant and completion derives a span id.
+func spanIDGuard(t *testing.T) {
+	if avg := testing.AllocsPerRun(1000, func() {
+		if SpanID(3, 100) == 0 {
+			panic("span id must never be zero")
+		}
+	}); avg > 0 {
+		t.Errorf("SpanID allocates %.1f objects per call, want 0", avg)
 	}
 }
 

@@ -97,6 +97,87 @@ func TestPerfettoEmptyDocumentIsValid(t *testing.T) {
 	}
 }
 
+func TestPerfettoTenantTracksAndFlows(t *testing.T) {
+	var sb strings.Builder
+	p := NewPerfettoWriter(&sb)
+	p.BeginRun(RunMeta{Scheme: "tss", Backend: "service", Workers: 2})
+	p.BeginJob(JobMeta{Job: 1, Tenant: 1, TenantName: "alpha"})
+	p.BeginJob(JobMeta{Job: 2, Tenant: 2, TenantName: "beta"})
+	p.BeginJob(JobMeta{Job: 3, Tenant: 1, TenantName: "alpha"}) // second job, same track
+	span := SpanID(1, 64)
+	p.OnEvent(Event{Kind: ChunkGranted, Worker: 0, Job: 1, Tenant: 1, Start: 64, Size: 8, Span: span, At: 1.0})
+	p.OnEvent(Event{Kind: ChunkCompleted, Worker: 0, Job: 1, Tenant: 1, Start: 64, Size: 8, Span: span, At: 1.5, Seconds: 0.25})
+	p.OnEvent(Event{Kind: ChunkCompleted, Worker: 1, Job: 2, Tenant: 2, Start: 0, Size: 4, At: 2.0, Seconds: 0.5})
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	events := decodeTrace(t, []byte(sb.String()))
+	// Each tenant gets exactly one named process track, distinct pids.
+	tenantPids := map[string]float64{}
+	for _, e := range events {
+		if e["name"] != "process_name" {
+			continue
+		}
+		args := e["args"].(map[string]any)
+		name := args["name"].(string)
+		if !strings.HasPrefix(name, "tenant ") {
+			continue
+		}
+		if prev, dup := tenantPids[name]; dup {
+			t.Errorf("tenant track %q named twice (pids %v and %v)", name, prev, e["pid"])
+		}
+		tenantPids[name] = e["pid"].(float64)
+	}
+	if len(tenantPids) != 2 || tenantPids["tenant alpha"] == tenantPids["tenant beta"] {
+		t.Fatalf("tenant tracks = %v, want two distinct pids", tenantPids)
+	}
+
+	// The span-tagged grant/completion pair draws one flow: an "s" on
+	// the grant and an "f" on the completion, same id, tenant's pid.
+	var starts, finishes int
+	for _, e := range events {
+		if e["cat"] != "flow" {
+			continue
+		}
+		if id := e["id"].(float64); id != float64(span) {
+			t.Errorf("flow id %v, want %d", id, span)
+		}
+		if pid := e["pid"].(float64); pid != tenantPids["tenant alpha"] {
+			t.Errorf("flow event pid %v, want tenant alpha's %v", pid, tenantPids["tenant alpha"])
+		}
+		switch e["ph"] {
+		case "s":
+			starts++
+		case "f":
+			finishes++
+		}
+	}
+	if starts != 1 || finishes != 1 {
+		t.Errorf("flow starts=%d finishes=%d, want 1 and 1", starts, finishes)
+	}
+
+	// Tenant-tagged slices land on the tenant's track, not the run's.
+	for _, e := range events {
+		if e["ph"] != "X" {
+			continue
+		}
+		args := e["args"].(map[string]any)
+		var want float64
+		switch args["job"].(float64) {
+		case 1:
+			want = tenantPids["tenant alpha"]
+		case 2:
+			want = tenantPids["tenant beta"]
+		default:
+			t.Fatalf("unexpected job on slice: %v", e)
+		}
+		if e["pid"].(float64) != want {
+			t.Errorf("slice for job %v on pid %v, want %v", args["job"], e["pid"], want)
+		}
+	}
+}
+
 func TestPerfettoMultipleRunsGetSeparateProcesses(t *testing.T) {
 	var sb strings.Builder
 	p := NewPerfettoWriter(&sb)

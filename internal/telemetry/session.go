@@ -19,6 +19,12 @@ type Options struct {
 	// (DefaultBufferSize when <= 0). When the ring overflows, events
 	// are dropped and counted, never blocking publishers.
 	BufferSize int
+
+	// FlightRing overrides the flight recorder's completion-sample
+	// ring capacity (DefaultFlightRing when <= 0). The recorder is
+	// always on: its per-completion cost is a map update on the
+	// drainer goroutine, off the chunk hot path.
+	FlightRing int
 }
 
 // Telemetry owns one bus plus the standard subscribers: the metric
@@ -26,10 +32,11 @@ type Options struct {
 // Perfetto exporter. One session can observe any number of runs
 // (sequentially); Close it when done.
 type Telemetry struct {
-	bus *Bus
-	agg *Aggregator
-	pf  *PerfettoWriter
-	srv *debugServer
+	bus    *Bus
+	agg    *Aggregator
+	flight *FlightRecorder
+	pf     *PerfettoWriter
+	srv    *debugServer
 }
 
 // New starts a telemetry session.
@@ -37,12 +44,14 @@ func New(o Options) (*Telemetry, error) {
 	bus := NewBus(o.BufferSize)
 	t := &Telemetry{bus: bus, agg: NewAggregator(bus.Dropped)}
 	bus.Subscribe(t.agg)
+	t.flight = NewFlightRecorder(bus, o.FlightRing)
+	bus.Subscribe(t.flight)
 	if o.Perfetto != nil {
 		t.pf = NewPerfettoWriter(o.Perfetto)
 		bus.Subscribe(t.pf)
 	}
 	if o.DebugAddr != "" {
-		srv, err := newDebugServer(o.DebugAddr, t.agg)
+		srv, err := newDebugServer(o.DebugAddr, t.agg, t.flight)
 		if err != nil {
 			_ = bus.Close()
 			return nil, err
@@ -69,6 +78,15 @@ func (t *Telemetry) Aggregator() *Aggregator {
 		return nil
 	}
 	return t.agg
+}
+
+// Flight returns the session's imbalance flight recorder (never nil
+// on a non-nil session).
+func (t *Telemetry) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.flight
 }
 
 // DebugAddr returns the debug server's listen address, or "" when no

@@ -142,6 +142,13 @@ const (
 	// queue: Size is the number of jobs waiting (queued + fail-queue).
 	JobQueueDepth
 
+	// StragglerDetected marks the flight recorder observing a worker
+	// whose EWMA chunk latency exceeds k times the fleet median:
+	// Worker is the straggler, Seconds its EWMA latency, At the
+	// detection instant. Published by the recorder itself (from the
+	// drainer goroutine), never by a backend.
+	StragglerDetected
+
 	kindCount // number of kinds; keep last
 )
 
@@ -173,6 +180,7 @@ var kindNames = [kindCount]string{
 	JobRequeued:       "job_requeued",
 	JobCancelled:      "job_cancelled",
 	JobQueueDepth:     "job_queue_depth",
+	StragglerDetected: "straggler_detected",
 }
 
 // String returns the stable snake_case name of the kind.
@@ -197,6 +205,12 @@ type Event struct {
 	Size   int // iterations in the chunk / stolen range
 	ACP    int // available computing power the requester reported, percent
 
+	// Span is the chunk's trace/span id (see SpanID), carried by
+	// ChunkGranted, ChunkPrefetched and ChunkCompleted so the
+	// Perfetto export can draw one flow per chunk across processes.
+	// Zero means untraced.
+	Span uint64
+
 	// At is the event instant in seconds on the backend's clock:
 	// wall-monotonic seconds since the bus epoch for real backends,
 	// virtual simulated seconds for the sim backend.
@@ -206,6 +220,20 @@ type Event struct {
 	// for ChunkCompleted, scheduling latency for ChunkGranted and
 	// ChunkPrefetched.
 	Seconds float64
+}
+
+// SpanID derives a chunk's deterministic trace/span id from its job id
+// and first iteration. A job's chunks partition its iteration space,
+// so (job, start) identifies a chunk uniquely and both the granting
+// master and the completing worker can compute the same id without
+// threading state between them. The id is never zero (zero means "no
+// span"); a requeued chunk re-granted after a worker failure reuses
+// the id — it is the same chunk, and the trace shows the retry as a
+// second slice on the same flow.
+//
+//lint:loopsched-hotpath
+func SpanID(job, start int) uint64 {
+	return uint64(uint32(job))<<40 | (uint64(uint32(start)) + 1)
 }
 
 // RunMeta describes one executor run. It is delivered to subscribers

@@ -26,13 +26,23 @@
 //
 //	request body: 0x01 | uvarint worker | uvarint acp |
 //	              fixed64 compSeconds | fixed64 idleSeconds |
-//	              flags (bit0 prefetch) | uvarint credits |
-//	              uvarint nResults | nResults × record
+//	              flags (bit0 prefetch, bit1 record spans) |
+//	              uvarint credits |
+//	              uvarint nResults | nResults × record |
+//	              [nResults × uvarint span]          (iff bit1 set)
 //	record:       uvarint index | uvarint dataLen | dataLen bytes
 //
-//	reply body:   0x02 | flags (bit0 stop, bit1 error) |
+//	reply body:   0x02 | flags (bit0 stop, bit1 error, bit2 spans) |
 //	              [uvarint errLen | errLen bytes] |
-//	              uvarint nGrants | nGrants × (uvarint start | uvarint size)
+//	              uvarint nGrants | nGrants × (uvarint start | uvarint size) |
+//	              [nGrants × uvarint span]           (iff bit2 set)
+//
+// Span blocks are optional trailing fields: a frame without the span
+// flag is byte-identical to protocol v1, so span-aware and span-less
+// peers interoperate on the same sniffed listener, and the gob
+// fallback is unaffected. A span flag with a zero item count is
+// rejected as non-canonical (the encoder never produces it), which
+// keeps decode→re-encode byte-stable.
 //
 // A connection opens with a 4-byte preamble (Magic 'L' 'S' Version)
 // written by the client, which lets a server share one listener
@@ -69,9 +79,11 @@ const (
 	frameRequest = 0x01
 	frameReply   = 0x02
 
-	flagPrefetch = 1 << 0
-	flagStop     = 1 << 0
-	flagError    = 1 << 1
+	flagPrefetch    = 1 << 0
+	flagRecordSpans = 1 << 1 // request carries one span id per record
+	flagStop        = 1 << 0
+	flagError       = 1 << 1
+	flagSpans       = 1 << 2 // reply carries one span id per grant
 )
 
 // preamble is the client hello: Magic, "LS", Version.
@@ -103,7 +115,8 @@ type Record struct {
 
 // Request is a slave's work request: the previous batch's completion
 // records ride along, and Credits asks for up to that many grants in
-// the reply.
+// the reply. Spans, when non-empty, echoes one trace span id per
+// record (same order); it must be empty or match len(Results).
 type Request struct {
 	Worker      int
 	ACP         int
@@ -112,6 +125,7 @@ type Request struct {
 	Prefetch    bool
 	Credits     int
 	Results     []Record
+	Spans       []uint64
 }
 
 // reset clears the request for reuse, keeping slice capacity.
@@ -119,15 +133,18 @@ type Request struct {
 //lint:loopsched-hotpath
 func (r *Request) reset() {
 	r.Results = r.Results[:0]
-	*r = Request{Results: r.Results}
+	r.Spans = r.Spans[:0]
+	*r = Request{Results: r.Results, Spans: r.Spans}
 }
 
 // Reply is the master's answer: up to Credits grants, a stop flag, or
-// a protocol error.
+// a protocol error. Spans, when non-empty, stamps one trace span id
+// per grant (same order); it must be empty or match len(Grants).
 type Reply struct {
 	Stop   bool
 	Err    string
 	Grants []sched.Assignment
+	Spans  []uint64
 }
 
 // Reset clears the reply for reuse, keeping slice capacity.
@@ -135,7 +152,8 @@ type Reply struct {
 //lint:loopsched-hotpath
 func (r *Reply) Reset() {
 	r.Grants = r.Grants[:0]
-	*r = Reply{Grants: r.Grants}
+	r.Spans = r.Spans[:0]
+	*r = Reply{Grants: r.Grants, Spans: r.Spans}
 }
 
 // bufPool recycles frame encode buffers across connections.
@@ -153,6 +171,9 @@ func appendRequest(b []byte, r *Request) ([]byte, error) {
 	if r.Worker < 0 || r.ACP < 0 || r.Credits < 0 {
 		return b, fmt.Errorf("%w: negative request field", ErrCorrupt)
 	}
+	if len(r.Spans) != 0 && len(r.Spans) != len(r.Results) {
+		return b, fmt.Errorf("%w: %d spans for %d results", ErrCorrupt, len(r.Spans), len(r.Results))
+	}
 	b = append(b, frameRequest)
 	b = binary.AppendUvarint(b, uint64(r.Worker))
 	b = binary.AppendUvarint(b, uint64(r.ACP))
@@ -161,6 +182,9 @@ func appendRequest(b []byte, r *Request) ([]byte, error) {
 	var flags byte
 	if r.Prefetch {
 		flags |= flagPrefetch
+	}
+	if len(r.Spans) > 0 {
+		flags |= flagRecordSpans
 	}
 	b = append(b, flags)
 	b = binary.AppendUvarint(b, uint64(r.Credits))
@@ -173,6 +197,9 @@ func appendRequest(b []byte, r *Request) ([]byte, error) {
 		b = binary.AppendUvarint(b, uint64(len(rec.Data)))
 		b = append(b, rec.Data...)
 	}
+	for _, s := range r.Spans {
+		b = binary.AppendUvarint(b, s)
+	}
 	return b, nil
 }
 
@@ -180,6 +207,9 @@ func appendRequest(b []byte, r *Request) ([]byte, error) {
 //
 //lint:loopsched-hotpath
 func appendReply(b []byte, r *Reply) ([]byte, error) {
+	if len(r.Spans) != 0 && len(r.Spans) != len(r.Grants) {
+		return b, fmt.Errorf("%w: %d spans for %d grants", ErrCorrupt, len(r.Spans), len(r.Grants))
+	}
 	b = append(b, frameReply)
 	var flags byte
 	if r.Stop {
@@ -187,6 +217,9 @@ func appendReply(b []byte, r *Reply) ([]byte, error) {
 	}
 	if r.Err != "" {
 		flags |= flagError
+	}
+	if len(r.Spans) > 0 {
+		flags |= flagSpans
 	}
 	b = append(b, flags)
 	if r.Err != "" {
@@ -200,6 +233,9 @@ func appendReply(b []byte, r *Reply) ([]byte, error) {
 		}
 		b = binary.AppendUvarint(b, uint64(g.Start))
 		b = binary.AppendUvarint(b, uint64(g.Size))
+	}
+	for _, s := range r.Spans {
+		b = binary.AppendUvarint(b, s)
 	}
 	return b, nil
 }
@@ -320,6 +356,18 @@ func decodeRequest(body []byte, r *Request) error {
 		}
 		r.Results = append(r.Results, rec)
 	}
+	if flags&flagRecordSpans != 0 {
+		if n == 0 {
+			return fmt.Errorf("%w: span flag with no records", ErrCorrupt)
+		}
+		for i := 0; i < n; i++ {
+			s, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			r.Spans = append(r.Spans, s)
+		}
+	}
 	if d.remaining() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
 	}
@@ -376,6 +424,18 @@ func decodeReply(body []byte, r *Reply) error {
 			return err
 		}
 		r.Grants = append(r.Grants, g)
+	}
+	if flags&flagSpans != 0 {
+		if n == 0 {
+			return fmt.Errorf("%w: span flag with no grants", ErrCorrupt)
+		}
+		for i := 0; i < n; i++ {
+			s, err := d.uvarint()
+			if err != nil {
+				return err
+			}
+			r.Spans = append(r.Spans, s)
+		}
 	}
 	if d.remaining() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())

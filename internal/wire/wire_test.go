@@ -60,6 +60,14 @@ func sampleRequests() []Request {
 				{Index: 9, Data: []byte{}},
 			},
 		},
+		{
+			Worker: 2, ACP: 50, Credits: 4,
+			Results: []Record{
+				{Index: 3, Data: []byte{9}},
+				{Index: 4, Data: []byte{8, 7}},
+			},
+			Spans: []uint64{1<<40 | 101, 0},
+		},
 	}
 }
 
@@ -71,7 +79,25 @@ func sampleReplies() []Reply {
 		{Stop: true, Err: "cancelled"},
 		{Grants: []sched.Assignment{{Start: 0, Size: 1}}},
 		{Grants: []sched.Assignment{{Start: 100, Size: 50}, {Start: 150, Size: 25}, {Start: 1 << 29, Size: 1 << 29}}},
+		{
+			Grants: []sched.Assignment{{Start: 0, Size: 10}, {Start: 10, Size: 5}},
+			Spans:  []uint64{1, 11},
+		},
 	}
+}
+
+// spansEqual treats nil and empty as equal, like the slice reuse in
+// the decoders.
+func spansEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // reqEqual compares decoded against sent, treating nil and empty
@@ -91,7 +117,7 @@ func reqEqual(a, b *Request) bool {
 			return false
 		}
 	}
-	return true
+	return spansEqual(a.Spans, b.Spans)
 }
 
 func repEqual(a, b *Reply) bool {
@@ -103,7 +129,7 @@ func repEqual(a, b *Reply) bool {
 			return false
 		}
 	}
-	return true
+	return spansEqual(a.Spans, b.Spans)
 }
 
 func TestRequestRoundTrip(t *testing.T) {
@@ -190,6 +216,13 @@ func TestDecodeErrors(t *testing.T) {
 		{"lying grant count", []byte{frameReply, 0x00, 0xFF, 0xFF, 0x03, 0x01}},
 		{"reply trailing bytes", append(append([]byte{}, validRep...), 0x00)},
 		{"count over MaxFrame", append([]byte{frameReply, 0x00}, binary.AppendUvarint(nil, MaxFrame+1)...)},
+		// Span-block corruption: the flag with nothing to attach spans
+		// to is non-canonical, and a flagged frame must carry exactly
+		// one span per item.
+		{"request span flag without records", []byte{frameRequest, 0x00, 0x00, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, flagRecordSpans, 0x01, 0x00}},
+		{"reply span flag without grants", []byte{frameReply, flagSpans, 0x00}},
+		{"reply span block truncated", []byte{frameReply, flagSpans, 0x02, 0x00, 0x01, 0x01, 0x02, 0x07}},
+		{"reply span block overlong", []byte{frameReply, flagSpans, 0x01, 0x00, 0x01, 0x07, 0x08}},
 	}
 	for _, c := range cases {
 		var req Request
@@ -200,6 +233,80 @@ func TestDecodeErrors(t *testing.T) {
 		if err := decodeReply(c.body, &rep); err == nil {
 			t.Errorf("decodeReply(%s): no error", c.name)
 		}
+	}
+}
+
+// TestSpanlessEncodingMatchesV1 pins the span-free encodings to the
+// protocol-v1 byte layout with hand-built golden frames: enabling span
+// support must not move a single byte of a frame that carries no
+// spans, so span-less peers keep interoperating.
+func TestSpanlessEncodingMatchesV1(t *testing.T) {
+	req := Request{Worker: 3, ACP: 17, CompSeconds: 1.0, Credits: 2,
+		Results: []Record{{Index: 7, Data: []byte{0xAA, 0xBB}}}}
+	golden := []byte{frameRequest, 3, 17}
+	golden = binary.LittleEndian.AppendUint64(golden, math.Float64bits(1.0))
+	golden = binary.LittleEndian.AppendUint64(golden, math.Float64bits(0.0))
+	golden = append(golden, 0x00, 2, 1, 7, 2, 0xAA, 0xBB)
+	body, err := appendRequest(nil, &req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, golden) {
+		t.Errorf("span-less request encoding drifted from v1:\ngot  % x\nwant % x", body, golden)
+	}
+
+	rep := Reply{Grants: []sched.Assignment{{Start: 100, Size: 50}, {Start: 150, Size: 25}}}
+	repGolden := []byte{frameReply, 0x00, 2, 100, 50, 150, 1, 25}
+	repBody, err := appendReply(nil, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(repBody, repGolden) {
+		t.Errorf("span-less reply encoding drifted from v1:\ngot  % x\nwant % x", repBody, repGolden)
+	}
+}
+
+// TestSpanEncodingAppendsOnly proves the grant sequence is
+// byte-identical with and without span ids: a span-carrying reply is
+// the span-less encoding with only the flag bit set and the span block
+// appended after the grants.
+func TestSpanEncodingAppendsOnly(t *testing.T) {
+	grants := []sched.Assignment{{Start: 0, Size: 10}, {Start: 10, Size: 5}, {Start: 1 << 20, Size: 3}}
+	spans := []uint64{5, 15, 1<<40 | 9}
+	plain, err := appendReply(nil, &Reply{Grants: grants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagged, err := appendReply(nil, &Reply{Grants: grants, Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tagged) <= len(plain) {
+		t.Fatalf("tagged frame (%d bytes) not longer than plain (%d)", len(tagged), len(plain))
+	}
+	if tagged[0] != plain[0] {
+		t.Errorf("type byte changed: %x vs %x", tagged[0], plain[0])
+	}
+	if tagged[1] != plain[1]|flagSpans {
+		t.Errorf("flags = %x, want %x", tagged[1], plain[1]|flagSpans)
+	}
+	if !bytes.Equal(tagged[2:len(plain)], plain[2:]) {
+		t.Errorf("grant bytes differ with spans enabled:\nplain  % x\ntagged % x", plain[2:], tagged[2:len(plain)])
+	}
+	var wantBlock []byte
+	for _, s := range spans {
+		wantBlock = binary.AppendUvarint(wantBlock, s)
+	}
+	if !bytes.Equal(tagged[len(plain):], wantBlock) {
+		t.Errorf("span block = % x, want % x", tagged[len(plain):], wantBlock)
+	}
+
+	// Mismatched span counts must be rejected at encode time.
+	if _, err := appendReply(nil, &Reply{Grants: grants, Spans: spans[:1]}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("span/grant count mismatch: err = %v, want ErrCorrupt", err)
+	}
+	if _, err := appendRequest(nil, &Request{Results: []Record{{Index: 1}}, Spans: []uint64{1, 2}}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("span/result count mismatch: err = %v, want ErrCorrupt", err)
 	}
 }
 

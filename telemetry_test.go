@@ -248,6 +248,272 @@ func TestTelemetryMPReconciles(t *testing.T) {
 	}
 }
 
+// TestTelemetryHistogramsReconcile is the accounting identity behind
+// the latency histograms: on every backend, the per-chunk queue-wait
+// histogram must count exactly one observation per granted chunk, so
+// its scraped _count equals both the report's chunk total and the
+// loopsched_chunks_granted_total counter. A histogram that drops slow
+// grants (or double-counts prefetches) breaks the identity.
+func TestTelemetryHistogramsReconcile(t *testing.T) {
+	scheme, err := loopsched.LookupScheme("TSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1600
+	kernel := func(i int) []byte { return []byte{byte(i)} }
+
+	type result struct {
+		chunks  int
+		report  *loopsched.Report
+		latency bool // backend fills Report.GrantLatency/CompLatency
+	}
+	cases := []struct {
+		name string
+		run  func(t *testing.T, tele *loopsched.Telemetry) result
+	}{
+		{"local-channel", func(t *testing.T, tele *loopsched.Telemetry) result {
+			rep := runForTelemetry(t, loopsched.RunSpec{
+				Scheme: scheme, Workload: loopsched.Uniform{N: n, C: 1},
+				Backend: loopsched.BackendLocal, Workers: runWorkers(),
+				Body: func(i int) {}, Telemetry: tele,
+			})
+			return result{rep.Chunks, rep, true}
+		}},
+		{"local-steal", func(t *testing.T, tele *loopsched.Telemetry) result {
+			rep := runForTelemetry(t, loopsched.RunSpec{
+				Scheme: scheme, Workload: loopsched.Uniform{N: n, C: 1},
+				Backend: loopsched.BackendLocal, LocalEngine: loopsched.EngineSteal,
+				Workers: runWorkers(), Body: func(i int) {}, Telemetry: tele,
+			})
+			return result{rep.Chunks, rep, true}
+		}},
+		{"rpc", func(t *testing.T, tele *loopsched.Telemetry) result {
+			rep := runForTelemetry(t, loopsched.RunSpec{
+				Scheme: scheme, Workload: loopsched.Uniform{N: n, C: 1},
+				Backend: loopsched.BackendRPC, Workers: runWorkers(),
+				Kernel: kernel, Telemetry: tele,
+			})
+			return result{rep.Chunks, rep, true}
+		}},
+		{"hier-local", func(t *testing.T, tele *loopsched.Telemetry) result {
+			rep := runForTelemetry(t, loopsched.RunSpec{
+				Scheme: scheme, Workload: loopsched.Uniform{N: n, C: 1},
+				Backend: loopsched.BackendLocal, Workers: runWorkers(),
+				Body: func(i int) {}, Hierarchy: &loopsched.Hierarchy{Shards: 2},
+				Telemetry: tele,
+			})
+			return result{rep.Chunks, rep, false}
+		}},
+		{"service", func(t *testing.T, tele *loopsched.Telemetry) result {
+			s, err := loopsched.NewScheduler(loopsched.SchedulerOptions{
+				Workers:   []*loopsched.WorkerSpec{{WorkScale: 1}, {WorkScale: 1}},
+				Telemetry: tele,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			ctx := context.Background()
+			chunks := 0
+			for _, tenant := range []string{"alpha", "beta"} {
+				j, err := s.Submit(ctx, loopsched.JobSpec{
+					Scheme: scheme, Workload: loopsched.Uniform{N: n, C: 1},
+					Body: func(i int) {}, Tenant: tenant,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := j.Wait(ctx); err != nil {
+					t.Fatal(err)
+				}
+				chunks += j.ChunksGranted()
+			}
+			if err := s.Drain(ctx); err != nil {
+				t.Fatal(err)
+			}
+			return result{chunks, nil, false}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tele, err := loopsched.NewTelemetry(loopsched.TelemetryOptions{
+				DebugAddr: "127.0.0.1:0",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tele.Close()
+
+			res := tc.run(t, tele)
+			if res.chunks == 0 {
+				t.Fatal("run granted no chunks")
+			}
+			tele.Flush()
+			text := scrapeMetrics(t, tele.DebugAddr())
+			if got := sumMetric(t, text, "loopsched_chunk_queue_wait_seconds_count"); int(got) != res.chunks {
+				t.Errorf("queue-wait histogram counted %g chunks, run granted %d", got, res.chunks)
+			}
+			if got := sumMetric(t, text, "loopsched_chunks_granted_total"); int(got) != res.chunks {
+				t.Errorf("scraped chunks granted %g, run granted %d", got, res.chunks)
+			}
+			if res.latency {
+				if got := int(res.report.CompLatency.Count); got != res.chunks {
+					t.Errorf("Report.CompLatency counted %d chunks, want %d", got, res.chunks)
+				}
+				if res.report.GrantLatency.Count == 0 {
+					t.Error("Report.GrantLatency empty on a latency-measuring backend")
+				}
+				if res.report.CompLatency.P50 > res.report.CompLatency.P99 {
+					t.Errorf("percentiles out of order: p50 %g > p99 %g",
+						res.report.CompLatency.P50, res.report.CompLatency.P99)
+				}
+			}
+		})
+	}
+}
+
+// runForTelemetry runs a spec and fails the test on error or short
+// iteration coverage.
+func runForTelemetry(t *testing.T, spec loopsched.RunSpec) *loopsched.Report {
+	t.Helper()
+	rep, err := loopsched.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != spec.Workload.Len() {
+		t.Fatalf("iterations %d, want %d", rep.Iterations, spec.Workload.Len())
+	}
+	return &rep
+}
+
+// TestTelemetryWireCountersScrape asserts the bus drop counter and the
+// binary-protocol frame/byte/codec counters are first-class Prometheus
+// families: an RPC run over the default binary transport must leave
+// non-zero frame traffic in both directions on /metrics.
+func TestTelemetryWireCountersScrape(t *testing.T) {
+	tele, err := loopsched.NewTelemetry(loopsched.TelemetryOptions{
+		DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+
+	scheme, err := loopsched.LookupScheme("GSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runForTelemetry(t, loopsched.RunSpec{
+		Scheme: scheme, Workload: loopsched.Uniform{N: 1200, C: 1},
+		Backend: loopsched.BackendRPC, Workers: runWorkers(),
+		Kernel:    func(i int) []byte { return []byte{byte(i)} },
+		Pipeline:  true,
+		Telemetry: tele,
+	})
+	tele.Flush()
+	text := scrapeMetrics(t, tele.DebugAddr())
+
+	if got := sumMetric(t, text, "loopsched_dropped_events_total"); got != 0 {
+		t.Errorf("%g events dropped", got)
+	}
+	// Both directions carried frames, bytes rode along, and the codec
+	// spent measurable (well, non-negative) time on them.
+	for _, dir := range []string{"sent", "received"} {
+		for _, name := range []string{"loopsched_wire_frames_total", "loopsched_wire_bytes_total", "loopsched_wire_batch_items_total"} {
+			line := name + `{dir="` + dir + `"}`
+			if !strings.Contains(text, line) {
+				t.Fatalf("/metrics missing %s:\n%s", line, text)
+			}
+		}
+	}
+	if got := sumMetric(t, text, "loopsched_wire_frames_total"); got == 0 {
+		t.Error("no wire frames counted for a binary-transport run")
+	}
+	if got := sumMetric(t, text, "loopsched_wire_bytes_total"); got == 0 {
+		t.Error("no wire bytes counted for a binary-transport run")
+	}
+	if got := sumMetric(t, text, "loopsched_wire_batch_items_total"); got == 0 {
+		t.Error("no wire batch items counted for a binary-transport run")
+	}
+	if got := sumMetric(t, text, "loopsched_wire_codec_seconds_total"); got < 0 {
+		t.Errorf("negative codec seconds %g", got)
+	}
+}
+
+// TestTelemetryTenantPerfettoTracks runs two tenants through the
+// shared-fleet scheduler with a Perfetto export attached and checks
+// each tenant gets its own named process track in the trace.
+func TestTelemetryTenantPerfettoTracks(t *testing.T) {
+	var perfetto bytes.Buffer
+	tele, err := loopsched.NewTelemetry(loopsched.TelemetryOptions{
+		Perfetto: &perfetto,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tele.Close()
+
+	s, err := loopsched.NewScheduler(loopsched.SchedulerOptions{
+		Workers:   []*loopsched.WorkerSpec{{WorkScale: 1}, {WorkScale: 1}},
+		Telemetry: tele,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := loopsched.LookupScheme("TSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, tenant := range []string{"alpha", "beta"} {
+		j, err := s.Submit(ctx, loopsched.JobSpec{
+			Scheme: scheme, Workload: loopsched.Uniform{N: 800, C: 1},
+			Body: func(i int) {}, Tenant: tenant,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tele.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(perfetto.Bytes(), &doc); err != nil {
+		t.Fatalf("perfetto export is not valid JSON: %v", err)
+	}
+	pids := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Name != "process_name" {
+			continue
+		}
+		name, _ := e.Args["name"].(string)
+		if !strings.HasPrefix(name, "tenant ") {
+			continue
+		}
+		pids[name] = e.Pid
+	}
+	if len(pids) != 2 || pids["tenant alpha"] == 0 || pids["tenant beta"] == 0 {
+		t.Fatalf("tenant tracks = %v, want named tracks for alpha and beta", pids)
+	}
+	if pids["tenant alpha"] == pids["tenant beta"] {
+		t.Fatalf("tenants share pid %d, want distinct tracks", pids["tenant alpha"])
+	}
+}
+
 // TestTelemetryDisabledIsInert asserts the default path: no Telemetry
 // on the spec means no events, no server, and no behaviour change.
 func TestTelemetryDisabledIsInert(t *testing.T) {
