@@ -90,9 +90,11 @@ bench:
 # archives: the wire protocol (gob vs binary × credit window,
 # docs/PROTOCOL.md → BENCH_wire.json), the local engines (channel
 # master vs work-stealing deques × worker count, docs/LOCAL.md →
-# BENCH_local.json), and the multi-tenant scheduler daemon (job
+# BENCH_local.json), the multi-tenant scheduler daemon (job
 # streams × fleet/tenant mix, docs/SERVICE.md → BENCH_service.json
-# with jobs/s and chunks/s).
+# with jobs/s and chunks/s), and the scheduling-step ledger (in-process
+# fetch-add contention plus master-path vs one-sided loopback,
+# docs/LEDGER.md → BENCH_ledger.json).
 bench-json:
 	$(GO) build -o bin/benchjson ./cmd/benchjson
 	$(GO) test -run '^$$' -bench BenchmarkRPCPipeline -benchmem -count=1 . | tee bench_wire.txt
@@ -101,6 +103,8 @@ bench-json:
 	./bin/benchjson -only BenchmarkLocalEngine -o BENCH_local.json < bench_local.txt
 	$(GO) test -run '^$$' -bench BenchmarkScheduler -benchmem -count=1 . | tee bench_service.txt
 	./bin/benchjson -only BenchmarkScheduler -o BENCH_service.json < bench_service.txt
+	$(GO) test -run '^$$' -bench BenchmarkLedger -benchmem -count=1 . | tee bench_ledger.txt
+	./bin/benchjson -only BenchmarkLedger -o BENCH_ledger.json < bench_ledger.txt
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -23,6 +23,7 @@ import (
 	"loopsched"
 	"loopsched/internal/acp"
 	"loopsched/internal/experiments"
+	"loopsched/internal/ledger"
 	"loopsched/internal/mandelbrot"
 	"loopsched/internal/metrics"
 	"loopsched/internal/mp"
@@ -742,4 +743,128 @@ func BenchmarkScheduler(b *testing.B) {
 			b.ReportMetric(float64(chunks)/elapsed, "chunks/s")
 		})
 	}
+}
+
+// BenchmarkLedger measures the scheduling-step ledger at both layers;
+// `make bench-json` publishes the table as BENCH_ledger.json.
+//
+// The simulated matrix hammers the in-process half — one fetch-and-add
+// on the shared step counter plus a table lookup — from p concurrent
+// claimers, which is the whole per-chunk acquire cost the steal engine
+// and the master's ledger branch pay. The loopback matrix runs full
+// master/worker loops over TCP with the ledger off (the PR 5
+// credit-window grant path: every chunk is requested and granted in a
+// master frame) and on (workers claim with one-sided FetchAdd frames
+// and self-compute boundaries from a table replica), so chunks/s
+// compares what the protocol costs per chunk end to end.
+func BenchmarkLedger(b *testing.B) {
+	b.Run("simulated", func(b *testing.B) {
+		tab, err := ledger.Build(sched.TSSScheme{}, sched.Config{Iterations: 1 << 20, Workers: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps := uint64(tab.Steps())
+		for _, p := range []int{128, 1024, 8192} {
+			b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+				var ctr ledger.Local
+				b.ReportAllocs()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for g := 0; g < p; g++ {
+					claims := b.N / p
+					if g < b.N%p {
+						claims++
+					}
+					if claims == 0 {
+						continue
+					}
+					wg.Add(1)
+					go func(claims int) {
+						defer wg.Done()
+						for j := 0; j < claims; j++ {
+							step, _ := ctr.FetchAdd(1)
+							// Claim-then-check: wrap so the table never
+							// drains while the benchmark runs.
+							if _, ok := tab.Chunk(step % steps); !ok {
+								panic("table lookup failed")
+							}
+						}
+					}(claims)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "chunks/s")
+			})
+		}
+	})
+
+	b.Run("loopback", func(b *testing.B) {
+		const n = 2048 // SS: one iteration per chunk, 2048 protocol acquisitions per op
+		kernel := func(i int) []byte {
+			buf := make([]byte, 1024)
+			binary.LittleEndian.PutUint64(buf, uint64(i)+1)
+			return buf
+		}
+		for _, p := range []int{2, 8, 32} {
+			for _, mode := range []string{"master", "ledger"} {
+				b.Run(fmt.Sprintf("%s-p%d", mode, p), func(b *testing.B) {
+					b.ReportAllocs()
+					chunks := 0
+					for i := 0; i < b.N; i++ {
+						m, err := loopsched.NewMaster(loopsched.NewSS(), n, p)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if mode == "ledger" {
+							if err := m.SetLedger("on"); err != nil {
+								b.Fatal(err)
+							}
+							if !m.LedgerActive() {
+								b.Fatal("ledger did not arm")
+							}
+						}
+						l, err := net.Listen("tcp", "127.0.0.1:0")
+						if err != nil {
+							b.Fatal(err)
+						}
+						if err := m.Serve(l); err != nil {
+							b.Fatal(err)
+						}
+						var wg sync.WaitGroup
+						errs := make([]error, p)
+						for id := 0; id < p; id++ {
+							// Both sides run at the default credit window of 1
+							// (the PR 5 double buffer): the master path
+							// pipelines one prefetched grant per round trip,
+							// the ledger path claims ledgerClaimFactor steps.
+							w := loopsched.Worker{
+								ID: id, Kernel: kernel,
+								Transport:   "binary",
+								Pipeline:    mode == "master",
+								LedgerTable: m.Ledger(), // nil in master mode
+							}
+							wg.Add(1)
+							go func(id int, w loopsched.Worker) {
+								defer wg.Done()
+								errs[id] = w.Run(l.Addr().String())
+							}(id, w)
+						}
+						wg.Wait()
+						for id, err := range errs {
+							if err != nil {
+								b.Fatalf("worker %d: %v", id, err)
+							}
+						}
+						if _, rep, err := m.Wait(); err != nil {
+							b.Fatal(err)
+						} else {
+							chunks += rep.Chunks
+						}
+						l.Close()
+					}
+					b.ReportMetric(float64(chunks)/b.Elapsed().Seconds(), "chunks/s")
+				})
+			}
+		}
+	})
 }

@@ -1,10 +1,12 @@
 package exec
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"loopsched/internal/acp"
+	"loopsched/internal/ledger"
 	"loopsched/internal/sched"
 	"loopsched/internal/steal"
 	"loopsched/internal/telemetry"
@@ -34,6 +36,12 @@ type JobConfig struct {
 	// bus can attribute chunks per job and per tenant. Zero means
 	// untagged (single-run execution).
 	Job, Tenant int
+	// Ledger requests the scheduling-step ledger for refills: when the
+	// scheme is step-deterministic, a refill becomes one fetch-and-add
+	// on an atomic step counter plus table lookups — no refill mutex at
+	// all. Empty uses DefaultLedger (the LOOPSCHED_LEDGER environment
+	// variable); ineligible schemes silently keep the policy path.
+	Ledger LedgerMode
 }
 
 // JobCounts is a point-in-time snapshot of a job's chunk accounting.
@@ -71,7 +79,16 @@ type JobState struct {
 	scratch  [][]sched.Assignment // per-worker refill buffers
 	compHist *hist.Sharded        // per-chunk compute latency
 
-	waitHist hist.Hist // request-to-grant latency; recorded under mu
+	waitHist *hist.Sharded // request-to-grant latency (shard = worker)
+
+	// Scheduling-step ledger (JobConfig.Ledger): when armed, Refill
+	// bypasses s.mu entirely — one fetch-and-add claims a window of
+	// steps and the table maps each to its chunk. nil keeps the policy
+	// path. ledgerChunks is the ledger's share of the chunk tally,
+	// folded into Counts alongside the mu-guarded chunks.
+	ledgerTab    *ledger.Table
+	ledgerCtr    ledger.Local
+	ledgerChunks atomic.Int64
 
 	granted   atomic.Int64
 	completed atomic.Int64
@@ -107,6 +124,7 @@ func NewJobState(cfg JobConfig) (*JobState, error) {
 		counters:      make([]steal.AtomicCounters, p),
 		scratch:       make([][]sched.Assignment, p),
 		compHist:      hist.NewSharded(p),
+		waitHist:      hist.NewSharded(p),
 		liveACP:       make([]int, p),
 		planACP:       make([]int, p),
 	}
@@ -127,6 +145,17 @@ func NewJobState(cfg JobConfig) (*JobState, error) {
 	s.policy, err = s.plan()
 	if err != nil {
 		return nil, err
+	}
+	mode, ok := cfg.Ledger.Normalize()
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown ledger mode %q", cfg.Ledger)
+	}
+	if mode == LedgerOn {
+		// Advisory: a build failure (ineligible scheme, over-long loop)
+		// keeps the policy path, so "on" is always safe.
+		if tab, err := ledger.Build(cfg.Scheme, sched.Config{Iterations: cfg.Workload.Len(), Workers: p}); err == nil {
+			s.ledgerTab = tab
+		}
 	}
 	return s, nil
 }
@@ -211,6 +240,9 @@ func (s *JobState) Refill(worker, acpNow int, fbWork, fbElapsed float64) (sched.
 	if s.aborted.Load() {
 		return sched.Assignment{}, 0, false
 	}
+	if s.ledgerTab != nil {
+		return s.refillLedger(worker, acpNow)
+	}
 	c := &s.counters[worker]
 	reqAt := s.bus.Now()
 	req := s.event(telemetry.ChunkRequested, worker)
@@ -254,7 +286,7 @@ func (s *JobState) Refill(worker, acpNow int, fbWork, fbElapsed float64) (sched.
 		s.granted.Add(int64(a.Size))
 		iters += a.Size
 		now := s.bus.Now()
-		s.waitHist.Record(now - reqAt)
+		s.waitHist.Record(worker, now-reqAt)
 		e := s.event(telemetry.ChunkGranted, worker)
 		e.Start, e.Size, e.ACP = a.Start, a.Size, acpNow
 		e.Span = telemetry.SpanID(s.job, a.Start)
@@ -278,6 +310,74 @@ func (s *JobState) Refill(worker, acpNow int, fbWork, fbElapsed float64) (sched.
 	s.bus.Publish(e)
 	return batch[0], iters, true
 }
+
+// refillLedger is Refill on the scheduling-step ledger: one
+// fetch-and-add claims a whole window of steps, the table maps each
+// step to its chunk, and nothing touches s.mu — p workers refilling
+// concurrently contend on a single atomic instead of serialising
+// through the policy lock. Feedback and re-planning don't apply: the
+// ledger only arms for step-deterministic schemes, whose chunks ignore
+// everything the master path would feed back.
+//
+// Cancellation here is best-effort where the mutex path is exact: a
+// refill racing Abort may grant one final window. Those grants still
+// publish their events, so telemetry reconciliation holds either way.
+func (s *JobState) refillLedger(worker, acpNow int) (sched.Assignment, int, bool) {
+	reqAt := s.bus.Now()
+	req := s.event(telemetry.ChunkRequested, worker)
+	req.ACP = acpNow
+	req.At = reqAt
+	s.bus.Publish(req)
+	batch := s.scratch[worker][:0]
+	window := cap(s.scratch[worker])
+	iters := 0
+
+	step, _ := s.ledgerCtr.FetchAdd(window)
+	claimAt := s.bus.Now()
+	fetch := s.event(telemetry.LedgerFetch, worker)
+	fetch.Start = window
+	fetch.At, fetch.Seconds = claimAt, claimAt-reqAt
+	s.bus.Publish(fetch)
+	for i := 0; i < window; i++ {
+		a, ok := s.ledgerTab.Chunk(step + uint64(i))
+		if !ok {
+			// Steps past the table's end: the loop is fully claimed.
+			// Over-claimed steps are harmlessly wasted — the counter
+			// only ever moves forward.
+			s.drained.Store(true)
+			break
+		}
+		s.ledgerChunks.Add(1)
+		s.granted.Add(int64(a.Size))
+		iters += a.Size
+		now := s.bus.Now()
+		s.waitHist.Record(worker, now-reqAt)
+		e := s.event(telemetry.ChunkGranted, worker)
+		e.Start, e.Size, e.ACP = a.Start, a.Size, acpNow
+		e.Span = telemetry.SpanID(s.job, a.Start)
+		e.At, e.Seconds = now, now-reqAt
+		s.bus.Publish(e)
+		batch = append(batch, a)
+	}
+	if len(batch) == 0 {
+		return sched.Assignment{}, 0, false
+	}
+	for _, a := range batch[1:] {
+		s.deques[worker].Push(a) // cannot fail: deque empty, cap >= window
+	}
+	c := &s.counters[worker]
+	c.Refills.Add(1)
+	c.RefillChunks.Add(int64(len(batch)))
+	e := s.event(telemetry.DequeRefilled, worker)
+	e.Start, e.Size, e.ACP = batch[0].Start, len(batch), acpNow
+	e.At = s.bus.Now()
+	s.bus.Publish(e)
+	return batch[0], iters, true
+}
+
+// LedgerActive reports whether refills draw from the scheduling-step
+// ledger instead of the mutex-guarded policy.
+func (s *JobState) LedgerActive() bool { return s.ledgerTab != nil }
 
 // Feedback applies one completed chunk's measured cost to the policy,
 // for schedulers whose workers interleave many jobs and cannot carry
@@ -349,7 +449,7 @@ func (s *JobState) Counts() JobCounts {
 	chunks, replans := s.chunks, s.replans
 	s.mu.Unlock()
 	c := JobCounts{
-		Chunks:    chunks,
+		Chunks:    chunks + int(s.ledgerChunks.Load()),
 		Replans:   replans,
 		Granted:   s.granted.Load(),
 		Completed: s.completed.Load(),

@@ -89,6 +89,12 @@ type Local struct {
 	// the policy in a single trip under the refill lock (<=0 means
 	// DefaultStealWindow). Ignored by the channel engine.
 	Window int
+	// Ledger requests the scheduling-step ledger for steal-engine
+	// refills: one fetch-and-add claims the whole window, no refill
+	// mutex. Empty uses DefaultLedger (the LOOPSCHED_LEDGER environment
+	// variable); schemes that are not step-deterministic silently keep
+	// the policy path. Ignored by the channel engine.
+	Ledger LedgerMode
 }
 
 // Local engine names for Local.Engine.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"loopsched/internal/acp"
+	"loopsched/internal/ledger"
 	"loopsched/internal/metrics"
 	"loopsched/internal/sched"
 	"loopsched/internal/telemetry"
@@ -84,6 +85,11 @@ type ChunkArgs struct {
 	// issued right now — and must not treat the worker's in-flight
 	// chunk as abandoned.
 	Prefetch bool
+	// DepositOnly marks a ledger worker's completion report: file the
+	// results and the timing, grant nothing. The wire transport maps
+	// the request frame's no-reply flag here; the worker computes its
+	// own next chunk from the fetch-and-add ledger instead.
+	DepositOnly bool
 }
 
 // ChunkReply is the master's answer on the net/rpc transport. An
@@ -136,6 +142,15 @@ type Master struct {
 	fastStep int
 	fastNext atomic.Int64
 	fastOff  atomic.Bool
+
+	// Decentralized scheduling ledger (SetLedger): when ledgerTab is
+	// non-nil, the step counter + table pair is the single source of
+	// every fresh grant — wire workers claim steps directly with
+	// FetchAdd frames, and the master-path grants (gob workers, mixed
+	// fleets, the requeue tail) draw from the same counter, so no
+	// range is ever issued twice across the two protocols.
+	ledgerTab *ledger.Table
+	ledgerCtr ledger.Local
 
 	// Latency histograms for the report: request-to-grant on the
 	// master's clock (recorded only when a bus supplies that clock)
@@ -242,6 +257,89 @@ func (m *Master) SetWindow(w int) {
 // ledgerCap is the per-worker in-flight chunk bound.
 func (m *Master) ledgerCap() int { return m.window + 1 }
 
+// SetLedger requests the decentralized scheduling ledger. With
+// LedgerOn (or "" resolving to it via LOOPSCHED_LEDGER) and a
+// step-deterministic scheme, the master precomputes the run's chunk
+// table and serves one-sided FetchAdd claims; ineligible schemes
+// silently keep the master path, so callers may pass "on"
+// unconditionally. Call before Serve. Ledger mode trades failure
+// recovery for speed: steps a wire worker claimed for itself are not
+// tracked in any per-worker ledger, so FailWorker cannot requeue them
+// (see docs/LEDGER.md).
+func (m *Master) SetLedger(mode LedgerMode) error {
+	mode, ok := mode.Normalize()
+	if !ok {
+		return fmt.Errorf("exec: unknown ledger mode %q", mode)
+	}
+	if mode != LedgerOn {
+		m.ledgerTab = nil
+		return nil
+	}
+	tab, err := ledger.Build(m.scheme, sched.Config{Iterations: m.iterations, Workers: m.workers})
+	if err != nil {
+		if errors.Is(err, ledger.ErrIneligible) {
+			return nil // master path; the request is advisory
+		}
+		return err
+	}
+	m.ledgerTab = tab
+	return nil
+}
+
+// LedgerActive reports whether grants come from the fetch-and-add
+// ledger (SetLedger accepted the scheme).
+func (m *Master) LedgerActive() bool { return m.ledgerTab != nil }
+
+// Ledger returns the armed ledger table (nil when inactive) — hand it
+// to Worker.LedgerTable so binary-transport workers claim one-sided.
+func (m *Master) Ledger() *ledger.Table { return m.ledgerTab }
+
+// ledgerFetchAdd services one wire-level claim: bump the shared step
+// counter by n and account every valid claimed step as a granted
+// chunk — the self-computing worker will derive the same boundaries
+// from its table replica. Steps past the table are wasted claims and
+// count nothing. A one-sided claim has no request-to-grant wait, so
+// the grant-latency histogram records the claim's service time — near
+// zero by design, which is the ledger's whole point — keeping the
+// histogram count reconciled with the chunk tally.
+func (m *Master) ledgerFetchAdd(worker, n int) uint64 {
+	var claimAt float64
+	if m.bus != nil {
+		claimAt = m.bus.Now()
+	}
+	first, _ := m.ledgerCtr.FetchAdd(n)
+	end := first + uint64(n)
+	if steps := uint64(m.ledgerTab.Steps()); end > steps {
+		end = steps
+	}
+	for s := first; s < end; s++ {
+		a, ok := m.ledgerTab.Chunk(s)
+		if !ok {
+			break
+		}
+		m.chunks.Add(1)
+		if m.bus != nil {
+			now := m.bus.Now()
+			m.waitHist.Record(worker, now-claimAt)
+			m.bus.Publish(telemetry.Event{
+				Kind: telemetry.ChunkGranted, Worker: worker,
+				Start: a.Start, Size: a.Size, Span: telemetry.SpanID(0, a.Start),
+				At: now, Seconds: now - claimAt,
+			})
+		}
+	}
+	return first
+}
+
+// fetchAddFunc returns the wire ledger hook, or nil when the master
+// hosts no ledger (FetchAdd frames then drop the connection).
+func (m *Master) fetchAddFunc() FetchAddFunc {
+	if m.ledgerTab == nil {
+		return nil
+	}
+	return m.ledgerFetchAdd
+}
+
 // Serve accepts connections until the listener closes, sniffing each
 // connection's first byte to route it: the binary wire preamble to
 // the framed chunk service, anything else to a net/rpc server
@@ -266,7 +364,7 @@ func (m *Master) Serve(l net.Listener) error {
 			m.serveWG.Add(1)
 			go func() {
 				defer m.serveWG.Done()
-				ServeSniffed(srv, conn, m.bus, 0, m.nextBatch)
+				ServeSniffed(srv, conn, m.bus, 0, m.nextBatch, m.fetchAddFunc())
 			}()
 		}
 	}()
@@ -370,6 +468,11 @@ func (m *Master) nextBatch(args ChunkArgs, credits int, rep *wire.Reply) (err er
 		rep.Stop = true
 		return nil
 	}
+	if args.DepositOnly {
+		// A ledger worker's completion report: no reply will be read,
+		// so granting into rep would silently lose chunks.
+		return nil
+	}
 	if m.fastGrants(&args, credits, rep, reqAt) {
 		return nil
 	}
@@ -428,10 +531,14 @@ func (m *Master) account(args *ChunkArgs, now time.Time, reqAt float64) (rejecte
 				ACP: args.ACP, At: reqAt,
 			})
 		}
-		m.bus.Publish(telemetry.Event{
-			Kind: telemetry.ChunkRequested, Worker: args.Worker,
-			ACP: args.ACP, At: reqAt,
-		})
+		if !args.DepositOnly {
+			// A deposit files results without asking for work; only
+			// grant-seeking calls count as protocol requests.
+			m.bus.Publish(telemetry.Event{
+				Kind: telemetry.ChunkRequested, Worker: args.Worker,
+				ACP: args.ACP, At: reqAt,
+			})
+		}
 		s.lastSeen = now
 		// Per-PE breakdown: the worker reports computation and stall
 		// time; the rest of the reply-to-request turnaround is
@@ -474,7 +581,7 @@ func (m *Master) account(args *ChunkArgs, now time.Time, reqAt float64) (rejecte
 // locked scheduler (non-fixed scheme, failures pending, counter
 // drained on a parkable request, run finished).
 func (m *Master) fastGrants(args *ChunkArgs, credits int, rep *wire.Reply, reqAt float64) bool {
-	if m.fastStep == 0 || m.fastOff.Load() || m.doneClosed() {
+	if (m.fastStep == 0 && m.ledgerTab == nil) || m.fastOff.Load() || m.doneClosed() {
 		return false
 	}
 	s := &m.slots[args.Worker]
@@ -484,7 +591,7 @@ func (m *Master) fastGrants(args *ChunkArgs, credits int, rep *wire.Reply, reqAt
 		return false // FailWorker won the race; locked path replies Stop
 	}
 	for len(rep.Grants) < credits && len(s.outstanding) < m.ledgerCap() {
-		a, ok := m.fastTake()
+		a, ok := m.fastTake(args.Worker)
 		if !ok {
 			if len(rep.Grants) > 0 {
 				return true // partial batch; the tail is someone else's
@@ -507,8 +614,24 @@ func (m *Master) fastGrants(args *ChunkArgs, credits int, rep *wire.Reply, reqAt
 
 // fastTake claims the next fixed-size chunk from the atomic counter,
 // clipping the final chunk to the remaining iterations exactly as the
-// policy's counter would.
-func (m *Master) fastTake() (sched.Assignment, bool) {
+// policy's counter would. In ledger mode the claim is a fetch-and-add
+// on the shared step counter instead, so master-path grants and the
+// workers' one-sided claims interleave without double-assignment; each
+// successful in-process claim counts as one ledger fetch (zero round
+// trip) so loopsched_ledger_fetchadds_total tallies every fetch-and-add
+// regardless of which side issued it.
+func (m *Master) fastTake(w int) (sched.Assignment, bool) {
+	if m.ledgerTab != nil {
+		step, _ := m.ledgerCtr.FetchAdd(1)
+		a, ok := m.ledgerTab.Chunk(step)
+		if ok && m.bus != nil {
+			m.bus.Publish(telemetry.Event{
+				Kind: telemetry.LedgerFetch, Worker: w,
+				Start: 1, At: m.bus.Now(),
+			})
+		}
+		return a, ok
+	}
 	total := int64(m.iterations)
 	for {
 		cur := m.fastNext.Load()
@@ -644,8 +767,8 @@ func (m *Master) assign(args *ChunkArgs, credits int, rep *wire.Reply, reqAt flo
 // grants can never double-assign), the policy otherwise. Callers
 // hold mu.
 func (m *Master) policyNext(w int, acpv float64) (sched.Assignment, bool) {
-	if m.fastStep > 0 {
-		return m.fastTake()
+	if m.fastStep > 0 || m.ledgerTab != nil {
+		return m.fastTake(w)
 	}
 	a, ok := m.policy.Next(sched.Request{Worker: w, ACP: acpv})
 	if ok {
@@ -1007,6 +1130,13 @@ type Worker struct {
 	// (0 means 1). The gob transport ignores it — its protocol carries
 	// one grant per round trip.
 	Window int
+	// LedgerTable, when non-nil, switches the binary transport to the
+	// one-sided ledger protocol: the worker claims scheduling steps
+	// with fetch-and-add frames and computes chunk boundaries from this
+	// replica of the master's table, reporting completions in no-reply
+	// deposits. It must be built from the same scheme and Config as the
+	// master's (SetLedger); the gob transport ignores it.
+	LedgerTable *ledger.Table
 	// Telemetry, when non-nil, receives a ChunkCompleted event for
 	// every chunk this worker computes. TelemetryID and TelemetryShard
 	// label those events; TelemetryID must be the run-global worker id

@@ -92,6 +92,7 @@ func (l *Local) runSteal(ctx context.Context, w workload.Workload, body func(i i
 		InitACP:       initACP,
 		DisableReplan: l.DisableReplan,
 		Telemetry:     l.Telemetry,
+		Ledger:        l.Ledger,
 	})
 	if err != nil {
 		return rep, err

@@ -182,7 +182,7 @@ func startRecordedMaster(t *testing.T, n int, withBus bool) (*spanRecorder, *Mas
 			if err != nil {
 				return
 			}
-			go ServeSniffed(srv, conn, m.bus, 0, rec.batch)
+			go ServeSniffed(srv, conn, m.bus, 0, rec.batch, nil)
 		}
 	}()
 	stop := func() {

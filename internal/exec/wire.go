@@ -23,6 +23,21 @@ import (
 // implement it.
 type BatchFunc func(args ChunkArgs, credits int, rep *wire.Reply) error
 
+// FetchAddFunc answers one ledger claim: atomically reserve n
+// scheduling steps and return the first reserved step. worker is the
+// claimer's id when the connection has been labeled by a prior
+// request, else -1. A nil FetchAddFunc means the ledger is not active
+// and fetchadd frames drop the connection.
+type FetchAddFunc func(worker, n int) uint64
+
+// ledgerClaimFactor is how many credit windows one ledger claim
+// reserves. Master-path credits pay per grant (reply encoding, result
+// ingest, requeue bookkeeping), so the window stays small; a one-sided
+// claim is a constant-size frame whose boundaries the table fixes at
+// any batch size, so it amortises the counter round trip over several
+// windows. See docs/LEDGER.md for the tail-waste tradeoff.
+const ledgerClaimFactor = 4
+
 // sniffedConn replays the bytes a protocol sniffer buffered ahead of
 // the gob stream.
 type sniffedConn struct {
@@ -38,7 +53,7 @@ func (c sniffedConn) Read(p []byte) (int, error) { return c.r.Read(p) }
 // net/rpc server. It returns when the dialogue ends and closes the
 // connection. bus (nil allowed) receives wire frame counters; shard
 // labels them.
-func ServeSniffed(srv *rpc.Server, conn net.Conn, bus *telemetry.Bus, shard int, batch BatchFunc) {
+func ServeSniffed(srv *rpc.Server, conn net.Conn, bus *telemetry.Bus, shard int, batch BatchFunc, fetch FetchAddFunc) {
 	br := bufio.NewReader(conn)
 	first, err := br.Peek(1)
 	if err != nil {
@@ -54,27 +69,45 @@ func ServeSniffed(srv *rpc.Server, conn net.Conn, bus *telemetry.Bus, shard int,
 		return
 	}
 	defer conn.Close()
-	serveWire(wire.NewServer(conn, br), bus, shard, batch)
+	serveWire(wire.NewServer(conn, br), bus, shard, batch, fetch)
 }
 
-// serveWire runs the framed request/reply loop for one worker
-// connection until the stream closes, a frame fails to parse, or a
-// stop reply to a synchronous request completes the dialogue.
-func serveWire(c *wire.Conn, bus *telemetry.Bus, shard int, batch BatchFunc) {
+// serveWire runs the framed loop for one worker connection until the
+// stream closes, a frame fails to parse, or a stop reply to a
+// synchronous request completes the dialogue. Three client frame
+// shapes interleave on one connection: synchronous and prefetch
+// requests (answered with a reply), no-reply deposits (results filed,
+// nothing written back), and — when fetch is non-nil — ledger claims
+// (answered with a step frame).
+func serveWire(c *wire.Conn, bus *telemetry.Bus, shard int, batch BatchFunc, fetch FetchAddFunc) {
 	c.SetTelemetry(bus, -1, shard)
 	var (
 		req     wire.Request
 		rep     wire.Reply
 		results []ChunkResult
 		labeled bool
+		worker  = -1
 	)
 	for {
-		if err := c.ReadRequest(&req); err != nil {
+		kind, n, err := c.ReadClientFrame(&req)
+		if err != nil {
 			return // closed, cancelled or corrupt: drop the dialogue
+		}
+		if kind == wire.KindFetchAdd {
+			if fetch == nil {
+				// No ledger on this master: a claim is unanswerable, and
+				// leaving it unanswered would deadlock the worker.
+				return
+			}
+			if err := c.WriteStep(fetch(worker, n)); err != nil {
+				return
+			}
+			continue
 		}
 		if !labeled {
 			c.SetTelemetry(bus, req.Worker, shard)
 			labeled = true
+			worker = req.Worker
 		}
 		results = results[:0]
 		for i, r := range req.Results {
@@ -96,9 +129,18 @@ func serveWire(c *wire.Conn, bus *telemetry.Bus, shard int, batch BatchFunc) {
 			IdleSeconds: req.IdleSeconds,
 			Results:     results,
 			Prefetch:    req.Prefetch,
+			DepositOnly: req.NoReply,
+		}
+		rep.Reset()
+		if req.NoReply {
+			// Deposit-only: the client will not read a reply, so an
+			// error has nowhere to ride — treat it as terminal.
+			if err := batch(args, 0, &rep); err != nil {
+				return
+			}
+			continue
 		}
 		stop := false
-		rep.Reset()
 		if err := batch(args, req.Credits, &rep); err != nil {
 			// Mirror net/rpc: the error rides back to the caller, the
 			// connection stays up for the next request.
@@ -136,6 +178,9 @@ func (w Worker) runWire(ctx context.Context, conn net.Conn) error {
 		case <-watchDone:
 		}
 	}()
+	if w.LedgerTable != nil {
+		return w.runWireLedger(c)
+	}
 	if w.Pipeline {
 		return w.runWirePipelined(c)
 	}
@@ -344,5 +389,171 @@ func (w Worker) runWirePipelined(c *wire.Conn) error {
 			absorb()
 		}
 		pending = append(pending, results...)
+	}
+}
+
+// runWireLedger is the one-sided claim loop: instead of asking the
+// master which chunk to run, the worker fetch-adds a batch of
+// scheduling steps on the master's ledger and computes the chunk
+// boundaries itself from its table replica — the master only ever
+// sees an 11-byte claim and answers with an 11-byte step, so the
+// grant path carries no policy lock, no result copying and no reply
+// encoding. Completions ride no-reply deposits written while the next
+// claim is in flight. When the table drains the loop falls back to the
+// synchronous master dialogue, which ships the final results, absorbs
+// any chunks the master requeued from failed workers, and ends on the
+// master's stop verdict.
+func (w Worker) runWireLedger(c *wire.Conn) error {
+	tab := w.LedgerTable
+	var (
+		req     wire.Request
+		rep     wire.Reply
+		queue   []sched.Assignment
+		pending []ChunkResult
+		records []wire.Record
+
+		comp, idle float64
+		lastACP    int
+	)
+	// A one-sided claim costs the same few bytes whatever it claims, it
+	// cannot be requeued on failure anyway, and the table fixes the
+	// boundaries at any batch size — so unlike master-path credits,
+	// whose reply and requeue cost grow with the window, the claim
+	// batch can run deeper than the window for free. Four windows per
+	// fetch-add quarters the round trips per chunk; the tail waste is
+	// at most one batch of the scheme's final (smallest) chunks.
+	claimN := ledgerClaimFactor * w.window()
+	// Hello deposit: fetchadd frames carry no worker id, so an empty
+	// no-reply request labels the connection (and joins the fleet)
+	// before the first one-sided claim. Queued, not flushed: it rides
+	// the first claim's segment.
+	lastACP = w.wireRequest(&req, true, 0, nil, nil, 0, 0)
+	req.NoReply = true
+	if err := c.QueueRequest(&req); err != nil {
+		return err
+	}
+	// run computes one chunk and queues its completion deposit —
+	// unflushed, so it rides the next claim's segment. One deposit per
+	// chunk (not per claim batch) keeps the master's per-chunk
+	// accounting exact: each deposit carries exactly that chunk's
+	// results and compute time, so the completion-latency histogram
+	// still counts one sample per chunk however deep the claim batch
+	// runs. The extra frames share one flush, so the round still costs
+	// one write and one read.
+	run := func(a sched.Assignment) error {
+		span := telemetry.SpanID(0, a.Start)
+		start := time.Now()
+		rs := w.compute(a)
+		chunkComp := time.Since(start).Seconds()
+		w.publishCompleted(a, span, lastACP, chunkComp)
+		for j := range rs {
+			rs[j].Span = span
+		}
+		records = toRecords(records, rs)
+		lastACP = w.wireRequest(&req, true, 0, records, nil, chunkComp, idle)
+		req.NoReply = true
+		idle = 0
+		return c.QueueRequest(&req)
+	}
+	// Two claims stay in flight (the ledger's double buffer): while
+	// this round computes the chunks of claim k-1 and waits for claim
+	// k's step, claim k+1 is already travelling, so the wire never goes
+	// quiet between batches. Step replies come back in claim order;
+	// starts is the matching FIFO of send times for the RTT metric. The
+	// one extra in-flight claim wastes at most claimN steps past the
+	// table's end, which the claim-then-check protocol absorbs.
+	var (
+		starts     [2]time.Time
+		sent, read int
+	)
+	sendClaim := func() error {
+		starts[sent&1] = time.Now()
+		sent++
+		return c.WriteFetchAdd(claimN)
+	}
+	readClaim := func() (uint64, error) {
+		waitStart := time.Now()
+		step, err := c.ReadStep()
+		if err != nil {
+			return 0, err
+		}
+		idle += time.Since(waitStart).Seconds()
+		if w.Telemetry != nil {
+			w.Telemetry.Publish(telemetry.Event{
+				Kind: telemetry.LedgerFetch, Worker: w.TelemetryID, Shard: w.TelemetryShard,
+				Start: claimN, At: w.Telemetry.Now(),
+				Seconds: time.Since(starts[read&1]).Seconds(),
+			})
+		}
+		read++
+		return step, nil
+	}
+	if err := sendClaim(); err != nil {
+		return err
+	}
+	drained := false
+	for !drained {
+		// The claim's flush ships the deposits run queued last round in
+		// the same segment: a steady-state round costs the worker one
+		// write and one read, exactly like the master path's piggybacked
+		// request.
+		if err := sendClaim(); err != nil {
+			return err
+		}
+		for _, a := range queue {
+			if err := run(a); err != nil {
+				return err
+			}
+		}
+		queue = queue[:0]
+		step, err := readClaim()
+		if err != nil {
+			return err
+		}
+		for i := 0; i < claimN; i++ {
+			a, ok := tab.Chunk(step + uint64(i))
+			if !ok {
+				drained = true // steps past the end: the loop is fully claimed
+				break
+			}
+			queue = append(queue, a)
+		}
+	}
+	for _, a := range queue {
+		if err := run(a); err != nil {
+			return err
+		}
+	}
+	// Drain the reply of the still-outstanding claim; its steps are at
+	// or past the table's end, so they grant nothing.
+	for read < sent {
+		if _, err := readClaim(); err != nil {
+			return err
+		}
+	}
+	// The ledger is dry; finish on the synchronous master path, which
+	// hands out requeued chunks (if any) and owns the stop decision.
+	for {
+		records = toRecords(records, pending)
+		acpv := w.wireRequest(&req, false, w.window(), records, nil, comp, idle)
+		if err := c.Call(&req, &rep); err != nil {
+			return err
+		}
+		if rep.Stop {
+			return nil
+		}
+		pending, comp, idle = pending[:0], 0, 0
+		for i, a := range rep.Grants {
+			span := grantSpan(&rep, i, a)
+			start := time.Now()
+			rs := w.compute(a)
+			chunkComp := time.Since(start).Seconds()
+			comp += chunkComp
+			w.publishCompleted(a, span, acpv, chunkComp)
+			for j := range rs {
+				rs[j].Span = span
+			}
+			pending = append(pending, rs...)
+		}
 	}
 }

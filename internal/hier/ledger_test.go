@@ -1,0 +1,70 @@
+package hier
+
+import (
+	"testing"
+
+	"loopsched/internal/ledger"
+	"loopsched/internal/sched"
+)
+
+// TestLedgerStageMatchesPolicy is the hierarchy's half of the ledger
+// equivalence property. End-to-end the root's super-chunk splits depend
+// on request timing, so the comparable unit is one stage: for every
+// step-deterministic scheme and a spread of super-chunk grants, the
+// table planLocked would arm (ledger.Build over the stage size, starts
+// shifted by the grant offset) must reproduce the offset policy's chunk
+// sequence byte for byte, including where both say the stage is drained.
+func TestLedgerStageMatchesPolicy(t *testing.T) {
+	stages := []struct{ start, size, workers int }{
+		{0, 1, 1},
+		{0, 1000, 4},
+		{137, 963, 3},
+		{4096, 555, 8},
+		{25, 10000, 2},
+		{999983, 77, 5},
+	}
+	for _, name := range sched.Names() {
+		s, err := sched.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sched.StepDeterministic(s) {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			for _, st := range stages {
+				cfg := sched.Config{Iterations: st.size, Workers: st.workers}
+				tab, err := ledger.Build(s, cfg)
+				if err != nil {
+					t.Fatalf("stage %+v: Build: %v", st, err)
+				}
+				pol, err := s.NewPolicy(cfg)
+				if err != nil {
+					t.Fatalf("stage %+v: NewPolicy: %v", st, err)
+				}
+				off := sched.Offset(pol, st.start)
+				step := 0
+				for {
+					want, ok := off.Next(sched.Request{Worker: step % st.workers})
+					got, gotOK := tab.Chunk(uint64(step))
+					if gotOK {
+						got.Start += st.start
+					}
+					if ok != gotOK {
+						t.Fatalf("stage %+v step %d: policy ok=%v, ledger ok=%v", st, step, ok, gotOK)
+					}
+					if !ok {
+						break
+					}
+					if want != got {
+						t.Fatalf("stage %+v step %d: policy %+v, ledger %+v", st, step, want, got)
+					}
+					step++
+				}
+				if step != tab.Steps() {
+					t.Errorf("stage %+v: policy drained after %d steps, table declares %d", st, step, tab.Steps())
+				}
+			}
+		})
+	}
+}

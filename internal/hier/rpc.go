@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"loopsched/internal/exec"
+	"loopsched/internal/ledger"
 	"loopsched/internal/sched"
 	"loopsched/internal/telemetry"
 	"loopsched/internal/wire"
@@ -102,6 +103,17 @@ type Submaster struct {
 	rootDone bool
 	rootErr  error
 
+	// Stage-local scheduling ledger (SetLedger): when the scheme is
+	// step-deterministic, every super-chunk grant from the root seeds a
+	// fresh prefix table and resets the step counter, and local grants
+	// become a fetch-add plus a table lookup instead of a policy
+	// mutation. ledgerTab is nil on the policy path or once the stage
+	// drains; ledgerBase is the super-chunk's offset in the loop.
+	ledgerOn   bool
+	ledgerTab  *ledger.Table
+	ledgerCtr  ledger.Local
+	ledgerBase int
+
 	liveACP  []int
 	seen     []bool
 	gathered int
@@ -183,6 +195,55 @@ func (s *Submaster) SetTelemetry(bus *telemetry.Bus, globalIDs []int) {
 	s.mu.Unlock()
 }
 
+// SetLedger requests the stage-local scheduling ledger for this
+// shard's grants. The mode is advisory exactly as on the flat master:
+// a scheme that is not step-deterministic (or is distributed) silently
+// keeps the policy path, so "on" is always safe. Call before Serve.
+func (s *Submaster) SetLedger(mode exec.LedgerMode) error {
+	mode, ok := mode.Normalize()
+	if !ok {
+		return fmt.Errorf("hier: unknown ledger mode %q", mode)
+	}
+	s.mu.Lock()
+	s.ledgerOn = mode == exec.LedgerOn && !s.dist && sched.StepDeterministic(s.scheme)
+	s.mu.Unlock()
+	return nil
+}
+
+// fetchAddFunc reports the worker-facing one-sided claim hook. The
+// shard's ledger is stage-local — its table changes with every
+// super-chunk the root grants — so workers cannot hold a static
+// replica and wire-level claims are not served; the ledger accelerates
+// the shard's own grant path instead.
+func (s *Submaster) fetchAddFunc() exec.FetchAddFunc { return nil }
+
+// takeLocked draws the next local chunk for req, from the stage ledger
+// when one is armed (fetch-add + table lookup + offset) and from the
+// policy otherwise. A drained ledger stage disarms itself so the loop
+// proceeds to plan the next super-chunk. Callers hold mu.
+func (s *Submaster) takeLocked(req sched.Request) (sched.Assignment, bool) {
+	if s.ledgerTab != nil {
+		step, _ := s.ledgerCtr.FetchAdd(1)
+		a, ok := s.ledgerTab.Chunk(step)
+		if !ok {
+			s.ledgerTab = nil
+			return sched.Assignment{}, false
+		}
+		a.Start += s.ledgerBase
+		if s.bus != nil {
+			s.bus.Publish(telemetry.Event{
+				Kind: telemetry.LedgerFetch, Worker: s.telemetryID(req.Worker),
+				Shard: s.shard, Start: 1, At: s.bus.Now(),
+			})
+		}
+		return a, true
+	}
+	if s.policy == nil {
+		return sched.Assignment{}, false
+	}
+	return s.policy.Next(req)
+}
+
 // telemetryID maps a shard-local worker index to the id published in
 // telemetry events. Callers hold mu.
 func (s *Submaster) telemetryID(local int) int {
@@ -216,7 +277,7 @@ func (s *Submaster) Serve(l net.Listener) error {
 			s.serveWG.Add(1)
 			go func() {
 				defer s.serveWG.Done()
-				exec.ServeSniffed(srv, conn, bus, s.shard, s.nextBatch)
+				exec.ServeSniffed(srv, conn, bus, s.shard, s.nextBatch, s.fetchAddFunc())
 			}()
 		}
 	}()
@@ -366,27 +427,25 @@ func (s *Submaster) NextChunk(args exec.ChunkArgs, reply *exec.ChunkReply) error
 		if s.rootErr != nil {
 			return s.rootErr
 		}
-		if s.policy != nil {
-			if a, ok := s.policy.Next(sched.Request{Worker: args.Worker, ACP: float64(args.ACP)}); ok {
-				s.chunks++
-				s.iters += a.Size
-				s.outstanding += a.Size
-				reply.Assign = a
-				kind := telemetry.ChunkGranted
-				if args.Prefetch {
-					kind = telemetry.ChunkPrefetched
-				}
-				if s.bus != nil {
-					now := s.bus.Now()
-					s.bus.Publish(telemetry.Event{
-						Kind: kind, Worker: s.telemetryID(args.Worker),
-						Shard: s.shard, Start: a.Start, Size: a.Size,
-						ACP: args.ACP, Span: telemetry.SpanID(0, a.Start),
-						At: now, Seconds: now - reqAt,
-					})
-				}
-				return nil
+		if a, ok := s.takeLocked(sched.Request{Worker: args.Worker, ACP: float64(args.ACP)}); ok {
+			s.chunks++
+			s.iters += a.Size
+			s.outstanding += a.Size
+			reply.Assign = a
+			kind := telemetry.ChunkGranted
+			if args.Prefetch {
+				kind = telemetry.ChunkPrefetched
 			}
+			if s.bus != nil {
+				now := s.bus.Now()
+				s.bus.Publish(telemetry.Event{
+					Kind: kind, Worker: s.telemetryID(args.Worker),
+					Shard: s.shard, Start: a.Start, Size: a.Size,
+					ACP: args.ACP, Span: telemetry.SpanID(0, a.Start),
+					At: now, Seconds: now - reqAt,
+				})
+			}
+			return nil
 		}
 		if len(s.buffered) > 0 {
 			if err := s.planLocked(); err != nil {
@@ -451,13 +510,28 @@ func (s *Submaster) planLocked() error {
 		}
 		cfg.Powers = powers
 	}
-	pol, err := s.scheme.NewPolicy(cfg)
-	if err != nil {
-		s.rootErr = err
-		s.cond.Broadcast()
-		return err
+	s.policy, s.ledgerTab = nil, nil
+	if s.ledgerOn {
+		// Seed a fresh ledger from the root's grant. Exactly one grant
+		// source per stage: the policy stays nil while the table is
+		// armed, so ledger claims and policy grants cannot overlap.
+		if tab, err := ledger.Build(s.scheme, cfg); err == nil {
+			s.ledgerTab = tab
+			s.ledgerBase = g.Start
+			s.ledgerCtr.Store(0)
+		}
+		// Any build error (over-long stage, scheme surprise) simply
+		// falls back to the policy path below.
 	}
-	s.policy = sched.Offset(pol, g.Start)
+	if s.ledgerTab == nil {
+		pol, err := s.scheme.NewPolicy(cfg)
+		if err != nil {
+			s.rootErr = err
+			s.cond.Broadcast()
+			return err
+		}
+		s.policy = sched.Offset(pol, g.Start)
+	}
 	// Each super-chunk is a fresh scheduling stage for the shard.
 	s.bus.Publish(telemetry.Event{
 		Kind: telemetry.StageAdvanced, Shard: s.shard,

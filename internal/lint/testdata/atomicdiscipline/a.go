@@ -108,3 +108,32 @@ func (r *ring) stealRacy() int64 {
 func (r *ring) reset() {
 	r.top = 0 // want `top is accessed via sync/atomic`
 }
+
+// stepLedger is the fetch-and-add scheduling-ledger shape: every
+// worker claims steps with AddUint64, so every other access to the
+// counter must be atomic too.
+type stepLedger struct {
+	step uint64
+}
+
+func (l *stepLedger) claim(n uint64) uint64 {
+	return atomic.AddUint64(&l.step, n) - n
+}
+
+// drainedRacy peeks at the counter plainly to decide whether the table
+// is drained: flagged — the peek races every in-flight claim.
+func (l *stepLedger) drainedRacy(steps uint64) bool {
+	return l.step >= steps // want `step is accessed via sync/atomic`
+}
+
+// drained does the same check atomically: allowed.
+func (l *stepLedger) drained(steps uint64) bool {
+	return atomic.LoadUint64(&l.step) >= steps // ok: atomic everywhere
+}
+
+// seedRacy re-arms the counter for a fresh stage with a plain store
+// and no ordering evidence: flagged; stage setup must use StoreUint64
+// (or prove quiescence with a join).
+func (l *stepLedger) seedRacy() {
+	l.step = 0 // want `step is accessed via sync/atomic`
+}

@@ -99,3 +99,39 @@ func suppressedSink(b []byte) []byte {
 	//lint:loopsched-ignore wirebounds frame comes from the trusted in-process framer, capped at source
 	return make([]byte, n)
 }
+
+// decodeClaim mirrors the ledger's FetchAdd/Step reply: a step count
+// assembled from raw frame bytes, returned unguarded, so the claim
+// size taints callers — a hostile "claim 2^60 steps" reply must meet a
+// bound check before it sizes anything.
+func decodeClaim(b []byte) int {
+	return int(b[0]&0x7f) | int(b[1])<<7
+}
+
+const maxSteps = 1 << 22 // the ledger's table cap
+
+func claimQueueBad(b []byte) []int {
+	n := decodeClaim(b)
+	var queue []int
+	for i := 0; i < n; i++ { // want `wire-decoded count n bounds an allocating loop`
+		queue = append(queue, i)
+	}
+	return queue
+}
+
+func claimQueueGood(b []byte) []int {
+	n := decodeClaim(b)
+	if n > maxSteps {
+		n = maxSteps
+	}
+	var queue []int
+	for i := 0; i < n; i++ { // ok: clamped to the table cap
+		queue = append(queue, i)
+	}
+	return queue
+}
+
+func claimTableBad(b []byte) []int {
+	n := decodeClaim(b)
+	return make([]int, n) // want `wire-decoded count n reaches make`
+}

@@ -48,6 +48,10 @@ func (s CSSScheme) FixedChunk(cfg Config) (int, bool) {
 	return s.chunk(), true
 }
 
+// StepDeterministic: the k-th grant is always [k·K, (k+1)·K) clipped,
+// regardless of who asked.
+func (CSSScheme) StepDeterministic() bool { return true }
+
 // SelfScheduling is the pure SS scheme (CSS with K = 1).
 var SelfScheduling = CSSScheme{K: 1}
 

@@ -61,6 +61,10 @@ func (s FISSScheme) NewPolicy(cfg Config) (Policy, error) {
 	}, nil
 }
 
+// StepDeterministic: C_0, the bump and the stage count are all fixed
+// at plan time; grants never read the request.
+func (FISSScheme) StepDeterministic() bool { return true }
+
 func init() {
 	Register(FISSScheme{})
 }

@@ -44,6 +44,10 @@ func (s FSSScheme) NewPolicy(cfg Config) (Policy, error) {
 	}, nil
 }
 
+// StepDeterministic: stage boundaries fall every p grants and the
+// stage chunk is recomputed from the remaining count alone.
+func (FSSScheme) StepDeterministic() bool { return true }
+
 func init() {
 	Register(FSSScheme{})
 }

@@ -45,6 +45,10 @@ func (g *gssPolicy) Next(req Request) (Assignment, bool) {
 	return g.take(size)
 }
 
+// StepDeterministic: ⌈R/p⌉ depends only on how much has been assigned,
+// never on the requester.
+func (GSSScheme) StepDeterministic() bool { return true }
+
 func init() {
 	Register(GSSScheme{})
 	Register(GSSScheme{MinChunk: 8})

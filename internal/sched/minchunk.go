@@ -28,6 +28,10 @@ func (m minChunkScheme) Name() string {
 // Distributed follows the wrapped scheme.
 func (m minChunkScheme) Distributed() bool { return Distributed(m.base) }
 
+// StepDeterministic follows the wrapped scheme: the floor is applied
+// per grant, so a request-blind base stays request-blind.
+func (m minChunkScheme) StepDeterministic() bool { return StepDeterministic(m.base) }
+
 func (m minChunkScheme) NewPolicy(cfg Config) (Policy, error) {
 	pol, err := m.base.NewPolicy(cfg)
 	if err != nil {

@@ -162,6 +162,35 @@ func FixedChunk(s Scheme, cfg Config) (int, bool) {
 	return f.FixedChunk(cfg)
 }
 
+// StepDeterministicScheme is implemented by schemes whose chunk
+// sequence is a pure function of the scheduling step: the k-th chunk
+// handed out has the same start and size no matter which worker asked
+// for it, what ACP it attached, or how requests interleaved. For those
+// schemes the whole sequence can be precomputed into a prefix table
+// and "next chunk" collapses to a fetch-and-add on a shared step
+// counter (the distributed chunk-calculation model of
+// arXiv:2101.07050) — see internal/ledger. Schemes that read
+// Request.Worker or Request.ACP, or that re-plan from run-time
+// feedback, must not implement this.
+type StepDeterministicScheme interface {
+	Scheme
+	// StepDeterministic reports whether every policy the scheme builds
+	// ignores the request entirely (worker identity and ACP alike).
+	StepDeterministic() bool
+}
+
+// StepDeterministic reports whether s declares its chunk sequence to
+// be a pure function of the scheduling step. The default — for schemes
+// that do not implement StepDeterministicScheme — is false, so new
+// schemes are conservatively kept on the master path until they opt
+// in.
+func StepDeterministic(s Scheme) bool {
+	if d, ok := s.(StepDeterministicScheme); ok {
+		return d.StepDeterministic()
+	}
+	return false
+}
+
 // counter is the shared bookkeeping every policy embeds: the next
 // iteration index and clipping per equation (1) of the paper.
 type counter struct {

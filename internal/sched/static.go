@@ -39,6 +39,11 @@ func (s *staticPolicy) Next(req Request) (Assignment, bool) {
 	return s.take(size)
 }
 
+// StepDeterministic: the p equal chunks depend only on issue order;
+// the policy never reads the request. (WS, by contrast, sizes each
+// chunk from Request.Worker's power and must stay on the master path.)
+func (StaticScheme) StepDeterministic() bool { return true }
+
 // WeightedStaticScheme divides the iteration space proportionally to
 // the workers' powers in a single plan-time allocation. It is the
 // static scheme the paper uses to introduce weighting in section 3.1

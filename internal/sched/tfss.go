@@ -49,6 +49,10 @@ func (s TFSSScheme) NewPolicy(cfg Config) (Policy, error) {
 	}, nil
 }
 
+// StepDeterministic: the stage means come from the nominal TSS
+// sequence, fixed at plan time.
+func (TFSSScheme) StepDeterministic() bool { return true }
+
 func init() {
 	Register(TFSSScheme{})
 }

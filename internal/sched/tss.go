@@ -82,6 +82,10 @@ func (t *tssPolicy) Next(req Request) (Assignment, bool) {
 	return t.take(size)
 }
 
+// StepDeterministic: the trapezoid decrement advances one fixed step
+// per grant, independent of the requester.
+func (TSSScheme) StepDeterministic() bool { return true }
+
 func init() {
 	Register(TSSScheme{})
 }

@@ -78,6 +78,10 @@ type LatencyHists struct {
 	Comp            hist.Snapshot
 	Comm            hist.Snapshot
 	GrantToComplete hist.Snapshot
+	// LedgerFetch is the scheduling-ledger claim round trip (one
+	// fetch-and-add): near zero on the in-process backends, one wire
+	// round trip on rpc. Its Count is the backend's fetchadd total.
+	LedgerFetch hist.Snapshot
 }
 
 // backendHists is the live (recording) form of LatencyHists.
@@ -86,6 +90,7 @@ type backendHists struct {
 	comp      hist.Hist
 	comm      hist.Hist
 	g2c       hist.Hist
+	ledger    hist.Hist
 }
 
 func (b *backendHists) snapshot() LatencyHists {
@@ -94,6 +99,7 @@ func (b *backendHists) snapshot() LatencyHists {
 		Comp:            b.comp.Snapshot(),
 		Comm:            b.comm.Snapshot(),
 		GrantToComplete: b.g2c.Snapshot(),
+		LedgerFetch:     b.ledger.Snapshot(),
 	}
 }
 
@@ -230,6 +236,8 @@ func (a *Aggregator) OnEvent(e Event) {
 			}
 			busy[e.Worker] += e.Seconds
 		}
+	case LedgerFetch:
+		a.hist().ledger.Record(e.Seconds)
 	case WorkerJoined, ChunkRequested:
 		a.worker(e)
 	case JobAdmitted:
@@ -374,6 +382,7 @@ type Snapshot struct {
 	LatencySum     float64
 	LatencyCount   uint64
 	Stragglers     uint64
+	LedgerFetches  uint64
 	Hists          map[string]LatencyHists
 }
 
@@ -412,6 +421,7 @@ func (a *Aggregator) Snapshot() Snapshot {
 		LatencySum:     a.latSum,
 		LatencyCount:   a.latN,
 		Stragglers:     a.kinds[StragglerDetected],
+		LedgerFetches:  a.kinds[LedgerFetch],
 		Hists:          make(map[string]LatencyHists, len(a.hists)),
 	}
 	for backend, h := range a.hists {
@@ -602,6 +612,14 @@ func (a *Aggregator) WriteProm(w io.Writer) error {
 	promHist("loopsched_chunk_grant_to_complete_seconds",
 		"Grant-to-complete latency per chunk, by backend.",
 		func(h LatencyHists) hist.Snapshot { return h.GrantToComplete })
+	promHist("loopsched_ledger_fetch_seconds",
+		"Scheduling-ledger claim round trip (one fetch-and-add), by backend.",
+		func(h LatencyHists) hist.Snapshot { return h.LedgerFetch })
+	pf("# HELP loopsched_ledger_fetchadds_total Scheduling-ledger fetch-and-add claims, by backend.\n")
+	pf("# TYPE loopsched_ledger_fetchadds_total counter\n")
+	for _, b := range backends {
+		pf("loopsched_ledger_fetchadds_total{backend=%q} %d\n", b, hists[b].LedgerFetch.Count)
+	}
 
 	dirs := [2]string{"sent", "received"}
 	pf("# HELP loopsched_wire_frames_total Binary-protocol frames by direction.\n")

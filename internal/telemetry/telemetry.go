@@ -149,6 +149,14 @@ const (
 	// drainer goroutine), never by a backend.
 	StragglerDetected
 
+	// LedgerFetch marks one fetch-and-add claim on the scheduling
+	// ledger: Worker is the claimer, Start the number of steps claimed,
+	// Seconds the claim's round-trip time (zero for the in-process
+	// backend, where the claim is a single atomic add). Published by
+	// the claiming side, so the aggregator can count claims and track
+	// claim latency per backend.
+	LedgerFetch
+
 	kindCount // number of kinds; keep last
 )
 
@@ -181,6 +189,7 @@ var kindNames = [kindCount]string{
 	JobCancelled:      "job_cancelled",
 	JobQueueDepth:     "job_queue_depth",
 	StragglerDetected: "straggler_detected",
+	LedgerFetch:       "ledger_fetch",
 }
 
 // String returns the stable snake_case name of the kind.

@@ -89,14 +89,24 @@ func (c *Conn) Close() error { return c.rwc.Close() }
 //
 //lint:loopsched-hotpath
 func (c *Conn) writeFrame(body []byte, items int, encodeSec float64) error {
+	if err := c.queueFrame(body, items, encodeSec); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// queueFrame is writeFrame without the flush: the frame sits in the
+// send buffer until the next flushed write, so a caller can coalesce
+// several frames into one segment (the ledger worker rides its
+// completion deposit on the same flush as the next claim).
+//
+//lint:loopsched-hotpath
+func (c *Conn) queueFrame(body []byte, items int, encodeSec float64) error {
 	n := binary.PutUvarint(c.hdr[:], uint64(len(body)))
 	if _, err := c.bw.Write(c.hdr[:n]); err != nil {
 		return err
 	}
 	if _, err := c.bw.Write(body); err != nil {
-		return err
-	}
-	if err := c.bw.Flush(); err != nil {
 		return err
 	}
 	if c.bus != nil {
@@ -129,6 +139,33 @@ func (c *Conn) WriteRequest(r *Request) error {
 		enc = time.Since(t0).Seconds()
 	}
 	err = c.writeFrame(body, len(r.Results), enc)
+	bufPool.Put(bp)
+	return err
+}
+
+// QueueRequest encodes a request frame into the send buffer without
+// flushing it; the frame ships with the connection's next flushed
+// write. The ledger worker queues its no-reply completion deposit this
+// way so deposit and claim leave in one segment.
+//
+//lint:loopsched-hotpath
+func (c *Conn) QueueRequest(r *Request) error {
+	var t0 time.Time
+	if c.bus != nil {
+		t0 = time.Now()
+	}
+	bp := bufPool.Get().(*[]byte)
+	body, err := appendRequest((*bp)[:0], r)
+	if err != nil {
+		bufPool.Put(bp)
+		return err
+	}
+	*bp = body
+	var enc float64
+	if c.bus != nil {
+		enc = time.Since(t0).Seconds()
+	}
+	err = c.queueFrame(body, len(r.Results), enc)
 	bufPool.Put(bp)
 	return err
 }
@@ -290,6 +327,98 @@ func (c *Conn) ReadReply(r *Reply) error {
 	}
 	c.publishReceived(len(r.Grants), len(body), dec)
 	return nil
+}
+
+// WriteFetchAdd sends one ledger claim for n scheduling steps.
+//
+//lint:loopsched-hotpath
+func (c *Conn) WriteFetchAdd(n int) error {
+	bp := bufPool.Get().(*[]byte)
+	body, err := appendFetchAdd((*bp)[:0], n)
+	if err != nil {
+		bufPool.Put(bp)
+		return err
+	}
+	*bp = body
+	err = c.writeFrame(body, 1, 0)
+	bufPool.Put(bp)
+	return err
+}
+
+// WriteStep sends the ledger's answer to one claim: the first claimed
+// step.
+//
+//lint:loopsched-hotpath
+func (c *Conn) WriteStep(step uint64) error {
+	bp := bufPool.Get().(*[]byte)
+	body := appendStep((*bp)[:0], step)
+	*bp = body
+	err := c.writeFrame(body, 1, 0)
+	bufPool.Put(bp)
+	return err
+}
+
+// ReadStep blocks for the next step frame and returns the first
+// claimed step.
+//
+//lint:loopsched-hotpath
+func (c *Conn) ReadStep() (uint64, error) {
+	body, err := c.readFrame()
+	if err != nil {
+		return 0, err
+	}
+	step, err := decodeStep(body)
+	if err != nil {
+		return 0, err
+	}
+	c.publishReceived(1, len(body), 0)
+	return step, nil
+}
+
+// FetchAdd performs one synchronous ledger round trip: claim n steps,
+// block for the first claimed step.
+//
+//lint:loopsched-hotpath
+func (c *Conn) FetchAdd(n int) (uint64, error) {
+	if err := c.WriteFetchAdd(n); err != nil {
+		return 0, err
+	}
+	return c.ReadStep()
+}
+
+// ReadClientFrame blocks for the next client-originated frame and
+// dispatches on its type: a request frame decodes into r (exactly as
+// ReadRequest), a fetchadd frame returns its claimed step count. This
+// is how one server loop interleaves the two-sided grant dialogue and
+// the one-sided ledger dialogue on a single connection.
+//
+//lint:loopsched-hotpath
+func (c *Conn) ReadClientFrame(r *Request) (Kind, int, error) {
+	body, err := c.readFrame()
+	if err != nil {
+		return 0, 0, err
+	}
+	if body[0] == frameFetchAdd {
+		n, err := decodeFetchAdd(body)
+		if err != nil {
+			return 0, 0, err
+		}
+		c.publishReceived(1, len(body), 0)
+		return KindFetchAdd, n, nil
+	}
+	var t0 time.Time
+	if c.bus != nil {
+		t0 = time.Now()
+	}
+	if err := decodeRequest(body, r); err != nil {
+		return 0, 0, err
+	}
+	var dec float64
+	if c.bus != nil {
+		dec = time.Since(t0).Seconds()
+	}
+	c.publishReceived(len(r.Results), len(body), dec)
+	return KindRequest, 0, nil
 }
 
 // Call performs one synchronous round trip: write the request, block

@@ -24,6 +24,8 @@ var hotGuards = map[string]func(t *testing.T){
 	"decodeRequest":           codecGuard,
 	"decodeReply":             codecGuard,
 	"(*Conn).writeFrame":      connGuard,
+	"(*Conn).queueFrame":      connGuard,
+	"(*Conn).QueueRequest":    ledgerConnGuard,
 	"(*Conn).WriteRequest":    connGuard,
 	"(*Conn).WriteReply":      connGuard,
 	"(*Conn).readBody":        connGuard,
@@ -32,6 +34,15 @@ var hotGuards = map[string]func(t *testing.T){
 	"(*Conn).ReadRequest":     connGuard,
 	"(*Conn).ReadReply":       connGuard,
 	"(*Conn).Call":            connGuard,
+	"appendFetchAdd":          ledgerCodecGuard,
+	"decodeFetchAdd":          ledgerCodecGuard,
+	"appendStep":              ledgerCodecGuard,
+	"decodeStep":              ledgerCodecGuard,
+	"(*Conn).WriteFetchAdd":   ledgerConnGuard,
+	"(*Conn).WriteStep":       ledgerConnGuard,
+	"(*Conn).ReadStep":        ledgerConnGuard,
+	"(*Conn).FetchAdd":        ledgerConnGuard,
+	"(*Conn).ReadClientFrame": ledgerConnGuard,
 }
 
 // TestHotPathGuardTable pins hotGuards to the annotation set.
@@ -99,6 +110,69 @@ func codecGuard(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("codec round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// ledgerCodecGuard pins the single-uvarint ledger frames to zero
+// allocations per encode/decode pair.
+func ledgerCodecGuard(t *testing.T) {
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b, err := appendFetchAdd(buf[:0], 8)
+		if err != nil {
+			panic(err)
+		}
+		if _, err := decodeFetchAdd(b); err != nil {
+			panic(err)
+		}
+		b = appendStep(buf[:0], 1<<40)
+		if _, err := decodeStep(b); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ledger codec round trip allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// ledgerConnGuard runs the framed ledger dialogue exactly as the
+// worker does — a no-reply deposit queued unflushed, a FetchAdd claim
+// whose flush ships both frames in one segment, the step reply — and
+// demands the steady state stays allocation-free.
+func ledgerConnGuard(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates on the framing path")
+	}
+	client, server := connPair(t)
+	deposit := Request{Worker: 1, Prefetch: true, NoReply: true,
+		Results: []Record{{Index: 7, Data: []byte{1, 2, 3, 4}}}}
+	decReq := Request{Results: make([]Record, 0, 4)}
+
+	cycle := func() {
+		if err := client.QueueRequest(&deposit); err != nil {
+			panic(err)
+		}
+		if err := client.WriteFetchAdd(4); err != nil {
+			panic(err)
+		}
+		kind, _, err := server.ReadClientFrame(&decReq)
+		if err != nil || kind != KindRequest || !decReq.NoReply {
+			panic("deposit dispatch failed")
+		}
+		kind, n, err := server.ReadClientFrame(&decReq)
+		if err != nil || kind != KindFetchAdd || n != 4 {
+			panic("fetchadd dispatch failed")
+		}
+		if err := server.WriteStep(12); err != nil {
+			panic(err)
+		}
+		if step, err := client.ReadStep(); err != nil || step != 12 {
+			panic("step round trip failed")
+		}
+	}
+	cycle() // warm the scratch buffers and pools
+	if allocs := testing.AllocsPerRun(1000, cycle); allocs >= 1 {
+		t.Fatalf("ledger dialogue allocates %.1f times per op, want 0", allocs)
 	}
 }
 

@@ -26,7 +26,7 @@
 //
 //	request body: 0x01 | uvarint worker | uvarint acp |
 //	              fixed64 compSeconds | fixed64 idleSeconds |
-//	              flags (bit0 prefetch, bit1 record spans) |
+//	              flags (bit0 prefetch, bit1 record spans, bit2 no-reply) |
 //	              uvarint credits |
 //	              uvarint nResults | nResults × record |
 //	              [nResults × uvarint span]          (iff bit1 set)
@@ -36,6 +36,17 @@
 //	              [uvarint errLen | errLen bytes] |
 //	              uvarint nGrants | nGrants × (uvarint start | uvarint size) |
 //	              [nGrants × uvarint span]           (iff bit2 set)
+//
+//	fetchadd body: 0x03 | uvarint n                  (claim n steps)
+//	step body:     0x04 | uvarint step               (first claimed step)
+//
+// FetchAdd/Step are the one-sided ledger dialogue (docs/LEDGER.md): a
+// worker claims n scheduling steps with a fetch-and-add on the
+// server's step counter and computes its own chunk boundaries from a
+// replicated table, so the frames carry a single uvarint each instead
+// of a grant batch. The no-reply request flag (bit2) marks a
+// deposit-only request — piggy-backed completion records for which the
+// client will not read a reply; servers must not write one.
 //
 // Span blocks are optional trailing fields: a frame without the span
 // flag is byte-identical to protocol v1, so span-aware and span-less
@@ -76,14 +87,27 @@ const (
 	// sanity limit; anything larger is a corrupt or hostile header.
 	MaxFrame = 1 << 30
 
-	frameRequest = 0x01
-	frameReply   = 0x02
+	frameRequest  = 0x01
+	frameReply    = 0x02
+	frameFetchAdd = 0x03
+	frameStep     = 0x04
 
 	flagPrefetch    = 1 << 0
 	flagRecordSpans = 1 << 1 // request carries one span id per record
+	flagNoReply     = 1 << 2 // deposit-only request: server must not reply
 	flagStop        = 1 << 0
 	flagError       = 1 << 1
 	flagSpans       = 1 << 2 // reply carries one span id per grant
+)
+
+// Kind discriminates the client-originated frame types a ledger-aware
+// server can receive interleaved on one connection.
+type Kind byte
+
+// Client frame kinds, as returned by Conn.ReadClientFrame.
+const (
+	KindRequest  Kind = frameRequest
+	KindFetchAdd Kind = frameFetchAdd
 )
 
 // preamble is the client hello: Magic, "LS", Version.
@@ -123,9 +147,14 @@ type Request struct {
 	CompSeconds float64
 	IdleSeconds float64
 	Prefetch    bool
-	Credits     int
-	Results     []Record
-	Spans       []uint64
+	// NoReply marks a deposit-only request: the client ships completion
+	// records but will not read a reply, and the server must not write
+	// one. The ledger worker loop uses it so steady-state completion
+	// reports never block on a round trip.
+	NoReply bool
+	Credits int
+	Results []Record
+	Spans   []uint64
 }
 
 // reset clears the request for reuse, keeping slice capacity.
@@ -185,6 +214,9 @@ func appendRequest(b []byte, r *Request) ([]byte, error) {
 	}
 	if len(r.Spans) > 0 {
 		flags |= flagRecordSpans
+	}
+	if r.NoReply {
+		flags |= flagNoReply
 	}
 	b = append(b, flags)
 	b = binary.AppendUvarint(b, uint64(r.Credits))
@@ -330,6 +362,7 @@ func decodeRequest(body []byte, r *Request) error {
 		return err
 	}
 	r.Prefetch = flags&flagPrefetch != 0
+	r.NoReply = flags&flagNoReply != 0
 	if r.Credits, err = d.smallInt("credits"); err != nil {
 		return err
 	}
@@ -441,4 +474,82 @@ func decodeReply(body []byte, r *Reply) error {
 		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
 	}
 	return nil
+}
+
+// appendFetchAdd encodes a ledger claim of n steps (type byte
+// included) onto b. n must be positive: a zero-step claim is useless
+// and the encoder refusing it keeps the codec canonical.
+//
+//lint:loopsched-hotpath
+func appendFetchAdd(b []byte, n int) ([]byte, error) {
+	if n <= 0 {
+		return b, fmt.Errorf("%w: non-positive fetchadd count %d", ErrCorrupt, n)
+	}
+	b = append(b, frameFetchAdd)
+	b = binary.AppendUvarint(b, uint64(n))
+	return b, nil
+}
+
+// decodeFetchAdd parses a fetchadd body and returns the claimed step
+// count. The count is bounded like every other wire count, so a lying
+// client cannot make the server's ledger wrap within one claim.
+//
+//lint:loopsched-hotpath
+func decodeFetchAdd(body []byte) (int, error) {
+	d := decoder{b: body}
+	typ, err := d.byte("frame type")
+	if err != nil {
+		return 0, err
+	}
+	if typ != frameFetchAdd {
+		return 0, fmt.Errorf("%w: want fetchadd frame, got type 0x%02x", ErrCorrupt, typ)
+	}
+	n, err := d.smallInt("fetchadd count")
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("%w: zero-step fetchadd", ErrCorrupt)
+	}
+	if d.remaining() != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	return n, nil
+}
+
+// appendStep encodes the ledger's answer — the first claimed step —
+// onto b. The full uint64 range is legal: a step at or past the
+// table's end is the protocol's "drained" signal, and a counter that
+// has run far past the end is still a valid (wasted) claim.
+//
+//lint:loopsched-hotpath
+func appendStep(b []byte, step uint64) []byte {
+	b = append(b, frameStep)
+	b = binary.AppendUvarint(b, step)
+	return b
+}
+
+// decodeStep parses a step body. Lying or hostile step values need no
+// range check here: the claim-then-check protocol discards any step
+// past Table.Steps() at the lookup, so the decoder only guards
+// structure (type byte, truncation, trailing bytes) — never allocates.
+//
+//lint:loopsched-hotpath
+func decodeStep(body []byte) (uint64, error) {
+	d := decoder{b: body}
+	typ, err := d.byte("frame type")
+	if err != nil {
+		return 0, err
+	}
+	if typ != frameStep {
+		return 0, fmt.Errorf("%w: want step frame, got type 0x%02x", ErrCorrupt, typ)
+	}
+	step, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if d.remaining() != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, d.remaining())
+	}
+	return step, nil
 }

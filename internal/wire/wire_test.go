@@ -68,6 +68,10 @@ func sampleRequests() []Request {
 			},
 			Spans: []uint64{1<<40 | 101, 0},
 		},
+		{
+			Worker: 5, Prefetch: true, NoReply: true,
+			Results: []Record{{Index: 12, Data: []byte{6, 6, 6}}},
+		},
 	}
 }
 
@@ -107,7 +111,7 @@ func reqEqual(a, b *Request) bool {
 	if a.Worker != b.Worker || a.ACP != b.ACP ||
 		math.Float64bits(a.CompSeconds) != math.Float64bits(b.CompSeconds) ||
 		math.Float64bits(a.IdleSeconds) != math.Float64bits(b.IdleSeconds) ||
-		a.Prefetch != b.Prefetch || a.Credits != b.Credits ||
+		a.Prefetch != b.Prefetch || a.NoReply != b.NoReply || a.Credits != b.Credits ||
 		len(a.Results) != len(b.Results) {
 		return false
 	}
@@ -474,6 +478,15 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add([]byte{frameRequest, 0x80})
 	f.Add([]byte{frameReply, flagError, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	// Ledger frames: a well-formed claim, a well-formed huge step, a
+	// lying count past MaxFrame, a truncated varint, and trailing junk.
+	if b, err := appendFetchAdd(nil, 8); err == nil {
+		f.Add(b)
+	}
+	f.Add(appendStep(nil, 1<<63))
+	f.Add([]byte{frameFetchAdd, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F})
+	f.Add([]byte{frameFetchAdd, 0x80})
+	f.Add([]byte{frameStep, 0x07, 0x07})
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		var req Request
@@ -502,6 +515,26 @@ func FuzzWireDecode(f *testing.F) {
 			}
 			if !repEqual(&rep, &rep2) {
 				t.Fatalf("reply not canonical:\nfirst  %+v\nsecond %+v", rep, rep2)
+			}
+		}
+		if n, err := decodeFetchAdd(body); err == nil {
+			if n <= 0 || n > MaxFrame {
+				t.Fatalf("decodeFetchAdd accepted out-of-range count %d", n)
+			}
+			re, err := appendFetchAdd(nil, n)
+			if err != nil {
+				t.Fatalf("decoded fetchadd does not re-encode: %v (n=%d)", err, n)
+			}
+			if n2, err := decodeFetchAdd(re); err != nil || n2 != n {
+				t.Fatalf("fetchadd not canonical: n=%d re=%d err=%v", n, n2, err)
+			}
+		}
+		if step, err := decodeStep(body); err == nil {
+			// Any uint64 is a legal step (lying values are discarded at
+			// the table lookup), but the codec must stay canonical.
+			re := appendStep(nil, step)
+			if s2, err := decodeStep(re); err != nil || s2 != step {
+				t.Fatalf("step not canonical: step=%d re=%d err=%v", step, s2, err)
 			}
 		}
 	})

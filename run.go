@@ -103,6 +103,17 @@ type RunSpec struct {
 	// windows amortise master round trips over several chunks at the
 	// cost of coarser tail balancing.
 	CreditWindow int
+	// Ledger requests the decentralized scheduling ledger: "on" lets
+	// workers claim scheduling steps with a single fetch-and-add and
+	// compute chunk boundaries from a replicated table (rpc backend,
+	// binary transport), turns steal-engine refills into lock-free
+	// claims (local backend, steal engine), and gives each rpc
+	// submaster a stage-local ledger (hierarchies). Empty consults the
+	// LOOPSCHED_LEDGER environment variable and falls back to "off".
+	// The mode is advisory: schemes that are not step-deterministic
+	// (adaptive and feedback schemes) silently keep the master path,
+	// so "on" is always safe. See docs/LEDGER.md.
+	Ledger string
 	// LocalEngine selects the in-process runtime on BackendLocal:
 	// "channel" (the default, also chosen by "") drives one master
 	// goroutine over an unbuffered channel exactly as the paper's
@@ -238,6 +249,9 @@ func (s RunSpec) validate() error {
 			return err
 		}
 	}
+	if _, ok := exec.LedgerMode(s.Ledger).Normalize(); !ok {
+		return fmt.Errorf("loopsched: unknown ledger mode %q", s.Ledger)
+	}
 	switch s.Backend {
 	case "", BackendSim:
 		// The simulator takes its machines from Cluster; an empty
@@ -365,6 +379,7 @@ func (localExecutor) Run(ctx context.Context, spec RunSpec) (Report, error) {
 		Telemetry:     spec.Telemetry.Bus(),
 		Engine:        spec.LocalEngine,
 		Window:        spec.CreditWindow,
+		Ledger:        exec.LedgerMode(spec.Ledger),
 	}
 	return l.RunContext(ctx, spec.Workload, body)
 }
@@ -415,6 +430,9 @@ func runRPCFlat(ctx context.Context, spec RunSpec, kernel Kernel) (Report, error
 	}
 	master.SetTelemetry(spec.Telemetry.Bus())
 	master.SetWindow(spec.CreditWindow)
+	if err := master.SetLedger(exec.LedgerMode(spec.Ledger)); err != nil {
+		return Report{}, err
+	}
 	if spec.DisableReplan {
 		master.DisableReplan()
 	}
@@ -431,6 +449,11 @@ func runRPCFlat(ctx context.Context, spec RunSpec, kernel Kernel) (Report, error
 	var wg sync.WaitGroup
 	for i := range spec.Workers {
 		w := rpcWorker(spec, kernel, powers, i)
+		// When the master armed its ledger, hand every worker a table
+		// replica: binary-transport workers switch to one-sided claims,
+		// gob workers ignore it and keep the master path — which draws
+		// from the same step counter, so a mixed fleet stays exact.
+		w.LedgerTable = master.Ledger()
 		wg.Add(1)
 		go func(w exec.Worker) {
 			defer wg.Done()
@@ -505,6 +528,10 @@ func runRPCHierarchy(ctx context.Context, spec RunSpec, kernel Kernel) (Report, 
 			break
 		}
 		sub.SetTelemetry(spec.Telemetry.Bus(), members[si])
+		if err := sub.SetLedger(exec.LedgerMode(spec.Ledger)); err != nil {
+			root.Cancel(err)
+			break
+		}
 		defer sub.Close()
 		subL, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {

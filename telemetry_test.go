@@ -266,6 +266,7 @@ func TestTelemetryHistogramsReconcile(t *testing.T) {
 		chunks  int
 		report  *loopsched.Report
 		latency bool // backend fills Report.GrantLatency/CompLatency
+		ledger  bool // run granted through the fetch-and-add ledger
 	}
 	cases := []struct {
 		name string
@@ -277,7 +278,7 @@ func TestTelemetryHistogramsReconcile(t *testing.T) {
 				Backend: loopsched.BackendLocal, Workers: runWorkers(),
 				Body: func(i int) {}, Telemetry: tele,
 			})
-			return result{rep.Chunks, rep, true}
+			return result{rep.Chunks, rep, true, false}
 		}},
 		{"local-steal", func(t *testing.T, tele *loopsched.Telemetry) result {
 			rep := runForTelemetry(t, loopsched.RunSpec{
@@ -285,7 +286,7 @@ func TestTelemetryHistogramsReconcile(t *testing.T) {
 				Backend: loopsched.BackendLocal, LocalEngine: loopsched.EngineSteal,
 				Workers: runWorkers(), Body: func(i int) {}, Telemetry: tele,
 			})
-			return result{rep.Chunks, rep, true}
+			return result{rep.Chunks, rep, true, false}
 		}},
 		{"rpc", func(t *testing.T, tele *loopsched.Telemetry) result {
 			rep := runForTelemetry(t, loopsched.RunSpec{
@@ -293,7 +294,28 @@ func TestTelemetryHistogramsReconcile(t *testing.T) {
 				Backend: loopsched.BackendRPC, Workers: runWorkers(),
 				Kernel: kernel, Telemetry: tele,
 			})
-			return result{rep.Chunks, rep, true}
+			return result{rep.Chunks, rep, true, false}
+		}},
+		// The ledger paths grant chunks without a master round trip, but
+		// the accounting identity must survive: one-sided claims and
+		// lock-free deque refills still publish exactly one span-tagged
+		// grant per chunk and record its (near-zero) claim latency.
+		{"local-steal-ledger", func(t *testing.T, tele *loopsched.Telemetry) result {
+			rep := runForTelemetry(t, loopsched.RunSpec{
+				Scheme: scheme, Workload: loopsched.Uniform{N: n, C: 1},
+				Backend: loopsched.BackendLocal, LocalEngine: loopsched.EngineSteal,
+				Workers: runWorkers(), Body: func(i int) {}, Ledger: "on",
+				Telemetry: tele,
+			})
+			return result{rep.Chunks, rep, true, true}
+		}},
+		{"rpc-ledger", func(t *testing.T, tele *loopsched.Telemetry) result {
+			rep := runForTelemetry(t, loopsched.RunSpec{
+				Scheme: scheme, Workload: loopsched.Uniform{N: n, C: 1},
+				Backend: loopsched.BackendRPC, Workers: runWorkers(),
+				Kernel: kernel, Ledger: "on", Telemetry: tele,
+			})
+			return result{rep.Chunks, rep, true, true}
 		}},
 		{"hier-local", func(t *testing.T, tele *loopsched.Telemetry) result {
 			rep := runForTelemetry(t, loopsched.RunSpec{
@@ -302,7 +324,7 @@ func TestTelemetryHistogramsReconcile(t *testing.T) {
 				Body: func(i int) {}, Hierarchy: &loopsched.Hierarchy{Shards: 2},
 				Telemetry: tele,
 			})
-			return result{rep.Chunks, rep, false}
+			return result{rep.Chunks, rep, false, false}
 		}},
 		{"service", func(t *testing.T, tele *loopsched.Telemetry) result {
 			s, err := loopsched.NewScheduler(loopsched.SchedulerOptions{
@@ -331,7 +353,7 @@ func TestTelemetryHistogramsReconcile(t *testing.T) {
 			if err := s.Drain(ctx); err != nil {
 				t.Fatal(err)
 			}
-			return result{chunks, nil, false}
+			return result{chunks, nil, false, false}
 		}},
 	}
 	for _, tc := range cases {
@@ -366,6 +388,18 @@ func TestTelemetryHistogramsReconcile(t *testing.T) {
 				if res.report.CompLatency.P50 > res.report.CompLatency.P99 {
 					t.Errorf("percentiles out of order: p50 %g > p99 %g",
 						res.report.CompLatency.P50, res.report.CompLatency.P99)
+				}
+			}
+			if res.ledger {
+				// Ledger runs add their own identity: the fetch-add
+				// counter is the round-trip histogram's count, and a run
+				// that claims to use the ledger must have fetched.
+				fetches := sumMetric(t, text, "loopsched_ledger_fetchadds_total")
+				if fetches == 0 {
+					t.Error("ledger run recorded no fetch-adds")
+				}
+				if got := sumMetric(t, text, "loopsched_ledger_fetch_seconds_count"); got != fetches {
+					t.Errorf("ledger fetch histogram counted %g claims, counter says %g", got, fetches)
 				}
 			}
 		})
